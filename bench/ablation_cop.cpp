@@ -1,0 +1,79 @@
+// A4 ablation: EPP vs COP observability vs Monte-Carlo truth.
+//
+// COP-style observability is the classical one-pass estimate the EPP method
+// competes with on cost: COP computes ALL nodes in one backward pass, EPP
+// needs one cone pass per node. This ablation shows what that cost buys —
+// COP scores each error path independently and is structurally blind to
+// reconvergent cancellation/reinforcement, so its error grows with
+// reconvergence density while EPP's stays bounded.
+//
+// Flags: --vectors=N (default 16384)  --sites=K (default 80)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/epp/cop.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const auto vectors = static_cast<std::size_t>(flags.get_int("vectors", 16384));
+  const auto max_sites = static_cast<std::size_t>(flags.get_int("sites", 80));
+
+  std::printf("Ablation A4 — EPP vs COP observability (MC = truth)\n\n");
+  AsciiTable table({"Circuit", "EPP err%", "COP err%", "COP/EPP", "EPP all(ms)",
+                    "COP all(ms)"});
+
+  for (const char* name :
+       {"c17", "s27", "s208", "s298", "s344", "s386", "s526", "s953"}) {
+    const Circuit c = make_circuit(name);
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+
+    Stopwatch cop_clock;
+    const auto obs = cop_observability(c, sp);
+    const double cop_ms = cop_clock.millis();
+
+    EppEngine engine(c, sp);
+    const auto sites = error_sites(c);
+    Stopwatch epp_clock;
+    std::vector<double> epp(c.node_count(), 0.0);
+    for (NodeId s : sites) epp[s] = engine.p_sensitized(s);
+    const double epp_ms = epp_clock.millis();
+
+    FaultInjector fi(c);
+    McOptions mc;
+    mc.num_vectors = vectors;
+    double err_epp = 0, err_cop = 0;
+    std::size_t n = 0;
+    for (NodeId site : subsample_sites(sites, max_sites)) {
+      const double truth = fi.run_site(site, mc).probability();
+      err_epp += std::fabs(epp[site] - truth);
+      err_cop += std::fabs(obs[site] - truth);
+      ++n;
+    }
+    err_epp = 100 * err_epp / static_cast<double>(n);
+    err_cop = 100 * err_cop / static_cast<double>(n);
+    table.add_row({name, format_fixed(err_epp, 2), format_fixed(err_cop, 2),
+                   format_fixed(err_cop / (err_epp > 0 ? err_epp : 1), 2),
+                   format_fixed(epp_ms, 3), format_fixed(cop_ms, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading the shape: COP is 1-2 orders cheaper (one pass for all\n"
+      "nodes). On combinational reconvergence EPP is the more faithful\n"
+      "model (it tracks polarity; COP structurally cannot — see the\n"
+      "cancellation tests). On sequential circuits COP can come out ahead:\n"
+      "the paper's sink-union formula 1-prod(1-EPP_j) treats correlated\n"
+      "sinks as independent and overestimates when one stem feeds several\n"
+      "observation points, while COP's stem-union saturates at the most\n"
+      "observable branch. SiteEpp::p_sens_lower/upper expose the rigorous\n"
+      "bracket for callers that need it.\n");
+  return 0;
+}

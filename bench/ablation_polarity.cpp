@@ -1,0 +1,68 @@
+// A1 ablation: polarity tracking (the paper's a/ā split) vs the pooled
+// polarity-blind rule, measured against a Monte-Carlo reference.
+//
+// The polarity split is the paper's key device for reconvergent error paths
+// ("Since we have considered the polarity of error propagation, this will
+// take care of reconvergent fanouts"). The ablation quantifies how much
+// accuracy it buys as reconvergence density grows.
+//
+// Flags: --vectors=N (default 16384)  --sites=K (default 60)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/netlist/topo.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const auto vectors = static_cast<std::size_t>(flags.get_int("vectors", 16384));
+  const auto max_sites = static_cast<std::size_t>(flags.get_int("sites", 60));
+
+  std::printf("Ablation A1 — polarity-aware EPP vs pooled (no a/abar split)\n\n");
+  AsciiTable table({"ReuseBias", "ReconvStems", "MeanErr% exact",
+                    "MeanErr% pooled", "Pooled/Exact"});
+
+  for (double bias : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+    GeneratorProfile p;
+    p.name = "reconv";
+    p.num_inputs = 12;
+    p.num_outputs = 8;
+    p.num_dffs = 6;
+    p.num_gates = 400;
+    p.target_depth = 14;
+    p.reuse_bias = bias;
+    const Circuit c = generate_circuit(p, 99);
+
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    EppEngine exact(c, sp);
+    EppEngine pooled(c, sp, EppOptions{.track_polarity = false});
+    FaultInjector fi(c);
+    McOptions mc;
+    mc.num_vectors = vectors;
+
+    double err_exact = 0, err_pooled = 0;
+    std::size_t n = 0;
+    for (NodeId site : subsample_sites(error_sites(c), max_sites)) {
+      const double ref = fi.run_site(site, mc).probability();
+      err_exact += std::fabs(exact.p_sensitized(site) - ref);
+      err_pooled += std::fabs(pooled.p_sensitized(site) - ref);
+      ++n;
+    }
+    err_exact = 100 * err_exact / static_cast<double>(n);
+    err_pooled = 100 * err_pooled / static_cast<double>(n);
+    table.add_row({format_fixed(bias, 2),
+                   std::to_string(count_reconvergent_stems(c)),
+                   format_fixed(err_exact, 2), format_fixed(err_pooled, 2),
+                   format_fixed(err_pooled / (err_exact > 0 ? err_exact : 1), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: the pooled rule degrades as reconvergence\n"
+              "density rises; polarity tracking stays flat.\n");
+  return 0;
+}

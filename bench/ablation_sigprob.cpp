@@ -1,0 +1,90 @@
+// A2 ablation: which signal-probability engine feeds the EPP engine?
+//
+// The paper uses a topological SP pass (Parker-McCluskey, its reference [5])
+// and reports its cost in the SPT column. This ablation swaps the SP source
+// (Parker-McCluskey / exact enumeration / Monte-Carlo) and reports both the
+// SPT cost and the resulting EPP accuracy — quantifying how much of the EPP
+// error comes from approximate off-path SPs vs the EPP step itself.
+//
+// Flags: --vectors=N (default 32768)  --sites=K (default 60)
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const auto vectors = static_cast<std::size_t>(flags.get_int("vectors", 32768));
+  const auto max_sites = static_cast<std::size_t>(flags.get_int("sites", 60));
+
+  std::printf("Ablation A2 — SP engine feeding EPP (small circuits, exact SP feasible)\n\n");
+  AsciiTable table({"Circuit", "SP engine", "SPT(ms)", "MeanErr%", "MaxErr%"});
+
+  struct Engine {
+    const char* name;
+    std::function<SignalProbabilities(const Circuit&)> run;
+  };
+  const Engine engines[] = {
+      {"parker-mccluskey",
+       [](const Circuit& c) { return parker_mccluskey_sp(c); }},
+      {"exact",
+       [](const Circuit& c) {
+         ExactSpOptions opt;
+         // 2^18 weighted evaluations per node keeps the whole sweep in
+         // seconds; wider supports fall back to Parker-McCluskey below.
+         opt.max_support = 18;
+         SignalProbabilities sp = exact_sp(c, opt);
+         // Fall back to PM for any node whose support overflowed the limit.
+         const SignalProbabilities pm = parker_mccluskey_sp(c);
+         for (std::size_t i = 0; i < sp.p1.size(); ++i) {
+           if (std::isnan(sp.p1[i])) sp.p1[i] = pm.p1[i];
+         }
+         return sp;
+       }},
+      {"monte-carlo-64k",
+       [](const Circuit& c) { return monte_carlo_sp(c, 1 << 16); }},
+  };
+
+  for (const char* name : {"c17", "s27", "s208", "s298", "s344"}) {
+    const Circuit c = make_circuit(name);
+    FaultInjector fi(c);
+    McOptions mc;
+    mc.num_vectors = vectors;
+
+    // Shared MC reference per circuit.
+    std::vector<NodeId> sites = subsample_sites(error_sites(c), max_sites);
+    std::vector<double> ref;
+    for (NodeId s : sites) ref.push_back(fi.run_site(s, mc).probability());
+
+    for (const Engine& e : engines) {
+      Stopwatch clock;
+      const SignalProbabilities sp = e.run(c);
+      const double spt_ms = clock.millis();
+      EppEngine engine(c, sp);
+      double mean = 0, max = 0;
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        const double d =
+            100 * std::fabs(engine.p_sensitized(sites[i]) - ref[i]);
+        mean += d;
+        max = std::max(max, d);
+      }
+      mean /= static_cast<double>(sites.size());
+      table.add_row({name, e.name, format_fixed(spt_ms, 3),
+                     format_fixed(mean, 2), format_fixed(max, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: exact SP narrows but does not eliminate the\n"
+              "EPP-vs-MC gap (residual error stems from off-path correlation\n"
+              "at reconvergent gates, which no SP engine can repair).\n");
+  return 0;
+}

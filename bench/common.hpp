@@ -1,0 +1,67 @@
+// Shared helpers for the bench binaries: a minimal --flag=value parser and
+// common formatting.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sereep::bench {
+
+/// Minimal command-line flags: --name=value or --name value; bare --name is
+/// boolean true.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        kv_.emplace_back(std::string(arg.substr(0, eq)),
+                         std::string(arg.substr(eq + 1)));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        kv_.emplace_back(std::string(arg), std::string(argv[++i]));
+      } else {
+        kv_.emplace_back(std::string(arg), "1");
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(std::string_view name) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] long get_int(std::string_view name, long fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return std::strtol(v.c_str(), nullptr, 10);
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return std::strtod(v.c_str(), nullptr);
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace sereep::bench

@@ -1,0 +1,57 @@
+// A3: convergence of the random-simulation baseline itself.
+//
+// Justifies the vector counts used by the Table-2 and accuracy harnesses:
+// the Monte-Carlo EPP estimate converges like 1/sqrt(N), so the reference
+// needs enough vectors that the residual MC noise is well below the EPP
+// differences being measured.
+//
+// Flags: --sites=K (default 30)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const auto max_sites = static_cast<std::size_t>(flags.get_int("sites", 30));
+
+  std::printf("MC convergence — |MC(N) - MC(1M)| vs vector count\n\n");
+  AsciiTable table({"Circuit", "N=256", "N=1k", "N=4k", "N=16k", "N=64k",
+                    "N=256k"});
+
+  for (const char* name : {"c17", "s27", "s298", "s386"}) {
+    const Circuit c = make_circuit(name);
+    FaultInjector fi(c);
+    const auto sites = subsample_sites(error_sites(c), max_sites);
+
+    // High-confidence reference.
+    McOptions ref_opt;
+    ref_opt.num_vectors = 1 << 20;
+    ref_opt.seed = 0xBEEF;
+    std::vector<double> ref;
+    for (NodeId s : sites) ref.push_back(fi.run_site(s, ref_opt).probability());
+
+    std::vector<std::string> row{name};
+    for (std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+      McOptions opt;
+      opt.num_vectors = n;
+      opt.seed = 0xF00D;
+      double mean = 0;
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        mean += std::fabs(fi.run_site(sites[i], opt).probability() - ref[i]);
+      }
+      mean = 100 * mean / static_cast<double>(sites.size());
+      row.push_back(format_fixed(mean, 3) + "%");
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: error halves per 4x vectors (1/sqrt(N)).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// M1: google-benchmark microbenchmarks of the hot kernels:
+//   - per-node EPP (cone extraction + propagation)
+//   - whole-circuit Parker-McCluskey SP pass
+//   - bit-parallel simulation throughput
+//   - fault-injection per site
+//   - Table-1 gate rules (closed form vs fold vs brute force)
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/epp/gate_rules.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sigprob/signal_prob.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sereep;
+
+const Circuit& circuit_for(const std::string& name) {
+  static std::map<std::string, Circuit> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, make_iscas89_like(name)).first;
+  }
+  return it->second;
+}
+
+void BM_ParkerMcCluskeySp(benchmark::State& state) {
+  const Circuit& c = circuit_for("s953");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parker_mccluskey_sp(c));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.node_count()));
+}
+BENCHMARK(BM_ParkerMcCluskeySp);
+
+void BM_EppPerNode(benchmark::State& state) {
+  const Circuit& c = circuit_for("s1196");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp);
+  const auto sites = error_sites(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.p_sensitized(sites[i % sites.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EppPerNode);
+
+void BM_EppAllNodes(benchmark::State& state) {
+  const Circuit& c = circuit_for("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp);
+  const auto sites = error_sites(c);
+  for (auto _ : state) {
+    double acc = 0;
+    for (NodeId s : sites) acc += engine.p_sensitized(s);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sites.size()));
+}
+BENCHMARK(BM_EppAllNodes);
+
+void BM_BitParallelEval(benchmark::State& state) {
+  const Circuit& c = circuit_for("s1423");
+  BitParallelSimulator sim(c);
+  Rng rng(1);
+  sim.randomize_sources(rng);
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.values().data());
+  }
+  // 64 vectors per eval pass.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BitParallelEval);
+
+void BM_FaultInjectionPerSite(benchmark::State& state) {
+  const Circuit& c = circuit_for("s953");
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = static_cast<std::size_t>(state.range(0));
+  const auto sites = error_sites(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi.run_site(sites[i % sites.size()], opt));
+    ++i;
+  }
+}
+BENCHMARK(BM_FaultInjectionPerSite)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_GateRuleClosedForm(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Prob4> ins(static_cast<std::size_t>(state.range(0)));
+  for (auto& d : ins) {
+    d = Prob4::off_path(rng.uniform());
+    d.p[2] = d.p[0] * 0.25;
+    d.p[0] *= 0.75;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob4_closed_form(GateType::kAnd, ins));
+  }
+}
+BENCHMARK(BM_GateRuleClosedForm)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GateRuleFold(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Prob4> ins(static_cast<std::size_t>(state.range(0)));
+  for (auto& d : ins) {
+    d = Prob4::off_path(rng.uniform());
+    d.p[2] = d.p[0] * 0.25;
+    d.p[0] *= 0.75;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob4_fold(GateType::kAnd, ins));
+  }
+}
+BENCHMARK(BM_GateRuleFold)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GateRuleEnumerate(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Prob4> ins(static_cast<std::size_t>(state.range(0)));
+  for (auto& d : ins) {
+    d = Prob4::off_path(rng.uniform());
+    d.p[2] = d.p[0] * 0.25;
+    d.p[0] *= 0.75;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob4_enumerate(GateType::kAnd, ins));
+  }
+}
+BENCHMARK(BM_GateRuleEnumerate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConeExtraction(benchmark::State& state) {
+  const Circuit& c = circuit_for("s1238");
+  ConeExtractor ex(c);
+  const auto sites = error_sites(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.extract(sites[i % sites.size()]).on_path.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_ConeExtraction);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// E5 (extension): multi-cycle error detection latency.
+//
+// The paper stops at the flip-flop boundary ("latched = failed"). This bench
+// follows the latched error across clock cycles — analytic multi-cycle EPP
+// vs sequential fault injection — and reports the detection CDF: what
+// fraction of state-reaching errors become visible at a primary output
+// within k cycles, and how much the single-cycle convention overestimates
+// architecturally-masked errors.
+//
+// Flags: --vectors=N (default 8192)  --sites=K (default 40)  --cycles=C (8)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/epp/multicycle.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const auto vectors = static_cast<std::size_t>(flags.get_int("vectors", 8192));
+  const auto max_sites = static_cast<std::size_t>(flags.get_int("sites", 40));
+  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 8));
+
+  std::printf("Multi-cycle detection latency — analytic EPP vs sequential MC\n\n");
+
+  for (const char* name : {"s27", "s298", "s526"}) {
+    const Circuit c = make_circuit(name);
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    MultiCycleEppEngine engine(c, sp, {});
+    FaultInjector fi(c);
+    McOptions mc;
+    mc.num_vectors = vectors;
+
+    AsciiTable table({"k", "EPP detect<=k", "MC detect<=k", "|diff|",
+                      "residual state"});
+    const auto sites = subsample_sites(error_sites(c), max_sites);
+    for (std::size_t k = 1; k <= cycles; ++k) {
+      double epp_mean = 0, mc_mean = 0, diff = 0, residual = 0;
+      for (NodeId site : sites) {
+        const MultiCycleEpp profile = engine.compute(site, k);
+        const double a = profile.detect_within(k);
+        const double m = fi.run_site_multicycle(site, k, mc).probability();
+        epp_mean += a;
+        mc_mean += m;
+        diff += std::fabs(a - m);
+        residual += profile.residual_state.back();
+      }
+      const double n = static_cast<double>(sites.size());
+      table.add_row({std::to_string(k), format_fixed(epp_mean / n, 4),
+                     format_fixed(mc_mean / n, 4), format_fixed(diff / n, 4),
+                     format_fixed(residual / n, 4)});
+    }
+    std::printf("%s (sites=%zu)\n%s\n", name, sites.size(),
+                table.render().c_str());
+  }
+  std::printf("Expected shape: detection CDF rises and saturates within a\n"
+              "few cycles; analytic curve tracks the sequential simulation.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Reproduction of Table 2: "Our approach vs. random simulation".
+//
+// For each ISCAS'89 circuit of the paper the harness reports
+//   SysT  — average per-node EPP time, milliseconds
+//   SimT  — average per-node random-simulation time, seconds
+//   %Dif  — mean |P_sens(EPP) − P_sens(MC)| × 100 over the sampled nodes
+//   SPT   — whole-circuit signal-probability time, seconds
+//   ISP   — speedup including SP time: SimT / (SysT + SPT/num_nodes)
+//   ESP   — speedup excluding SP time: SimT / SysT
+//
+// Column accounting matches the paper's (per-node SysT/SimT, whole-circuit
+// SPT amortized per node in ISP — the reading under which every published
+// ISP/ESP value is self-consistent; see EXPERIMENTS.md). As in the paper,
+// "for larger circuits, a limited number of gates of the circuits are
+// simulated due to exorbitant run time of the random-simulation method":
+// --sim-sites bounds the Monte-Carlo sample, EPP always runs on ALL nodes.
+//
+// The default baseline is conventional serial fault simulation (one vector
+// at a time, full-circuit fault-free + faulty evaluation) — the methodology
+// of the works the paper compares against. --baseline=fast switches to this
+// repository's bit-parallel cone-limited injector, which is itself ~2-3
+// orders faster than the conventional baseline; speedups measured against
+// it are correspondingly smaller (and conservative).
+//
+// Flags: --vectors=N (default 16384)  --sim-sites=K (default 10)
+//        --baseline=scalar|fast (default scalar)
+//        --quick (first 6 circuits only)  --csv=path
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/sigprob/signal_prob.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace sereep;
+
+struct Row {
+  std::string circuit;
+  std::size_t nodes = 0;
+  double syst_ms = 0;   // per-node EPP
+  double simt_s = 0;    // per-node MC
+  double dif_pct = 0;
+  double spt_s = 0;     // whole-circuit SP
+  double isp = 0;
+  double esp = 0;
+};
+
+Row run_circuit(const std::string& name, std::size_t vectors,
+                std::size_t sim_sites, bool scalar_baseline) {
+  Row row;
+  row.circuit = name;
+  const Circuit circuit = make_iscas89_like(name);
+  const std::vector<NodeId> sites = error_sites(circuit);
+  row.nodes = sites.size();
+
+  // --- SPT: signal probability, whole circuit ---------------------------
+  Stopwatch sp_clock;
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
+  row.spt_s = sp_clock.seconds();
+
+  // --- SysT: EPP on every node -------------------------------------------
+  EppEngine engine(circuit, sp);
+  std::vector<double> epp(circuit.node_count(), 0.0);
+  Stopwatch epp_clock;
+  for (NodeId site : sites) epp[site] = engine.p_sensitized(site);
+  const double epp_total_s = epp_clock.seconds();
+  row.syst_ms = epp_total_s * 1e3 / static_cast<double>(sites.size());
+
+  // --- SimT + %Dif: Monte-Carlo on a site subsample ----------------------
+  const std::vector<NodeId> mc_sites = subsample_sites(sites, sim_sites);
+  FaultInjector injector(circuit);
+  McOptions mc;
+  mc.num_vectors = vectors;
+  double dif_sum = 0;
+  Stopwatch mc_clock;
+  for (NodeId site : mc_sites) {
+    const double p_mc = scalar_baseline
+                            ? injector.run_site_scalar(site, mc).probability()
+                            : injector.run_site(site, mc).probability();
+    dif_sum += std::fabs(epp[site] - p_mc);
+  }
+  const double mc_total_s = mc_clock.seconds();
+  row.simt_s = mc_total_s / static_cast<double>(mc_sites.size());
+  row.dif_pct = 100.0 * dif_sum / static_cast<double>(mc_sites.size());
+
+  // --- Speedups -----------------------------------------------------------
+  const double syst_s = row.syst_ms / 1e3;
+  row.esp = row.simt_s / syst_s;
+  row.isp = row.simt_s /
+            (syst_s + row.spt_s / static_cast<double>(sites.size()));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sereep::bench::Flags flags(argc, argv);
+  const auto vectors = static_cast<std::size_t>(flags.get_int("vectors", 16384));
+  const auto sim_sites =
+      static_cast<std::size_t>(flags.get_int("sim-sites", 10));
+  const bool scalar_baseline = flags.get("baseline", "scalar") != "fast";
+
+  std::vector<std::string> circuits{"s953",  "s1196",  "s1238",  "s1423",
+                                    "s1488", "s1494",  "s9234",  "s15850",
+                                    "s35932", "s38584", "s38417"};
+  if (flags.has("quick")) circuits.resize(6);
+
+  std::printf("Table 2 reproduction — EPP vs random simulation\n");
+  std::printf(
+      "vectors/site=%zu, MC sample=%zu sites, EPP on all nodes, baseline=%s\n\n",
+      vectors, sim_sites,
+      scalar_baseline ? "serial fault simulation (as in the compared works)"
+                      : "bit-parallel cone-limited (this repo, conservative)");
+
+  AsciiTable table({"Circuit", "Nodes", "SysT(ms)", "SimT(s)", "%Dif",
+                    "SPT(s)", "ISP", "ESP"});
+  CsvWriter csv({"circuit", "nodes", "syst_ms", "simt_s", "dif_pct", "spt_s",
+                 "isp", "esp"});
+
+  double sum_syst = 0, sum_simt = 0, sum_dif = 0, sum_isp = 0, sum_esp = 0;
+  std::size_t done = 0;
+  for (const std::string& name : circuits) {
+    const Row row = run_circuit(name, vectors, sim_sites, scalar_baseline);
+    table.add_row({row.circuit, std::to_string(row.nodes),
+                   format_fixed(row.syst_ms, 3), format_fixed(row.simt_s, 2),
+                   format_fixed(row.dif_pct, 1), format_fixed(row.spt_s, 5),
+                   format_fixed(row.isp, 0), format_fixed(row.esp, 0)});
+    csv.add_row({row.circuit, std::to_string(row.nodes),
+                 format_fixed(row.syst_ms, 6), format_fixed(row.simt_s, 6),
+                 format_fixed(row.dif_pct, 3), format_fixed(row.spt_s, 6),
+                 format_fixed(row.isp, 1), format_fixed(row.esp, 1)});
+    sum_syst += row.syst_ms;
+    sum_simt += row.simt_s;
+    sum_dif += row.dif_pct;
+    sum_isp += row.isp;
+    sum_esp += row.esp;
+    ++done;
+    std::fprintf(stderr, "[table2] %s done (%zu/%zu)\n", name.c_str(), done,
+                 circuits.size());
+  }
+  const double n = static_cast<double>(done);
+  table.add_separator();
+  table.add_row({"average", "", format_fixed(sum_syst / n, 3),
+                 format_fixed(sum_simt / n, 2), format_fixed(sum_dif / n, 1),
+                 "", format_fixed(sum_isp / n, 0),
+                 format_fixed(sum_esp / n, 0)});
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper (DELL Precision 450, 2005): average %%Dif = 5.4, speedups\n"
+      "4-5 orders of magnitude excluding SP time. Absolute times differ\n"
+      "(different host + synthetic stand-in netlists); compare shapes.\n");
+
+  if (flags.has("csv")) {
+    const std::string path = flags.get("csv", "table2.csv");
+    if (csv.write_file(path)) std::printf("CSV written to %s\n", path.c_str());
+  }
+  return 0;
+}

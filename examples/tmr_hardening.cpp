@@ -1,0 +1,76 @@
+// TMR hardening end-to-end: rank nodes with EPP, protect the head of the
+// ranking with triple modular redundancy, and verify the protection with
+// fault injection on the transformed netlist.
+//
+// Also demonstrates the estimator's known blind spot on voted logic: the
+// three copies are perfectly correlated, which the signal-independence
+// assumption cannot represent, so the analytic estimate for a protected
+// copy is conservative (> 0) while the measured propagation is exactly 0.
+//
+// Usage: tmr_hardening [--circuit=s298] [--target=0.5]
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/ser/ser_estimator.hpp"
+#include "src/ser/tmr.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sereep;
+  bench::Flags flags(argc, argv);
+  const std::string name = flags.get("circuit", "s298");
+  const double target = flags.get_double("target", 0.5);
+
+  const Circuit circuit = make_circuit(name);
+  std::printf("Before: %s\n", compute_stats(circuit).summary().c_str());
+
+  // 1. EPP-based ranking and selection.
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
+  SerEstimator estimator(circuit, sp, {});
+  const CircuitSer ser = estimator.estimate();
+  const HardeningPlan plan = select_hardening(ser, target);
+  std::printf("Plan: protect %zu nodes for a %.0f%% SER reduction target\n\n",
+              plan.protect.size(), target * 100);
+
+  // 2. Apply TMR.
+  const TmrResult tmr = apply_tmr(circuit, plan.protect);
+  std::printf("After:  %s\n", compute_stats(tmr.circuit).summary().c_str());
+  std::printf("        %zu gates protected, %zu gates added (%.1f%% area)\n\n",
+              tmr.gates_protected, tmr.gates_added,
+              100.0 * static_cast<double>(tmr.gates_added) /
+                  static_cast<double>(circuit.gate_count()));
+
+  // 3. Verify with fault injection on the transformed netlist.
+  FaultInjector fi(tmr.circuit);
+  McOptions mc;
+  mc.num_vectors = 8192;
+  const SignalProbabilities sp2 = parker_mccluskey_sp(tmr.circuit);
+  EppEngine epp2(tmr.circuit, sp2);
+
+  AsciiTable table({"Protected node", "copy EPP(analytic)", "copy MC(measured)"});
+  std::size_t shown = 0;
+  for (NodeId orig : plan.protect) {
+    if (shown == 8) break;
+    if (!is_combinational(circuit.type(orig))) continue;
+    const auto copy =
+        tmr.circuit.find(circuit.node(orig).name + "__tmr_a");
+    if (!copy) continue;
+    table.add_row({circuit.node(orig).name,
+                   format_fixed(epp2.p_sensitized(*copy), 4),
+                   format_fixed(fi.run_site(*copy, mc).probability(), 4)});
+    ++shown;
+  }
+  std::printf("Single-copy vulnerability after TMR:\n%s\n",
+              table.render().c_str());
+  std::printf("Measured column should be 0.0000 for every copy: the majority\n"
+              "voter masks any single-copy transient. The analytic column is\n"
+              "conservative (independence assumption cannot see that the\n"
+              "other two copies always agree).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "src/epp/cop.hpp"
+
+#include <cassert>
+
+namespace sereep {
+
+std::vector<double> cop_observability(const Circuit& circuit,
+                                      const SignalProbabilities& sp) {
+  assert(circuit.finalized());
+  const std::size_t n = circuit.node_count();
+  std::vector<double> obs(n, 0.0);
+
+  // Reverse topological pass: when node `id` is processed, every consumer
+  // already has its observability. The circuit topo order lists DFFs before
+  // the gates feeding them (their outputs are sources); in reverse order the
+  // D-pin gate would be seen *before* the DFF — harmless, because a DFF
+  // consumer contributes the constant 1 (latching is observation), not its
+  // own observability.
+  const auto order = circuit.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    double miss = 1.0;
+    bool observed_somewhere = circuit.is_primary_output(id) ||
+                              circuit.type(id) == GateType::kDff;
+    if (observed_somewhere) miss = 0.0;
+
+    for (NodeId c : circuit.fanout(id)) {
+      const Node& consumer = circuit.node(c);
+      double through = 0.0;
+      if (consumer.type == GateType::kDff) {
+        through = 1.0;  // reaching a D pin counts as observed
+      } else {
+        // Sensitization of this pin: side inputs at non-controlling values.
+        double side = 1.0;
+        switch (consumer.type) {
+          case GateType::kAnd:
+          case GateType::kNand:
+            for (NodeId f : consumer.fanin) {
+              if (f != id) side *= sp.p1[f];
+            }
+            break;
+          case GateType::kOr:
+          case GateType::kNor:
+            for (NodeId f : consumer.fanin) {
+              if (f != id) side *= 1.0 - sp.p1[f];
+            }
+            break;
+          default:
+            break;  // XOR/XNOR/NOT/BUF always propagate a single flip
+        }
+        through = obs[c] * side;
+      }
+      miss *= 1.0 - through;
+    }
+    obs[id] = 1.0 - miss;
+  }
+  return obs;
+}
+
+}  // namespace sereep

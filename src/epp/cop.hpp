@@ -1,0 +1,31 @@
+// COP-style observability — a classical cheap comparator for EPP.
+//
+// COP (controllability/observability propagation, Brglez'84 lineage)
+// estimates how observable each net is with a single *backward* topological
+// pass: O(PO) = 1, and an input of a gate is observable iff the gate output
+// is observable and every side input holds its non-controlling value.
+// Fanout-stem observability combines branch observabilities with the
+// independent-union rule.
+//
+// Compared to the paper's EPP this ignores (a) error polarity and (b) the
+// joint propagation of one error along multiple paths — it scores each path
+// independently. It is therefore cheaper (one pass for ALL nodes instead of
+// one cone pass per node) but structurally incapable of modeling
+// reconvergence. The ablation bench quantifies exactly that gap, which is
+// the gap the paper's method closes.
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+#include "src/sigprob/signal_prob.hpp"
+
+namespace sereep {
+
+/// Per-node observability O(n) ∈ [0,1]: the COP estimate of the probability
+/// that flipping node n is visible at some primary output or flip-flop D
+/// pin. One backward topological pass over the whole circuit.
+[[nodiscard]] std::vector<double> cop_observability(
+    const Circuit& circuit, const SignalProbabilities& sp);
+
+}  // namespace sereep

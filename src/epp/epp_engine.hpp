@@ -1,0 +1,132 @@
+// The EPP engine — the paper's three-step algorithm per error site:
+//
+//   1. Path construction: forward DFS extracts the on-path signal set
+//      (ConeExtractor).
+//   2. Ordering: on-path signals in topological order (ConeExtractor).
+//   3. EPP computation: one linear pass applying the Table-1 rules, off-path
+//      fanins contributing their signal probabilities.
+//
+// After the pass, Pa(PO_j) + Pā(PO_j) is known for every reachable output
+// and P_sensitized(n) = 1 − Π_j (1 − (Pa(PO_j) + Pā(PO_j))).
+//
+// The engine is allocation-free per site after warm-up (scratch reuse), which
+// is what makes the all-nodes SysT column of Table 2 milliseconds-scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/epp/gate_rules.hpp"
+#include "src/netlist/circuit.hpp"
+#include "src/netlist/topo.hpp"
+#include "src/sigprob/signal_prob.hpp"
+
+namespace sereep {
+
+/// Engine configuration.
+struct EppOptions {
+  /// Track error polarity (a vs ā). Disabling reverts to the naive pooled
+  /// rule — the A1 ablation.
+  bool track_polarity = true;
+
+  /// Electrical-masking model (extension): the survival probability of the
+  /// SET pulse per logic level traversed. 1.0 (default) reproduces the
+  /// paper's purely logical masking; values < 1 attenuate the error mass at
+  /// every on-path gate, redistributing the killed mass onto the blocked
+  /// 0/1 states according to the gate's signal probability — the standard
+  /// first-order pulse-attenuation model (Shivakumar et al., DSN'02).
+  double electrical_survival = 1.0;
+};
+
+/// Per-sink EPP of one error site.
+struct SinkEpp {
+  NodeId sink = kInvalidNode;
+  /// Pa + Pā observed at the sink (PO value or FF D pin).
+  double error_mass = 0.0;
+  /// Full distribution at the sink (diagnostics, worked examples).
+  Prob4 distribution;
+};
+
+/// Result of the per-site computation.
+struct SiteEpp {
+  NodeId site = kInvalidNode;
+  std::vector<SinkEpp> sinks;        ///< reachable outputs, topological order
+  double p_sensitized = 0.0;         ///< the paper's P_sensitized(n_i)
+  std::size_t cone_size = 0;         ///< on-path signal count (cost metric)
+  std::size_t reconvergent_gates = 0;
+  /// For flip-flop sites only: the error mass arriving back at the site's
+  /// own D pin (state-feedback loop). The sinks entry for the site itself
+  /// always carries mass 1 (an upset state bit *is* an error — the paper's
+  /// convention), which would otherwise hide this quantity; multi-cycle
+  /// analysis needs it to know whether the corrupted bit re-latches itself.
+  double self_dpin_mass = 0.0;
+
+  /// Rigorous bracket around the true P(error visible at >= 1 sink).
+  /// The paper's formula (p_sensitized above) assumes the per-sink events
+  /// are independent, but when one internal stem feeds several sinks they
+  /// are strongly positively correlated and the formula overestimates.
+  /// Regardless of correlation structure:
+  ///   max_j EPP_j  <=  P(any)  <=  min(1, sum_j EPP_j)
+  /// and the paper's value always lies inside this bracket too.
+  double p_sens_lower = 0.0;  ///< max over sinks
+  double p_sens_upper = 0.0;  ///< union bound (capped sum)
+};
+
+/// EPP computation engine bound to one circuit + one SP assignment.
+class EppEngine {
+ public:
+  /// `sp` must cover every node (e.g. from parker_mccluskey_sp). Off-path
+  /// fanin distributions are built from it.
+  EppEngine(const Circuit& circuit, const SignalProbabilities& sp,
+            EppOptions options = {});
+
+  /// Full three-step computation for one error site.
+  [[nodiscard]] SiteEpp compute(NodeId site);
+
+  /// P_sensitized only (skips per-sink result assembly; fastest path, used
+  /// by the Table-2 harness).
+  [[nodiscard]] double p_sensitized(NodeId site);
+
+  /// Runs compute() for every error site (or an evenly spaced subsample when
+  /// max_sites > 0) and returns the results.
+  [[nodiscard]] std::vector<SiteEpp> compute_all(std::size_t max_sites = 0);
+
+  /// The 4-state distribution the engine derived for a given on-path node in
+  /// the most recent compute()/p_sensitized() call. Valid for nodes in that
+  /// site's cone only (used by tests and the Fig-1 example).
+  [[nodiscard]] const Prob4& last_distribution(NodeId node) const {
+    return dist_[node];
+  }
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+  [[nodiscard]] const EppOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Propagates through the cone; returns via dist_ and stamps.
+  const Cone& propagate(NodeId site);
+
+  const Circuit& circuit_;
+  const SignalProbabilities& sp_;
+  EppOptions options_;
+  ConeExtractor cones_;
+  std::vector<Prob4> dist_;               // per-node scratch
+  std::vector<std::uint32_t> on_path_stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<Prob4> fanin_scratch_;
+};
+
+/// Convenience one-shot: P_sensitized for every node of `circuit` with
+/// Parker-McCluskey SP, default options.
+[[nodiscard]] std::vector<double> all_nodes_p_sensitized(
+    const Circuit& circuit);
+
+/// Multi-threaded all-nodes computation: per-site EPP is embarrassingly
+/// parallel (each site only reads the circuit and SPs), so each worker owns
+/// a private EppEngine and processes a stride of the site list. `threads`
+/// == 0 picks std::thread::hardware_concurrency(). Results are identical to
+/// the sequential path (pure computation, no accumulation order effects).
+[[nodiscard]] std::vector<double> all_nodes_p_sensitized_parallel(
+    const Circuit& circuit, const SignalProbabilities& sp,
+    EppOptions options = {}, unsigned threads = 0);
+
+}  // namespace sereep

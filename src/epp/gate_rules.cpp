@@ -1,0 +1,241 @@
+#include "src/epp/gate_rules.hpp"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+namespace sereep {
+
+namespace {
+
+/// Associative core of a gate type (AND for NAND, OR for NOR, XOR for XNOR).
+constexpr GateType gate_core(GateType type) noexcept {
+  switch (type) {
+    case GateType::kNand: return GateType::kAnd;
+    case GateType::kNor:  return GateType::kOr;
+    case GateType::kXnor: return GateType::kXor;
+    default:              return type;
+  }
+}
+
+Prob4 fold_core(GateType core, std::span<const Prob4> inputs) {
+  Prob4 acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    Prob4 next;
+    for (int x = 0; x < kSymCount; ++x) {
+      if (acc.p[x] == 0.0) continue;
+      for (int y = 0; y < kSymCount; ++y) {
+        const double w = acc.p[x] * inputs[i].p[y];
+        if (w == 0.0) continue;
+        next[sym_combine(core, static_cast<Sym>(x), static_cast<Sym>(y))] += w;
+      }
+    }
+    acc = next;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Prob4 prob4_closed_form(GateType type, std::span<const Prob4> inputs) {
+  assert(!inputs.empty());
+  switch (type) {
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return prob4_not(inputs[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      // Table 1, AND row.
+      double p1 = 1.0, pa_plus = 1.0, pabar_plus = 1.0;
+      for (const Prob4& x : inputs) {
+        p1 *= x.one();
+        pa_plus *= x.one() + x.a();
+        pabar_plus *= x.one() + x.abar();
+      }
+      Prob4 out;
+      out[Sym::kOne] = p1;
+      out[Sym::kA] = pa_plus - p1;
+      out[Sym::kABar] = pabar_plus - p1;
+      out[Sym::kZero] = 1.0 - (p1 + out[Sym::kA] + out[Sym::kABar]);
+      return type == GateType::kNand ? prob4_not(out) : out;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      // Table 1, OR row.
+      double p0 = 1.0, pa_plus = 1.0, pabar_plus = 1.0;
+      for (const Prob4& x : inputs) {
+        p0 *= x.zero();
+        pa_plus *= x.zero() + x.a();
+        pabar_plus *= x.zero() + x.abar();
+      }
+      Prob4 out;
+      out[Sym::kZero] = p0;
+      out[Sym::kA] = pa_plus - p0;
+      out[Sym::kABar] = pabar_plus - p0;
+      out[Sym::kOne] = 1.0 - (p0 + out[Sym::kA] + out[Sym::kABar]);
+      return type == GateType::kNor ? prob4_not(out) : out;
+    }
+    default:
+      assert(false && "prob4_closed_form: unsupported gate type");
+      return Prob4{};
+  }
+}
+
+Prob4 prob4_fold(GateType type, std::span<const Prob4> inputs) {
+  assert(!inputs.empty());
+  if (type == GateType::kBuf) return inputs[0];
+  if (type == GateType::kNot) return prob4_not(inputs[0]);
+  const Prob4 core = fold_core(gate_core(type), inputs);
+  return output_inverted(type) ? prob4_not(core) : core;
+}
+
+Prob4 prob4_enumerate(GateType type, std::span<const Prob4> inputs) {
+  assert(!inputs.empty());
+  if (type == GateType::kBuf) return inputs[0];
+  if (type == GateType::kNot) return prob4_not(inputs[0]);
+
+  const std::size_t n = inputs.size();
+  std::vector<int> sym(n, 0);
+  std::vector<bool> bits0(n), bits1(n);
+  Prob4 out;
+  while (true) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weight *= inputs[i].p[sym[i]];
+    }
+    if (weight != 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        bits0[i] = sym_value(static_cast<Sym>(sym[i]), false);
+        bits1[i] = sym_value(static_cast<Sym>(sym[i]), true);
+      }
+      // std::vector<bool> cannot back a span; evaluate via scalar loop.
+      auto eval_bits = [&](const std::vector<bool>& bits) {
+        bool acc;
+        switch (gate_core(type)) {
+          case GateType::kAnd: {
+            acc = true;
+            for (bool b : bits) acc = acc && b;
+            break;
+          }
+          case GateType::kOr: {
+            acc = false;
+            for (bool b : bits) acc = acc || b;
+            break;
+          }
+          case GateType::kXor: {
+            acc = false;
+            for (bool b : bits) acc = acc != b;
+            break;
+          }
+          default:
+            acc = bits[0];
+            break;
+        }
+        return output_inverted(type) ? !acc : acc;
+      };
+      out[sym_from_values(eval_bits(bits0), eval_bits(bits1))] += weight;
+    }
+    // Advance the mixed-radix counter.
+    std::size_t d = 0;
+    while (d < n && ++sym[d] == kSymCount) {
+      sym[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+  return out;
+}
+
+Prob4 prob4_propagate(GateType type, std::span<const Prob4> inputs) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+      return prob4_closed_form(type, inputs);
+    default:
+      return prob4_fold(type, inputs);
+  }
+}
+
+namespace {
+
+/// Three-symbol polarity-blind algebra for the A1 ablation: E (erroneous,
+/// polarity unknown), 0, 1. Because polarity is unknown, two E inputs can
+/// never be recognized as cancelling (a vs ā) — E combined with E stays E.
+/// That is precisely the information the paper's a/ā split adds.
+enum class Sym3 : int { kE = 0, kZero = 1, kOne = 2 };
+
+Sym3 combine3(GateType core, Sym3 x, Sym3 y) {
+  const auto is_e = [](Sym3 s) { return s == Sym3::kE; };
+  switch (core) {
+    case GateType::kAnd:
+      if (x == Sym3::kZero || y == Sym3::kZero) return Sym3::kZero;
+      if (is_e(x) || is_e(y)) return Sym3::kE;
+      return Sym3::kOne;
+    case GateType::kOr:
+      if (x == Sym3::kOne || y == Sym3::kOne) return Sym3::kOne;
+      if (is_e(x) || is_e(y)) return Sym3::kE;
+      return Sym3::kZero;
+    default:  // XOR: any erroneous operand leaves the output erroneous
+      if (is_e(x) || is_e(y)) return Sym3::kE;
+      return x == y ? Sym3::kZero : Sym3::kOne;
+  }
+}
+
+Sym3 not3(Sym3 s) {
+  if (s == Sym3::kZero) return Sym3::kOne;
+  if (s == Sym3::kOne) return Sym3::kZero;
+  return Sym3::kE;
+}
+
+}  // namespace
+
+Prob4 prob4_propagate_no_polarity(GateType type,
+                                  std::span<const Prob4> inputs) {
+  // Project each input onto {E, 0, 1} (pooling a and ā into E), fold with
+  // the polarity-blind algebra, and report the result with all error mass on
+  // the a-symbol.
+  const auto project = [](const Prob4& d) {
+    return std::array<double, 3>{d.a() + d.abar(), d.zero(), d.one()};
+  };
+  if (type == GateType::kBuf) return inputs[0];
+  if (type == GateType::kNot) return prob4_not(inputs[0]);
+
+  const GateType core = type == GateType::kNand  ? GateType::kAnd
+                        : type == GateType::kNor ? GateType::kOr
+                        : type == GateType::kXnor ? GateType::kXor
+                                                  : type;
+  std::array<double, 3> acc = project(inputs[0]);
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const std::array<double, 3> next_in = project(inputs[i]);
+    std::array<double, 3> next{0, 0, 0};
+    for (int x = 0; x < 3; ++x) {
+      if (acc[x] == 0.0) continue;
+      for (int y = 0; y < 3; ++y) {
+        const double w = acc[x] * next_in[y];
+        if (w == 0.0) continue;
+        next[static_cast<int>(combine3(core, static_cast<Sym3>(x),
+                                       static_cast<Sym3>(y)))] += w;
+      }
+    }
+    acc = next;
+  }
+  if (output_inverted(type)) {
+    std::array<double, 3> inv{0, 0, 0};
+    for (int x = 0; x < 3; ++x) {
+      inv[static_cast<int>(not3(static_cast<Sym3>(x)))] += acc[x];
+    }
+    acc = inv;
+  }
+  Prob4 out;
+  out[Sym::kA] = acc[0];
+  out[Sym::kZero] = acc[1];
+  out[Sym::kOne] = acc[2];
+  return out;
+}
+
+}  // namespace sereep

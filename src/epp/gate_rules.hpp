@@ -1,0 +1,54 @@
+// EPP propagation rules for elementary gates (Table 1 of the paper) plus a
+// general rule for arbitrary gate types.
+//
+// Two implementations are provided and property-tested against each other:
+//
+//  * closed-form rules — the exact Table-1 products for AND/OR (extended to
+//    NAND/NOR with a final inversion, and NOT/BUF trivially);
+//  * fold rule — pairwise convolution of input distributions under the
+//    symbol algebra. Because AND/OR/XOR are associative over symbols and the
+//    inputs are treated as independent, pairwise folding equals full 4^n
+//    enumeration at O(16·n) cost. This also covers XOR/XNOR, which Table 1
+//    omits.
+//
+// Both assume input independence — the same assumption the paper (and
+// Parker-McCluskey SP) makes; the polarity symbols are what remove the
+// *error-path* correlation at reconvergent gates.
+#pragma once
+
+#include <span>
+
+#include "src/epp/prob4.hpp"
+#include "src/netlist/gate.hpp"
+
+namespace sereep {
+
+/// Closed-form Table-1 rule. Supports BUF/NOT/AND/NAND/OR/NOR (the paper's
+/// elementary alphabet). Asserts on XOR/XNOR — use prob4_fold for those.
+[[nodiscard]] Prob4 prob4_closed_form(GateType type,
+                                      std::span<const Prob4> inputs);
+
+/// General rule by pairwise symbol-algebra folding; supports every
+/// combinational gate type.
+[[nodiscard]] Prob4 prob4_fold(GateType type, std::span<const Prob4> inputs);
+
+/// Brute-force 4^n enumeration (reference implementation for tests; do not
+/// use in production paths — exponential).
+[[nodiscard]] Prob4 prob4_enumerate(GateType type,
+                                    std::span<const Prob4> inputs);
+
+/// Production dispatch: closed form where Table 1 applies, fold otherwise.
+[[nodiscard]] Prob4 prob4_propagate(GateType type,
+                                    std::span<const Prob4> inputs);
+
+/// Polarity-blind variant for the A1 ablation: the a/ā split is pooled into
+/// a single "erroneous" symbol before propagation, i.e. the gate is
+/// evaluated pretending all error inputs have the same polarity. On
+/// fanout-free paths this equals the exact rule; at reconvergent gates it
+/// mis-handles ā-meets-a (e.g. claims OR(a, ā) can stay erroneous instead of
+/// forcing 1), which is exactly the inaccuracy the paper's polarity
+/// bookkeeping eliminates.
+[[nodiscard]] Prob4 prob4_propagate_no_polarity(GateType type,
+                                                std::span<const Prob4> inputs);
+
+}  // namespace sereep

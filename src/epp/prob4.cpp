@@ -1,0 +1,16 @@
+#include "src/epp/prob4.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+std::string Prob4::to_string(int decimals) const {
+  std::string s;
+  s += format_fixed(a(), decimals) + "(a) + ";
+  s += format_fixed(abar(), decimals) + "(\xC4\x81) + ";  // "ā"
+  s += format_fixed(zero(), decimals) + "(0) + ";
+  s += format_fixed(one(), decimals) + "(1)";
+  return s;
+}
+
+}  // namespace sereep

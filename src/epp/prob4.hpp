@@ -1,0 +1,162 @@
+// The four-state error-propagation probability distribution and its symbol
+// algebra — the heart of the paper.
+//
+// While an erroneous value `a` propagates from the error site, every on-path
+// signal U carries a discrete distribution over four symbols:
+//
+//   Pa(U)   — U equals the erroneous value a  (even number of inversions)
+//   Pā(U)   — U equals the complement ā       (odd number of inversions)
+//   P1(U)   — U is logic 1, error blocked
+//   P0(U)   — U is logic 0, error blocked
+//
+// with Pa + Pā + P0 + P1 = 1. Off-path signals carry Pa = Pā = 0 and
+// P1 = SP, P0 = 1 − SP.
+//
+// A symbol is exactly a boolean function of the unknown bit a: const-0,
+// const-1, identity, complement. Gates act pointwise on these functions,
+// which gives the complete algebra, e.g. AND(a, ā) = 0, OR(a, ā) = 1,
+// XOR(a, a) = 0, XOR(a, 1) = ā — precisely what makes reconvergent error
+// paths exact under polarity tracking.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "src/netlist/gate.hpp"
+
+namespace sereep {
+
+/// The four propagation symbols. Encoded as the pair (value at a=0,
+/// value at a=1): kZero=(0,0), kOne=(1,1), kA=(0,1), kABar=(1,0).
+enum class Sym : std::uint8_t { kZero = 0, kOne = 1, kA = 2, kABar = 3 };
+inline constexpr int kSymCount = 4;
+
+/// Value of a symbol for a concrete error bit. kA -> a, kABar -> !a.
+[[nodiscard]] constexpr bool sym_value(Sym s, bool a) noexcept {
+  switch (s) {
+    case Sym::kZero: return false;
+    case Sym::kOne:  return true;
+    case Sym::kA:    return a;
+    case Sym::kABar: return !a;
+  }
+  return false;
+}
+
+/// Builds the symbol from its two concrete values.
+[[nodiscard]] constexpr Sym sym_from_values(bool at0, bool at1) noexcept {
+  if (!at0 && !at1) return Sym::kZero;
+  if (at0 && at1) return Sym::kOne;
+  if (!at0 && at1) return Sym::kA;
+  return Sym::kABar;
+}
+
+/// Pointwise binary combination: evaluates the gate on both branches
+/// (a = 0 and a = 1) and re-encodes. kAnd/kOr/kXor only (associative cores);
+/// inverted gates fold with the core then invert once.
+[[nodiscard]] constexpr Sym sym_combine(GateType core, Sym x, Sym y) noexcept {
+  const bool at0 = core == GateType::kAnd ? (sym_value(x, false) && sym_value(y, false))
+                  : core == GateType::kOr ? (sym_value(x, false) || sym_value(y, false))
+                                          : (sym_value(x, false) != sym_value(y, false));
+  const bool at1 = core == GateType::kAnd ? (sym_value(x, true) && sym_value(y, true))
+                  : core == GateType::kOr ? (sym_value(x, true) || sym_value(y, true))
+                                          : (sym_value(x, true) != sym_value(y, true));
+  return sym_from_values(at0, at1);
+}
+
+/// Logical complement of a symbol (0<->1, a<->ā).
+[[nodiscard]] constexpr Sym sym_not(Sym s) noexcept {
+  switch (s) {
+    case Sym::kZero: return Sym::kOne;
+    case Sym::kOne:  return Sym::kZero;
+    case Sym::kA:    return Sym::kABar;
+    case Sym::kABar: return Sym::kA;
+  }
+  return Sym::kZero;
+}
+
+/// Distribution over the four symbols.
+struct Prob4 {
+  double p[kSymCount] = {0, 0, 0, 0};  // indexed by Sym
+
+  [[nodiscard]] constexpr double zero() const noexcept {
+    return p[static_cast<int>(Sym::kZero)];
+  }
+  [[nodiscard]] constexpr double one() const noexcept {
+    return p[static_cast<int>(Sym::kOne)];
+  }
+  [[nodiscard]] constexpr double a() const noexcept {
+    return p[static_cast<int>(Sym::kA)];
+  }
+  [[nodiscard]] constexpr double abar() const noexcept {
+    return p[static_cast<int>(Sym::kABar)];
+  }
+
+  constexpr double& operator[](Sym s) noexcept { return p[static_cast<int>(s)]; }
+  constexpr double operator[](Sym s) const noexcept {
+    return p[static_cast<int>(s)];
+  }
+
+  /// The distribution at the error site itself: the SEU flipped the node, so
+  /// the node carries the erroneous value with certainty.
+  [[nodiscard]] static constexpr Prob4 error_site() noexcept {
+    Prob4 d;
+    d[Sym::kA] = 1.0;
+    return d;
+  }
+
+  /// Off-path signal with signal probability `sp`: P1 = sp, P0 = 1 − sp.
+  [[nodiscard]] static constexpr Prob4 off_path(double sp) noexcept {
+    Prob4 d;
+    d[Sym::kOne] = sp;
+    d[Sym::kZero] = 1.0 - sp;
+    return d;
+  }
+
+  /// Probability that the signal carries the error in either polarity:
+  /// Pa + Pā. This is the EPP mass that reaches an output.
+  [[nodiscard]] constexpr double error_mass() const noexcept {
+    return a() + abar();
+  }
+
+  [[nodiscard]] constexpr double total() const noexcept {
+    return p[0] + p[1] + p[2] + p[3];
+  }
+
+  /// True iff all entries are within [−tol, 1+tol] and total() ≈ 1.
+  [[nodiscard]] bool valid(double tol = 1e-9) const noexcept {
+    for (double v : p) {
+      if (!(v >= -tol && v <= 1.0 + tol)) return false;
+    }
+    return std::fabs(total() - 1.0) <= 4 * tol;
+  }
+
+  /// Clamps tiny negative round-off to zero and renormalizes.
+  [[nodiscard]] Prob4 cleaned() const noexcept {
+    Prob4 d = *this;
+    double t = 0;
+    for (double& v : d.p) {
+      if (v < 0) v = 0;
+      t += v;
+    }
+    if (t > 0) {
+      for (double& v : d.p) v /= t;
+    }
+    return d;
+  }
+
+  /// Formats as the paper writes it: "0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1)".
+  [[nodiscard]] std::string to_string(int decimals = 3) const;
+};
+
+/// NOT rule of Table 1 (swap 0/1, a/ā).
+[[nodiscard]] constexpr Prob4 prob4_not(const Prob4& in) noexcept {
+  Prob4 out;
+  for (int s = 0; s < kSymCount; ++s) {
+    out.p[static_cast<int>(sym_not(static_cast<Sym>(s)))] = in.p[s];
+  }
+  return out;
+}
+
+}  // namespace sereep

@@ -1,0 +1,254 @@
+#include "src/netlist/bench_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+namespace {
+
+struct Statement {
+  int line = 0;
+  std::string target;               // defined signal
+  GateType type = GateType::kBuf;   // gate type (not INPUT/OUTPUT markers)
+  std::vector<std::string> args;    // fanin signal names
+};
+
+[[noreturn]] void parse_fail(int line, const std::string& what) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " + what);
+}
+
+/// Splits "NAME ( a , b )" argument lists; rejects empty arg names.
+std::vector<std::string> parse_args(std::string_view inside, int line) {
+  std::vector<std::string> args;
+  if (trim(inside).empty()) return args;
+  for (std::string_view piece : split(inside, ',')) {
+    const std::string_view arg = trim(piece);
+    if (arg.empty()) parse_fail(line, "empty argument in gate definition");
+    args.emplace_back(arg);
+  }
+  return args;
+}
+
+}  // namespace
+
+Circuit parse_bench(std::string_view text, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Statement> defs;
+  std::unordered_map<std::string, std::size_t> def_index;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw =
+        eol == std::string_view::npos
+            ? text.substr(pos)
+            : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments and whitespace.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    if (istarts_with(line, "INPUT") || istarts_with(line, "OUTPUT")) {
+      const bool is_input = istarts_with(line, "INPUT");
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        parse_fail(line_no, "malformed I/O declaration");
+      }
+      const std::string_view name = trim(line.substr(open + 1, close - open - 1));
+      if (name.empty()) parse_fail(line_no, "empty signal name");
+      (is_input ? input_names : output_names).emplace_back(name);
+      continue;
+    }
+
+    // Gate definition: target = TYPE(args)
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      parse_fail(line_no, "expected '=' in gate definition");
+    }
+    Statement st;
+    st.line = line_no;
+    st.target = std::string(trim(line.substr(0, eq)));
+    if (st.target.empty()) parse_fail(line_no, "empty target name");
+
+    const std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      parse_fail(line_no, "malformed gate expression");
+    }
+    const std::string_view keyword = trim(rhs.substr(0, open));
+    const auto type = parse_gate_type(keyword);
+    if (!type) {
+      parse_fail(line_no, "unknown gate type '" + std::string(keyword) + "'");
+    }
+    st.type = *type;
+    st.args = parse_args(rhs.substr(open + 1, close - open - 1), line_no);
+    if (!arity_ok(st.type, st.args.size()) && st.type != GateType::kDff) {
+      parse_fail(line_no, "illegal fanin count for " +
+                              std::string(gate_type_name(st.type)));
+    }
+    if (st.type == GateType::kDff && st.args.size() != 1) {
+      parse_fail(line_no, "DFF takes exactly one input");
+    }
+    if (def_index.contains(st.target)) {
+      parse_fail(line_no, "signal '" + st.target + "' defined twice");
+    }
+    def_index.emplace(st.target, defs.size());
+    defs.push_back(std::move(st));
+  }
+
+  Circuit circuit(std::move(circuit_name));
+
+  // Pass 1: create primary inputs and DFF placeholders — every name that can
+  // be referenced before its definition settles.
+  std::unordered_map<std::string, NodeId> ids;
+  for (const std::string& name : input_names) {
+    if (ids.contains(name)) {
+      throw std::runtime_error(".bench: input '" + name + "' declared twice");
+    }
+    if (def_index.contains(name)) {
+      throw std::runtime_error(".bench: input '" + name + "' also defined as a gate");
+    }
+    ids.emplace(name, circuit.add_input(name));
+  }
+  for (const Statement& st : defs) {
+    if (st.type == GateType::kDff) {
+      ids.emplace(st.target, circuit.add_dff_placeholder(st.target));
+    }
+  }
+
+  // Pass 2: emit combinational gates in dependency order (Kahn over the name
+  // graph; DFF outputs and PIs are ready at the start).
+  std::vector<std::size_t> pending;          // indices into defs, comb only
+  std::vector<int> missing(defs.size(), 0);  // unresolved fanins per def
+  std::unordered_map<std::string, std::vector<std::size_t>> waiters;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const Statement& st = defs[i];
+    if (st.type == GateType::kDff) continue;
+    int unresolved = 0;
+    for (const std::string& arg : st.args) {
+      if (!ids.contains(arg)) {
+        if (!def_index.contains(arg)) {
+          parse_fail(st.line, "undefined signal '" + arg + "'");
+        }
+        ++unresolved;
+        waiters[arg].push_back(i);
+      }
+    }
+    missing[i] = unresolved;
+    if (unresolved == 0) ready.push_back(i);
+  }
+
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    const Statement& st = defs[i];
+    std::vector<NodeId> fanin;
+    fanin.reserve(st.args.size());
+    for (const std::string& arg : st.args) fanin.push_back(ids.at(arg));
+    const NodeId id = circuit.add_gate(st.type, st.target, std::move(fanin));
+    ids.emplace(st.target, id);
+    ++emitted;
+    if (const auto it = waiters.find(st.target); it != waiters.end()) {
+      for (std::size_t waiter : it->second) {
+        if (--missing[waiter] == 0) ready.push_back(waiter);
+      }
+      waiters.erase(it);
+    }
+  }
+  std::size_t comb_defs = 0;
+  for (const Statement& st : defs) comb_defs += st.type != GateType::kDff;
+  if (emitted != comb_defs) {
+    throw std::runtime_error(
+        ".bench: combinational cycle among gate definitions");
+  }
+
+  // Pass 3: connect DFF data inputs and mark primary outputs.
+  for (const Statement& st : defs) {
+    if (st.type != GateType::kDff) continue;
+    const auto it = ids.find(st.args[0]);
+    if (it == ids.end()) parse_fail(st.line, "undefined signal '" + st.args[0] + "'");
+    circuit.connect_dff(ids.at(st.target), it->second);
+  }
+  for (const std::string& name : output_names) {
+    const auto it = ids.find(name);
+    if (it == ids.end()) {
+      throw std::runtime_error(".bench: undefined output '" + name + "'");
+    }
+    circuit.mark_output(it->second);
+  }
+
+  circuit.finalize();
+  return circuit;
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Circuit name = basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse_bench(buf.str(), name);
+}
+
+std::string write_bench(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "# " << circuit.name() << " — written by sereep\n";
+  for (NodeId id : circuit.inputs()) {
+    os << "INPUT(" << circuit.node(id).name << ")\n";
+  }
+  for (NodeId id : circuit.outputs()) {
+    os << "OUTPUT(" << circuit.node(id).name << ")\n";
+  }
+  os << "\n";
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const Node& node = circuit.node(id);
+    if (node.type == GateType::kInput) continue;
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
+      // .bench has no constant keyword; emit the sereep extension.
+      os << node.name << " = "
+         << (node.type == GateType::kConst1 ? "CONST1" : "CONST0") << "()\n";
+      continue;
+    }
+    os << node.name << " = " << gate_type_name(node.type) << "(";
+    for (std::size_t i = 0; i < node.fanin.size(); ++i) {
+      if (i) os << ", ";
+      os << circuit.node(node.fanin[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+bool save_bench_file(const Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_bench(circuit);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sereep

@@ -1,0 +1,38 @@
+// ISCAS .bench netlist reader and writer.
+//
+// The .bench grammar (used by ISCAS'85 and ISCAS'89 distributions):
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G23 = DFF(G10)
+//
+// Definitions may reference signals defined later in the file (sequential
+// feedback makes this unavoidable), so the parser resolves names in two
+// passes and emits gates in dependency order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// Parses .bench text into a finalized Circuit. Throws std::runtime_error
+/// with a line-numbered diagnostic on malformed input.
+[[nodiscard]] Circuit parse_bench(std::string_view text,
+                                  std::string circuit_name = "bench");
+
+/// Loads and parses a .bench file. Throws on I/O or parse failure.
+[[nodiscard]] Circuit load_bench_file(const std::string& path);
+
+/// Serializes a circuit back to .bench text. parse_bench(write_bench(c)) is
+/// structurally identical to c (same nodes, names, connectivity, outputs).
+[[nodiscard]] std::string write_bench(const Circuit& circuit);
+
+/// Writes .bench text to a file. Returns false on I/O failure.
+bool save_bench_file(const Circuit& circuit, const std::string& path);
+
+}  // namespace sereep

@@ -1,0 +1,97 @@
+#include "src/netlist/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/generator.hpp"
+
+namespace sereep {
+
+std::string_view c17_bench_text() noexcept {
+  // ISCAS'85 c17, verbatim netlist (all-NAND).
+  return R"(# c17 — ISCAS'85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+std::string_view s27_bench_text() noexcept {
+  // ISCAS'89 s27: 4 PI, 1 PO, 3 DFF, 10 gates.
+  return R"(# s27 — ISCAS'89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+}
+
+Circuit make_c17() { return parse_bench(c17_bench_text(), "c17"); }
+
+Circuit make_s27() { return parse_bench(s27_bench_text(), "s27"); }
+
+Fig1Example make_fig1_example() {
+  // The figure's structure: an SEU hits gate A. A fans out to an inverter E
+  // and to gate D. E feeds G = AND(E, F); D = AND(A, B); the two error paths
+  // reconverge at H = OR(C, D, G), which drives the PO.
+  //
+  // Off-path signal probabilities from the figure: SP(B) = 0.2, SP(C) = 0.3,
+  // SP(F) = 0.7. With P(E) = 1(ā) this yields the paper's worked result
+  // P(H) = 0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1).
+  Fig1Example ex;
+  Circuit cir("fig1");
+  const NodeId in_a = cir.add_input("Ain");
+  ex.b = cir.add_input("B");
+  ex.c = cir.add_input("C");
+  ex.f = cir.add_input("F");
+  // A is the hit gate; model as a buffer so the error site is a gate output.
+  ex.a = cir.add_gate(GateType::kBuf, "A", {in_a});
+  ex.e = cir.add_gate(GateType::kNot, "E", {ex.a});
+  ex.g = cir.add_gate(GateType::kAnd, "G", {ex.e, ex.f});
+  ex.d = cir.add_gate(GateType::kAnd, "D", {ex.a, ex.b});
+  ex.h = cir.add_gate(GateType::kOr, "H", {ex.c, ex.d, ex.g});
+  cir.mark_output(ex.h);
+  cir.finalize();
+  ex.circuit = std::move(cir);
+  return ex;
+}
+
+std::vector<std::string> known_circuit_names() {
+  std::vector<std::string> names{"c17", "s27"};
+  for (const GeneratorProfile& p : iscas89_profiles()) names.push_back(p.name);
+  return names;
+}
+
+Circuit make_circuit(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "s27") return make_s27();
+  return make_iscas89_like(name);  // throws on unknown profile
+}
+
+}  // namespace sereep

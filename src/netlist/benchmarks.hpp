@@ -1,0 +1,57 @@
+// Embedded benchmark circuits.
+//
+// c17 (ISCAS'85) and s27 (ISCAS'89) are tiny, public, and ubiquitous in the
+// testing literature, so they are embedded verbatim: they give every test and
+// example a *real* netlist with known structure, and s27 exercises the
+// sequential (DFF) path end to end. Larger ISCAS'89 circuits are represented
+// by generated profile stand-ins (see generator.hpp and DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// .bench source text of ISCAS'85 c17 (6 NAND gates, 5 PI, 2 PO).
+[[nodiscard]] std::string_view c17_bench_text() noexcept;
+
+/// .bench source text of ISCAS'89 s27 (10 gates, 3 DFF, 4 PI, 1 PO).
+[[nodiscard]] std::string_view s27_bench_text() noexcept;
+
+/// Parsed c17.
+[[nodiscard]] Circuit make_c17();
+
+/// Parsed s27.
+[[nodiscard]] Circuit make_s27();
+
+/// The reconvergent example circuit of the paper's Figure 1:
+/// inputs B, C, F (off-path sources); error site A; gates E (NOT),
+/// G (AND with F), D (AND of A,B), and H (NOR-style reconvergent gate —
+/// modeled as in the worked example: H = OR over C-off-path, D, G).
+///
+/// Returns the circuit plus the node ids of the interesting signals so tests
+/// and the fig1 bench can assert the paper's numbers:
+///   P(H) = 0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1).
+struct Fig1Example {
+  Circuit circuit;
+  NodeId a = kInvalidNode;  ///< error site (buffer driven by inputs)
+  NodeId e = kInvalidNode;  ///< inverter: P(E) = 1(ā)
+  NodeId g = kInvalidNode;  ///< AND(E, F): P(G) = 0.7(ā) + 0.3(0)
+  NodeId d = kInvalidNode;  ///< AND(A, B): P(D) = 0.2(a) + 0.8(0)
+  NodeId h = kInvalidNode;  ///< OR(C, D, G): the reconvergent gate
+  NodeId b = kInvalidNode, c = kInvalidNode, f = kInvalidNode;
+};
+[[nodiscard]] Fig1Example make_fig1_example();
+
+/// Names of all embedded + profile circuits usable by name in examples:
+/// "c17", "s27", then every ISCAS'89 profile.
+[[nodiscard]] std::vector<std::string> known_circuit_names();
+
+/// Fetch any known circuit by name (embedded ones parsed, profile ones
+/// generated with the canonical seed). Throws on unknown name.
+[[nodiscard]] Circuit make_circuit(const std::string& name);
+
+}  // namespace sereep

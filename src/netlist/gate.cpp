@@ -1,0 +1,122 @@
+#include "src/netlist/gate.hpp"
+
+#include <cassert>
+
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+std::string_view gate_type_name(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:  return "INPUT";
+    case GateType::kBuf:    return "BUFF";
+    case GateType::kNot:    return "NOT";
+    case GateType::kAnd:    return "AND";
+    case GateType::kNand:   return "NAND";
+    case GateType::kOr:     return "OR";
+    case GateType::kNor:    return "NOR";
+    case GateType::kXor:    return "XOR";
+    case GateType::kXnor:   return "XNOR";
+    case GateType::kDff:    return "DFF";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+  }
+  return "?";
+}
+
+std::optional<GateType> parse_gate_type(std::string_view keyword) noexcept {
+  struct Entry {
+    std::string_view name;
+    GateType type;
+  };
+  static constexpr Entry kEntries[] = {
+      {"INPUT", GateType::kInput}, {"BUFF", GateType::kBuf},
+      {"BUF", GateType::kBuf},     {"NOT", GateType::kNot},
+      {"INV", GateType::kNot},     {"AND", GateType::kAnd},
+      {"NAND", GateType::kNand},   {"OR", GateType::kOr},
+      {"NOR", GateType::kNor},     {"XOR", GateType::kXor},
+      {"XNOR", GateType::kXnor},   {"DFF", GateType::kDff},
+      {"FF", GateType::kDff},      {"CONST0", GateType::kConst0},
+      {"CONST1", GateType::kConst1},
+  };
+  for (const Entry& e : kEntries) {
+    if (iequals(keyword, e.name)) return e.type;
+  }
+  return std::nullopt;
+}
+
+bool eval_gate(GateType type, std::span<const bool> inputs) {
+  assert(arity_ok(type, inputs.size()) || type == GateType::kDff);
+  switch (type) {
+    case GateType::kConst0:
+      return false;
+    case GateType::kConst1:
+      return true;
+    case GateType::kInput:
+      assert(false && "primary inputs are not evaluated");
+      return false;
+    case GateType::kBuf:
+    case GateType::kDff:  // transparent view: next-state = D
+      return inputs[0];
+    case GateType::kNot:
+      return !inputs[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool acc = true;
+      for (bool v : inputs) acc = acc && v;
+      return type == GateType::kNand ? !acc : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool acc = false;
+      for (bool v : inputs) acc = acc || v;
+      return type == GateType::kNor ? !acc : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool acc = false;
+      for (bool v : inputs) acc = acc != v;
+      return type == GateType::kXnor ? !acc : acc;
+    }
+  }
+  return false;
+}
+
+std::uint64_t eval_gate_word(GateType type,
+                             std::span<const std::uint64_t> inputs) {
+  switch (type) {
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~0ULL;
+    case GateType::kInput:
+      assert(false && "primary inputs are not evaluated");
+      return 0;
+    case GateType::kBuf:
+    case GateType::kDff:
+      return inputs[0];
+    case GateType::kNot:
+      return ~inputs[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = ~0ULL;
+      for (std::uint64_t v : inputs) acc &= v;
+      return type == GateType::kNand ? ~acc : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : inputs) acc |= v;
+      return type == GateType::kNor ? ~acc : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : inputs) acc ^= v;
+      return type == GateType::kXnor ? ~acc : acc;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sereep

@@ -1,0 +1,137 @@
+// Gate primitives for the gate-level netlist model.
+//
+// The gate alphabet is the ISCAS .bench alphabet (AND/NAND/OR/NOR/XOR/XNOR/
+// NOT/BUFF/DFF plus INPUT and constants), which covers all circuits the paper
+// evaluates. Every algorithm in sereep (simulation, signal probability, EPP)
+// dispatches on GateType, so the helpers here centralize the boolean
+// semantics: evaluation, controlling values, and output inversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sereep {
+
+/// Node kinds in a netlist. kInput is a primary input; kDff is a D flip-flop
+/// whose output is a pseudo-primary-input and whose D pin is a
+/// pseudo-primary-output for all combinational analyses (full-scan view).
+enum class GateType : std::uint8_t {
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,
+  kConst0,
+  kConst1,
+};
+
+/// Number of distinct GateType values (for array-indexed tables).
+inline constexpr int kGateTypeCount = 12;
+
+/// Canonical .bench keyword for a gate type ("AND", "DFF", ...).
+[[nodiscard]] std::string_view gate_type_name(GateType type) noexcept;
+
+/// Parses a .bench keyword (case-insensitive; accepts BUF/BUFF, FF/DFF).
+[[nodiscard]] std::optional<GateType> parse_gate_type(
+    std::string_view keyword) noexcept;
+
+/// True for types that take no fanin (kInput, kConst0, kConst1).
+[[nodiscard]] constexpr bool is_source(GateType type) noexcept {
+  return type == GateType::kInput || type == GateType::kConst0 ||
+         type == GateType::kConst1;
+}
+
+/// True for combinational logic gates (evaluable from fanins).
+[[nodiscard]] constexpr bool is_combinational(GateType type) noexcept {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Legal fanin arity range for a type: {min, max}. max == 0 means "no limit".
+struct ArityRange {
+  int min;
+  int max;
+};
+[[nodiscard]] constexpr ArityRange gate_arity(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0, -1};  // max = -1 marks "exactly zero"
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return {1, 1};
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return {1, 0};  // n-ary
+  }
+  return {0, -1};
+}
+
+/// True if `arity` is a legal fanin count for `type`.
+[[nodiscard]] constexpr bool arity_ok(GateType type, std::size_t arity) noexcept {
+  const ArityRange r = gate_arity(type);
+  if (r.max == -1) return arity == 0;
+  if (arity < static_cast<std::size_t>(r.min)) return false;
+  if (r.max > 0 && arity > static_cast<std::size_t>(r.max)) return false;
+  return true;
+}
+
+/// The controlling input value of a gate (the value that alone determines the
+/// output), or nullopt for gates with no controlling value (XOR family,
+/// buffers). AND/NAND -> 0, OR/NOR -> 1.
+[[nodiscard]] constexpr std::optional<bool> controlling_value(
+    GateType type) noexcept {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return false;
+    case GateType::kOr:
+    case GateType::kNor:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// True if the gate's output function includes a final inversion
+/// (NOT/NAND/NOR/XNOR).
+[[nodiscard]] constexpr bool output_inverted(GateType type) noexcept {
+  return type == GateType::kNot || type == GateType::kNand ||
+         type == GateType::kNor || type == GateType::kXnor;
+}
+
+/// Scalar boolean evaluation (reference semantics; the bit-parallel simulator
+/// in src/sim implements the same truth tables on 64-bit words and is
+/// property-tested against this function).
+[[nodiscard]] bool eval_gate(GateType type, std::span<const bool> inputs);
+
+/// 64-way bit-parallel evaluation of one gate over packed input words.
+[[nodiscard]] std::uint64_t eval_gate_word(GateType type,
+                                           std::span<const std::uint64_t> inputs);
+
+}  // namespace sereep

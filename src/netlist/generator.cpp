@@ -1,0 +1,328 @@
+#include "src/netlist/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace sereep {
+
+namespace {
+
+/// Canonical seed: all bench binaries generate identical circuits.
+constexpr std::uint64_t kCanonicalSeed = 0x15ca5'89ULL;
+
+GateType pick_gate_type(const GeneratorProfile& p, Rng& rng) {
+  struct W {
+    GateType type;
+    double weight;
+  };
+  const std::array<W, 8> table{{{GateType::kAnd, p.w_and},
+                                {GateType::kNand, p.w_nand},
+                                {GateType::kOr, p.w_or},
+                                {GateType::kNor, p.w_nor},
+                                {GateType::kXor, p.w_xor},
+                                {GateType::kXnor, p.w_xnor},
+                                {GateType::kNot, p.w_not},
+                                {GateType::kBuf, p.w_buf}}};
+  double total = 0;
+  for (const W& w : table) total += w.weight;
+  double draw = rng.uniform() * total;
+  for (const W& w : table) {
+    draw -= w.weight;
+    if (draw <= 0) return w.type;
+  }
+  return GateType::kNand;
+}
+
+std::size_t pick_fanin_count(const GeneratorProfile& p, Rng& rng) {
+  const double total = p.w_fanin2 + p.w_fanin3 + p.w_fanin4 + p.w_fanin5;
+  double draw = rng.uniform() * total;
+  if ((draw -= p.w_fanin2) <= 0) return 2;
+  if ((draw -= p.w_fanin3) <= 0) return 3;
+  if ((draw -= p.w_fanin4) <= 0) return 4;
+  return 5;
+}
+
+}  // namespace
+
+Circuit generate_circuit(const GeneratorProfile& profile, std::uint64_t seed) {
+  if (profile.num_inputs == 0) {
+    throw std::runtime_error("generator: need at least one primary input");
+  }
+  if (profile.num_outputs == 0 && profile.num_dffs == 0) {
+    throw std::runtime_error("generator: need outputs or flip-flops");
+  }
+  const std::uint32_t depth =
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(
+                                     profile.target_depth,
+                                     static_cast<std::uint32_t>(
+                                         std::max<std::size_t>(profile.num_gates, 1))));
+
+  Rng rng(seed ^ (profile.num_gates * 0x9e3779b97f4a7c15ULL));
+  Circuit circuit(profile.name);
+
+  // Sources: primary inputs then DFF placeholders (outputs of state bits).
+  std::vector<NodeId> sources;
+  for (std::size_t i = 0; i < profile.num_inputs; ++i) {
+    sources.push_back(circuit.add_input("I" + std::to_string(i)));
+  }
+  std::vector<NodeId> dffs;
+  for (std::size_t i = 0; i < profile.num_dffs; ++i) {
+    const NodeId ff = circuit.add_dff_placeholder("FF" + std::to_string(i));
+    dffs.push_back(ff);
+    sources.push_back(ff);
+  }
+
+  // Level buckets: signals available per level. Sources sit at level 0.
+  std::vector<std::vector<NodeId>> by_level(depth + 1);
+  by_level[0] = sources;
+  std::vector<NodeId> all_signals = sources;
+  std::vector<std::uint32_t> level_of(circuit.node_count(), 0);
+  level_of.reserve(circuit.node_count() + profile.num_gates);
+
+  // Preferential-attachment pool: signals appear once per use, so popular
+  // signals are drawn more often (heavy-tailed fanout like real netlists).
+  std::vector<NodeId> reuse_pool = sources;
+
+  const auto pick_below_level = [&](std::uint32_t level, Rng& r) -> NodeId {
+    // Uniform over levels < level, then uniform in that bucket; falls back to
+    // level 0 which is never empty.
+    for (int attempts = 0; attempts < 8; ++attempts) {
+      const auto lvl = static_cast<std::uint32_t>(r.below(level));
+      if (!by_level[lvl].empty()) {
+        return by_level[lvl][r.below(by_level[lvl].size())];
+      }
+    }
+    return by_level[0][r.below(by_level[0].size())];
+  };
+
+  // Plan every gate's level up front, then emit gates in ascending level
+  // order. Creation order therefore agrees with level order, which keeps
+  // the whole construction acyclic by id comparison and guarantees that any
+  // dangling gate below the top level has later, deeper gates available to
+  // absorb it. The ramp covers levels 1..depth; the deepest level is capped
+  // at roughly the sink quota (its gates can only be observed by POs or FF
+  // data pins, so over-populating it would inflate the PO count).
+  const std::size_t max_top_level_gates =
+      std::max<std::size_t>(1, profile.num_outputs + profile.num_dffs);
+  std::vector<std::uint32_t> level_plan(profile.num_gates);
+  std::size_t top_level_gates = 0;
+  for (std::size_t i = 0; i < profile.num_gates; ++i) {
+    const auto target_level = static_cast<std::uint32_t>(
+        1 + (i * depth) / std::max<std::size_t>(profile.num_gates, 1));
+    std::uint32_t gate_level = std::min(target_level, depth);
+    if (gate_level == depth && depth > 1) {
+      if (top_level_gates >= max_top_level_gates) {
+        gate_level = 1 + static_cast<std::uint32_t>(rng.below(depth - 1));
+      } else {
+        ++top_level_gates;
+      }
+    }
+    level_plan[i] = gate_level;
+  }
+  std::sort(level_plan.begin(), level_plan.end());
+
+  for (std::size_t i = 0; i < profile.num_gates; ++i) {
+    const std::uint32_t gate_level = level_plan[i];
+
+    const GateType type = pick_gate_type(profile, rng);
+    const std::size_t arity =
+        (type == GateType::kNot || type == GateType::kBuf)
+            ? 1
+            : pick_fanin_count(profile, rng);
+
+    std::vector<NodeId> fanin;
+    fanin.reserve(arity);
+    // Driving fanin: from level gate_level-1 to enforce the level target.
+    if (!by_level[gate_level - 1].empty()) {
+      fanin.push_back(
+          by_level[gate_level - 1][rng.below(by_level[gate_level - 1].size())]);
+    } else {
+      fanin.push_back(pick_below_level(gate_level, rng));
+    }
+    // Remaining fanins: reuse-biased or uniform over lower levels.
+    while (fanin.size() < arity) {
+      NodeId cand;
+      if (rng.chance(profile.reuse_bias) && !reuse_pool.empty()) {
+        cand = reuse_pool[rng.below(reuse_pool.size())];
+        if (level_of[cand] >= gate_level) {
+          cand = pick_below_level(gate_level, rng);
+        }
+      } else {
+        cand = pick_below_level(gate_level, rng);
+      }
+      // No duplicate fanins: a duplicate is functionally degenerate and real
+      // netlists avoid it.
+      if (std::find(fanin.begin(), fanin.end(), cand) == fanin.end()) {
+        fanin.push_back(cand);
+      } else if (all_signals.size() <= arity) {
+        fanin.push_back(cand);  // tiny circuit escape hatch
+      }
+    }
+
+    const NodeId id = circuit.add_gate(
+        type, "N" + std::to_string(circuit.node_count()), std::move(fanin));
+    level_of.resize(circuit.node_count(), 0);
+    level_of[id] = gate_level;
+    by_level[gate_level].push_back(id);
+    all_signals.push_back(id);
+    reuse_pool.push_back(id);
+    for (NodeId f : circuit.fanin(id)) reuse_pool.push_back(f);
+  }
+
+  // Primary outputs: prefer deep gates with no fanout yet (dangling), then
+  // deep gates generally. Exact quota.
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (is_combinational(circuit.type(id))) candidates.push_back(id);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    const bool da = circuit.fanout(a).empty(), db = circuit.fanout(b).empty();
+    if (da != db) return da > db;            // dangling first
+    return level_of[a] > level_of[b];        // then deepest first
+  });
+  const std::size_t po_quota =
+      std::min(profile.num_outputs, candidates.size());
+  std::vector<NodeId> pos(candidates.begin(),
+                          candidates.begin() + static_cast<std::ptrdiff_t>(po_quota));
+  for (NodeId id : pos) circuit.mark_output(id);
+  // PIs can be outputs too if the gate pool is too small (degenerate case).
+  if (pos.size() < profile.num_outputs) {
+    for (NodeId id : circuit.inputs()) {
+      if (pos.size() == profile.num_outputs) break;
+      circuit.mark_output(id);
+      pos.push_back(id);
+    }
+  }
+
+  // DFF data inputs: prefer gates that are still dangling (mops up deep
+  // unobserved logic so the PO quota is not overrun by the fixup below),
+  // then random deep signals.
+  std::vector<NodeId> dangling;
+  for (NodeId id : candidates) {
+    if (circuit.fanout(id).empty() && !circuit.is_primary_output(id)) {
+      dangling.push_back(id);
+    }
+  }
+  std::size_t next_dangling = 0;
+  for (NodeId ff : dffs) {
+    NodeId d;
+    if (next_dangling < dangling.size()) {
+      d = dangling[next_dangling++];
+    } else if (!candidates.empty()) {
+      d = candidates[rng.below(std::min<std::size_t>(
+          candidates.size(),
+          std::max<std::size_t>(candidates.size() / 2, 1)))];
+    } else {
+      d = circuit.inputs()[rng.below(circuit.inputs().size())];
+    }
+    circuit.connect_dff(ff, d);
+  }
+
+  // Observability fixup: any gate still dangling (no fanout, not a PO) gets
+  // appended as an extra fanin of a deeper n-ary gate, or marked PO as a
+  // last resort. Attaching only to strictly deeper gates keeps every gate's
+  // level equal to its assigned level, so the circuit depth stays exactly on
+  // target.
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!is_combinational(circuit.type(id))) continue;
+    if (!circuit.fanout(id).empty() || circuit.is_primary_output(id)) continue;
+    bool attached = false;
+    for (int attempt = 0; attempt < 64 && !attached; ++attempt) {
+      const NodeId later = static_cast<NodeId>(
+          id + 1 + rng.below(circuit.node_count() - id));
+      if (later >= circuit.node_count()) continue;
+      const GateType t = circuit.type(later);
+      if (gate_arity(t).max == 0 && is_combinational(t) &&
+          level_of[later] > level_of[id]) {
+        circuit.append_fanin(later, id);
+        attached = true;
+      }
+    }
+    // Deterministic fallback: any strictly deeper n-ary gate will do.
+    for (NodeId later = id + 1; !attached && later < circuit.node_count();
+         ++later) {
+      const GateType t = circuit.type(later);
+      if (gate_arity(t).max == 0 && is_combinational(t) &&
+          level_of[later] > level_of[id]) {
+        circuit.append_fanin(later, id);
+        attached = true;
+      }
+    }
+    if (!attached) circuit.mark_output(id);
+  }
+
+  circuit.finalize();
+  return circuit;
+}
+
+const std::vector<GeneratorProfile>& iscas89_profiles() {
+  // Published ISCAS'89 statistics: #PI, #PO, #FF, #gates; depths are the
+  // commonly reported logic depths. These are the structural targets the
+  // stand-in circuits reproduce (DESIGN.md §5).
+  static const std::vector<GeneratorProfile> kProfiles = [] {
+    std::vector<GeneratorProfile> v;
+    const auto add = [&v](std::string name, std::size_t pi, std::size_t po,
+                          std::size_t ff, std::size_t gates,
+                          std::uint32_t depth) {
+      GeneratorProfile p;
+      p.name = std::move(name);
+      p.num_inputs = pi;
+      p.num_outputs = po;
+      p.num_dffs = ff;
+      p.num_gates = gates;
+      p.target_depth = depth;
+      v.push_back(std::move(p));
+    };
+    // ISCAS'85 combinational benchmarks (published statistics; no FFs).
+    add("c432", 36, 7, 0, 160, 17);
+    add("c499", 41, 32, 0, 202, 11);
+    add("c880", 60, 26, 0, 383, 24);
+    add("c1355", 41, 32, 0, 546, 24);
+    add("c1908", 33, 25, 0, 880, 40);
+    add("c2670", 233, 140, 0, 1193, 32);
+    add("c3540", 50, 22, 0, 1669, 47);
+    add("c5315", 178, 123, 0, 2307, 49);
+    add("c6288", 32, 32, 0, 2416, 124);
+    add("c7552", 207, 108, 0, 3512, 43);
+    // Small sequential circuits for accuracy studies (exact engines feasible).
+    add("s208", 10, 1, 8, 96, 12);
+    add("s298", 3, 6, 14, 119, 9);
+    add("s344", 9, 11, 15, 160, 14);
+    add("s386", 7, 7, 6, 159, 11);
+    add("s420", 18, 1, 16, 218, 13);
+    add("s526", 3, 6, 21, 193, 9);
+    add("s641", 35, 24, 19, 379, 74);
+    add("s713", 35, 23, 19, 393, 74);
+    add("s820", 18, 19, 5, 289, 10);
+    add("s832", 18, 19, 5, 287, 10);
+    // The eleven circuits of Table 2.
+    add("s953", 16, 23, 29, 395, 16);
+    add("s1196", 14, 14, 18, 529, 24);
+    add("s1238", 14, 14, 18, 508, 22);
+    add("s1423", 17, 5, 74, 657, 59);
+    add("s1488", 8, 19, 6, 653, 17);
+    add("s1494", 8, 19, 6, 647, 17);
+    add("s9234", 36, 39, 211, 5597, 38);
+    add("s15850", 77, 150, 534, 9772, 63);
+    add("s35932", 35, 320, 1728, 16065, 29);
+    add("s38584", 38, 304, 1426, 19253, 56);
+    add("s38417", 28, 106, 1636, 22179, 47);
+    return v;
+  }();
+  return kProfiles;
+}
+
+const GeneratorProfile& iscas89_profile(const std::string& name) {
+  for (const GeneratorProfile& p : iscas89_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::runtime_error("unknown ISCAS'89 profile '" + name + "'");
+}
+
+Circuit make_iscas89_like(const std::string& name) {
+  return generate_circuit(iscas89_profile(name), kCanonicalSeed);
+}
+
+}  // namespace sereep

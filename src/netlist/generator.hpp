@@ -1,0 +1,70 @@
+// Seeded synthetic gate-level circuit generator.
+//
+// The paper evaluates on ISCAS'89 netlists, which are public but not shipped
+// offline with this repository. The generator emits circuits matching each
+// benchmark's *published structural profile* — primary inputs/outputs,
+// flip-flop count, gate count, logic depth, fan-in mix and fanout/
+// reconvergence density — because those are the only structural properties
+// the EPP algorithm and the random-simulation baseline are sensitive to
+// (both are topology + probability computations; they never interpret the
+// circuit's function beyond gate truth tables). See DESIGN.md §5.
+//
+// The output is a valid, finalized Circuit; write_bench() can dump it and a
+// real ISCAS'89 .bench file drops into every pipeline through the same
+// parse_bench() entry point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+#include "src/util/rng.hpp"
+
+namespace sereep {
+
+/// Target structural profile for generation.
+struct GeneratorProfile {
+  std::string name = "gen";
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 8;
+  std::size_t num_dffs = 0;
+  std::size_t num_gates = 100;
+  std::uint32_t target_depth = 12;
+
+  /// Weights over gate types for n-ary gates (AND/NAND/OR/NOR/XOR/XNOR) and
+  /// unary (NOT/BUF). Normalized internally.
+  double w_and = 0.20, w_nand = 0.25, w_or = 0.14, w_nor = 0.14;
+  double w_xor = 0.03, w_xnor = 0.02, w_not = 0.17, w_buf = 0.05;
+
+  /// Weights over fanin counts 2..5 for n-ary gates.
+  double w_fanin2 = 0.62, w_fanin3 = 0.22, w_fanin4 = 0.11, w_fanin5 = 0.05;
+
+  /// Probability that a non-driving fanin is picked with preferential
+  /// attachment (reuse of already-popular signals). Higher values create
+  /// denser fanout stems and more reconvergence.
+  double reuse_bias = 0.35;
+};
+
+/// Generates a circuit matching `profile`, deterministically under `seed`.
+/// Guarantees: finalized, acyclic, every gate reaches some PO or FF, exact
+/// num_inputs/num_outputs/num_dffs/num_gates, depth == target_depth whenever
+/// num_gates >= target_depth (always true for the shipped profiles).
+[[nodiscard]] Circuit generate_circuit(const GeneratorProfile& profile,
+                                       std::uint64_t seed);
+
+/// The eleven ISCAS'89 benchmark profiles of the paper's Table 2 (published
+/// statistics: PI/PO/FF/gate counts and approximate logic depth), the small
+/// s208..s832 profiles used by the accuracy studies, and the ten ISCAS'85
+/// combinational profiles (c432..c7552).
+[[nodiscard]] const std::vector<GeneratorProfile>& iscas89_profiles();
+
+/// Looks up a profile by benchmark name ("s953", ...). Throws if unknown.
+[[nodiscard]] const GeneratorProfile& iscas89_profile(const std::string& name);
+
+/// Convenience: generate the ISCAS'89-profile stand-in for `name` with the
+/// canonical seed used across all benches (so every binary sees the same
+/// circuit).
+[[nodiscard]] Circuit make_iscas89_like(const std::string& name);
+
+}  // namespace sereep

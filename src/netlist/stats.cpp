@@ -1,0 +1,41 @@
+#include "src/netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sereep {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats s;
+  s.name = circuit.name();
+  s.nodes = circuit.node_count();
+  s.inputs = circuit.inputs().size();
+  s.outputs = circuit.outputs().size();
+  s.dffs = circuit.dffs().size();
+  s.gates = circuit.gate_count();
+  s.depth = circuit.depth();
+
+  std::size_t fanin_total = 0;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const Node& node = circuit.node(id);
+    s.type_histogram[static_cast<std::size_t>(node.type)] += 1;
+    if (is_combinational(node.type)) fanin_total += node.fanin.size();
+    s.max_fanout = std::max(s.max_fanout, node.fanout.size());
+    if (node.fanout.size() >= 2) ++s.fanout_stems;
+  }
+  s.avg_fanin = s.gates ? static_cast<double>(fanin_total) /
+                              static_cast<double>(s.gates)
+                        : 0.0;
+  return s;
+}
+
+std::string CircuitStats::summary() const {
+  std::ostringstream os;
+  os << name << ": " << gates << " gates, " << inputs << " PI, " << outputs
+     << " PO, " << dffs << " FF, depth " << depth << ", avg fanin "
+     << avg_fanin << ", max fanout " << max_fanout << ", stems "
+     << fanout_stems;
+  return os.str();
+}
+
+}  // namespace sereep

@@ -1,0 +1,37 @@
+// Structural circuit statistics.
+//
+// Used three ways: (1) sanity-reporting in examples and benches, (2) checking
+// that generated ISCAS'89-profile circuits actually match their target
+// profile, (3) the per-circuit columns of the Table-2 reproduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// Aggregate structural statistics of a finalized circuit.
+struct CircuitStats {
+  std::string name;
+  std::size_t nodes = 0;        ///< all nodes
+  std::size_t inputs = 0;       ///< primary inputs
+  std::size_t outputs = 0;      ///< primary outputs
+  std::size_t dffs = 0;         ///< flip-flops
+  std::size_t gates = 0;        ///< combinational gates
+  std::uint32_t depth = 0;      ///< max combinational level
+  double avg_fanin = 0.0;       ///< mean gate fanin
+  std::size_t max_fanout = 0;   ///< max fanout of any node
+  std::size_t fanout_stems = 0; ///< nodes with fanout >= 2
+  std::array<std::size_t, kGateTypeCount> type_histogram{};
+
+  /// Renders a one-line summary ("s953: 395 gates, 29 FF, depth 16, ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Computes statistics for a finalized circuit.
+[[nodiscard]] CircuitStats compute_stats(const Circuit& circuit);
+
+}  // namespace sereep

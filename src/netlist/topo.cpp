@@ -1,0 +1,170 @@
+#include "src/netlist/topo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sereep {
+
+ConeExtractor::ConeExtractor(const Circuit& circuit) : circuit_(circuit) {
+  assert(circuit.finalized());
+  const std::size_t n = circuit.node_count();
+  topo_pos_.assign(n, 0);
+  const auto order = circuit.topo_order();
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+    topo_pos_[order[pos]] = pos;
+  }
+  // The circuit's topo order lists DFFs early because their *outputs* are
+  // sources, but within a cone a DFF is a *sink* whose distribution is read
+  // from its D pin — it must sort after the gate driving it. Nothing inside
+  // a cone is downstream of a DFF (traversal stops there), so pushing every
+  // DFF past all gates, ordered by its D pin, is always topologically valid.
+  for (NodeId ff : circuit.dffs()) {
+    topo_pos_[ff] =
+        static_cast<std::uint32_t>(n) + topo_pos_[circuit.fanin(ff)[0]];
+  }
+  stamp_.assign(n, 0);
+}
+
+const Cone& ConeExtractor::extract(NodeId site) {
+  assert(site < circuit_.node_count());
+  ++epoch_;
+  cone_.site = site;
+  cone_.on_path.clear();
+  cone_.reachable_sinks.clear();
+  cone_.reconvergent_gates.clear();
+
+  // Forward DFS. A DFF is an observation point: the error reaching its D pin
+  // is "latched", so we record the DFF as a reachable sink but do not
+  // traverse through it into the next cycle.
+  stack_.clear();
+  stack_.push_back(site);
+  visit(site);
+  while (!stack_.empty()) {
+    const NodeId id = stack_.back();
+    stack_.pop_back();
+    cone_.on_path.push_back(id);
+    if (circuit_.is_primary_output(id) || circuit_.type(id) == GateType::kDff) {
+      cone_.reachable_sinks.push_back(id);
+    }
+    if (circuit_.type(id) == GateType::kDff && id != site) {
+      continue;  // error latched; do not cross the register boundary
+    }
+    for (NodeId consumer : circuit_.fanout(id)) {
+      if (!visited(consumer)) {
+        visit(consumer);
+        stack_.push_back(consumer);
+      }
+    }
+  }
+
+  // Step 2 (Ordering): sort on-path signals into circuit topological order so
+  // one linear pass computes all EPPs. The site always leads, even when it is
+  // a DFF (whose adjusted position would otherwise sort it last).
+  std::sort(cone_.on_path.begin(), cone_.on_path.end(),
+            [this, site](NodeId a, NodeId b) {
+              if (a == site) return true;
+              if (b == site) return false;
+              return topo_pos_[a] < topo_pos_[b];
+            });
+  std::sort(cone_.reachable_sinks.begin(), cone_.reachable_sinks.end(),
+            [this](NodeId a, NodeId b) { return topo_pos_[a] < topo_pos_[b]; });
+
+  // Reconvergent on-path gates: >= 2 on-path fanins means two error paths
+  // meet here and polarity bookkeeping is what keeps EPP exact at this gate.
+  // Non-site flip-flops do not carry the error within the cycle (sink-only),
+  // so they never count as an error-carrying fanin.
+  for (NodeId id : cone_.on_path) {
+    if (id == site) continue;
+    int on_path_fanins = 0;
+    for (NodeId f : circuit_.fanin(id)) {
+      if (visited(f) &&
+          (circuit_.type(f) != GateType::kDff || f == site)) {
+        ++on_path_fanins;
+      }
+    }
+    if (on_path_fanins >= 2) cone_.reconvergent_gates.push_back(id);
+  }
+  return cone_;
+}
+
+std::vector<NodeId> fanin_cone(const Circuit& circuit, NodeId node) {
+  assert(circuit.finalized());
+  std::vector<std::uint8_t> seen(circuit.node_count(), 0);
+  std::vector<NodeId> stack{node};
+  std::vector<NodeId> members;
+  seen[node] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    members.push_back(id);
+    if (id != node && circuit.type(id) == GateType::kDff) {
+      continue;  // DFF output is a pseudo-PI: stop here
+    }
+    for (NodeId f : circuit.fanin(id)) {
+      if (!seen[f]) {
+        seen[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  // Topological order via the circuit's global order.
+  std::vector<std::uint32_t> pos(circuit.node_count(), 0);
+  const auto order = circuit.topo_order();
+  for (std::uint32_t p = 0; p < order.size(); ++p) pos[order[p]] = p;
+  std::sort(members.begin(), members.end(),
+            [&](NodeId a, NodeId b) { return pos[a] < pos[b]; });
+  return members;
+}
+
+std::vector<NodeId> support(const Circuit& circuit, NodeId node) {
+  std::vector<NodeId> sup;
+  for (NodeId id : fanin_cone(circuit, node)) {
+    if (is_source(circuit.type(id)) ||
+        (circuit.type(id) == GateType::kDff && id != node)) {
+      sup.push_back(id);
+    }
+  }
+  return sup;
+}
+
+std::size_t count_reconvergent_stems(const Circuit& circuit) {
+  assert(circuit.finalized());
+  // A stem s with fanout branches b1..bk is reconvergent if forward cones of
+  // two distinct branches intersect. We reuse the ConeExtractor marking
+  // trick: walk the forward cone of each branch with a per-branch color and
+  // detect a node colored by two branches of the same stem.
+  const std::size_t n = circuit.node_count();
+  std::size_t stems = 0;
+  std::vector<std::uint32_t> color(n, 0);
+  std::vector<std::uint32_t> owner(n, 0);
+  std::uint32_t tick = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (circuit.fanout(s).size() < 2) continue;
+    bool reconv = false;
+    std::uint32_t branch_index = 0;
+    const std::uint32_t stem_tick = ++tick;
+    for (NodeId b : circuit.fanout(s)) {
+      ++branch_index;
+      stack.clear();
+      stack.push_back(b);
+      while (!stack.empty() && !reconv) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (owner[id] == stem_tick) {
+          if (color[id] != branch_index) reconv = true;
+          continue;  // already explored for this stem
+        }
+        owner[id] = stem_tick;
+        color[id] = branch_index;
+        if (circuit.type(id) == GateType::kDff) continue;
+        for (NodeId consumer : circuit.fanout(id)) stack.push_back(consumer);
+      }
+      if (reconv) break;
+    }
+    if (reconv) ++stems;
+  }
+  return stems;
+}
+
+}  // namespace sereep

@@ -1,0 +1,76 @@
+// Topology kit: output-cone extraction (the paper's "Path Construction" and
+// "Ordering" steps), fanin-cone/support computation, and reconvergence
+// analysis.
+//
+// The EPP engine calls ConeExtractor once per error site over the whole
+// circuit, so extraction is allocation-free after warm-up: visited marks use
+// epoch counters and the result vectors are reused across calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// The forward (output) cone of an error site.
+///
+/// `on_path` lists every on-path signal — each node on some path from the
+/// site to a reachable sink — in circuit topological order, starting with the
+/// site itself. `reachable_sinks` lists the primary outputs and flip-flops
+/// the error can reach; this is the set {PO_j, FF_k} of the paper's
+/// P_sensitized formula.
+struct Cone {
+  NodeId site = kInvalidNode;
+  std::vector<NodeId> on_path;
+  std::vector<NodeId> reachable_sinks;
+
+  /// Gates with >= 2 on-path fanins; where error-polarity tracking matters.
+  std::vector<NodeId> reconvergent_gates;
+};
+
+/// Reusable forward-cone extractor (the paper's forward DFS, step 1, plus
+/// the topological ordering, step 2).
+class ConeExtractor {
+ public:
+  explicit ConeExtractor(const Circuit& circuit);
+
+  /// Extracts the cone of `site`. The returned reference is invalidated by
+  /// the next extract() call.
+  const Cone& extract(NodeId site);
+
+  /// Position of each node in the circuit's topological order.
+  [[nodiscard]] const std::vector<std::uint32_t>& topo_positions()
+      const noexcept {
+    return topo_pos_;
+  }
+
+ private:
+  bool visited(NodeId id) const noexcept { return stamp_[id] == epoch_; }
+  void visit(NodeId id) noexcept { stamp_[id] = epoch_; }
+
+  const Circuit& circuit_;
+  std::vector<std::uint32_t> topo_pos_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> stack_;
+  Cone cone_;
+};
+
+/// Computes the transitive fanin (input cone) of `node`, in topological
+/// order, including `node` itself. Traversal stops at sources and at DFF
+/// outputs (full-scan view). Used by the exact signal-probability engine.
+[[nodiscard]] std::vector<NodeId> fanin_cone(const Circuit& circuit,
+                                             NodeId node);
+
+/// The support of `node`: source nodes (PIs, constants, DFF outputs) that
+/// feed its fanin cone.
+[[nodiscard]] std::vector<NodeId> support(const Circuit& circuit, NodeId node);
+
+/// Counts fanout stems (nodes with >= 2 fanout branches) whose branches
+/// reconverge somewhere in the circuit. This is a whole-circuit structural
+/// statistic used by the generator's calibration and the ablation benches.
+[[nodiscard]] std::size_t count_reconvergent_stems(const Circuit& circuit);
+
+}  // namespace sereep

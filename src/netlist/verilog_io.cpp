@@ -1,0 +1,484 @@
+#include "src/netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+namespace {
+
+bool is_simple_identifier(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(name[0])) == 0 &&
+      name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '$') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Emits `name`, escaping it if it is not a plain identifier. Escaped
+/// identifiers are terminated by whitespace, which the writer always adds.
+std::string emit_name(const std::string& name) {
+  if (is_simple_identifier(name)) return name;
+  return "\\" + name + " ";
+}
+
+std::string_view primitive_keyword(GateType type) {
+  switch (type) {
+    case GateType::kAnd:  return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr:   return "or";
+    case GateType::kNor:  return "nor";
+    case GateType::kXor:  return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kNot:  return "not";
+    case GateType::kBuf:  return "buf";
+    default:              return "";
+  }
+}
+
+std::optional<GateType> primitive_from_keyword(std::string_view kw) {
+  if (kw == "and") return GateType::kAnd;
+  if (kw == "nand") return GateType::kNand;
+  if (kw == "or") return GateType::kOr;
+  if (kw == "nor") return GateType::kNor;
+  if (kw == "xor") return GateType::kXor;
+  if (kw == "xnor") return GateType::kXnor;
+  if (kw == "not") return GateType::kNot;
+  if (kw == "buf") return GateType::kBuf;
+  return std::nullopt;
+}
+
+bool is_dff_cell_name(std::string_view name) {
+  for (std::string_view known :
+       {"sereep_dff", "dff", "DFF", "DFFX1", "DFFX2", "FD1", "FD2", "fd1"}) {
+    if (iequals(name, known)) return true;
+  }
+  return istarts_with(name, "DFF") || istarts_with(name, "dff");
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kEnd } kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) return tok;  // kEnd
+    const char c = text_[pos_];
+    if (c == '\\') {
+      // Escaped identifier: up to the next whitespace.
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_])) == 0) {
+        ++pos_;
+      }
+      tok.kind = Token::Kind::kIdent;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+        c == '$' || c == '.') {
+      // '.' starts a named-port token (".Q"); '\'' continues literals
+      // like 1'b0.
+      const std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) == 0 && d != '_' &&
+            d != '$' && d != '\'') {
+          break;
+        }
+        ++pos_;
+      }
+      tok.kind = Token::Kind::kIdent;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    ++pos_;
+    tok.kind = Token::Kind::kPunct;
+    tok.text = std::string(1, c);
+    return tok;
+  }
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+[[noreturn]] void verilog_fail(int line, const std::string& what) {
+  throw std::runtime_error("verilog line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string write_verilog(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "// " << circuit.name() << " — structural netlist written by sereep\n";
+  os << "module " << emit_name(circuit.name().empty() ? "top" : circuit.name())
+     << "(";
+  bool first = true;
+  for (NodeId id : circuit.inputs()) {
+    os << (first ? "" : ", ") << emit_name(circuit.node(id).name);
+    first = false;
+  }
+  for (NodeId id : circuit.outputs()) {
+    os << (first ? "" : ", ") << emit_name(circuit.node(id).name);
+    first = false;
+  }
+  os << ");\n";
+
+  for (NodeId id : circuit.inputs()) {
+    os << "  input " << emit_name(circuit.node(id).name) << ";\n";
+  }
+  for (NodeId id : circuit.outputs()) {
+    os << "  output " << emit_name(circuit.node(id).name) << ";\n";
+  }
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const Node& node = circuit.node(id);
+    if (node.type == GateType::kInput || node.is_primary_output) continue;
+    os << "  wire " << emit_name(node.name) << ";\n";
+  }
+
+  std::size_t instance = 0;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const Node& node = circuit.node(id);
+    switch (node.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        os << "  buf g" << instance++ << " (" << emit_name(node.name)
+           << ", 1'b0);\n";
+        break;
+      case GateType::kConst1:
+        os << "  buf g" << instance++ << " (" << emit_name(node.name)
+           << ", 1'b1);\n";
+        break;
+      case GateType::kDff:
+        os << "  sereep_dff ff" << instance++ << " (.Q("
+           << emit_name(node.name) << "), .D("
+           << emit_name(circuit.node(node.fanin[0]).name) << "));\n";
+        break;
+      default: {
+        os << "  " << primitive_keyword(node.type) << " g" << instance++
+           << " (" << emit_name(node.name);
+        for (NodeId f : node.fanin) {
+          os << ", " << emit_name(circuit.node(f).name);
+        }
+        os << ");\n";
+      }
+    }
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Circuit parse_verilog(std::string_view text) {
+  Lexer lex(text);
+  const auto expect = [&](std::string_view what) {
+    const Token tok = lex.next();
+    if (tok.text != what) {
+      verilog_fail(tok.line, "expected '" + std::string(what) + "', got '" +
+                                 tok.text + "'");
+    }
+    return tok;
+  };
+
+  Token tok = lex.next();
+  if (tok.text != "module") verilog_fail(tok.line, "expected 'module'");
+  const Token name_tok = lex.next();
+  if (name_tok.kind != Token::Kind::kIdent) {
+    verilog_fail(name_tok.line, "expected module name");
+  }
+
+  // Port list (names only; directions come from declarations).
+  expect("(");
+  std::vector<std::string> ports;
+  while (true) {
+    tok = lex.next();
+    if (tok.text == ")") break;
+    if (tok.text == ",") continue;
+    if (tok.kind != Token::Kind::kIdent) {
+      verilog_fail(tok.line, "bad port list");
+    }
+    ports.push_back(tok.text);
+  }
+  expect(";");
+
+  // Body statements.
+  struct Instance {
+    int line;
+    std::string cell;
+    std::vector<std::string> positional;            // primitive style
+    std::vector<std::pair<std::string, std::string>> named;  // .D(x)
+  };
+  std::unordered_set<std::string> inputs, outputs;
+  std::vector<Instance> instances;
+
+  while (true) {
+    tok = lex.next();
+    if (tok.kind == Token::Kind::kEnd) {
+      verilog_fail(tok.line, "missing 'endmodule'");
+    }
+    if (tok.text == "endmodule") break;
+    if (tok.text == "input" || tok.text == "output" || tok.text == "wire") {
+      const bool is_in = tok.text == "input";
+      const bool is_out = tok.text == "output";
+      while (true) {
+        const Token n = lex.next();
+        if (n.text == ";") break;
+        if (n.text == ",") continue;
+        if (n.kind != Token::Kind::kIdent) {
+          verilog_fail(n.line, "bad declaration");
+        }
+        if (is_in) inputs.insert(n.text);
+        if (is_out) outputs.insert(n.text);
+      }
+      continue;
+    }
+    if (tok.kind != Token::Kind::kIdent) {
+      verilog_fail(tok.line, "unexpected '" + tok.text + "'");
+    }
+
+    // Instance: CELL instname ( ... ) ;
+    Instance inst;
+    inst.line = tok.line;
+    inst.cell = tok.text;
+    const Token iname = lex.next();
+    if (iname.kind != Token::Kind::kIdent) {
+      verilog_fail(iname.line, "expected instance name after '" + inst.cell +
+                                   "'");
+    }
+    expect("(");
+    while (true) {
+      tok = lex.next();
+      if (tok.text == ")") break;
+      if (tok.text == ",") continue;
+      if (tok.kind == Token::Kind::kIdent && !tok.text.empty() &&
+          tok.text[0] == '.') {
+        // Named connection .PORT(NET)
+        const std::string port = tok.text.substr(1);
+        expect("(");
+        const Token net = lex.next();
+        if (net.kind != Token::Kind::kIdent) {
+          verilog_fail(net.line, "expected net in named connection");
+        }
+        expect(")");
+        inst.named.emplace_back(port, net.text);
+      } else if (tok.kind == Token::Kind::kIdent) {
+        inst.positional.push_back(tok.text);
+      } else if (tok.text == "1'b0" || tok.text == "1'b1") {
+        inst.positional.push_back(tok.text);
+      } else {
+        verilog_fail(tok.line, "bad connection '" + tok.text + "'");
+      }
+    }
+    expect(";");
+    instances.push_back(std::move(inst));
+  }
+
+  // Lower to .bench-style statements and reuse the same construction logic:
+  // build via Circuit with forward references resolved in dependency order.
+  Circuit circuit(name_tok.text);
+  std::unordered_map<std::string, NodeId> ids;
+  for (const std::string& p : ports) {
+    if (inputs.contains(p)) ids.emplace(p, circuit.add_input(p));
+  }
+  // Constants appear as buf(x, 1'b0/1).
+  struct GateDef {
+    int line;
+    GateType type;
+    std::string target;
+    std::vector<std::string> args;
+  };
+  std::vector<GateDef> defs;
+  for (const Instance& inst : instances) {
+    if (is_dff_cell_name(inst.cell)) {
+      std::string q, d;
+      for (const auto& [port, net] : inst.named) {
+        if (iequals(port, "Q")) q = net;
+        if (iequals(port, "D")) d = net;
+      }
+      if (inst.named.empty() && inst.positional.size() == 2) {
+        q = inst.positional[0];
+        d = inst.positional[1];
+      }
+      if (q.empty() || d.empty()) {
+        verilog_fail(inst.line, "DFF cell needs .Q and .D connections");
+      }
+      defs.push_back({inst.line, GateType::kDff, q, {d}});
+      continue;
+    }
+    const auto prim = primitive_from_keyword(inst.cell);
+    if (!prim) {
+      verilog_fail(inst.line, "unsupported cell '" + inst.cell + "'");
+    }
+    if (inst.positional.size() < 2) {
+      verilog_fail(inst.line, "primitive needs an output and >= 1 input");
+    }
+    GateDef def;
+    def.line = inst.line;
+    def.type = *prim;
+    def.target = inst.positional[0];
+    def.args.assign(inst.positional.begin() + 1, inst.positional.end());
+    // buf(x, 1'b0) encodes a constant.
+    if (def.type == GateType::kBuf && def.args.size() == 1 &&
+        (def.args[0] == "1'b0" || def.args[0] == "1'b1")) {
+      ids.emplace(def.target,
+                  circuit.add_const(def.target, def.args[0] == "1'b1"));
+      continue;
+    }
+    defs.push_back(std::move(def));
+  }
+
+  // DFF placeholders first (forward references through feedback).
+  for (const GateDef& def : defs) {
+    if (def.type == GateType::kDff) {
+      if (ids.contains(def.target)) {
+        verilog_fail(def.line, "signal '" + def.target + "' driven twice");
+      }
+      ids.emplace(def.target, circuit.add_dff_placeholder(def.target));
+    }
+  }
+  // Combinational gates in dependency order (Kahn over names).
+  std::vector<int> missing(defs.size(), 0);
+  std::unordered_map<std::string, std::vector<std::size_t>> waiters;
+  std::vector<std::size_t> ready;
+  std::unordered_set<std::string> defined_targets;
+  for (const GateDef& def : defs) defined_targets.insert(def.target);
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    if (defs[i].type == GateType::kDff) continue;
+    int unresolved = 0;
+    for (const std::string& arg : defs[i].args) {
+      if (!ids.contains(arg)) {
+        if (!defined_targets.contains(arg)) {
+          verilog_fail(defs[i].line, "undriven net '" + arg + "'");
+        }
+        ++unresolved;
+        waiters[arg].push_back(i);
+      }
+    }
+    missing[i] = unresolved;
+    if (unresolved == 0) ready.push_back(i);
+  }
+  std::size_t emitted = 0, comb_defs = 0;
+  for (const GateDef& def : defs) comb_defs += def.type != GateType::kDff;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    const GateDef& def = defs[i];
+    if (ids.contains(def.target)) {
+      verilog_fail(def.line, "signal '" + def.target + "' driven twice");
+    }
+    std::vector<NodeId> fanin;
+    for (const std::string& arg : def.args) fanin.push_back(ids.at(arg));
+    ids.emplace(def.target,
+                circuit.add_gate(def.type, def.target, std::move(fanin)));
+    ++emitted;
+    if (const auto it = waiters.find(def.target); it != waiters.end()) {
+      for (std::size_t w : it->second) {
+        if (--missing[w] == 0) ready.push_back(w);
+      }
+      waiters.erase(it);
+    }
+  }
+  if (emitted != comb_defs) {
+    throw std::runtime_error("verilog: combinational cycle among instances");
+  }
+  for (const GateDef& def : defs) {
+    if (def.type != GateType::kDff) continue;
+    const auto it = ids.find(def.args[0]);
+    if (it == ids.end()) verilog_fail(def.line, "undriven net '" + def.args[0] + "'");
+    circuit.connect_dff(ids.at(def.target), it->second);
+  }
+  for (const std::string& out : outputs) {
+    const auto it = ids.find(out);
+    if (it == ids.end()) {
+      throw std::runtime_error("verilog: output '" + out + "' is undriven");
+    }
+    circuit.mark_output(it->second);
+  }
+  circuit.finalize();
+  return circuit;
+}
+
+Circuit load_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_verilog(buf.str());
+}
+
+bool save_verilog_file(const Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_verilog(circuit);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sereep

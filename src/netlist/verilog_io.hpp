@@ -1,0 +1,36 @@
+// Structural Verilog I/O for the gate-level subset sereep uses.
+//
+// The writer emits a synthesizable structural module: primitive gate
+// instances (and/nand/or/nor/xor/xnor/not/buf) with positional ports
+// (output first, per the Verilog-2001 primitive convention) and
+// `sereep_dff` cell instances with named ports (.Q, .D) for state bits.
+// Netlist names that are not valid Verilog identifiers (ISCAS names are
+// often bare numbers) are emitted as escaped identifiers (`\10 `).
+//
+// The reader parses exactly that subset back — plus `//` and `/* */`
+// comments, multi-bit-free port lists, and any module name — so
+// parse_verilog(write_verilog(c)) reproduces the circuit. It also accepts
+// DFF cell names commonly found in the wild (dff, DFF, DFFX1, FD1, ...)
+// with .D/.Q named connections.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// Serializes the circuit as a structural Verilog module.
+[[nodiscard]] std::string write_verilog(const Circuit& circuit);
+
+/// Parses a structural Verilog module into a finalized Circuit. Throws
+/// std::runtime_error with a line-numbered diagnostic on malformed or
+/// out-of-subset input.
+[[nodiscard]] Circuit parse_verilog(std::string_view text);
+
+/// File helpers.
+[[nodiscard]] Circuit load_verilog_file(const std::string& path);
+bool save_verilog_file(const Circuit& circuit, const std::string& path);
+
+}  // namespace sereep

@@ -1,0 +1,31 @@
+// Reliability report generation.
+//
+// Bundles the full analysis flow (structure → signal probability → EPP →
+// SER → hardening recommendation → optional Monte-Carlo validation) into a
+// single markdown document — the artifact a reliability sign-off flow would
+// attach to a design review.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// Report configuration.
+struct ReportOptions {
+  std::size_t top_nodes = 20;          ///< ranking rows to include
+  double hardening_target = 0.5;       ///< SER reduction target for the plan
+  bool validate_with_simulation = false;  ///< add an EPP-vs-MC section
+  std::size_t validation_sites = 40;
+  std::size_t validation_vectors = 16384;
+  /// Use the sequential fixed-point SP instead of flat 0.5 FF probabilities.
+  bool sequential_sp = false;
+};
+
+/// Runs the full flow on `circuit` and renders a markdown report.
+[[nodiscard]] std::string generate_report(const Circuit& circuit,
+                                          const ReportOptions& options = {});
+
+}  // namespace sereep

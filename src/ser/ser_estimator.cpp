@@ -1,0 +1,72 @@
+#include "src/ser/ser_estimator.hpp"
+
+#include <algorithm>
+
+#include "src/sim/fault_injection.hpp"  // error_sites / subsample_sites
+
+namespace sereep {
+
+std::vector<NodeSer> CircuitSer::ranked() const {
+  std::vector<NodeSer> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeSer& a, const NodeSer& b) { return a.ser > b.ser; });
+  return sorted;
+}
+
+SerEstimator::SerEstimator(const Circuit& circuit,
+                           const SignalProbabilities& sp, SerOptions options)
+    : circuit_(circuit),
+      options_(std::move(options)),
+      engine_(circuit, sp, options_.epp) {}
+
+NodeSer SerEstimator::estimate_node(NodeId node) {
+  NodeSer result;
+  result.node = node;
+  result.r_seu = options_.seu.rate(circuit_, node);
+
+  // The effective latching term must be weighted per sink: an error reaching
+  // a DFF is latched with the window probability, one reaching a PO with the
+  // PO observation probability. We therefore fold P_latched into the
+  // per-sink EPP masses instead of using a single scalar:
+  //   P_latch&sens = 1 − Π_j (1 − P_latched(sink_j) · EPP_j).
+  const SiteEpp epp = engine_.compute(node);
+  result.p_sensitized = epp.p_sensitized;
+  double miss = 1.0;
+  for (const SinkEpp& s : epp.sinks) {
+    miss *= 1.0 - options_.latching.probability(circuit_, s.sink) * s.error_mass;
+  }
+  const double latch_and_sens = 1.0 - miss;
+  result.p_latched =
+      epp.p_sensitized > 0 ? latch_and_sens / epp.p_sensitized : 0.0;
+  result.ser = result.r_seu * latch_and_sens;
+  return result;
+}
+
+CircuitSer SerEstimator::estimate() {
+  CircuitSer out;
+  for (NodeId site :
+       subsample_sites(error_sites(circuit_), options_.max_sites)) {
+    out.nodes.push_back(estimate_node(site));
+    out.total_ser += out.nodes.back().ser;
+  }
+  return out;
+}
+
+HardeningPlan select_hardening(const CircuitSer& ser,
+                               double target_reduction) {
+  HardeningPlan plan;
+  plan.original_ser = ser.total_ser;
+  plan.residual_ser = ser.total_ser;
+  if (ser.total_ser <= 0.0) return plan;
+  const double target_residual = ser.total_ser * (1.0 - target_reduction);
+  for (const NodeSer& node : ser.ranked()) {
+    if (plan.residual_ser <= target_residual) break;
+    if (node.ser <= 0.0) break;  // nothing left to gain
+    plan.protect.push_back(node.node);
+    plan.residual_ser -= node.ser;
+  }
+  if (plan.residual_ser < 0.0) plan.residual_ser = 0.0;
+  return plan;
+}
+
+}  // namespace sereep

@@ -1,0 +1,88 @@
+// Whole-circuit SER estimation: R(n) = R_SEU(n) · P_latched(n) · P_sens(n).
+//
+// This is the end-to-end flow the paper motivates: compute every node's
+// soft error rate, aggregate the circuit SER, rank nodes by contribution and
+// select the cheapest hardening set — "identify the most vulnerable
+// components to be protected by soft error hardening techniques" (§4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/circuit.hpp"
+#include "src/ser/latching.hpp"
+#include "src/ser/seu_rate.hpp"
+#include "src/sigprob/signal_prob.hpp"
+
+namespace sereep {
+
+/// Per-node SER breakdown.
+struct NodeSer {
+  NodeId node = kInvalidNode;
+  double r_seu = 0.0;         ///< raw upset rate, upsets/s
+  double p_latched = 0.0;     ///< effective latching probability
+  double p_sensitized = 0.0;  ///< EPP-derived sensitization probability
+  double ser = 0.0;           ///< product, failures/s
+
+  /// FIT conversion (failures per 1e9 device-hours).
+  [[nodiscard]] double fit() const noexcept { return ser * 3600.0 * 1e9; }
+};
+
+/// Whole-circuit result.
+struct CircuitSer {
+  std::vector<NodeSer> nodes;   ///< one entry per error site
+  double total_ser = 0.0;       ///< sum over nodes, failures/s
+
+  [[nodiscard]] double total_fit() const noexcept {
+    return total_ser * 3600.0 * 1e9;
+  }
+  /// Nodes sorted by descending SER contribution.
+  [[nodiscard]] std::vector<NodeSer> ranked() const;
+};
+
+/// Estimator configuration.
+struct SerOptions {
+  SeuRateModel seu;
+  LatchingModel latching;
+  EppOptions epp;
+  /// Evenly-spaced node subsample (0 = all nodes).
+  std::size_t max_sites = 0;
+};
+
+/// SER estimator bound to a circuit and a signal-probability assignment.
+class SerEstimator {
+ public:
+  SerEstimator(const Circuit& circuit, const SignalProbabilities& sp,
+               SerOptions options = {});
+
+  /// Full-circuit estimation.
+  [[nodiscard]] CircuitSer estimate();
+
+  /// Per-node estimation.
+  [[nodiscard]] NodeSer estimate_node(NodeId node);
+
+ private:
+  const Circuit& circuit_;
+  SerOptions options_;
+  EppEngine engine_;
+};
+
+/// Result of a hardening selection.
+struct HardeningPlan {
+  std::vector<NodeId> protect;   ///< nodes to protect, highest impact first
+  double original_ser = 0.0;
+  double residual_ser = 0.0;     ///< SER after protecting `protect`
+  [[nodiscard]] double reduction() const noexcept {
+    return original_ser > 0 ? 1.0 - residual_ser / original_ser : 0.0;
+  }
+};
+
+/// Greedy hardening selection: protect the fewest nodes whose removal drops
+/// circuit SER by at least `target_reduction` (e.g. 0.5 = halve the SER).
+/// Protecting a node zeroes its own contribution (the standard model of a
+/// hardened/duplicated gate).
+[[nodiscard]] HardeningPlan select_hardening(const CircuitSer& ser,
+                                             double target_reduction);
+
+}  // namespace sereep

@@ -1,0 +1,38 @@
+#include "src/ser/seu_rate.hpp"
+
+#include <cmath>
+
+namespace sereep {
+
+SeuRateModel::SeuRateModel() {
+  flux_ = 56.5 / 3600.0;  // 56.5 neutrons/(cm^2·h) -> per second
+
+  // Relative sensitive areas / critical charges per gate type. Larger
+  // stacks have more diffusion area; flip-flops hold state on weaker keeper
+  // nodes (lower Q_crit), which is why memory elements dominate SER today —
+  // matching the paper's introduction.
+  const auto set = [this](GateType t, double area, double qcrit) {
+    params_[static_cast<std::size_t>(t)] = GateSeuParams{area, qcrit};
+  };
+  set(GateType::kInput, 0.6, 18.0);   // pad/driver node
+  set(GateType::kBuf, 0.8, 17.0);
+  set(GateType::kNot, 0.7, 16.0);
+  set(GateType::kAnd, 1.3, 15.0);
+  set(GateType::kNand, 1.1, 14.0);
+  set(GateType::kOr, 1.3, 15.0);
+  set(GateType::kNor, 1.1, 14.0);
+  set(GateType::kXor, 1.8, 13.0);
+  set(GateType::kXnor, 1.8, 13.0);
+  set(GateType::kDff, 2.4, 9.0);
+  set(GateType::kConst0, 0.0, 1e9);   // tie cells cannot upset the rail
+  set(GateType::kConst1, 0.0, 1e9);
+}
+
+double SeuRateModel::rate(const Circuit& circuit, NodeId node) const {
+  const GateSeuParams& p = params_[static_cast<std::size_t>(circuit.type(node))];
+  if (p.sensitive_area_um2 <= 0.0) return 0.0;
+  return flux_ * tech_constant_ * p.sensitive_area_um2 *
+         std::exp(-p.qcrit_fc / qs_fc_);
+}
+
+}  // namespace sereep

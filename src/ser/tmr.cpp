@@ -1,0 +1,84 @@
+#include "src/ser/tmr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sereep {
+
+TmrResult apply_tmr(const Circuit& circuit, std::span<const NodeId> protect) {
+  assert(circuit.finalized());
+  std::vector<std::uint8_t> is_protected(circuit.node_count(), 0);
+  for (NodeId id : protect) {
+    if (id < circuit.node_count() && is_combinational(circuit.type(id))) {
+      is_protected[id] = 1;
+    }
+  }
+
+  TmrResult out;
+  out.circuit = Circuit(circuit.name() + "_tmr");
+  Circuit& c = out.circuit;
+
+  // Pass 1: primary inputs, constants, DFF placeholders (sources resolve
+  // forward references exactly as the .bench parser does).
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const Node& node = circuit.node(id);
+    switch (node.type) {
+      case GateType::kInput:
+        out.signal_map[id] = c.add_input(node.name);
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        out.signal_map[id] =
+            c.add_const(node.name, node.type == GateType::kConst1);
+        break;
+      case GateType::kDff:
+        out.signal_map[id] = c.add_dff_placeholder(node.name);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: gates in topological order; protected gates expand to three
+  // copies plus a 2-level AND/OR majority voter.
+  const auto mapped_fanin = [&](const Node& node) {
+    std::vector<NodeId> fanin;
+    fanin.reserve(node.fanin.size());
+    for (NodeId f : node.fanin) fanin.push_back(out.signal_map.at(f));
+    return fanin;
+  };
+  for (NodeId id : circuit.topo_order()) {
+    const Node& node = circuit.node(id);
+    if (!is_combinational(node.type)) continue;
+    if (!is_protected[id]) {
+      out.signal_map[id] = c.add_gate(node.type, node.name, mapped_fanin(node));
+      continue;
+    }
+    const std::vector<NodeId> fanin = mapped_fanin(node);
+    const NodeId ca = c.add_gate(node.type, node.name + "__tmr_a", fanin);
+    const NodeId cb = c.add_gate(node.type, node.name + "__tmr_b", fanin);
+    const NodeId cc = c.add_gate(node.type, node.name + "__tmr_c", fanin);
+    const NodeId ab = c.add_gate(GateType::kAnd, node.name + "__vab", {ca, cb});
+    const NodeId bc = c.add_gate(GateType::kAnd, node.name + "__vbc", {cb, cc});
+    const NodeId ac = c.add_gate(GateType::kAnd, node.name + "__vac", {ca, cc});
+    const NodeId maj =
+        c.add_gate(GateType::kOr, node.name, {ab, bc, ac});
+    out.signal_map[id] = maj;
+    ++out.gates_protected;
+    out.gates_added += 6;  // two extra copies + three ANDs + one OR... minus
+                           // the original: net +6 gates per protected gate
+  }
+
+  // Pass 3: DFF data inputs and primary outputs.
+  for (NodeId id : circuit.dffs()) {
+    c.connect_dff(out.signal_map.at(id),
+                  out.signal_map.at(circuit.fanin(id)[0]));
+  }
+  for (NodeId id : circuit.outputs()) {
+    c.mark_output(out.signal_map.at(id));
+  }
+  c.finalize();
+  return out;
+}
+
+}  // namespace sereep

@@ -1,0 +1,246 @@
+#include "src/sigprob/signal_prob.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/netlist/topo.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// SP of one gate output from fanin SPs, independence assumed.
+double gate_sp(GateType type, const std::vector<double>& fanin_sp) {
+  switch (type) {
+    case GateType::kConst0:
+      return 0.0;
+    case GateType::kConst1:
+      return 1.0;
+    case GateType::kBuf:
+    case GateType::kDff:
+      return fanin_sp[0];
+    case GateType::kNot:
+      return 1.0 - fanin_sp[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double p = 1.0;
+      for (double s : fanin_sp) p *= s;
+      return type == GateType::kNand ? 1.0 - p : p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double q = 1.0;
+      for (double s : fanin_sp) q *= 1.0 - s;
+      return type == GateType::kNor ? q : 1.0 - q;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // P(odd parity) folded pairwise: p <- p(1-s) + s(1-p).
+      double p = 0.0;
+      for (double s : fanin_sp) p = p * (1.0 - s) + s * (1.0 - p);
+      return type == GateType::kXnor ? 1.0 - p : p;
+    }
+    case GateType::kInput:
+      break;
+  }
+  assert(false && "gate_sp: sources handled by caller");
+  return 0.5;
+}
+
+SignalProbabilities pm_pass(const Circuit& circuit,
+                            const std::vector<double>& input_sp,
+                            const std::vector<double>& dff_sp) {
+  assert(circuit.finalized());
+  SignalProbabilities out;
+  out.p1.assign(circuit.node_count(),
+                std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i) {
+    out.p1[circuit.inputs()[i]] = input_sp[i];
+  }
+  for (std::size_t k = 0; k < circuit.dffs().size(); ++k) {
+    out.p1[circuit.dffs()[k]] = dff_sp[k];
+  }
+  std::vector<double> fanin_sp;
+  for (NodeId id : circuit.topo_order()) {
+    const Node& node = circuit.node(id);
+    if (node.type == GateType::kInput || node.type == GateType::kDff) continue;
+    if (node.type == GateType::kConst0) { out.p1[id] = 0.0; continue; }
+    if (node.type == GateType::kConst1) { out.p1[id] = 1.0; continue; }
+    fanin_sp.clear();
+    for (NodeId f : node.fanin) fanin_sp.push_back(out.p1[f]);
+    out.p1[id] = gate_sp(node.type, fanin_sp);
+  }
+  return out;
+}
+
+}  // namespace
+
+SignalProbabilities parker_mccluskey_sp(const Circuit& circuit,
+                                        const SpOptions& options) {
+  return pm_pass(circuit,
+                 std::vector<double>(circuit.inputs().size(), options.input_sp),
+                 std::vector<double>(circuit.dffs().size(), options.dff_sp));
+}
+
+SignalProbabilities parker_mccluskey_sp_custom(const Circuit& circuit,
+                                               std::vector<double> input_sp,
+                                               std::vector<double> dff_sp) {
+  if (input_sp.size() != circuit.inputs().size() ||
+      dff_sp.size() != circuit.dffs().size()) {
+    throw std::runtime_error("parker_mccluskey_sp_custom: size mismatch");
+  }
+  return pm_pass(circuit, input_sp, dff_sp);
+}
+
+SignalProbabilities exact_sp(const Circuit& circuit,
+                             const ExactSpOptions& options) {
+  assert(circuit.finalized());
+  SignalProbabilities out;
+  out.p1.assign(circuit.node_count(),
+                std::numeric_limits<double>::quiet_NaN());
+
+  // Evaluate each node over its support by exhaustive weighted enumeration.
+  // The cone is re-evaluated with a tiny local interpreter; values for
+  // support nodes come from the current assignment bits.
+  std::vector<std::uint8_t> value(circuit.node_count(), 0);
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const GateType t = circuit.type(id);
+    if (t == GateType::kInput) {
+      out.p1[id] = options.base.input_sp;
+      continue;
+    }
+    if (t == GateType::kDff) {
+      out.p1[id] = options.base.dff_sp;
+      continue;
+    }
+    if (t == GateType::kConst0) { out.p1[id] = 0.0; continue; }
+    if (t == GateType::kConst1) { out.p1[id] = 1.0; continue; }
+
+    const std::vector<NodeId> cone = fanin_cone(circuit, id);
+    std::vector<NodeId> sup;
+    for (NodeId m : cone) {
+      const GateType mt = circuit.type(m);
+      if (mt == GateType::kInput || (mt == GateType::kDff && m != id)) {
+        sup.push_back(m);
+      }
+    }
+    if (sup.size() > options.max_support) continue;  // stays NaN
+
+    double p1 = 0.0;
+    const std::uint64_t combos = 1ULL << sup.size();
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+      double weight = 1.0;
+      for (std::size_t k = 0; k < sup.size(); ++k) {
+        const bool bit = (mask >> k) & 1;
+        const double sp = circuit.type(sup[k]) == GateType::kInput
+                              ? options.base.input_sp
+                              : options.base.dff_sp;
+        weight *= bit ? sp : 1.0 - sp;
+        value[sup[k]] = bit;
+      }
+      if (weight == 0.0) continue;
+      bool result = false;
+      for (NodeId m : cone) {
+        const GateType mt = circuit.type(m);
+        if (mt == GateType::kInput || (mt == GateType::kDff && m != id)) {
+          continue;  // assignment bit already in `value`
+        }
+        if (mt == GateType::kConst0) { value[m] = 0; continue; }
+        if (mt == GateType::kConst1) { value[m] = 1; continue; }
+        bool acc;
+        const auto fi = circuit.fanin(m);
+        switch (mt) {
+          case GateType::kBuf: acc = value[fi[0]]; break;
+          case GateType::kNot: acc = !value[fi[0]]; break;
+          case GateType::kAnd:
+          case GateType::kNand: {
+            acc = true;
+            for (NodeId f : fi) acc = acc && value[f];
+            if (mt == GateType::kNand) acc = !acc;
+            break;
+          }
+          case GateType::kOr:
+          case GateType::kNor: {
+            acc = false;
+            for (NodeId f : fi) acc = acc || value[f];
+            if (mt == GateType::kNor) acc = !acc;
+            break;
+          }
+          case GateType::kXor:
+          case GateType::kXnor: {
+            acc = false;
+            for (NodeId f : fi) acc = acc != (value[f] != 0);
+            if (mt == GateType::kXnor) acc = !acc;
+            break;
+          }
+          default:
+            acc = false;
+            break;
+        }
+        value[m] = acc ? 1 : 0;
+        if (m == id) result = acc;
+      }
+      if (result) p1 += weight;
+    }
+    out.p1[id] = p1;
+  }
+  return out;
+}
+
+SignalProbabilities monte_carlo_sp(const Circuit& circuit,
+                                   std::size_t num_vectors,
+                                   std::uint64_t seed) {
+  assert(circuit.finalized());
+  BitParallelSimulator sim(circuit);
+  Rng rng(seed);
+  std::vector<std::uint64_t> ones(circuit.node_count(), 0);
+  const std::size_t batches = (num_vectors + 63) / 64;
+  for (std::size_t b = 0; b < batches; ++b) {
+    sim.randomize_sources(rng);
+    sim.eval();
+    for (NodeId id = 0; id < circuit.node_count(); ++id) {
+      ones[id] += std::popcount(sim.values()[id]);
+    }
+  }
+  SignalProbabilities out;
+  out.p1.resize(circuit.node_count());
+  const double denom = static_cast<double>(batches * 64);
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    out.p1[id] = static_cast<double>(ones[id]) / denom;
+  }
+  return out;
+}
+
+SequentialSpResult sequential_fixed_point_sp(const Circuit& circuit,
+                                             const SpOptions& options,
+                                             double tolerance,
+                                             std::size_t max_iterations) {
+  SequentialSpResult result;
+  std::vector<double> dff_sp(circuit.dffs().size(), options.dff_sp);
+  const std::vector<double> input_sp(circuit.inputs().size(),
+                                     options.input_sp);
+  for (result.iterations = 1; result.iterations <= max_iterations;
+       ++result.iterations) {
+    result.sp = pm_pass(circuit, input_sp, dff_sp);
+    result.residual = 0.0;
+    for (std::size_t k = 0; k < circuit.dffs().size(); ++k) {
+      const NodeId d = circuit.fanin(circuit.dffs()[k])[0];
+      const double next = result.sp.p1[d];
+      result.residual = std::max(result.residual, std::fabs(next - dff_sp[k]));
+      dff_sp[k] = next;
+    }
+    if (result.residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Final pass so FF-output SPs reflect the converged state distribution.
+  result.sp = pm_pass(circuit, input_sp, dff_sp);
+  return result;
+}
+
+}  // namespace sereep

@@ -1,0 +1,326 @@
+#include "src/sim/fault_injection.hpp"
+
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+namespace sereep {
+
+FaultInjector::FaultInjector(const Circuit& circuit)
+    : circuit_(circuit),
+      good_(circuit),
+      cones_(circuit),
+      faulty_(circuit.node_count(), 0),
+      on_path_stamp_(circuit.node_count(), 0) {}
+
+std::uint64_t FaultInjector::faulty_batch(const Cone& cone) {
+  // Stamp the on-path set so faulty-value lookup can fall back to the
+  // fault-free word for every off-path fanin. Flip-flops other than the site
+  // are never stamped: they are sinks only — their outputs hold clean state
+  // for the whole cycle, and the flip at their D pin is merely observed.
+  ++epoch_;
+  for (NodeId id : cone.on_path) {
+    if (circuit_.type(id) == GateType::kDff && id != cone.site) continue;
+    on_path_stamp_[id] = epoch_;
+  }
+  const auto faulty_word = [&](NodeId id) -> std::uint64_t {
+    return on_path_stamp_[id] == epoch_ ? faulty_[id] : good_.values()[id];
+  };
+
+  // Inject: the SEU flips the site's value in every vector of the batch.
+  faulty_[cone.site] = ~good_.values()[cone.site];
+
+  // Re-simulate only the on-path gates, in topological order. cone.on_path
+  // is already topologically sorted and starts at the site.
+  for (NodeId id : cone.on_path) {
+    if (id == cone.site) continue;
+    const Node& node = circuit_.node(id);
+    if (node.type == GateType::kDff) continue;  // observed at the D pin
+    fanin_words_.clear();
+    for (NodeId f : node.fanin) fanin_words_.push_back(faulty_word(f));
+    faulty_[id] = eval_gate_word(node.type, fanin_words_);
+  }
+
+  // Observe: which vectors differ at any reachable sink?
+  std::uint64_t detected = 0;
+  for (NodeId sink : cone.reachable_sinks) {
+    std::uint64_t good_obs, faulty_obs;
+    if (circuit_.type(sink) == GateType::kDff && sink != cone.site) {
+      const NodeId d = circuit_.fanin(sink)[0];
+      good_obs = good_.values()[d];
+      faulty_obs = faulty_word(d);
+    } else {
+      good_obs = good_.values()[sink];
+      faulty_obs = faulty_word(sink);
+    }
+    detected |= good_obs ^ faulty_obs;
+    if (detected == ~0ULL) break;  // every vector already detected
+  }
+  return detected;
+}
+
+McSiteResult FaultInjector::run_site(NodeId site, const McOptions& options) {
+  assert(site < circuit_.node_count());
+  const Cone& cone = cones_.extract(site);
+  McSiteResult result;
+  result.site = site;
+  if (cone.reachable_sinks.empty()) return result;
+
+  const std::size_t batches = (options.num_vectors + 63) / 64;
+  Rng rng(options.seed ^ (0x5173ULL * (site + 1)));
+  for (std::size_t b = 0; b < batches; ++b) {
+    good_.randomize_sources(rng);
+    good_.eval();
+    result.detected += std::popcount(faulty_batch(cone));
+    result.vectors += 64;
+  }
+  return result;
+}
+
+std::vector<McSiteResult> FaultInjector::run_all(const McOptions& options,
+                                                 std::size_t max_sites) {
+  std::vector<McSiteResult> results;
+  for (NodeId site : subsample_sites(error_sites(circuit_), max_sites)) {
+    results.push_back(run_site(site, options));
+  }
+  return results;
+}
+
+std::vector<double> FaultInjector::per_sink_probability(
+    NodeId site, const McOptions& options) {
+  const Cone cone = cones_.extract(site);  // copy: we re-extract per batch
+  std::vector<std::size_t> hits(cone.reachable_sinks.size(), 0);
+  const std::size_t batches = (options.num_vectors + 63) / 64;
+  Rng rng(options.seed ^ (0x5173ULL * (site + 1)));
+  for (std::size_t b = 0; b < batches; ++b) {
+    good_.randomize_sources(rng);
+    good_.eval();
+    const Cone& c = cones_.extract(site);
+    (void)faulty_batch(c);
+    for (std::size_t j = 0; j < c.reachable_sinks.size(); ++j) {
+      const NodeId sink = c.reachable_sinks[j];
+      std::uint64_t good_obs, faulty_obs;
+      if (circuit_.type(sink) == GateType::kDff && sink != site) {
+        const NodeId d = circuit_.fanin(sink)[0];
+        good_obs = good_.values()[d];
+        faulty_obs = on_path_stamp_[d] == epoch_ ? faulty_[d] : good_obs;
+      } else {
+        good_obs = good_.values()[sink];
+        faulty_obs = faulty_[sink];
+      }
+      hits[j] += std::popcount(good_obs ^ faulty_obs);
+    }
+  }
+  std::vector<double> probs(hits.size());
+  const double denom = static_cast<double>(batches * 64);
+  for (std::size_t j = 0; j < hits.size(); ++j) {
+    probs[j] = static_cast<double>(hits[j]) / denom;
+  }
+  return probs;
+}
+
+McSiteResult FaultInjector::run_site_multicycle(NodeId site,
+                                                std::size_t cycles,
+                                                const McOptions& options) {
+  assert(site < circuit_.node_count());
+  McSiteResult result;
+  result.site = site;
+  if (cycles == 0) return result;
+
+  BitParallelSimulator good(circuit_);
+  BitParallelSimulator bad(circuit_);
+  Rng rng(options.seed ^ 0x5EC0'0000ULL ^ (0x5173ULL * (site + 1)));
+  const std::size_t batches = (options.num_vectors + 63) / 64;
+
+  for (std::size_t b = 0; b < batches; ++b) {
+    // Common random initial state + cycle-0 inputs.
+    good.randomize_sources(rng);
+    for (NodeId src : circuit_.sources()) {
+      bad.values()[src] = good.values()[src];
+    }
+    good.eval();
+    std::uint64_t detected = 0;
+
+    // Cycle 0: inject the flip in the faulty copy.
+    if (is_combinational(circuit_.type(site))) {
+      bad.eval_with_flip(site);
+    } else {
+      bad.values()[site] = ~good.values()[site];
+      bad.eval();
+    }
+    for (NodeId po : circuit_.outputs()) {
+      detected |= good.values()[po] ^ bad.values()[po];
+    }
+    good.clock();
+    bad.clock();
+
+    // Cycles 1..k-1: no further injection; fresh identical inputs.
+    for (std::size_t t = 1; t < cycles; ++t) {
+      good.randomize_inputs_only(rng);
+      for (NodeId pi : circuit_.inputs()) {
+        bad.values()[pi] = good.values()[pi];
+      }
+      good.eval();
+      bad.eval();
+      for (NodeId po : circuit_.outputs()) {
+        detected |= good.values()[po] ^ bad.values()[po];
+      }
+      if (detected == ~0ULL) break;
+      good.clock();
+      bad.clock();
+    }
+    result.detected += std::popcount(detected);
+    result.vectors += 64;
+  }
+  return result;
+}
+
+McSiteResult FaultInjector::run_site_scalar(NodeId site,
+                                            const McOptions& options) {
+  assert(site < circuit_.node_count());
+  const Cone cone = cones_.extract(site);  // copy; sinks reused per vector
+  McSiteResult result;
+  result.site = site;
+  if (cone.reachable_sinks.empty()) return result;
+
+  ScalarSimulator good(circuit_);
+  ScalarSimulator faulty(circuit_);
+  Rng rng(options.seed ^ (0x5173ULL * (site + 1)));
+  const std::size_t n_src = circuit_.sources().size();
+  std::vector<bool> src_bits(n_src);
+  // Flat copy for the span API (std::vector<bool> is bit-packed).
+  std::unique_ptr<bool[]> src(new bool[n_src]);
+
+  for (std::size_t v = 0; v < options.num_vectors; ++v) {
+    for (std::size_t i = 0; i < n_src; ++i) src[i] = rng.chance(0.5);
+    const std::span<const bool> src_span(src.get(), n_src);
+    good.eval(src_span);
+
+    // Faulty copy: flip the site. For sources the flip is applied to the
+    // source vector; for gates the flip is applied via a one-off overlay
+    // evaluation (full-circuit re-evaluation, as conventional serial fault
+    // simulation does).
+    bool detected = false;
+    if (is_source(circuit_.type(site)) ||
+        circuit_.type(site) == GateType::kDff) {
+      std::size_t site_slot = 0;
+      for (std::size_t i = 0; i < n_src; ++i) {
+        if (circuit_.sources()[i] == site) site_slot = i;
+      }
+      src[site_slot] = !src[site_slot];
+      faulty.eval(src_span);
+      src[site_slot] = !src[site_slot];
+      for (NodeId sink : cone.reachable_sinks) {
+        if (faulty.sink_value(sink) != good.sink_value(sink)) {
+          detected = true;
+          break;
+        }
+      }
+      // A DFF site is itself a sink: the upset state bit is already an error.
+      if (circuit_.type(site) == GateType::kDff) detected = true;
+    } else {
+      detected = faulty.eval_with_flip(src_span, site, cone.reachable_sinks,
+                                       good);
+    }
+    result.detected += detected;
+    ++result.vectors;
+  }
+  return result;
+}
+
+double exhaustive_p_sensitized(const Circuit& circuit, NodeId site,
+                               std::size_t max_sources) {
+  assert(circuit.finalized());
+  const auto sources = circuit.sources();
+  const std::size_t n = sources.size();
+  if (n > max_sources) {
+    throw std::runtime_error(
+        "exhaustive_p_sensitized: too many sources (" + std::to_string(n) +
+        " > " + std::to_string(max_sources) + ")");
+  }
+
+  ConeExtractor cones(circuit);
+  const Cone cone = cones.extract(site);
+  if (cone.reachable_sinks.empty()) return 0.0;
+  // A state upset is an error by definition (paper convention), matching
+  // run_site(): the site sink always differs.
+  if (circuit.type(site) == GateType::kDff ||
+      circuit.is_primary_output(site)) {
+    return 1.0;
+  }
+
+  BitParallelSimulator good(circuit);
+  BitParallelSimulator bad(circuit);
+  const std::uint64_t total = 1ULL << n;
+  std::uint64_t detected = 0;
+
+  // Pack 64 assignments per pass: the low 6 assignment bits live in the
+  // lanes of source 0..5's words; the remaining bits come from the pass
+  // index. Source words therefore alternate with period 2^k within a lane
+  // block — the classic exhaustive-pattern packing.
+  const std::uint64_t passes = (total + 63) / 64;
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (std::size_t k = 0; k < n; ++k) {
+      std::uint64_t word;
+      if (k == 0) {
+        word = 0xAAAAAAAAAAAAAAAAULL;  // bit pattern 0101... per lane
+      } else if (k < 6) {
+        // Lane index bit k: repeating blocks of 2^k.
+        word = 0;
+        for (int lane = 0; lane < 64; ++lane) {
+          if ((lane >> k) & 1) word |= 1ULL << lane;
+        }
+      } else {
+        word = ((pass >> (k - 6)) & 1) ? ~0ULL : 0ULL;
+      }
+      good.values()[sources[k]] = word;
+      bad.values()[sources[k]] = word;
+    }
+    good.eval();
+    if (is_combinational(circuit.type(site))) {
+      bad.eval_with_flip(site);
+    } else {
+      bad.values()[site] = ~good.values()[site];
+      bad.eval();
+    }
+    std::uint64_t diff = 0;
+    for (NodeId sink : cone.reachable_sinks) {
+      diff |= good.sink_word(sink) ^ bad.sink_word(sink);
+    }
+    // Mask lanes beyond `total` on the final partial pass.
+    if (pass == passes - 1 && (total & 63) != 0) {
+      diff &= (1ULL << (total & 63)) - 1;
+    }
+    detected += std::popcount(diff);
+  }
+  return static_cast<double>(detected) / static_cast<double>(total);
+}
+
+std::vector<NodeId> error_sites(const Circuit& circuit) {
+  std::vector<NodeId> sites;
+  sites.reserve(circuit.node_count());
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const GateType t = circuit.type(id);
+    if (is_combinational(t) || t == GateType::kInput || t == GateType::kDff) {
+      sites.push_back(id);
+    }
+  }
+  return sites;
+}
+
+std::vector<NodeId> subsample_sites(std::vector<NodeId> sites,
+                                    std::size_t max_sites) {
+  if (max_sites == 0 || sites.size() <= max_sites) return sites;
+  std::vector<NodeId> picked;
+  picked.reserve(max_sites);
+  const double stride =
+      static_cast<double>(sites.size()) / static_cast<double>(max_sites);
+  for (std::size_t i = 0; i < max_sites; ++i) {
+    picked.push_back(sites[static_cast<std::size_t>(i * stride)]);
+  }
+  return picked;
+}
+
+}  // namespace sereep

@@ -1,0 +1,137 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sereep {
+
+BitParallelSimulator::BitParallelSimulator(const Circuit& circuit)
+    : circuit_(circuit), values_(circuit.node_count(), 0) {
+  assert(circuit.finalized());
+  // Constants are invariant: set once.
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (circuit.type(id) == GateType::kConst1) values_[id] = ~0ULL;
+  }
+}
+
+void BitParallelSimulator::randomize_sources(Rng& rng) {
+  for (NodeId id : circuit_.inputs()) values_[id] = rng();
+  for (NodeId id : circuit_.dffs()) values_[id] = rng();
+}
+
+void BitParallelSimulator::randomize_inputs_only(Rng& rng) {
+  for (NodeId id : circuit_.inputs()) values_[id] = rng();
+}
+
+void BitParallelSimulator::eval() {
+  for (NodeId id : circuit_.topo_order()) {
+    const Node& node = circuit_.node(id);
+    if (!is_combinational(node.type)) continue;  // sources & DFF states given
+    scratch_.clear();
+    for (NodeId f : node.fanin) scratch_.push_back(values_[f]);
+    values_[id] = eval_gate_word(node.type, scratch_);
+  }
+}
+
+void BitParallelSimulator::eval_with_flip(NodeId flip) {
+  assert(is_combinational(circuit_.type(flip)));
+  for (NodeId id : circuit_.topo_order()) {
+    const Node& node = circuit_.node(id);
+    if (!is_combinational(node.type)) continue;
+    scratch_.clear();
+    for (NodeId f : node.fanin) scratch_.push_back(values_[f]);
+    std::uint64_t v = eval_gate_word(node.type, scratch_);
+    if (id == flip) v = ~v;
+    values_[id] = v;
+  }
+}
+
+void BitParallelSimulator::clock() {
+  // Read all D pins before writing any state word: D pins are combinational
+  // values, already settled by eval(), and a DFF is never combinationally
+  // downstream of another DFF's D pin, but the copy is still staged to keep
+  // the semantics obviously race-free.
+  scratch_.clear();
+  for (NodeId ff : circuit_.dffs()) {
+    scratch_.push_back(values_[circuit_.fanin(ff)[0]]);
+  }
+  std::size_t i = 0;
+  for (NodeId ff : circuit_.dffs()) values_[ff] = scratch_[i++];
+}
+
+std::uint64_t BitParallelSimulator::sink_word(NodeId sink) const {
+  if (circuit_.type(sink) == GateType::kDff) {
+    return values_[circuit_.fanin(sink)[0]];
+  }
+  return values_[sink];
+}
+
+ScalarSimulator::ScalarSimulator(const Circuit& circuit)
+    : circuit_(circuit), values_(circuit.node_count(), 0) {
+  assert(circuit.finalized());
+  std::size_t max_fanin = 1;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    max_fanin = std::max(max_fanin, circuit.fanin(id).size());
+  }
+  fanin_buf_ = std::make_unique<bool[]>(max_fanin);
+  fanin_buf_size_ = max_fanin;
+}
+
+void ScalarSimulator::eval(std::span<const bool> source_values) {
+  assert(source_values.size() == circuit_.sources().size());
+  std::size_t i = 0;
+  for (NodeId src : circuit_.sources()) {
+    values_[src] = source_values[i++] ? 1 : 0;
+  }
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    if (circuit_.type(id) == GateType::kConst0) values_[id] = 0;
+    if (circuit_.type(id) == GateType::kConst1) values_[id] = 1;
+  }
+  for (NodeId id : circuit_.topo_order()) {
+    const Node& node = circuit_.node(id);
+    if (!is_combinational(node.type)) continue;
+    for (std::size_t k = 0; k < node.fanin.size(); ++k) {
+      fanin_buf_[k] = values_[node.fanin[k]] != 0;
+    }
+    values_[id] =
+        eval_gate(node.type,
+                  std::span<const bool>(fanin_buf_.get(), node.fanin.size()))
+            ? 1
+            : 0;
+  }
+}
+
+bool ScalarSimulator::eval_with_flip(std::span<const bool> source_values,
+                                     NodeId flip,
+                                     std::span<const NodeId> sinks,
+                                     const ScalarSimulator& reference) {
+  assert(source_values.size() == circuit_.sources().size());
+  std::size_t i = 0;
+  for (NodeId src : circuit_.sources()) {
+    values_[src] = source_values[i++] ? 1 : 0;
+  }
+  for (NodeId id : circuit_.topo_order()) {
+    const Node& node = circuit_.node(id);
+    if (!is_combinational(node.type)) continue;
+    for (std::size_t k = 0; k < node.fanin.size(); ++k) {
+      fanin_buf_[k] = values_[node.fanin[k]] != 0;
+    }
+    bool v = eval_gate(node.type,
+                       std::span<const bool>(fanin_buf_.get(), node.fanin.size()));
+    if (id == flip) v = !v;
+    values_[id] = v ? 1 : 0;
+  }
+  for (NodeId sink : sinks) {
+    if (sink_value(sink) != reference.sink_value(sink)) return true;
+  }
+  return false;
+}
+
+bool ScalarSimulator::sink_value(NodeId sink) const {
+  if (circuit_.type(sink) == GateType::kDff) {
+    return values_[circuit_.fanin(sink)[0]] != 0;
+  }
+  return values_[sink] != 0;
+}
+
+}  // namespace sereep

@@ -1,0 +1,97 @@
+// Bit-parallel gate-level logic simulation.
+//
+// This is the substrate of the paper's comparison baseline: random-vector
+// fault-injection simulation. Values are packed 64 vectors per machine word
+// (classic parallel-pattern single-fault propagation), so one topological
+// pass evaluates 64 input vectors at once. A scalar reference simulator is
+// provided for property-testing the packed one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+#include "src/util/rng.hpp"
+
+namespace sereep {
+
+/// 64-way bit-parallel combinational simulator with sequential stepping.
+///
+/// The value buffer holds one 64-bit word per node; bit v of word n is the
+/// value of node n under vector v. Source nodes (PIs, constants, DFF
+/// outputs) are inputs to eval(); all combinational gates are (re)computed.
+class BitParallelSimulator {
+ public:
+  explicit BitParallelSimulator(const Circuit& circuit);
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Mutable node-value words. Write source words before eval().
+  [[nodiscard]] std::span<std::uint64_t> values() noexcept { return values_; }
+  [[nodiscard]] std::span<const std::uint64_t> values() const noexcept {
+    return values_;
+  }
+
+  /// Fills every primary-input word with random bits and DFF state words
+  /// with random bits (the full-scan assumption: state is uniform random,
+  /// which is exactly what SP = 0.5 for FF outputs means analytically).
+  void randomize_sources(Rng& rng);
+
+  /// Fills PI words with random bits, leaves DFF state words untouched
+  /// (used by the multi-cycle sequential tests).
+  void randomize_inputs_only(Rng& rng);
+
+  /// One full combinational evaluation pass in topological order.
+  void eval();
+
+  /// Full evaluation with the computed value of `flip` inverted in every
+  /// lane (a transient fault at that gate output). `flip` must be a
+  /// combinational gate; for source nodes invert the word directly instead.
+  void eval_with_flip(NodeId flip);
+
+  /// Clocks every flip-flop: state <- D. Call after eval().
+  void clock();
+
+  /// The observed word of a sink: for a PO node its own value; for a DFF
+  /// node the value at its D pin (what would be latched).
+  [[nodiscard]] std::uint64_t sink_word(NodeId sink) const;
+
+ private:
+  const Circuit& circuit_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> scratch_;  // fanin gather buffer
+};
+
+/// Scalar single-vector reference simulator (slow; for tests).
+class ScalarSimulator {
+ public:
+  explicit ScalarSimulator(const Circuit& circuit);
+
+  /// Sets all source values then evaluates; `source_values` must follow the
+  /// order of circuit.sources().
+  void eval(std::span<const bool> source_values);
+
+  /// Full-circuit evaluation with the value of `flip` forced to the
+  /// complement of its functional value (a transient fault at that gate
+  /// output). Returns true iff any of `sinks` differs from `reference`
+  /// (a fault-free simulator evaluated on the same vector). This is one
+  /// inner step of conventional serial fault simulation.
+  bool eval_with_flip(std::span<const bool> source_values, NodeId flip,
+                      std::span<const NodeId> sinks,
+                      const ScalarSimulator& reference);
+
+  [[nodiscard]] bool value(NodeId id) const { return values_[id] != 0; }
+  [[nodiscard]] bool sink_value(NodeId sink) const;
+
+ private:
+  const Circuit& circuit_;
+  std::vector<std::uint8_t> values_;
+  // Flat bool buffer for fanin gather (std::vector<bool> is bit-packed and
+  // cannot back a std::span<const bool>, so a raw array is used instead).
+  std::unique_ptr<bool[]> fanin_buf_;
+  std::size_t fanin_buf_size_ = 0;
+};
+
+}  // namespace sereep

@@ -1,0 +1,44 @@
+// SCOAP testability measures (Goldstein 1979) — the classical integer
+// controllability/observability metrics, provided as a third comparator
+// next to EPP and COP.
+//
+// CC0(l)/CC1(l): the minimum number of circuit lines that must be set to
+// drive line l to 0/1 (>= 1; larger = harder). CO(l): the number of lines
+// that must be set to propagate the value on l to an output (>= 0).
+// Unlike EPP/COP these are combinatorial effort measures, not
+// probabilities; they are widely used as cheap proxies for fault
+// detectability, and the testability example shows how their ranking
+// correlates (and where it disagrees) with the EPP ranking.
+//
+// Sequential handling follows the usual convention: a DFF output costs its
+// D-pin controllability plus one (one clock cycle); a D pin is observable at
+// cost CO = 1 (captured next cycle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+/// SCOAP result; index by NodeId. Values saturate at kScoapInfinity for
+/// uncontrollable/unobservable lines (e.g. constants' opposite value).
+struct ScoapMeasures {
+  std::vector<std::uint32_t> cc0;  ///< combinational 0-controllability
+  std::vector<std::uint32_t> cc1;  ///< combinational 1-controllability
+  std::vector<std::uint32_t> co;   ///< combinational observability
+};
+
+inline constexpr std::uint32_t kScoapInfinity = 0x3FFFFFFF;
+
+/// Computes SCOAP controllabilities (forward pass) and observabilities
+/// (backward pass) for every node.
+[[nodiscard]] ScoapMeasures compute_scoap(const Circuit& circuit);
+
+/// A scalar detectability proxy: CO(n) + min(CC0(n), CC1(n)). Lower means
+/// easier to detect a flip at n (cheap to excite either value and observe).
+[[nodiscard]] std::vector<std::uint32_t> scoap_detect_cost(
+    const ScoapMeasures& measures);
+
+}  // namespace sereep

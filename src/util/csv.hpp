@@ -1,0 +1,33 @@
+// CSV emission for benchmark results.
+//
+// Each bench binary can optionally mirror its ASCII table into a CSV file so
+// downstream plotting (figure regeneration) does not re-parse ASCII art.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sereep {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// comma/quote/newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serializes all rows, header first.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sereep

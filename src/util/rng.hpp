@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in sereep (circuit generator, Monte-Carlo signal
+// probability, random fault-injection simulation) takes an explicit Rng so a
+// run is fully determined by its seeds. We use xoshiro256** (Blackman/Vigna)
+// seeded through splitmix64, the standard recipe for expanding a 64-bit seed
+// into a full 256-bit state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sereep {
+
+/// splitmix64 single step; used for seed expansion and as a cheap mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator so it can
+/// be used with <random> distributions, but the helpers below are preferred
+/// because their results are bit-identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed'0000'0000'0001ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method,
+  /// rejection variant kept simple & portable).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Rejection sampling over the largest multiple of `bound`.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return draw % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream; used to give each circuit node or
+  /// each Monte-Carlo batch its own stream without correlation.
+  constexpr Rng fork() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng{splitmix64(s)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace sereep

@@ -1,0 +1,36 @@
+// Small string utilities shared by the .bench parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sereep {
+
+/// Remove leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Split on a single delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Split on any whitespace run; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Case-insensitive ASCII equality (gate keywords in .bench files vary).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Uppercase ASCII copy.
+[[nodiscard]] std::string to_upper(std::string_view text);
+
+/// True if `text` starts with `prefix` (case-insensitive).
+[[nodiscard]] bool istarts_with(std::string_view text,
+                                std::string_view prefix) noexcept;
+
+/// printf-style float with fixed decimals, used by table rendering.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Human-friendly engineering formatting: 12345 -> "12.3k".
+[[nodiscard]] std::string format_si(double value);
+
+}  // namespace sereep

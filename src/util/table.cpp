@@ -1,0 +1,72 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sereep {
+
+AsciiTable::AsciiTable(std::vector<std::string> header,
+                       std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  aligns_.resize(header_.size(), Align::kRight);
+  if (!header_.empty()) aligns_[0] = Align::kLeft;  // row label column
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t width,
+                       Align align) {
+    std::string out;
+    const std::size_t fill = width > text.size() ? width - text.size() : 0;
+    if (align == Align::kRight) out.append(fill, ' ');
+    out += text;
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::ostringstream os;
+  os << rule();
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ' << pad(header_[c], widths[c], Align::kLeft) << " |";
+  }
+  os << "\n" << rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << rule();
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    os << "\n";
+  }
+  os << rule();
+  return os.str();
+}
+
+}  // namespace sereep

@@ -1,0 +1,40 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+//
+// Table 2 of the paper reports SysT in milliseconds and SimT in seconds; the
+// Stopwatch below is the single source of elapsed time for those columns so
+// both methods are measured identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sereep {
+
+/// Monotonic stopwatch. Started on construction; restart() re-arms it.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Measures the wall-clock of a callable and returns {result_seconds}.
+template <typename F>
+double time_seconds(F&& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.seconds();
+}
+
+}  // namespace sereep

@@ -1,0 +1,116 @@
+#include "src/epp/cop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(Cop, PrimaryOutputsFullyObservable) {
+  const Circuit c = make_c17();
+  const auto obs = cop_observability(c, parker_mccluskey_sp(c));
+  for (NodeId po : c.outputs()) {
+    EXPECT_DOUBLE_EQ(obs[po], 1.0);
+  }
+}
+
+TEST(Cop, DffsCountAsObservationPoints) {
+  const Circuit c = make_s27();
+  const auto obs = cop_observability(c, parker_mccluskey_sp(c));
+  for (NodeId ff : c.dffs()) {
+    EXPECT_DOUBLE_EQ(obs[ff], 1.0);
+  }
+  // The D-pin driver of every FF is fully observable too.
+  for (NodeId ff : c.dffs()) {
+    EXPECT_DOUBLE_EQ(obs[c.fanin(ff)[0]], 1.0);
+  }
+}
+
+TEST(Cop, MatchesEppOnFanoutFreePath) {
+  // Without reconvergence COP and EPP agree: both reduce to the product of
+  // side-input sensitization probabilities.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId d = c.add_input("d");
+  const NodeId g1 = c.add_gate(GateType::kAnd, "g1", {a, b});
+  const NodeId g2 = c.add_gate(GateType::kNor, "g2", {g1, d});
+  c.mark_output(g2);
+  c.finalize();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto obs = cop_observability(c, sp);
+  EppEngine engine(c, sp);
+  for (NodeId site : {a, g1, g2}) {
+    EXPECT_NEAR(obs[site], engine.p_sensitized(site), 1e-12)
+        << c.node(site).name;
+  }
+}
+
+TEST(Cop, BlindToReconvergentCancellation) {
+  // y = XOR(BUFF(a), BUFF(a)): true observability of `a` is 0 (the flip
+  // cancels), EPP sees it, COP cannot (independent-path union).
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId x1 = c.add_gate(GateType::kBuf, "x1", {a});
+  const NodeId x2 = c.add_gate(GateType::kBuf, "x2", {a});
+  const NodeId y = c.add_gate(GateType::kXor, "y", {x1, x2});
+  c.mark_output(y);
+  c.finalize();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto obs = cop_observability(c, sp);
+  EppEngine engine(c, sp);
+  EXPECT_NEAR(engine.p_sensitized(a), 0.0, 1e-12);
+  EXPECT_GT(obs[a], 0.9) << "COP should (wrongly) report near-certain";
+}
+
+TEST(Cop, AllValuesInUnitInterval) {
+  const Circuit c = make_iscas89_like("s526");
+  const auto obs = cop_observability(c, parker_mccluskey_sp(c));
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    EXPECT_GE(obs[id], 0.0) << c.node(id).name;
+    EXPECT_LE(obs[id], 1.0 + 1e-12) << c.node(id).name;
+  }
+}
+
+TEST(Cop, EppIsCloserToTruthOnRealCircuit) {
+  // On a reconvergence-rich circuit EPP's mean error vs fault injection must
+  // not exceed COP's — the headline structural advantage of the paper.
+  const Circuit c = make_iscas89_like("s386");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto obs = cop_observability(c, sp);
+  EppEngine engine(c, sp);
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 8192;
+
+  double err_epp = 0, err_cop = 0;
+  std::size_t n = 0;
+  for (NodeId site : subsample_sites(error_sites(c), 80)) {
+    const double mc = fi.run_site(site, opt).probability();
+    err_epp += std::fabs(engine.p_sensitized(site) - mc);
+    err_cop += std::fabs(obs[site] - mc);
+    ++n;
+  }
+  EXPECT_LE(err_epp, err_cop + 1e-9)
+      << "EPP mean err " << err_epp / n << " vs COP " << err_cop / n;
+}
+
+TEST(Cop, UnobservableWhenMaskedByConstant) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId z = c.add_const("zero", false);
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, z});
+  c.mark_output(g);
+  c.finalize();
+  const auto obs = cop_observability(c, parker_mccluskey_sp(c));
+  EXPECT_DOUBLE_EQ(obs[a], 0.0);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,92 @@
+// Reproduction of the paper's worked example (Fig. 1 + Sec. 2): an SEU hits
+// gate A; the engine must derive
+//   P(E) = 1(ā)
+//   P(G) = 0.7(ā) + 0.3(0)
+//   P(D) = 0.2(a) + 0.8(0)
+//   P(H) = 0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1)
+// and P_sensitized(A) = Pa(H) + Pā(H) = 0.434.
+#include <gtest/gtest.h>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+
+namespace sereep {
+namespace {
+
+class Fig1Test : public testing::Test {
+ protected:
+  Fig1Test() : ex_(make_fig1_example()) {
+    // The figure pins the off-path signal probabilities: SP(B) = 0.2,
+    // SP(C) = 0.3, SP(F) = 0.7.
+    std::vector<double> input_sp(ex_.circuit.inputs().size(), 0.5);
+    const auto set = [&](NodeId id, double sp) {
+      for (std::size_t i = 0; i < ex_.circuit.inputs().size(); ++i) {
+        if (ex_.circuit.inputs()[i] == id) input_sp[i] = sp;
+      }
+    };
+    set(ex_.b, 0.2);
+    set(ex_.c, 0.3);
+    set(ex_.f, 0.7);
+    sp_ = parker_mccluskey_sp_custom(ex_.circuit, input_sp, {});
+  }
+
+  Fig1Example ex_;
+  SignalProbabilities sp_;
+};
+
+TEST_F(Fig1Test, IntermediateDistributions) {
+  EppEngine engine(ex_.circuit, sp_);
+  (void)engine.compute(ex_.a);
+
+  const Prob4& e = engine.last_distribution(ex_.e);
+  EXPECT_NEAR(e.abar(), 1.0, 1e-12) << "P(E) = 1(ā)";
+
+  const Prob4& g = engine.last_distribution(ex_.g);
+  EXPECT_NEAR(g.abar(), 0.7, 1e-12);
+  EXPECT_NEAR(g.zero(), 0.3, 1e-12);
+
+  const Prob4& d = engine.last_distribution(ex_.d);
+  EXPECT_NEAR(d.a(), 0.2, 1e-12);
+  EXPECT_NEAR(d.zero(), 0.8, 1e-12);
+}
+
+TEST_F(Fig1Test, HeadlineResultAtH) {
+  EppEngine engine(ex_.circuit, sp_);
+  const SiteEpp site = engine.compute(ex_.a);
+
+  const Prob4& h = engine.last_distribution(ex_.h);
+  EXPECT_NEAR(h.a(), 0.042, 1e-12);
+  EXPECT_NEAR(h.abar(), 0.392, 1e-12);
+  EXPECT_NEAR(h.zero(), 0.168, 1e-12);
+  EXPECT_NEAR(h.one(), 0.398, 1e-12);
+
+  ASSERT_EQ(site.sinks.size(), 1u);
+  EXPECT_EQ(site.sinks[0].sink, ex_.h);
+  EXPECT_NEAR(site.p_sensitized, 0.434, 1e-12);
+  EXPECT_EQ(site.reconvergent_gates, 1u);
+}
+
+TEST_F(Fig1Test, PolarityBlindAblationOverestimates) {
+  // Without the a/ā split, the ā mass arriving at H through G is pooled
+  // with the a mass through D instead of saturating the OR — the result
+  // must differ from the exact 0.434 (this is the error class the paper's
+  // polarity bookkeeping removes).
+  EppEngine exact(ex_.circuit, sp_);
+  EppEngine pooled(ex_.circuit, sp_, EppOptions{.track_polarity = false});
+  const double p_exact = exact.compute(ex_.a).p_sensitized;
+  const double p_pooled = pooled.compute(ex_.a).p_sensitized;
+  EXPECT_NEAR(p_exact, 0.434, 1e-12);
+  EXPECT_NE(p_exact, p_pooled);
+}
+
+TEST_F(Fig1Test, ToStringMatchesPaperRendering) {
+  EppEngine engine(ex_.circuit, sp_);
+  (void)engine.compute(ex_.a);
+  const std::string s = engine.last_distribution(ex_.h).to_string();
+  EXPECT_NE(s.find("0.042(a)"), std::string::npos) << s;
+  EXPECT_NE(s.find("0.168(0)"), std::string::npos) << s;
+  EXPECT_NE(s.find("0.398(1)"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace sereep

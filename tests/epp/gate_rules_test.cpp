@@ -1,0 +1,275 @@
+#include "src/epp/gate_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace sereep {
+namespace {
+
+/// Random valid Prob4 (Dirichlet-ish via normalized uniforms).
+Prob4 random_prob4(Rng& rng) {
+  Prob4 d;
+  double total = 0;
+  for (int s = 0; s < kSymCount; ++s) {
+    d.p[s] = rng.uniform() + 1e-6;
+    total += d.p[s];
+  }
+  for (int s = 0; s < kSymCount; ++s) d.p[s] /= total;
+  return d;
+}
+
+Prob4 random_off_path(Rng& rng) { return Prob4::off_path(rng.uniform()); }
+
+void expect_prob4_near(const Prob4& x, const Prob4& y, double tol,
+                       const std::string& what) {
+  for (int s = 0; s < kSymCount; ++s) {
+    EXPECT_NEAR(x.p[s], y.p[s], tol) << what << " sym " << s;
+  }
+}
+
+constexpr GateType kClosedFormTypes[] = {GateType::kAnd, GateType::kNand,
+                                         GateType::kOr, GateType::kNor};
+constexpr GateType kAllTypes[] = {GateType::kAnd, GateType::kNand,
+                                  GateType::kOr,  GateType::kNor,
+                                  GateType::kXor, GateType::kXnor};
+
+TEST(Table1Rules, PaperAndExample) {
+  // Worked inner steps of the paper's Fig. 1 example.
+  // G = AND(E, F): P(E) = 1(ā), SP(F) = 0.7 -> P(G) = 0.7(ā) + 0.3(0).
+  Prob4 e;
+  e[Sym::kABar] = 1.0;
+  const Prob4 f = Prob4::off_path(0.7);
+  const Prob4 ins[2] = {e, f};
+  const Prob4 g = prob4_closed_form(GateType::kAnd, ins);
+  EXPECT_NEAR(g.abar(), 0.7, 1e-12);
+  EXPECT_NEAR(g.zero(), 0.3, 1e-12);
+  EXPECT_NEAR(g.a(), 0.0, 1e-12);
+  EXPECT_NEAR(g.one(), 0.0, 1e-12);
+}
+
+TEST(Table1Rules, PaperOrExampleAtH) {
+  // H = OR(C, D, G) with P(C)=off(0.3), P(D)=0.2(a)+0.8(0),
+  // P(G)=0.7(ā)+0.3(0): the paper's headline numbers.
+  const Prob4 c = Prob4::off_path(0.3);
+  Prob4 d;
+  d[Sym::kA] = 0.2;
+  d[Sym::kZero] = 0.8;
+  Prob4 g;
+  g[Sym::kABar] = 0.7;
+  g[Sym::kZero] = 0.3;
+  const Prob4 ins[3] = {c, d, g};
+  const Prob4 h = prob4_closed_form(GateType::kOr, ins);
+  EXPECT_NEAR(h.zero(), 0.168, 1e-12);
+  EXPECT_NEAR(h.a(), 0.042, 1e-12);
+  EXPECT_NEAR(h.abar(), 0.392, 1e-12);
+  EXPECT_NEAR(h.one(), 0.398, 1e-12);
+}
+
+TEST(Table1Rules, NotRule) {
+  Prob4 in;
+  in[Sym::kA] = 0.25;
+  in[Sym::kABar] = 0.15;
+  in[Sym::kZero] = 0.35;
+  in[Sym::kOne] = 0.25;
+  const Prob4 ins[1] = {in};
+  const Prob4 out = prob4_closed_form(GateType::kNot, ins);
+  EXPECT_DOUBLE_EQ(out.a(), 0.15);
+  EXPECT_DOUBLE_EQ(out.abar(), 0.25);
+  EXPECT_DOUBLE_EQ(out.one(), 0.35);
+  EXPECT_DOUBLE_EQ(out.zero(), 0.25);
+}
+
+class ClosedVsEnumerate
+    : public testing::TestWithParam<std::tuple<GateType, int>> {};
+
+TEST_P(ClosedVsEnumerate, Agree) {
+  const auto [type, arity] = GetParam();
+  Rng rng(0xC105EDULL ^ (static_cast<std::uint64_t>(type) << 8) ^
+          static_cast<std::uint64_t>(arity));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Prob4> ins;
+    for (int i = 0; i < arity; ++i) ins.push_back(random_prob4(rng));
+    const Prob4 closed = prob4_closed_form(type, ins);
+    const Prob4 brute = prob4_enumerate(type, ins);
+    expect_prob4_near(closed, brute, 1e-10,
+                      std::string(gate_type_name(type)) + "/" +
+                          std::to_string(arity));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedVsEnumerate,
+    testing::Combine(testing::ValuesIn(kClosedFormTypes),
+                     testing::Values(1, 2, 3, 4, 6)),
+    [](const auto& info) {
+      return std::string(gate_type_name(std::get<0>(info.param))) + "_arity" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class FoldVsEnumerate
+    : public testing::TestWithParam<std::tuple<GateType, int>> {};
+
+TEST_P(FoldVsEnumerate, Agree) {
+  const auto [type, arity] = GetParam();
+  Rng rng(0xF01DULL ^ (static_cast<std::uint64_t>(type) << 8) ^
+          static_cast<std::uint64_t>(arity));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Prob4> ins;
+    for (int i = 0; i < arity; ++i) ins.push_back(random_prob4(rng));
+    expect_prob4_near(prob4_fold(type, ins), prob4_enumerate(type, ins),
+                      1e-10, std::string(gate_type_name(type)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FoldVsEnumerate,
+    testing::Combine(testing::ValuesIn(kAllTypes),
+                     testing::Values(1, 2, 3, 5)),
+    [](const auto& info) {
+      return std::string(gate_type_name(std::get<0>(info.param))) + "_arity" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PropagationRules, OutputAlwaysValidDistribution) {
+  Rng rng(0xA11DULL);
+  for (GateType type : kAllTypes) {
+    for (int trial = 0; trial < 500; ++trial) {
+      std::vector<Prob4> ins;
+      const int arity = 1 + static_cast<int>(rng.below(4));
+      for (int i = 0; i < arity; ++i) {
+        ins.push_back(rng.chance(0.5) ? random_prob4(rng)
+                                      : random_off_path(rng));
+      }
+      const Prob4 out = prob4_propagate(type, ins);
+      EXPECT_TRUE(out.valid(1e-9))
+          << gate_type_name(type) << ": " << out.to_string(6);
+    }
+  }
+}
+
+TEST(PropagationRules, OffPathOnlyInputsStayErrorFree) {
+  // No error on any input -> no error on the output.
+  Rng rng(0x0FF0ULL);
+  for (GateType type : kAllTypes) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<Prob4> ins{random_off_path(rng), random_off_path(rng)};
+      const Prob4 out = prob4_propagate(type, ins);
+      EXPECT_NEAR(out.error_mass(), 0.0, 1e-12) << gate_type_name(type);
+    }
+  }
+}
+
+TEST(PropagationRules, SingleErrorThroughAndScalesBySideInput) {
+  // One erroneous input with Pa=1 through AND with off-path SP s: error mass
+  // at the output is exactly s (textbook sensitization).
+  for (double s : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const Prob4 ins[2] = {Prob4::error_site(), Prob4::off_path(s)};
+    const Prob4 out = prob4_propagate(GateType::kAnd, ins);
+    EXPECT_NEAR(out.error_mass(), s, 1e-12);
+    EXPECT_NEAR(out.a(), s, 1e-12) << "AND preserves polarity";
+  }
+}
+
+TEST(PropagationRules, SingleErrorThroughOrScalesByZeroSide) {
+  for (double s : {0.0, 0.3, 1.0}) {
+    const Prob4 ins[2] = {Prob4::error_site(), Prob4::off_path(s)};
+    const Prob4 out = prob4_propagate(GateType::kOr, ins);
+    EXPECT_NEAR(out.error_mass(), 1.0 - s, 1e-12);
+  }
+}
+
+TEST(PropagationRules, XorAlwaysPropagatesSingleError) {
+  for (double s : {0.0, 0.25, 0.75, 1.0}) {
+    const Prob4 ins[2] = {Prob4::error_site(), Prob4::off_path(s)};
+    const Prob4 out = prob4_propagate(GateType::kXor, ins);
+    EXPECT_NEAR(out.error_mass(), 1.0, 1e-12);
+    // Polarity flips where the side input is 1.
+    EXPECT_NEAR(out.a(), 1.0 - s, 1e-12);
+    EXPECT_NEAR(out.abar(), s, 1e-12);
+  }
+}
+
+TEST(PropagationRules, OppositePolaritiesCancelAtAnd) {
+  // AND(a, ā) = 0 with certainty.
+  Prob4 x, y;
+  x[Sym::kA] = 1.0;
+  y[Sym::kABar] = 1.0;
+  const Prob4 ins[2] = {x, y};
+  const Prob4 out = prob4_propagate(GateType::kAnd, ins);
+  EXPECT_NEAR(out.zero(), 1.0, 1e-12);
+  EXPECT_NEAR(out.error_mass(), 0.0, 1e-12);
+}
+
+TEST(PropagationRules, OppositePolaritiesForceOneAtOr) {
+  Prob4 x, y;
+  x[Sym::kA] = 1.0;
+  y[Sym::kABar] = 1.0;
+  const Prob4 ins[2] = {x, y};
+  const Prob4 out = prob4_propagate(GateType::kOr, ins);
+  EXPECT_NEAR(out.one(), 1.0, 1e-12);
+}
+
+TEST(PropagationRules, SamePolarityReinforcesAtAnd) {
+  // AND(a, a) = a.
+  Prob4 x;
+  x[Sym::kA] = 1.0;
+  const Prob4 ins[2] = {x, x};
+  const Prob4 out = prob4_propagate(GateType::kAnd, ins);
+  EXPECT_NEAR(out.a(), 1.0, 1e-12);
+}
+
+TEST(PropagationRules, XorSamePolarityCancels) {
+  Prob4 x;
+  x[Sym::kA] = 1.0;
+  const Prob4 ins[2] = {x, x};
+  const Prob4 out = prob4_propagate(GateType::kXor, ins);
+  EXPECT_NEAR(out.zero(), 1.0, 1e-12);
+}
+
+TEST(NoPolarityAblation, EqualOnSingleErrorPaths) {
+  // With exactly one erroneous input the pooled rule must agree on error
+  // mass (polarity only matters at reconvergence).
+  Rng rng(0xAB1AULL);
+  for (GateType type : kAllTypes) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<Prob4> ins{Prob4::error_site(), random_off_path(rng),
+                             random_off_path(rng)};
+      const double exact = prob4_propagate(type, ins).error_mass();
+      const double pooled =
+          prob4_propagate_no_polarity(type, ins).error_mass();
+      EXPECT_NEAR(exact, pooled, 1e-12) << gate_type_name(type);
+    }
+  }
+}
+
+TEST(NoPolarityAblation, WrongAtReconvergence) {
+  // OR(a, ā) = 1 exactly; the pooled rule treats both as same-polarity
+  // errors and reports full error mass instead.
+  Prob4 x, y;
+  x[Sym::kA] = 1.0;
+  y[Sym::kABar] = 1.0;
+  const Prob4 ins[2] = {x, y};
+  EXPECT_NEAR(prob4_propagate(GateType::kOr, ins).error_mass(), 0.0, 1e-12);
+  EXPECT_NEAR(prob4_propagate_no_polarity(GateType::kOr, ins).error_mass(),
+              1.0, 1e-12);
+}
+
+TEST(FoldRule, MixedPolarityWideGate) {
+  // 4-input OR with two opposite-polarity error inputs and two off-path:
+  // cross-check fold against brute force.
+  Prob4 x, y;
+  x[Sym::kA] = 0.6;
+  x[Sym::kZero] = 0.4;
+  y[Sym::kABar] = 0.5;
+  y[Sym::kOne] = 0.5;
+  const std::vector<Prob4> ins{x, y, Prob4::off_path(0.2),
+                               Prob4::off_path(0.9)};
+  expect_prob4_near(prob4_fold(GateType::kOr, ins),
+                    prob4_enumerate(GateType::kOr, ins), 1e-12, "wide OR");
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,97 @@
+// Tests for the electrical-masking extension (SET pulse attenuation per
+// logic level).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+Circuit buffer_chain(int length) {
+  Circuit c;
+  NodeId prev = c.add_input("a");
+  for (int i = 0; i < length; ++i) {
+    prev = c.add_gate(GateType::kBuf, "b" + std::to_string(i), {prev});
+  }
+  c.mark_output(prev);
+  c.finalize();
+  return c;
+}
+
+TEST(ElectricalMasking, SurvivalOneIsPurelyLogical) {
+  const Circuit c = make_c17();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine plain(c, sp);
+  EppEngine masked(c, sp, EppOptions{.electrical_survival = 1.0});
+  for (NodeId site : error_sites(c)) {
+    EXPECT_DOUBLE_EQ(plain.p_sensitized(site), masked.p_sensitized(site));
+  }
+}
+
+TEST(ElectricalMasking, ChainAttenuatesGeometrically) {
+  // Through k buffers the error mass must be survival^k exactly.
+  const double alpha = 0.9;
+  for (int k : {1, 3, 7}) {
+    const Circuit c = buffer_chain(k);
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    EppEngine engine(c, sp, EppOptions{.electrical_survival = alpha});
+    EXPECT_NEAR(engine.p_sensitized(*c.find("a")), std::pow(alpha, k), 1e-12)
+        << "chain length " << k;
+  }
+}
+
+TEST(ElectricalMasking, DistributionsStayValid) {
+  const Circuit c = make_iscas89_like("s298");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp, EppOptions{.electrical_survival = 0.85});
+  for (NodeId site : subsample_sites(error_sites(c), 40)) {
+    const SiteEpp r = engine.compute(site);
+    for (const SinkEpp& s : r.sinks) {
+      EXPECT_TRUE(s.distribution.valid(1e-7)) << s.distribution.to_string(8);
+    }
+    EXPECT_GE(r.p_sensitized, -1e-12);
+    EXPECT_LE(r.p_sensitized, 1.0 + 1e-12);
+  }
+}
+
+class SurvivalSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SurvivalSweep, MonotoneInSurvival) {
+  // Lower survival can only lower P_sensitized.
+  const double alpha = GetParam();
+  const Circuit c = make_iscas89_like("s344");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine strong(c, sp, EppOptions{.electrical_survival = alpha});
+  EppEngine weak(c, sp, EppOptions{.electrical_survival = alpha * 0.9});
+  for (NodeId site : subsample_sites(error_sites(c), 30)) {
+    EXPECT_GE(strong.p_sensitized(site) + 1e-12, weak.p_sensitized(site))
+        << c.node(site).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SurvivalSweep,
+                         testing::Values(1.0, 0.95, 0.8, 0.5),
+                         [](const auto& info) {
+                           return "a" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(ElectricalMasking, DeepSitesAttenuateMoreThanShallow) {
+  // With attenuation, a site far from the outputs loses more error mass
+  // than the same site without attenuation, relative to a site adjacent to
+  // an output.
+  const Circuit c = buffer_chain(10);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp, EppOptions{.electrical_survival = 0.9});
+  const double far = engine.p_sensitized(*c.find("a"));
+  const double near = engine.p_sensitized(*c.find("b8"));
+  EXPECT_LT(far, near);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,152 @@
+#include "src/epp/multicycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+/// a ->(AND b) -> ff1 -> ff2 -> po_gate. The error must take exactly 3
+/// cycles to surface: latch into ff1 (cycle 1), move to ff2 (cycle 2),
+/// appear at the PO (cycle 3).
+struct PipelineFixture {
+  Circuit c;
+  NodeId a, b, g, ff1, ff2, po;
+  PipelineFixture() {
+    a = c.add_input("a");
+    b = c.add_input("b");
+    g = c.add_gate(GateType::kAnd, "g", {a, b});
+    ff1 = c.add_dff_placeholder("ff1");
+    c.connect_dff(ff1, g);
+    NodeId buf1 = c.add_gate(GateType::kBuf, "buf1", {ff1});
+    ff2 = c.add_dff_placeholder("ff2");
+    c.connect_dff(ff2, buf1);
+    po = c.add_gate(GateType::kBuf, "po", {ff2});
+    c.mark_output(po);
+    c.finalize();
+  }
+};
+
+TEST(MultiCycleEpp, PipelineLatencyIsVisible) {
+  PipelineFixture f;
+  const SignalProbabilities sp = parker_mccluskey_sp(f.c);
+  MultiCycleEppEngine engine(f.c, sp, {});
+
+  const MultiCycleEpp r = engine.compute(f.g, 5);
+  ASSERT_GE(r.detect_by_cycle.size(), 3u);
+  // Cycle 1: error only latched, no PO reachable combinationally.
+  EXPECT_NEAR(r.detect_by_cycle[0], 0.0, 1e-12);
+  // Cycle 2: error sits in ff1, still not at the PO.
+  EXPECT_NEAR(r.detect_by_cycle[1], 0.0, 1e-12);
+  // Cycle 3: error reaches the PO through ff2 with certainty (buffers only).
+  EXPECT_NEAR(r.detect_by_cycle[2], 1.0, 1e-12);
+}
+
+TEST(MultiCycleEpp, CycleOneMatchesSingleCycleEppForPoOnlyCircuit) {
+  const Circuit c = make_c17();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine single(c, sp);
+  MultiCycleEppEngine multi(c, sp, {});
+  for (NodeId site : error_sites(c)) {
+    const MultiCycleEpp r = multi.compute(site, 1);
+    EXPECT_NEAR(r.detect_by_cycle[0], single.p_sensitized(site), 1e-12)
+        << c.node(site).name;
+  }
+}
+
+TEST(MultiCycleEpp, DetectionIsMonotoneInCycles) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {});
+  for (NodeId site : error_sites(c)) {
+    const MultiCycleEpp r = engine.compute(site, 12);
+    for (std::size_t t = 1; t < r.detect_by_cycle.size(); ++t) {
+      EXPECT_GE(r.detect_by_cycle[t] + 1e-12, r.detect_by_cycle[t - 1])
+          << c.node(site).name << " cycle " << t;
+    }
+  }
+}
+
+TEST(MultiCycleEpp, ResidualDecaysOnS27) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {});
+  const MultiCycleEpp r = engine.compute(c.dffs()[0], 64);
+  ASSERT_GE(r.residual_state.size(), 2u);
+  // After many cycles the state error must have decayed substantially.
+  EXPECT_LT(r.residual_state.back(), r.residual_state.front() + 1e-12);
+}
+
+TEST(MultiCycleEpp, MatchesSequentialFaultInjectionOnPipeline) {
+  PipelineFixture f;
+  const SignalProbabilities sp = parker_mccluskey_sp(f.c);
+  MultiCycleEppEngine engine(f.c, sp, {});
+  FaultInjector fi(f.c);
+  McOptions opt;
+  opt.num_vectors = 1 << 14;
+
+  for (std::size_t cycles : {1u, 2u, 3u, 4u}) {
+    const double analytic = engine.compute(f.g, cycles).detect_within(cycles);
+    const double mc =
+        fi.run_site_multicycle(f.g, cycles, opt).probability();
+    EXPECT_NEAR(analytic, mc, 0.02) << "cycles=" << cycles;
+  }
+}
+
+TEST(MultiCycleEpp, CloseToSequentialFaultInjectionOnS27) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {});
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 1 << 14;
+
+  double total_err = 0;
+  std::size_t n = 0;
+  for (NodeId site : error_sites(c)) {
+    const double analytic = engine.compute(site, 6).detect_within(6);
+    const double mc = fi.run_site_multicycle(site, 6, opt).probability();
+    total_err += std::fabs(analytic - mc);
+    ++n;
+  }
+  // Cross-cycle independence is an approximation; stay within ~15% mean.
+  EXPECT_LT(total_err / static_cast<double>(n), 0.15);
+}
+
+TEST(MultiCycleEpp, DetectEventuallyBoundsDetectWithin) {
+  const Circuit c = make_iscas89_like("s298");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {});
+  for (NodeId site : subsample_sites(error_sites(c), 20)) {
+    const double ever = engine.detect_eventually(site, 1e-9, 500);
+    const double at8 = engine.compute(site, 8).detect_within(8);
+    EXPECT_GE(ever + 1e-9, at8) << c.node(site).name;
+    EXPECT_LE(ever, 1.0 + 1e-12);
+  }
+}
+
+TEST(MultiCycleEpp, ZeroCyclesIsZero) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {});
+  EXPECT_DOUBLE_EQ(engine.compute(0, 0).detect_within(0), 0.0);
+}
+
+TEST(SequentialFaultInjection, MoreCyclesDetectMore) {
+  const Circuit c = make_s27();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 4096;
+  const NodeId site = *c.find("G13");
+  const double d1 = fi.run_site_multicycle(site, 1, opt).probability();
+  const double d8 = fi.run_site_multicycle(site, 8, opt).probability();
+  EXPECT_GE(d8 + 0.02, d1);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,138 @@
+#include "src/epp/prob4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sereep {
+namespace {
+
+TEST(Sym, ValueTable) {
+  EXPECT_FALSE(sym_value(Sym::kZero, false));
+  EXPECT_FALSE(sym_value(Sym::kZero, true));
+  EXPECT_TRUE(sym_value(Sym::kOne, false));
+  EXPECT_TRUE(sym_value(Sym::kOne, true));
+  EXPECT_FALSE(sym_value(Sym::kA, false));
+  EXPECT_TRUE(sym_value(Sym::kA, true));
+  EXPECT_TRUE(sym_value(Sym::kABar, false));
+  EXPECT_FALSE(sym_value(Sym::kABar, true));
+}
+
+TEST(Sym, FromValuesRoundTrip) {
+  for (int s = 0; s < kSymCount; ++s) {
+    const Sym sym = static_cast<Sym>(s);
+    EXPECT_EQ(sym_from_values(sym_value(sym, false), sym_value(sym, true)),
+              sym);
+  }
+}
+
+TEST(Sym, NotIsInvolution) {
+  for (int s = 0; s < kSymCount; ++s) {
+    const Sym sym = static_cast<Sym>(s);
+    EXPECT_EQ(sym_not(sym_not(sym)), sym);
+  }
+}
+
+TEST(Sym, PaperAlgebraIdentities) {
+  // The identities that make reconvergent fanout exact.
+  EXPECT_EQ(sym_combine(GateType::kAnd, Sym::kA, Sym::kABar), Sym::kZero);
+  EXPECT_EQ(sym_combine(GateType::kOr, Sym::kA, Sym::kABar), Sym::kOne);
+  EXPECT_EQ(sym_combine(GateType::kXor, Sym::kA, Sym::kABar), Sym::kOne);
+  EXPECT_EQ(sym_combine(GateType::kXor, Sym::kA, Sym::kA), Sym::kZero);
+  EXPECT_EQ(sym_combine(GateType::kAnd, Sym::kA, Sym::kOne), Sym::kA);
+  EXPECT_EQ(sym_combine(GateType::kAnd, Sym::kA, Sym::kZero), Sym::kZero);
+  EXPECT_EQ(sym_combine(GateType::kOr, Sym::kA, Sym::kZero), Sym::kA);
+  EXPECT_EQ(sym_combine(GateType::kOr, Sym::kA, Sym::kOne), Sym::kOne);
+  EXPECT_EQ(sym_combine(GateType::kXor, Sym::kA, Sym::kOne), Sym::kABar);
+  EXPECT_EQ(sym_combine(GateType::kXor, Sym::kABar, Sym::kOne), Sym::kA);
+}
+
+TEST(Sym, CombineIsCommutative) {
+  for (GateType core : {GateType::kAnd, GateType::kOr, GateType::kXor}) {
+    for (int x = 0; x < kSymCount; ++x) {
+      for (int y = 0; y < kSymCount; ++y) {
+        EXPECT_EQ(
+            sym_combine(core, static_cast<Sym>(x), static_cast<Sym>(y)),
+            sym_combine(core, static_cast<Sym>(y), static_cast<Sym>(x)));
+      }
+    }
+  }
+}
+
+TEST(Sym, CombineIsAssociative) {
+  for (GateType core : {GateType::kAnd, GateType::kOr, GateType::kXor}) {
+    for (int x = 0; x < kSymCount; ++x) {
+      for (int y = 0; y < kSymCount; ++y) {
+        for (int z = 0; z < kSymCount; ++z) {
+          const Sym sx = static_cast<Sym>(x), sy = static_cast<Sym>(y),
+                    sz = static_cast<Sym>(z);
+          EXPECT_EQ(sym_combine(core, sym_combine(core, sx, sy), sz),
+                    sym_combine(core, sx, sym_combine(core, sy, sz)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Prob4, ErrorSiteDistribution) {
+  const Prob4 d = Prob4::error_site();
+  EXPECT_DOUBLE_EQ(d.a(), 1.0);
+  EXPECT_DOUBLE_EQ(d.error_mass(), 1.0);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Prob4, OffPathDistribution) {
+  const Prob4 d = Prob4::off_path(0.3);
+  EXPECT_DOUBLE_EQ(d.one(), 0.3);
+  EXPECT_DOUBLE_EQ(d.zero(), 0.7);
+  EXPECT_DOUBLE_EQ(d.error_mass(), 0.0);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Prob4, NotSwapsPolaritiesAndValues) {
+  Prob4 d;
+  d[Sym::kA] = 0.1;
+  d[Sym::kABar] = 0.2;
+  d[Sym::kZero] = 0.3;
+  d[Sym::kOne] = 0.4;
+  const Prob4 n = prob4_not(d);
+  EXPECT_DOUBLE_EQ(n.a(), 0.2);
+  EXPECT_DOUBLE_EQ(n.abar(), 0.1);
+  EXPECT_DOUBLE_EQ(n.zero(), 0.4);
+  EXPECT_DOUBLE_EQ(n.one(), 0.3);
+  EXPECT_DOUBLE_EQ(n.error_mass(), d.error_mass());
+}
+
+TEST(Prob4, ValidRejectsBadDistributions) {
+  Prob4 d;
+  d[Sym::kA] = 0.5;
+  EXPECT_FALSE(d.valid()) << "total 0.5 != 1";
+  d[Sym::kOne] = 0.6;
+  EXPECT_FALSE(d.valid()) << "total 1.1 != 1";
+  Prob4 neg;
+  neg[Sym::kA] = -0.1;
+  neg[Sym::kOne] = 1.1;
+  EXPECT_FALSE(neg.valid());
+}
+
+TEST(Prob4, CleanedClampsAndRenormalizes) {
+  Prob4 d;
+  d[Sym::kA] = -1e-15;
+  d[Sym::kOne] = 1.0;
+  const Prob4 c = d.cleaned();
+  EXPECT_GE(c.a(), 0.0);
+  EXPECT_NEAR(c.total(), 1.0, 1e-12);
+}
+
+TEST(Prob4, ToStringMatchesPaperFormat) {
+  Prob4 d;
+  d[Sym::kA] = 0.042;
+  d[Sym::kABar] = 0.392;
+  d[Sym::kZero] = 0.168;
+  d[Sym::kOne] = 0.398;
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("0.042(a)"), std::string::npos);
+  EXPECT_NE(s.find("0.168(0)"), std::string::npos);
+  EXPECT_NE(s.find("0.398(1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sereep

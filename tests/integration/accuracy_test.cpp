@@ -1,0 +1,94 @@
+// Accuracy integration: EPP vs random fault-injection across circuits — the
+// in-repo counterpart of the paper's %Dif column (Table 2) where the paper
+// reports 5.4% average difference and 94% average accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+/// Mean absolute difference between EPP and MC over sampled sites, in
+/// percentage points.
+double mean_abs_diff_pct(const Circuit& c, std::size_t max_sites,
+                         std::size_t vectors) {
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp);
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = vectors;
+  double total = 0;
+  std::size_t n = 0;
+  for (NodeId site : subsample_sites(error_sites(c), max_sites)) {
+    total += std::fabs(engine.p_sensitized(site) -
+                       fi.run_site(site, opt).probability());
+    ++n;
+  }
+  return 100.0 * total / static_cast<double>(n);
+}
+
+TEST(Accuracy, C17WithinTightBound) {
+  EXPECT_LT(mean_abs_diff_pct(make_c17(), 0, 1 << 15), 5.0);
+}
+
+TEST(Accuracy, S27WithinTightBound) {
+  // s27 is reconvergence-dense for its size (every node's cone overlaps the
+  // feedback logic), so it sits at the top of the paper's per-circuit range
+  // (3.4%-12.6% in Table 2).
+  EXPECT_LT(mean_abs_diff_pct(make_s27(), 0, 1 << 15), 12.6);
+}
+
+class GeneratedAccuracy : public testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratedAccuracy, WithinPaperScaleBound) {
+  // The paper reports 3.4%-12.6% per circuit, 5.4% average. Generated
+  // stand-ins should land in the same regime; we assert a generous ceiling
+  // so the test is robust to seeds while still catching regressions that
+  // break propagation (those blow up to 20%+).
+  const Circuit c = make_iscas89_like(GetParam());
+  EXPECT_LT(mean_abs_diff_pct(c, 60, 4096), 15.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, GeneratedAccuracy,
+                         testing::Values("s208", "s298", "s344", "s386",
+                                         "s420", "s526"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(Accuracy, PolarityTrackingBeatsPooledOnReconvergentCircuit) {
+  // Build a reconvergence-heavy circuit and verify the exact rules land
+  // closer to simulation than the pooled ablation on average.
+  GeneratorProfile p;
+  p.name = "reconv";
+  p.num_inputs = 10;
+  p.num_outputs = 6;
+  p.num_gates = 250;
+  p.target_depth = 12;
+  p.reuse_bias = 0.7;  // dense fanout -> heavy reconvergence
+  const Circuit c = generate_circuit(p, 17);
+
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine exact(c, sp);
+  EppEngine pooled(c, sp, EppOptions{.track_polarity = false});
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 8192;
+
+  double err_exact = 0, err_pooled = 0;
+  for (NodeId site : subsample_sites(error_sites(c), 80)) {
+    const double mc = fi.run_site(site, opt).probability();
+    err_exact += std::fabs(exact.p_sensitized(site) - mc);
+    err_pooled += std::fabs(pooled.p_sensitized(site) - mc);
+  }
+  EXPECT_LE(err_exact, err_pooled)
+      << "polarity tracking should not be worse than the pooled rule";
+}
+
+}  // namespace
+}  // namespace sereep

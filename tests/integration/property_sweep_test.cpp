@@ -1,0 +1,157 @@
+// Randomized cross-engine property sweep.
+//
+// One parameterized fixture generates a fresh random circuit per (profile,
+// seed) combination and asserts the invariants that tie the subsystems
+// together: simulator agreement, format round-trips, probability ranges,
+// EPP distribution validity, and TMR function preservation. These are the
+// properties that caught every integration bug during development — kept as
+// a permanent regression net.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/netlist/verilog_io.hpp"
+#include "src/ser/tmr.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace sereep {
+namespace {
+
+struct SweepCase {
+  const char* profile;
+  std::uint64_t seed;
+};
+
+class RandomCircuitSweep : public testing::TestWithParam<SweepCase> {
+ protected:
+  RandomCircuitSweep()
+      : circuit_(generate_circuit(iscas89_profile(GetParam().profile),
+                                  GetParam().seed)) {}
+  Circuit circuit_;
+};
+
+TEST_P(RandomCircuitSweep, PackedSimulatorMatchesScalar) {
+  BitParallelSimulator packed(circuit_);
+  ScalarSimulator scalar(circuit_);
+  Rng rng(GetParam().seed * 31 + 7);
+  packed.randomize_sources(rng);
+  packed.eval();
+  for (int lane = 0; lane < 4; ++lane) {
+    const std::size_t n_src = circuit_.sources().size();
+    std::unique_ptr<bool[]> src(new bool[n_src]);
+    for (std::size_t i = 0; i < n_src; ++i) {
+      src[i] = ((packed.values()[circuit_.sources()[i]] >> lane) & 1) != 0;
+    }
+    scalar.eval(std::span<const bool>(src.get(), n_src));
+    for (NodeId sink : circuit_.sinks()) {
+      ASSERT_EQ(((packed.sink_word(sink) >> lane) & 1) != 0,
+                scalar.sink_value(sink))
+          << circuit_.node(sink).name << " lane " << lane;
+    }
+  }
+}
+
+TEST_P(RandomCircuitSweep, BenchRoundTripPreservesTopology) {
+  const Circuit back = parse_bench(write_bench(circuit_), circuit_.name());
+  ASSERT_EQ(back.node_count(), circuit_.node_count());
+  EXPECT_EQ(back.depth(), circuit_.depth());
+  EXPECT_EQ(back.dffs().size(), circuit_.dffs().size());
+  EXPECT_EQ(back.outputs().size(), circuit_.outputs().size());
+}
+
+TEST_P(RandomCircuitSweep, VerilogRoundTripPreservesTopology) {
+  const Circuit back = parse_verilog(write_verilog(circuit_));
+  ASSERT_EQ(back.node_count(), circuit_.node_count());
+  EXPECT_EQ(back.depth(), circuit_.depth());
+  EXPECT_EQ(back.dffs().size(), circuit_.dffs().size());
+}
+
+TEST_P(RandomCircuitSweep, SignalProbabilitiesInRange) {
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit_);
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    ASSERT_GE(sp[id], 0.0) << circuit_.node(id).name;
+    ASSERT_LE(sp[id], 1.0) << circuit_.node(id).name;
+  }
+}
+
+TEST_P(RandomCircuitSweep, EppDistributionsValidEverywhere) {
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit_);
+  EppEngine engine(circuit_, sp);
+  for (NodeId site : subsample_sites(error_sites(circuit_), 40)) {
+    const SiteEpp r = engine.compute(site);
+    ASSERT_GE(r.p_sensitized, -1e-12);
+    ASSERT_LE(r.p_sensitized, 1.0 + 1e-12);
+    ASSERT_LE(r.p_sens_lower, r.p_sens_upper + 1e-12);
+    for (const SinkEpp& s : r.sinks) {
+      ASSERT_TRUE(s.distribution.valid(1e-7))
+          << circuit_.node(site).name << " -> " << circuit_.node(s.sink).name;
+    }
+  }
+}
+
+TEST_P(RandomCircuitSweep, EppWithinBandOfFastInjection) {
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit_);
+  EppEngine engine(circuit_, sp);
+  FaultInjector fi(circuit_);
+  McOptions mc;
+  mc.num_vectors = 4096;
+  double err = 0;
+  std::size_t n = 0;
+  for (NodeId site : subsample_sites(error_sites(circuit_), 30)) {
+    err += std::fabs(engine.p_sensitized(site) -
+                     fi.run_site(site, mc).probability());
+    ++n;
+  }
+  EXPECT_LT(err / static_cast<double>(n), 0.15)
+      << "mean |EPP-MC| out of band on random circuit";
+}
+
+TEST_P(RandomCircuitSweep, TmrOfRandomSelectionPreservesFunction) {
+  // Protect every 5th gate and verify simulation equivalence.
+  std::vector<NodeId> protect;
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    if (is_combinational(circuit_.type(id)) && id % 5 == 0) {
+      protect.push_back(id);
+    }
+  }
+  const TmrResult tmr = apply_tmr(circuit_, protect);
+  BitParallelSimulator sa(circuit_);
+  BitParallelSimulator sb(tmr.circuit);
+  Rng rng(GetParam().seed ^ 0x7312);
+  for (int batch = 0; batch < 4; ++batch) {
+    sa.randomize_sources(rng);
+    for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
+      sb.values()[tmr.circuit.inputs()[i]] = sa.values()[circuit_.inputs()[i]];
+    }
+    for (std::size_t i = 0; i < circuit_.dffs().size(); ++i) {
+      sb.values()[tmr.circuit.dffs()[i]] = sa.values()[circuit_.dffs()[i]];
+    }
+    sa.eval();
+    sb.eval();
+    for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+      ASSERT_EQ(sa.values()[circuit_.outputs()[i]],
+                sb.values()[tmr.circuit.outputs()[i]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, RandomCircuitSweep,
+    testing::Values(SweepCase{"s208", 101}, SweepCase{"s208", 102},
+                    SweepCase{"s298", 201}, SweepCase{"s298", 202},
+                    SweepCase{"s344", 301}, SweepCase{"s386", 401},
+                    SweepCase{"c432", 501}, SweepCase{"c880", 601},
+                    SweepCase{"s526", 701}, SweepCase{"s641", 801}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.profile) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace sereep

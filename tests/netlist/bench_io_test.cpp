@@ -1,0 +1,159 @@
+#include "src/netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/netlist/benchmarks.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(BenchParser, ParsesC17) {
+  const Circuit c = parse_bench(c17_bench_text(), "c17");
+  EXPECT_EQ(c.inputs().size(), 5u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.gate_count(), 6u);
+  EXPECT_EQ(c.dffs().size(), 0u);
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(BenchParser, ParsesS27Sequential) {
+  const Circuit c = parse_bench(s27_bench_text(), "s27");
+  EXPECT_EQ(c.inputs().size(), 4u);
+  EXPECT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.dffs().size(), 3u);
+  EXPECT_EQ(c.gate_count(), 10u);
+}
+
+TEST(BenchParser, HandlesCommentsAndBlankLines) {
+  const Circuit c = parse_bench(
+      "# header comment\n"
+      "\n"
+      "INPUT(a)  # trailing comment\n"
+      "OUTPUT(y)\n"
+      "y = NOT(a)\n");
+  EXPECT_EQ(c.gate_count(), 1u);
+}
+
+TEST(BenchParser, ForwardReferencesInCombinationalLogic) {
+  // y defined before its fanin g.
+  const Circuit c = parse_bench(
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "y = NOT(g)\n"
+      "g = BUFF(a)\n");
+  EXPECT_EQ(c.gate_count(), 2u);
+  EXPECT_TRUE(c.find("g").has_value());
+}
+
+TEST(BenchParser, SequentialFeedbackLoop) {
+  const Circuit c = parse_bench(
+      "INPUT(en)\n"
+      "OUTPUT(q)\n"
+      "q = DFF(d)\n"
+      "d = XOR(q, en)\n");
+  EXPECT_EQ(c.dffs().size(), 1u);
+  EXPECT_EQ(c.gate_count(), 1u);
+}
+
+TEST(BenchParser, CaseInsensitiveKeywords) {
+  const Circuit c = parse_bench(
+      "input(a)\n"
+      "output(y)\n"
+      "y = nand(a, a)\n");
+  EXPECT_EQ(c.gate_count(), 1u);
+}
+
+TEST(BenchParser, RejectsUndefinedSignal) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsUndefinedOutput) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsDoubleDefinition) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsUnknownGate) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsCombinationalCycle) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(x)\n"
+                           "x = AND(a, y)\n"
+                           "y = AND(a, x)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsMalformedLine) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(a)\nthis is not bench\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench("INPUT a\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsDffWithTwoInputs) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParser, DiagnosticsIncludeLineNumber) {
+  try {
+    (void)parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchWriter, RoundTripC17) {
+  const Circuit original = make_c17();
+  const Circuit reparsed = parse_bench(write_bench(original), "c17");
+  ASSERT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  for (NodeId id = 0; id < original.node_count(); ++id) {
+    const Node& o = original.node(id);
+    const auto rid = reparsed.find(o.name);
+    ASSERT_TRUE(rid.has_value()) << o.name;
+    const Node& r = reparsed.node(*rid);
+    EXPECT_EQ(r.type, o.type);
+    ASSERT_EQ(r.fanin.size(), o.fanin.size());
+    for (std::size_t k = 0; k < o.fanin.size(); ++k) {
+      EXPECT_EQ(reparsed.node(r.fanin[k]).name, original.node(o.fanin[k]).name);
+    }
+    EXPECT_EQ(r.is_primary_output, o.is_primary_output);
+  }
+}
+
+TEST(BenchWriter, RoundTripS27) {
+  const Circuit original = make_s27();
+  const Circuit reparsed = parse_bench(write_bench(original), "s27");
+  EXPECT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+  EXPECT_EQ(reparsed.depth(), original.depth());
+}
+
+TEST(BenchFileIo, SaveAndLoad) {
+  const std::string path = testing::TempDir() + "/sereep_c17.bench";
+  ASSERT_TRUE(save_bench_file(make_c17(), path));
+  const Circuit loaded = load_bench_file(path);
+  EXPECT_EQ(loaded.gate_count(), 6u);
+  EXPECT_EQ(loaded.name(), "sereep_c17");
+}
+
+TEST(BenchFileIo, MissingFileThrows) {
+  EXPECT_THROW(load_bench_file("/nonexistent/x.bench"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,66 @@
+#include "src/netlist/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/stats.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(EmbeddedCircuits, C17Structure) {
+  const Circuit c = make_c17();
+  const CircuitStats s = compute_stats(c);
+  EXPECT_EQ(s.inputs, 5u);
+  EXPECT_EQ(s.outputs, 2u);
+  EXPECT_EQ(s.gates, 6u);
+  EXPECT_EQ(s.dffs, 0u);
+  // All six gates are NANDs.
+  EXPECT_EQ(s.type_histogram[static_cast<std::size_t>(GateType::kNand)], 6u);
+}
+
+TEST(EmbeddedCircuits, S27Structure) {
+  const Circuit c = make_s27();
+  const CircuitStats s = compute_stats(c);
+  EXPECT_EQ(s.inputs, 4u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.dffs, 3u);
+  EXPECT_EQ(s.gates, 10u);
+}
+
+TEST(Fig1, StructureMatchesPaper) {
+  const Fig1Example ex = make_fig1_example();
+  const Circuit& c = ex.circuit;
+  EXPECT_EQ(c.type(ex.e), GateType::kNot);
+  EXPECT_EQ(c.type(ex.g), GateType::kAnd);
+  EXPECT_EQ(c.type(ex.d), GateType::kAnd);
+  EXPECT_EQ(c.type(ex.h), GateType::kOr);
+  // H is the only PO.
+  ASSERT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.outputs()[0], ex.h);
+  // A fans out to both E (inverting path) and D (non-inverting path).
+  EXPECT_EQ(c.fanout(ex.a).size(), 2u);
+}
+
+TEST(KnownCircuits, AllNamesResolve) {
+  for (const std::string& name : known_circuit_names()) {
+    if (name == "s35932" || name == "s38584" || name == "s38417" ||
+        name == "s15850" || name == "s9234") {
+      continue;  // large; covered by the bench harness
+    }
+    const Circuit c = make_circuit(name);
+    EXPECT_TRUE(c.finalized()) << name;
+    EXPECT_EQ(c.name(), name);
+  }
+}
+
+TEST(KnownCircuits, UnknownNameThrows) {
+  EXPECT_THROW(make_circuit("b19"), std::runtime_error);
+}
+
+TEST(Stats, SummaryMentionsName) {
+  const CircuitStats s = compute_stats(make_c17());
+  EXPECT_NE(s.summary().find("c17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sereep

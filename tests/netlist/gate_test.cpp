@@ -1,0 +1,148 @@
+#include "src/netlist/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace sereep {
+namespace {
+
+TEST(GateType, NameRoundTrip) {
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    const auto type = static_cast<GateType>(t);
+    const auto parsed = parse_gate_type(gate_type_name(type));
+    ASSERT_TRUE(parsed.has_value()) << gate_type_name(type);
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(GateType, ParserAcceptsAliases) {
+  EXPECT_EQ(parse_gate_type("BUF"), GateType::kBuf);
+  EXPECT_EQ(parse_gate_type("BUFF"), GateType::kBuf);
+  EXPECT_EQ(parse_gate_type("INV"), GateType::kNot);
+  EXPECT_EQ(parse_gate_type("FF"), GateType::kDff);
+  EXPECT_EQ(parse_gate_type("nand"), GateType::kNand);
+  EXPECT_FALSE(parse_gate_type("MUX21").has_value());
+}
+
+TEST(GateArity, SourcesTakeNoInputs) {
+  EXPECT_TRUE(arity_ok(GateType::kInput, 0));
+  EXPECT_FALSE(arity_ok(GateType::kInput, 1));
+  EXPECT_TRUE(arity_ok(GateType::kConst0, 0));
+}
+
+TEST(GateArity, UnaryGates) {
+  for (GateType t : {GateType::kNot, GateType::kBuf, GateType::kDff}) {
+    EXPECT_FALSE(arity_ok(t, 0));
+    EXPECT_TRUE(arity_ok(t, 1));
+    EXPECT_FALSE(arity_ok(t, 2));
+  }
+}
+
+TEST(GateArity, NaryGatesUnbounded) {
+  EXPECT_TRUE(arity_ok(GateType::kAnd, 1));
+  EXPECT_TRUE(arity_ok(GateType::kAnd, 9));
+  EXPECT_TRUE(arity_ok(GateType::kXor, 3));
+}
+
+TEST(ControllingValue, Table) {
+  EXPECT_EQ(controlling_value(GateType::kAnd), false);
+  EXPECT_EQ(controlling_value(GateType::kNand), false);
+  EXPECT_EQ(controlling_value(GateType::kOr), true);
+  EXPECT_EQ(controlling_value(GateType::kNor), true);
+  EXPECT_FALSE(controlling_value(GateType::kXor).has_value());
+  EXPECT_FALSE(controlling_value(GateType::kBuf).has_value());
+}
+
+TEST(OutputInverted, Table) {
+  EXPECT_TRUE(output_inverted(GateType::kNot));
+  EXPECT_TRUE(output_inverted(GateType::kNand));
+  EXPECT_TRUE(output_inverted(GateType::kNor));
+  EXPECT_TRUE(output_inverted(GateType::kXnor));
+  EXPECT_FALSE(output_inverted(GateType::kAnd));
+  EXPECT_FALSE(output_inverted(GateType::kXor));
+}
+
+/// Exhaustive 2-input truth tables for every binary gate.
+struct TruthCase {
+  GateType type;
+  std::array<bool, 4> expected;  // for inputs 00, 01, 10, 11
+};
+
+class GateTruthTest : public testing::TestWithParam<TruthCase> {};
+
+TEST_P(GateTruthTest, ScalarMatchesTruthTable) {
+  const TruthCase& tc = GetParam();
+  int idx = 0;
+  for (bool x : {false, true}) {
+    for (bool y : {false, true}) {
+      const bool in[2] = {x, y};
+      EXPECT_EQ(eval_gate(tc.type, std::span<const bool>(in, 2)),
+                tc.expected[idx])
+          << gate_type_name(tc.type) << " on " << x << y;
+      ++idx;
+    }
+  }
+}
+
+TEST_P(GateTruthTest, WordEvalMatchesScalar) {
+  const TruthCase& tc = GetParam();
+  // Word with all 4 combinations packed in bits 0..3.
+  const std::uint64_t wx = 0b1100, wy = 0b1010;
+  const std::uint64_t words[2] = {wx, wy};
+  const std::uint64_t out =
+      eval_gate_word(tc.type, std::span<const std::uint64_t>(words, 2));
+  int idx = 0;
+  for (bool x : {false, true}) {
+    for (bool y : {false, true}) {
+      const int bit = (x ? 2 : 0) | (y ? 1 : 0);
+      const bool in[2] = {x, y};
+      EXPECT_EQ(((out >> bit) & 1) != 0,
+                eval_gate(tc.type, std::span<const bool>(in, 2)))
+          << gate_type_name(tc.type) << " bit " << bit;
+      ++idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinaryGates, GateTruthTest,
+    testing::Values(
+        TruthCase{GateType::kAnd, {false, false, false, true}},
+        TruthCase{GateType::kNand, {true, true, true, false}},
+        TruthCase{GateType::kOr, {false, true, true, true}},
+        TruthCase{GateType::kNor, {true, false, false, false}},
+        TruthCase{GateType::kXor, {false, true, true, false}},
+        TruthCase{GateType::kXnor, {true, false, false, true}}),
+    [](const testing::TestParamInfo<TruthCase>& info) {
+      return std::string(gate_type_name(info.param.type));
+    });
+
+TEST(GateEval, UnaryGates) {
+  const bool f[1] = {false};
+  const bool t[1] = {true};
+  EXPECT_FALSE(eval_gate(GateType::kBuf, std::span<const bool>(f, 1)));
+  EXPECT_TRUE(eval_gate(GateType::kBuf, std::span<const bool>(t, 1)));
+  EXPECT_TRUE(eval_gate(GateType::kNot, std::span<const bool>(f, 1)));
+  EXPECT_FALSE(eval_gate(GateType::kNot, std::span<const bool>(t, 1)));
+}
+
+TEST(GateEval, WideGates) {
+  const bool vals[5] = {true, true, false, true, true};
+  EXPECT_FALSE(eval_gate(GateType::kAnd, std::span<const bool>(vals, 5)));
+  EXPECT_TRUE(eval_gate(GateType::kOr, std::span<const bool>(vals, 5)));
+  // Parity of 4 ones = even -> XOR false.
+  EXPECT_FALSE(eval_gate(GateType::kXor, std::span<const bool>(vals, 5)));
+  EXPECT_TRUE(eval_gate(GateType::kXnor, std::span<const bool>(vals, 5)));
+}
+
+TEST(GateEval, Constants) {
+  EXPECT_FALSE(eval_gate(GateType::kConst0, {}));
+  EXPECT_TRUE(eval_gate(GateType::kConst1, {}));
+  EXPECT_EQ(eval_gate_word(GateType::kConst0, {}), 0ULL);
+  EXPECT_EQ(eval_gate_word(GateType::kConst1, {}), ~0ULL);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,136 @@
+#include "src/netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/netlist/topo.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(Generator, MatchesRequestedCounts) {
+  GeneratorProfile p;
+  p.name = "g1";
+  p.num_inputs = 12;
+  p.num_outputs = 7;
+  p.num_dffs = 5;
+  p.num_gates = 300;
+  p.target_depth = 15;
+  const Circuit c = generate_circuit(p, 1);
+  const CircuitStats s = compute_stats(c);
+  EXPECT_EQ(s.inputs, 12u);
+  EXPECT_EQ(s.dffs, 5u);
+  EXPECT_EQ(s.gates, 300u);
+  // PO quota exact unless the fixup had to promote extra dangling gates.
+  EXPECT_GE(s.outputs, 7u);
+  EXPECT_LE(s.outputs, 7u + 5u);
+  EXPECT_EQ(s.depth, 15u);
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  const GeneratorProfile p = iscas89_profile("s953");
+  const Circuit a = generate_circuit(p, 99);
+  const Circuit b = generate_circuit(p, 99);
+  EXPECT_EQ(write_bench(a), write_bench(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const GeneratorProfile p = iscas89_profile("s953");
+  EXPECT_NE(write_bench(generate_circuit(p, 1)),
+            write_bench(generate_circuit(p, 2)));
+}
+
+TEST(Generator, EveryGateReachesASink) {
+  const Circuit c = make_iscas89_like("s953");
+  ConeExtractor ex(c);
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    if (!is_combinational(c.type(id))) continue;
+    const Cone& cone = ex.extract(id);
+    EXPECT_FALSE(cone.reachable_sinks.empty())
+        << "gate " << c.node(id).name << " is unobservable";
+  }
+}
+
+TEST(Generator, OutputIsParseable) {
+  const Circuit c = make_iscas89_like("s298");
+  const Circuit reparsed = parse_bench(write_bench(c), c.name());
+  EXPECT_EQ(reparsed.node_count(), c.node_count());
+  EXPECT_EQ(reparsed.depth(), c.depth());
+}
+
+TEST(Generator, HasReconvergence) {
+  // EPP's whole point is reconvergent error paths; generated stand-ins must
+  // exercise them heavily.
+  const Circuit c = make_iscas89_like("s1196");
+  EXPECT_GT(count_reconvergent_stems(c), 50u);
+}
+
+TEST(Generator, RejectsDegenerateProfiles) {
+  GeneratorProfile p;
+  p.num_inputs = 0;
+  EXPECT_THROW(generate_circuit(p, 1), std::runtime_error);
+  GeneratorProfile q;
+  q.num_outputs = 0;
+  q.num_dffs = 0;
+  EXPECT_THROW(generate_circuit(q, 1), std::runtime_error);
+}
+
+TEST(Iscas89Profiles, AllPresentAndDistinct) {
+  const auto& profiles = iscas89_profiles();
+  EXPECT_GE(profiles.size(), 21u);
+  for (const char* name :
+       {"s953", "s1196", "s1238", "s1423", "s1488", "s1494", "s9234",
+        "s15850", "s35932", "s38584", "s38417"}) {
+    EXPECT_NO_THROW((void)iscas89_profile(name)) << name;
+  }
+  // ISCAS'85 combinational profiles are present as well.
+  for (const char* name : {"c432", "c880", "c6288", "c7552"}) {
+    EXPECT_NO_THROW((void)iscas89_profile(name)) << name;
+    EXPECT_EQ(iscas89_profile(name).num_dffs, 0u) << name;
+  }
+  EXPECT_THROW((void)iscas89_profile("c9999"), std::runtime_error);
+}
+
+TEST(Iscas89Profiles, Table2CircuitsGenerate) {
+  // The five smaller Table-2 circuits build quickly; check their stats.
+  for (const char* name : {"s953", "s1196", "s1238", "s1488", "s1494"}) {
+    const Circuit c = make_iscas89_like(name);
+    const GeneratorProfile& p = iscas89_profile(name);
+    const CircuitStats s = compute_stats(c);
+    EXPECT_EQ(s.gates, p.num_gates) << name;
+    EXPECT_EQ(s.dffs, p.num_dffs) << name;
+    EXPECT_EQ(s.inputs, p.num_inputs) << name;
+    EXPECT_EQ(s.depth, p.target_depth) << name;
+  }
+}
+
+class GeneratorSweep
+    : public testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(GeneratorSweep, StructureAlwaysValid) {
+  const auto [gates, depth] = GetParam();
+  GeneratorProfile p;
+  p.name = "sweep";
+  p.num_inputs = 8;
+  p.num_outputs = 4;
+  p.num_dffs = 3;
+  p.num_gates = gates;
+  p.target_depth = depth;
+  const Circuit c = generate_circuit(p, 7);
+  EXPECT_TRUE(c.finalized());
+  EXPECT_EQ(c.gate_count(), gates);
+  EXPECT_EQ(c.depth(), std::min<std::uint32_t>(depth, static_cast<std::uint32_t>(gates)));
+  // Topological order covers every node exactly once.
+  std::vector<int> seen(c.node_count(), 0);
+  for (NodeId id : c.topo_order()) seen[id]++;
+  for (NodeId id = 0; id < c.node_count(); ++id) EXPECT_EQ(seen[id], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDepths, GeneratorSweep,
+    testing::Combine(testing::Values<std::size_t>(10, 50, 200, 1000),
+                     testing::Values<std::uint32_t>(3, 8, 20)));
+
+}  // namespace
+}  // namespace sereep

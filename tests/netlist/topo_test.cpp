@@ -1,0 +1,185 @@
+#include "src/netlist/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+
+namespace sereep {
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(ConeExtractor, FanoutFreeChain) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId g1 = c.add_gate(GateType::kNot, "g1", {a});
+  const NodeId g2 = c.add_gate(GateType::kBuf, "g2", {g1});
+  c.mark_output(g2);
+  c.finalize();
+
+  ConeExtractor ex(c);
+  const Cone& cone = ex.extract(g1);
+  EXPECT_EQ(cone.site, g1);
+  ASSERT_EQ(cone.on_path.size(), 2u);
+  EXPECT_EQ(cone.on_path[0], g1);  // topological: site first
+  EXPECT_EQ(cone.on_path[1], g2);
+  ASSERT_EQ(cone.reachable_sinks.size(), 1u);
+  EXPECT_EQ(cone.reachable_sinks[0], g2);
+  EXPECT_TRUE(cone.reconvergent_gates.empty());
+}
+
+TEST(ConeExtractor, ReconvergenceDetected) {
+  const Fig1Example ex = make_fig1_example();
+  ConeExtractor cones(ex.circuit);
+  const Cone& cone = cones.extract(ex.a);
+  // On-path: A, E, G, D, H.
+  EXPECT_EQ(cone.on_path.size(), 5u);
+  EXPECT_TRUE(contains(cone.on_path, ex.h));
+  ASSERT_EQ(cone.reconvergent_gates.size(), 1u);
+  EXPECT_EQ(cone.reconvergent_gates[0], ex.h);
+  ASSERT_EQ(cone.reachable_sinks.size(), 1u);
+  EXPECT_EQ(cone.reachable_sinks[0], ex.h);
+}
+
+TEST(ConeExtractor, StopsAtDff) {
+  // a -> g -> ff -> h -> out; error at g must not cross the register.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kNot, "g", {a});
+  const NodeId ff = c.add_dff_placeholder("ff");
+  c.connect_dff(ff, g);
+  const NodeId h = c.add_gate(GateType::kNot, "h", {ff});
+  c.mark_output(h);
+  c.finalize();
+
+  ConeExtractor ex(c);
+  const Cone& cone = ex.extract(g);
+  EXPECT_TRUE(contains(cone.on_path, ff));
+  EXPECT_FALSE(contains(cone.on_path, h)) << "traversal crossed the DFF";
+  ASSERT_EQ(cone.reachable_sinks.size(), 1u);
+  EXPECT_EQ(cone.reachable_sinks[0], ff);
+}
+
+TEST(ConeExtractor, DffSiteCrossesIntoLogic) {
+  // An upset *in* the flip-flop propagates into the next-cycle logic.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kBuf, "g", {a});
+  const NodeId ff = c.add_dff_placeholder("ff");
+  c.connect_dff(ff, g);
+  const NodeId h = c.add_gate(GateType::kNot, "h", {ff});
+  c.mark_output(h);
+  c.finalize();
+
+  ConeExtractor ex(c);
+  const Cone& cone = ex.extract(ff);
+  EXPECT_TRUE(contains(cone.on_path, h));
+  // The FF itself is a sink (the upset is already state) and h is reachable.
+  EXPECT_TRUE(contains(cone.reachable_sinks, ff));
+  EXPECT_TRUE(contains(cone.reachable_sinks, h));
+}
+
+TEST(ConeExtractor, OnPathIsTopologicallySorted) {
+  // Invariant the EPP pass relies on: every on-path node appears after all
+  // of its on-path fanins (flip-flops excepted — they are sink-only and
+  // their outputs are clean state, so their position does not constrain
+  // gate evaluation).
+  const Circuit c = make_iscas89_like("s953");
+  ConeExtractor ex(c);
+  for (NodeId site = 0; site < c.node_count(); site += 7) {
+    const Cone& cone = ex.extract(site);
+    EXPECT_EQ(cone.on_path.front(), site) << "site leads its own cone";
+    std::vector<int> cone_pos(c.node_count(), -1);
+    for (std::size_t i = 0; i < cone.on_path.size(); ++i) {
+      cone_pos[cone.on_path[i]] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < cone.on_path.size(); ++i) {
+      const NodeId id = cone.on_path[i];
+      if (id == site) continue;
+      for (NodeId f : c.fanin(id)) {
+        if (cone_pos[f] < 0) continue;                      // off-path
+        if (c.type(f) == GateType::kDff && f != site) continue;  // state
+        EXPECT_LT(cone_pos[f], static_cast<int>(i))
+            << c.node(f).name << " must precede " << c.node(id).name;
+      }
+    }
+  }
+}
+
+TEST(ConeExtractor, RepeatedExtractionIsConsistent) {
+  const Circuit c = make_c17();
+  ConeExtractor ex(c);
+  const NodeId site = *c.find("11");
+  const Cone first = ex.extract(site);  // copy
+  for (NodeId other = 0; other < c.node_count(); ++other) ex.extract(other);
+  const Cone& again = ex.extract(site);
+  EXPECT_EQ(first.on_path, again.on_path);
+  EXPECT_EQ(first.reachable_sinks, again.reachable_sinks);
+}
+
+TEST(ConeExtractor, C17KnownCone) {
+  const Circuit c = make_c17();
+  ConeExtractor ex(c);
+  // Node 11 = NAND(3,6) feeds 16 and 19; 16 feeds 22,23; 19 feeds 23.
+  const Cone& cone = ex.extract(*c.find("11"));
+  EXPECT_EQ(cone.on_path.size(), 5u);  // 11,16,19,22,23
+  EXPECT_EQ(cone.reachable_sinks.size(), 2u);
+  // 23 = NAND(16,19): both on-path -> reconvergent.
+  ASSERT_EQ(cone.reconvergent_gates.size(), 1u);
+  EXPECT_EQ(cone.reconvergent_gates[0], *c.find("23"));
+}
+
+TEST(FaninCone, SupportOfC17Output) {
+  const Circuit c = make_c17();
+  // 22 = NAND(10,16); support = {1,3,2,6}.
+  const auto sup = support(c, *c.find("22"));
+  EXPECT_EQ(sup.size(), 4u);
+  EXPECT_TRUE(contains(sup, *c.find("1")));
+  EXPECT_TRUE(contains(sup, *c.find("2")));
+  EXPECT_TRUE(contains(sup, *c.find("3")));
+  EXPECT_TRUE(contains(sup, *c.find("6")));
+  EXPECT_FALSE(contains(sup, *c.find("7")));
+}
+
+TEST(FaninCone, StopsAtDffOutputs) {
+  const Circuit c = make_s27();
+  // G8 = AND(G14, G6): G6 is a DFF; the cone must not pull in G6's D logic.
+  const auto cone = fanin_cone(c, *c.find("G8"));
+  EXPECT_TRUE(contains(cone, *c.find("G6")));
+  EXPECT_FALSE(contains(cone, *c.find("G11")))
+      << "cone crossed through DFF G6 into its D logic";
+}
+
+TEST(FaninCone, IncludesNodeItselfInTopoOrder) {
+  const Circuit c = make_c17();
+  const NodeId n22 = *c.find("22");
+  const auto cone = fanin_cone(c, n22);
+  EXPECT_EQ(cone.back(), n22) << "node must be last in topological order";
+}
+
+TEST(ReconvergentStems, C17HasThem) {
+  const Circuit c = make_c17();
+  // Stems: 3 (feeds 10,11), 11 (feeds 16,19), 16 (feeds 22,23).
+  // 3's branches reconverge? 10->22, 11->16->22: yes at 22.
+  // 11's branches reconverge at 23. 16's branches do not reconverge (22,23
+  // are distinct outputs).
+  EXPECT_EQ(count_reconvergent_stems(c), 2u);
+}
+
+TEST(ReconvergentStems, TreeHasNone) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, b});
+  c.mark_output(g);
+  c.finalize();
+  EXPECT_EQ(count_reconvergent_stems(c), 0u);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,195 @@
+#include "src/netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace sereep {
+namespace {
+
+/// Structural equality by name: same nodes, types, connectivity, outputs.
+void expect_same_structure(const Circuit& a, const Circuit& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.inputs().size(), b.inputs().size());
+  EXPECT_EQ(a.outputs().size(), b.outputs().size());
+  EXPECT_EQ(a.dffs().size(), b.dffs().size());
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    const Node& na = a.node(id);
+    const auto idb = b.find(na.name);
+    ASSERT_TRUE(idb.has_value()) << na.name;
+    const Node& nb = b.node(*idb);
+    EXPECT_EQ(nb.type, na.type) << na.name;
+    EXPECT_EQ(nb.is_primary_output, na.is_primary_output) << na.name;
+    ASSERT_EQ(nb.fanin.size(), na.fanin.size()) << na.name;
+    for (std::size_t k = 0; k < na.fanin.size(); ++k) {
+      EXPECT_EQ(b.node(nb.fanin[k]).name, a.node(na.fanin[k]).name)
+          << na.name << " fanin " << k;
+    }
+  }
+}
+
+TEST(VerilogIo, RoundTripC17EscapedNames) {
+  // c17 uses bare-number net names, exercising escaped identifiers.
+  const Circuit c = make_c17();
+  const std::string text = write_verilog(c);
+  EXPECT_NE(text.find("\\10 "), std::string::npos)
+      << "numeric names must be escaped:\n"
+      << text;
+  expect_same_structure(c, parse_verilog(text));
+}
+
+TEST(VerilogIo, RoundTripSequentialS27) {
+  const Circuit c = make_s27();
+  const Circuit back = parse_verilog(write_verilog(c));
+  expect_same_structure(c, back);
+}
+
+TEST(VerilogIo, RoundTripGeneratedCircuit) {
+  const Circuit c = make_iscas89_like("s344");
+  expect_same_structure(c, parse_verilog(write_verilog(c)));
+}
+
+TEST(VerilogIo, RoundTripPreservesSimulation) {
+  const Circuit a = make_iscas89_like("s298");
+  const Circuit b = parse_verilog(write_verilog(a));
+  BitParallelSimulator sa(a);
+  BitParallelSimulator sb(b);
+  Rng rng(23);
+  for (int batch = 0; batch < 8; ++batch) {
+    sa.randomize_sources(rng);
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+      const auto id = b.find(a.node(a.inputs()[i]).name);
+      sb.values()[*id] = sa.values()[a.inputs()[i]];
+    }
+    for (std::size_t i = 0; i < a.dffs().size(); ++i) {
+      const auto id = b.find(a.node(a.dffs()[i]).name);
+      sb.values()[*id] = sa.values()[a.dffs()[i]];
+    }
+    sa.eval();
+    sb.eval();
+    for (NodeId po : a.outputs()) {
+      const auto id = b.find(a.node(po).name);
+      ASSERT_EQ(sb.values()[*id], sa.values()[po]) << a.node(po).name;
+    }
+  }
+}
+
+TEST(VerilogIo, ParsesHandwrittenModule) {
+  const Circuit c = parse_verilog(R"(
+    // half adder with registered carry
+    module half_adder(a, b, sum, carry_q);
+      input a, b;
+      output sum;
+      output carry_q;
+      wire carry;
+      xor g0 (sum, a, b);
+      and g1 (carry, a, b);
+      sereep_dff ff0 (.Q(carry_q), .D(carry));
+    endmodule
+  )");
+  EXPECT_EQ(c.name(), "half_adder");
+  EXPECT_EQ(c.inputs().size(), 2u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.dffs().size(), 1u);
+  EXPECT_EQ(c.gate_count(), 2u);
+}
+
+TEST(VerilogIo, AcceptsBlockCommentsAndWildDffNames) {
+  const Circuit c = parse_verilog(R"(
+    module m(a, q);
+      input a; output q;
+      /* a library flop
+         with named ports */
+      DFFX1 ff (.D(a), .Q(q));
+    endmodule
+  )");
+  EXPECT_EQ(c.dffs().size(), 1u);
+}
+
+TEST(VerilogIo, ParsesConstants) {
+  const Circuit c = parse_verilog(R"(
+    module m(a, y);
+      input a; output y;
+      wire k;
+      buf g0 (k, 1'b1);
+      and g1 (y, a, k);
+    endmodule
+  )");
+  const auto k = c.find("k");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(c.type(*k), GateType::kConst1);
+}
+
+TEST(VerilogIo, ForwardReferencesAndFeedback) {
+  const Circuit c = parse_verilog(R"(
+    module counter_bit(en, q);
+      input en; output q;
+      wire d;
+      sereep_dff ff (.Q(q), .D(d));
+      xor g (d, q, en);
+    endmodule
+  )");
+  EXPECT_EQ(c.dffs().size(), 1u);
+  EXPECT_EQ(c.gate_count(), 1u);
+}
+
+TEST(VerilogIo, RejectsUnsupportedCell) {
+  EXPECT_THROW((void)parse_verilog("module m(a,y); input a; output y;\n"
+                                   "MUX21X1 u (y, a, a, a); endmodule"),
+               std::runtime_error);
+}
+
+TEST(VerilogIo, RejectsDoubleDriver) {
+  EXPECT_THROW((void)parse_verilog("module m(a,y); input a; output y;\n"
+                                   "not g0 (y, a);\nnot g1 (y, a);\n"
+                                   "endmodule"),
+               std::runtime_error);
+}
+
+TEST(VerilogIo, RejectsUndrivenOutput) {
+  EXPECT_THROW(
+      (void)parse_verilog("module m(a,y); input a; output y; endmodule"),
+      std::runtime_error);
+}
+
+TEST(VerilogIo, RejectsCombinationalCycle) {
+  EXPECT_THROW((void)parse_verilog("module m(a,y); input a; output y;\n"
+                                   "wire w;\n"
+                                   "and g0 (y, a, w);\n"
+                                   "and g1 (w, a, y);\n"
+                                   "endmodule"),
+               std::runtime_error);
+}
+
+TEST(VerilogIo, DiagnosticsCarryLineNumbers) {
+  try {
+    (void)parse_verilog("module m(a,y);\ninput a;\noutput y;\nFROB u (y, a);\nendmodule");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VerilogIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/sereep_s27.v";
+  ASSERT_TRUE(save_verilog_file(make_s27(), path));
+  const Circuit loaded = load_verilog_file(path);
+  EXPECT_EQ(loaded.dffs().size(), 3u);
+}
+
+TEST(VerilogIo, CrossFormatEquivalence) {
+  // bench -> verilog -> circuit must equal bench -> circuit.
+  const Circuit via_bench = parse_bench(s27_bench_text(), "s27");
+  const Circuit via_verilog = parse_verilog(write_verilog(via_bench));
+  expect_same_structure(via_bench, via_verilog);
+}
+
+}  // namespace
+}  // namespace sereep

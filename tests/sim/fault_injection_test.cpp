@@ -1,0 +1,220 @@
+#include "src/sim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(FaultInjection, InverterChainAlwaysPropagates) {
+  // Any flip on a fanout-free inverter chain reaches the PO with P = 1.
+  Circuit c;
+  NodeId prev = c.add_input("a");
+  for (int i = 0; i < 6; ++i) {
+    prev = c.add_gate(GateType::kNot, "n" + std::to_string(i), {prev});
+  }
+  c.mark_output(prev);
+  c.finalize();
+
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 256;
+  for (NodeId site = 0; site < c.node_count(); ++site) {
+    const McSiteResult r = fi.run_site(site, opt);
+    EXPECT_DOUBLE_EQ(r.probability(), 1.0) << "site " << c.node(site).name;
+  }
+}
+
+TEST(FaultInjection, BlockedByConstant) {
+  // g = AND(a, const0): flips on `a` can never reach the PO.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId z = c.add_const("zero", false);
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, z});
+  c.mark_output(g);
+  c.finalize();
+
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 256;
+  EXPECT_DOUBLE_EQ(fi.run_site(a, opt).probability(), 0.0);
+}
+
+TEST(FaultInjection, TwoInputAndMatchesAnalytic) {
+  // Error on input a of g = AND(a, b) propagates iff b = 1: P = SP(b) = 0.5.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, b});
+  c.mark_output(g);
+  c.finalize();
+
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 1 << 16;
+  EXPECT_NEAR(fi.run_site(a, opt).probability(), 0.5, 0.02);
+}
+
+TEST(FaultInjection, SiteAtPoIsAlwaysDetected) {
+  const Circuit c = make_c17();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 128;
+  EXPECT_DOUBLE_EQ(fi.run_site(*c.find("22"), opt).probability(), 1.0);
+}
+
+TEST(FaultInjection, DffStateUpsetIsAlwaysAnError) {
+  const Circuit c = make_s27();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 128;
+  for (NodeId ff : c.dffs()) {
+    EXPECT_DOUBLE_EQ(fi.run_site(ff, opt).probability(), 1.0)
+        << c.node(ff).name;
+  }
+}
+
+TEST(FaultInjection, DeterministicUnderSeed) {
+  const Circuit c = make_iscas89_like("s298");
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 512;
+  opt.seed = 1234;
+  const double p1 = fi.run_site(40, opt).probability();
+  const double p2 = fi.run_site(40, opt).probability();
+  EXPECT_DOUBLE_EQ(p1, p2);
+}
+
+TEST(FaultInjection, VectorCountRoundsUpTo64) {
+  const Circuit c = make_c17();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 100;  // -> 128
+  const McSiteResult r = fi.run_site(0, opt);
+  EXPECT_EQ(r.vectors, 128u);
+}
+
+TEST(FaultInjection, XorMaskingNeverBlocks) {
+  // Through an XOR, an input flip always flips the output: P = 1 regardless
+  // of the other input.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId x = c.add_gate(GateType::kXor, "x", {a, b});
+  c.mark_output(x);
+  c.finalize();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 256;
+  EXPECT_DOUBLE_EQ(fi.run_site(a, opt).probability(), 1.0);
+}
+
+TEST(FaultInjection, ReconvergentExactCancellation) {
+  // y = XOR(a, a) via two branches: x1 = BUFF(a), x2 = BUFF(a),
+  // y = XOR(x1, x2) = 0 always. A flip on `a` flips both XOR inputs and
+  // cancels: EPP(a) = 0. Classic polarity-cancellation case.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId x1 = c.add_gate(GateType::kBuf, "x1", {a});
+  const NodeId x2 = c.add_gate(GateType::kBuf, "x2", {a});
+  const NodeId y = c.add_gate(GateType::kXor, "y", {x1, x2});
+  c.mark_output(y);
+  c.finalize();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 256;
+  EXPECT_DOUBLE_EQ(fi.run_site(a, opt).probability(), 0.0);
+}
+
+TEST(FaultInjection, PerSinkProbabilitiesSumConsistently) {
+  const Circuit c = make_c17();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 4096;
+  const NodeId site = *c.find("11");
+  const auto per_sink = fi.per_sink_probability(site, opt);
+  ASSERT_EQ(per_sink.size(), 2u);
+  const McSiteResult any = fi.run_site(site, opt);
+  // P(any) <= sum of per-sink; P(any) >= max per-sink (union bound).
+  const double max_p = std::max(per_sink[0], per_sink[1]);
+  const double sum_p = per_sink[0] + per_sink[1];
+  EXPECT_GE(any.probability() + 1e-9, max_p);
+  EXPECT_LE(any.probability() - 1e-9, sum_p);
+}
+
+TEST(ScalarBaseline, AgreesWithBitParallelOnDeterministicCases) {
+  // Cases with probability exactly 0 or 1 must agree exactly.
+  Circuit c;
+  NodeId prev = c.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    prev = c.add_gate(GateType::kNot, "n" + std::to_string(i), {prev});
+  }
+  c.mark_output(prev);
+  c.finalize();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 64;
+  for (NodeId site = 0; site < c.node_count(); ++site) {
+    EXPECT_DOUBLE_EQ(fi.run_site_scalar(site, opt).probability(), 1.0);
+  }
+}
+
+TEST(ScalarBaseline, StatisticallyMatchesBitParallel) {
+  const Circuit c = make_s27();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 8192;
+  for (NodeId site : subsample_sites(error_sites(c), 8)) {
+    const double fast = fi.run_site(site, opt).probability();
+    const double scalar = fi.run_site_scalar(site, opt).probability();
+    EXPECT_NEAR(fast, scalar, 0.04) << c.node(site).name;
+  }
+}
+
+TEST(ScalarBaseline, DffSiteAlwaysError) {
+  const Circuit c = make_s27();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 64;
+  for (NodeId ff : c.dffs()) {
+    EXPECT_DOUBLE_EQ(fi.run_site_scalar(ff, opt).probability(), 1.0);
+  }
+}
+
+TEST(ScalarBaseline, PrimaryInputSite) {
+  // Flip on input `a` of g = AND(a, b): detection iff b = 1.
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, b});
+  c.mark_output(g);
+  c.finalize();
+  FaultInjector fi(c);
+  McOptions opt;
+  opt.num_vectors = 1 << 14;
+  EXPECT_NEAR(fi.run_site_scalar(a, opt).probability(), 0.5, 0.03);
+}
+
+TEST(ErrorSites, CountsAllUpsettableNodes) {
+  const Circuit c = make_s27();
+  // 4 PI + 3 DFF + 10 gates = 17 sites (constants excluded; none here).
+  EXPECT_EQ(error_sites(c).size(), 17u);
+}
+
+TEST(SubsampleSites, EvenSpacingAndBounds) {
+  std::vector<NodeId> sites(100);
+  for (NodeId i = 0; i < 100; ++i) sites[i] = i;
+  const auto picked = subsample_sites(sites, 10);
+  ASSERT_EQ(picked.size(), 10u);
+  EXPECT_EQ(picked.front(), 0u);
+  EXPECT_EQ(picked.back(), 90u);
+  EXPECT_EQ(subsample_sites(sites, 0).size(), 100u);
+  EXPECT_EQ(subsample_sites(sites, 500).size(), 100u);
+}
+
+}  // namespace
+}  // namespace sereep

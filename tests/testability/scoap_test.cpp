@@ -1,0 +1,144 @@
+#include "src/testability/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(Scoap, PrimaryInputsCostOne) {
+  const Circuit c = make_c17();
+  const ScoapMeasures m = compute_scoap(c);
+  for (NodeId id : c.inputs()) {
+    EXPECT_EQ(m.cc0[id], 1u);
+    EXPECT_EQ(m.cc1[id], 1u);
+  }
+}
+
+TEST(Scoap, AndGateControllability) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, b});
+  c.mark_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[g], 3u);  // both inputs to 1: 1 + 1 + 1
+  EXPECT_EQ(m.cc0[g], 2u);  // cheapest single 0: 1 + 1
+  EXPECT_EQ(m.co[g], 0u);   // primary output
+  // Observing `a` requires b = 1: CO = 0 + CC1(b) + 1 = 2.
+  EXPECT_EQ(m.co[a], 2u);
+}
+
+TEST(Scoap, InverterChainAccumulates) {
+  Circuit c;
+  NodeId prev = c.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    prev = c.add_gate(GateType::kNot, "n" + std::to_string(i), {prev});
+  }
+  c.mark_output(prev);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc0[prev], 5u);  // 1 + 4 levels
+  EXPECT_EQ(m.co[*c.find("a")], 4u);  // 4 gates to traverse
+}
+
+TEST(Scoap, XorParityCosts) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId x = c.add_gate(GateType::kXor, "x", {a, b});
+  c.mark_output(x);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  // 0: both equal (1+1)+1 = 3; 1: one of each (1+1)+1 = 3.
+  EXPECT_EQ(m.cc0[x], 3u);
+  EXPECT_EQ(m.cc1[x], 3u);
+  // Observing a through XOR costs min(CC0, CC1)(b) + 1 = 2.
+  EXPECT_EQ(m.co[a], 2u);
+}
+
+TEST(Scoap, ConstantsAreOneSided) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId k = c.add_const("one", true);
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {a, k});
+  c.mark_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[k], 0u);
+  EXPECT_EQ(m.cc0[k], kScoapInfinity);
+}
+
+TEST(Scoap, DffAddsACycle) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId ff = c.add_dff_placeholder("ff");
+  c.connect_dff(ff, a);
+  const NodeId g = c.add_gate(GateType::kBuf, "g", {ff});
+  c.mark_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[ff], 2u);  // drive a (=1) plus one clock
+  EXPECT_EQ(m.co[a], 1u);    // captured by the flop
+}
+
+TEST(Scoap, SequentialFeedbackConverges) {
+  const Circuit c = make_s27();
+  const ScoapMeasures m = compute_scoap(c);
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    EXPECT_LT(m.cc0[id], kScoapInfinity) << c.node(id).name;
+    EXPECT_LT(m.cc1[id], kScoapInfinity) << c.node(id).name;
+    EXPECT_LT(m.co[id], kScoapInfinity) << c.node(id).name;
+  }
+}
+
+TEST(Scoap, DetectCostIsFiniteAndOrdered) {
+  const Circuit c = make_iscas89_like("s344");
+  const ScoapMeasures m = compute_scoap(c);
+  const auto cost = scoap_detect_cost(m);
+  // POs are the cheapest places to observe.
+  for (NodeId po : c.outputs()) {
+    EXPECT_EQ(m.co[po], 0u);
+    EXPECT_LE(cost[po], cost[c.fanin(po).empty() ? po : c.fanin(po)[0]] + 100);
+  }
+}
+
+TEST(Scoap, HardToDetectNodesHaveLowEpp) {
+  // Rank correlation sanity: among the generated circuit's nodes, the
+  // quartile with the highest SCOAP detect cost must have a lower mean EPP
+  // than the quartile with the lowest cost. (SCOAP is a coarse proxy; only
+  // the aggregate ordering is asserted.)
+  const Circuit c = make_iscas89_like("s526");
+  const ScoapMeasures m = compute_scoap(c);
+  const auto cost = scoap_detect_cost(m);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp);
+
+  struct Entry {
+    std::uint32_t cost;
+    double epp;
+  };
+  std::vector<Entry> entries;
+  for (NodeId site : error_sites(c)) {
+    entries.push_back({cost[site], engine.p_sensitized(site)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
+  const std::size_t q = entries.size() / 4;
+  double easy = 0, hard = 0;
+  for (std::size_t i = 0; i < q; ++i) easy += entries[i].epp;
+  for (std::size_t i = entries.size() - q; i < entries.size(); ++i) {
+    hard += entries[i].epp;
+  }
+  EXPECT_GT(easy / static_cast<double>(q), hard / static_cast<double>(q));
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,46 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace sereep {
+namespace {
+
+TEST(Csv, HeaderFirst) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, PadsShortRows) {
+  CsvWriter w({"a", "b", "c"});
+  w.add_row({"1"});
+  EXPECT_EQ(w.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter w({"x"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter w({"n", "v"});
+  w.add_row({"c17", "6"});
+  const std::string path = testing::TempDir() + "/sereep_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), w.str());
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,114 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sereep {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng rng(15);
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_EQ(rng.range(5, 4), 5);  // hi < lo returns lo
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent() == child();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  // Pin the seed-expansion so serialized experiments stay reproducible
+  // across refactors.
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_NE(first, second);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+}
+
+}  // namespace
+}  // namespace sereep

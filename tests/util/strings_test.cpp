@@ -1,0 +1,71 @@
+#include "src/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sereep {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t x \n"), "x");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Trim, EmptyAndAllSpace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Split, SingleField) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitWs, DropsEmptyRuns) {
+  const auto fields = split_ws("  a \t b\n c ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("NAND", "nand"));
+  EXPECT_TRUE(iequals("DfF", "dFf"));
+  EXPECT_FALSE(iequals("NAND", "NOR"));
+  EXPECT_FALSE(iequals("NAND", "NAN"));
+}
+
+TEST(IStartsWith, Basics) {
+  EXPECT_TRUE(istarts_with("INPUT(G0)", "input"));
+  EXPECT_FALSE(istarts_with("IN", "INPUT"));
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(0.5, 0), "0");  // rounds-to-even allowed either way
+  EXPECT_EQ(format_fixed(-1.25, 1), "-1.2");
+}
+
+TEST(FormatSi, Magnitudes) {
+  EXPECT_EQ(format_si(950.0), "950");
+  EXPECT_EQ(format_si(12300.0), "12.3k");
+  EXPECT_EQ(format_si(2.5e6), "2.5M");
+  EXPECT_EQ(format_si(3.0e9), "3.0G");
+}
+
+TEST(ToUpper, Ascii) { EXPECT_EQ(to_upper("nand2_x1"), "NAND2_X1"); }
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,67 @@
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sereep {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"Circuit", "Gates"});
+  t.add_row({"c17", "6"});
+  t.add_row({"s27", "10"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Circuit"), std::string::npos);
+  EXPECT_NE(out.find("c17"), std::string::npos);
+  EXPECT_NE(out.find("s27"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  // No crash, and row is present with empty padding cells.
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsWidenToContent) {
+  AsciiTable t({"N"});
+  t.add_row({"a_very_long_cell_value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a_very_long_cell_value"), std::string::npos);
+}
+
+TEST(AsciiTable, SeparatorEmitsRule) {
+  AsciiTable t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + interior separator = 4 rules minimum
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(AsciiTable, AllLinesSameWidth) {
+  AsciiTable t({"Circuit", "SysT(ms)", "SimT(s)"});
+  t.add_row({"s953", "0.354", "28.3"});
+  t.add_row({"s38417", "14.180", "2412"});
+  const std::string out = t.render();
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t eol = out.find('\n', start);
+    if (eol == std::string::npos) break;
+    const std::size_t width = eol - start;
+    if (expected == std::string::npos) expected = width;
+    EXPECT_EQ(width, expected);
+    start = eol + 1;
+  }
+}
+
+}  // namespace
+}  // namespace sereep

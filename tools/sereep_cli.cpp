@@ -1,0 +1,265 @@
+// sereep — command-line front end.
+//
+//   sereep stats   <netlist>                     circuit statistics
+//   sereep convert <in> <out>                    .bench <-> .v by extension
+//   sereep sp      <netlist> [--engine=pm|mc|seq] [--top=N]
+//   sereep epp     <netlist> --node=NAME         per-node EPP detail
+//   sereep ser     <netlist> [--top=N]           vulnerability ranking
+//   sereep harden  <netlist> --target=0.5 [--emit=out.v]
+//   sereep gen     --profile=s953 [--seed=N] [-o out.bench]
+//
+// Netlists are read as ISCAS .bench (default) or structural Verilog when the
+// file ends in .v; embedded circuit names (c17, s27, s953, ...) work
+// anywhere a path is accepted.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/netlist/verilog_io.hpp"
+#include "src/report/report.hpp"
+#include "src/ser/ser_estimator.hpp"
+#include "src/ser/tmr.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace sereep;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Circuit load_any(const std::string& spec) {
+  for (const std::string& name : known_circuit_names()) {
+    if (spec == name) return make_circuit(spec);
+  }
+  if (ends_with(spec, ".v")) return load_verilog_file(spec);
+  return load_bench_file(spec);
+}
+
+bool save_any(const Circuit& circuit, const std::string& path) {
+  if (ends_with(path, ".v")) return save_verilog_file(circuit, path);
+  return save_bench_file(circuit, path);
+}
+
+int cmd_stats(const std::string& path) {
+  const Circuit c = load_any(path);
+  const CircuitStats s = compute_stats(c);
+  std::printf("%s\n", s.summary().c_str());
+  AsciiTable t({"Gate type", "Count"});
+  for (int g = 0; g < kGateTypeCount; ++g) {
+    if (s.type_histogram[static_cast<std::size_t>(g)] == 0) continue;
+    t.add_row({std::string(gate_type_name(static_cast<GateType>(g))),
+               std::to_string(s.type_histogram[static_cast<std::size_t>(g)])});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const Circuit c = load_any(in);
+  if (!save_any(c, out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s -> %s (%zu nodes)\n", in.c_str(), out.c_str(),
+              c.node_count());
+  return 0;
+}
+
+int cmd_sp(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  const std::string engine = flags.get("engine", "pm");
+  SignalProbabilities sp;
+  if (engine == "mc") {
+    sp = monte_carlo_sp(c, static_cast<std::size_t>(flags.get_int("vectors", 65536)));
+  } else if (engine == "seq") {
+    const SequentialSpResult r = sequential_fixed_point_sp(c);
+    std::printf("fixed point: %zu iterations, residual %.2e, %s\n",
+                r.iterations, r.residual, r.converged ? "converged" : "NOT converged");
+    sp = std::move(r.sp);
+  } else {
+    sp = parker_mccluskey_sp(c);
+  }
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 0));
+  AsciiTable t({"Net", "P(1)"});
+  std::size_t shown = 0;
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    if (top && shown++ >= top) break;
+    t.add_row({c.node(id).name, format_fixed(sp[id], 4)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_epp(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  const std::string node_name = flags.get("node", "");
+  if (node_name.empty()) {
+    std::fprintf(stderr, "error: epp requires --node=NAME\n");
+    return 1;
+  }
+  const auto site = c.find(node_name);
+  if (!site) {
+    std::fprintf(stderr, "error: no node named '%s'\n", node_name.c_str());
+    return 1;
+  }
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine engine(c, sp);
+  const SiteEpp r = engine.compute(*site);
+  std::printf("EPP of %s (cone %zu signals, %zu reconvergent gates)\n",
+              node_name.c_str(), r.cone_size, r.reconvergent_gates);
+  AsciiTable t({"Sink", "Kind", "EPP (Pa+Pabar)", "Distribution"});
+  for (const SinkEpp& s : r.sinks) {
+    t.add_row({c.node(s.sink).name,
+               c.type(s.sink) == GateType::kDff ? "FF" : "PO",
+               format_fixed(s.error_mass, 4), s.distribution.to_string()});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("P_sensitized = %.4f   (bounds: [%.4f, %.4f])\n",
+              r.p_sensitized, r.p_sens_lower, r.p_sens_upper);
+  if (flags.has("verify")) {
+    FaultInjector fi(c);
+    McOptions mc;
+    mc.num_vectors = static_cast<std::size_t>(flags.get_int("vectors", 65536));
+    std::printf("fault injection (%zu vectors): %.4f\n", mc.num_vectors,
+                fi.run_site(*site, mc).probability());
+  }
+  return 0;
+}
+
+int cmd_ser(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  SerEstimator est(c, sp, {});
+  const CircuitSer ser = est.estimate();
+  const auto ranked = ser.ranked();
+  const auto top =
+      static_cast<std::size_t>(flags.get_int("top", 20));
+  AsciiTable t({"Rank", "Node", "Type", "P_sens", "SER share"});
+  double cum = 0;
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    cum += ranked[i].ser;
+    t.add_row({std::to_string(i + 1), c.node(ranked[i].node).name,
+               std::string(gate_type_name(c.type(ranked[i].node))),
+               format_fixed(ranked[i].p_sensitized, 4),
+               format_fixed(100 * ranked[i].ser / ser.total_ser, 1) + "%"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("total SER: %.3e failures/s (%.2f FIT), top %zu cover %.1f%%\n",
+              ser.total_ser, ser.total_fit(), std::min(top, ranked.size()),
+              100 * cum / ser.total_ser);
+  return 0;
+}
+
+int cmd_harden(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  const double target = flags.get_double("target", 0.5);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  SerEstimator est(c, sp, {});
+  const HardeningPlan plan = select_hardening(est.estimate(), target);
+  std::printf("protect %zu nodes for a %.0f%% reduction (achieved %.1f%%):\n",
+              plan.protect.size(), 100 * target, 100 * plan.reduction());
+  for (NodeId id : plan.protect) std::printf("  %s\n", c.node(id).name.c_str());
+  if (flags.has("emit")) {
+    const TmrResult tmr = apply_tmr(c, plan.protect);
+    const std::string out = flags.get("emit", "hardened.v");
+    if (!save_any(tmr.circuit, out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    std::printf("TMR netlist written to %s (+%zu gates)\n", out.c_str(),
+                tmr.gates_added);
+  }
+  return 0;
+}
+
+int cmd_report(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  ReportOptions opt;
+  opt.top_nodes = static_cast<std::size_t>(flags.get_int("top", 20));
+  opt.hardening_target = flags.get_double("target", 0.5);
+  opt.validate_with_simulation = flags.has("validate");
+  opt.sequential_sp = flags.has("seq-sp");
+  const std::string report = generate_report(c, opt);
+  if (flags.has("o")) {
+    const std::string out = flags.get("o", "report.md");
+    std::ofstream f(out);
+    f << report;
+    std::printf("report written to %s\n", out.c_str());
+  } else {
+    std::printf("%s", report.c_str());
+  }
+  return 0;
+}
+
+int cmd_gen(const bench::Flags& flags) {
+  const std::string profile_name = flags.get("profile", "s953");
+  GeneratorProfile profile = iscas89_profile(profile_name);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 0x15ca589));
+  const Circuit c = generate_circuit(profile, seed);
+  const std::string out = flags.get("o", profile_name + ".bench");
+  if (!save_any(c, out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s\nwritten to %s\n", compute_stats(c).summary().c_str(),
+              out.c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sereep <stats|convert|sp|epp|ser|harden|gen> ...\n"
+               "  stats   <netlist>\n"
+               "  convert <in> <out>\n"
+               "  sp      <netlist> [--engine=pm|mc|seq] [--top=N]\n"
+               "  epp     <netlist> --node=NAME [--verify]\n"
+               "  ser     <netlist> [--top=N]\n"
+               "  harden  <netlist> [--target=0.5] [--emit=out.v]\n"
+               "  report  <netlist> [--validate] [--seq-sp] [--o=report.md]\n"
+               "  gen     [--profile=s953] [--seed=N] [--o=out.bench]\n"
+               "netlist: a .bench/.v path or an embedded name (c17, s27, s953...)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  // Positional (non --flag) arguments after the command.
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] != '-') pos.emplace_back(argv[i]);
+  }
+  sereep::bench::Flags flags(argc, argv);
+  try {
+    if (cmd == "stats" && pos.size() == 1) return cmd_stats(pos[0]);
+    if (cmd == "convert" && pos.size() == 2) return cmd_convert(pos[0], pos[1]);
+    if (cmd == "sp" && pos.size() == 1) return cmd_sp(pos[0], flags);
+    if (cmd == "epp" && pos.size() == 1) return cmd_epp(pos[0], flags);
+    if (cmd == "ser" && pos.size() == 1) return cmd_ser(pos[0], flags);
+    if (cmd == "harden" && pos.size() == 1) return cmd_harden(pos[0], flags);
+    if (cmd == "report" && pos.size() == 1) return cmd_report(pos[0], flags);
+    if (cmd == "gen") return cmd_gen(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
