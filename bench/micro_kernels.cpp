@@ -1,22 +1,33 @@
 // M1: google-benchmark microbenchmarks of the hot kernels:
-//   - per-node EPP (cone extraction + propagation)
+//   - per-node EPP (cone extraction + propagation), reference vs compiled
 //   - whole-circuit Parker-McCluskey SP pass
 //   - bit-parallel simulation throughput
 //   - fault-injection per site
 //   - Table-1 gate rules (closed form vs fold vs brute force)
+//
+// The binary also writes BENCH_micro.json before the google-benchmark run —
+// machine-readable op/s for the cone-extract, propagate and full-sweep
+// kernels, reference vs compiled, on a >= 10k-gate generated circuit — so
+// the perf trajectory is tracked across PRs (see write_bench_micro_json).
+// Pass --json=path to redirect it, --json= (empty) to skip.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/epp/gate_rules.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sigprob/signal_prob.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
 
 namespace {
 
@@ -27,6 +38,15 @@ const Circuit& circuit_for(const std::string& name) {
   auto it = cache.find(name);
   if (it == cache.end()) {
     it = cache.emplace(name, make_iscas89_like(name)).first;
+  }
+  return it->second;
+}
+
+const CompiledCircuit& compiled_for(const std::string& name) {
+  static std::map<std::string, CompiledCircuit> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, CompiledCircuit(circuit_for(name))).first;
   }
   return it->second;
 }
@@ -55,6 +75,20 @@ void BM_EppPerNode(benchmark::State& state) {
 }
 BENCHMARK(BM_EppPerNode);
 
+void BM_EppPerNodeCompiled(benchmark::State& state) {
+  const Circuit& c = circuit_for("s1196");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  CompiledEppEngine engine(compiled_for("s1196"), sp);
+  const auto sites = error_sites(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.p_sensitized(sites[i % sites.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EppPerNodeCompiled);
+
 void BM_EppAllNodes(benchmark::State& state) {
   const Circuit& c = circuit_for("s953");
   const SignalProbabilities sp = parker_mccluskey_sp(c);
@@ -69,6 +103,21 @@ void BM_EppAllNodes(benchmark::State& state) {
                           static_cast<int64_t>(sites.size()));
 }
 BENCHMARK(BM_EppAllNodes);
+
+void BM_EppAllNodesCompiled(benchmark::State& state) {
+  const Circuit& c = circuit_for("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  CompiledEppEngine engine(compiled_for("s953"), sp);
+  const auto sites = error_sites(c);
+  for (auto _ : state) {
+    double acc = 0;
+    for (NodeId s : sites) acc += engine.p_sensitized(s);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sites.size()));
+}
+BENCHMARK(BM_EppAllNodesCompiled);
 
 void BM_BitParallelEval(benchmark::State& state) {
   const Circuit& c = circuit_for("s1423");
@@ -152,4 +201,150 @@ void BM_ConeExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_ConeExtraction);
 
+// Like-for-like with BM_ConeExtraction: the reference extractor always runs
+// the reconvergence scan, so the compiled side is timed with it too. The
+// hot path additionally skips the scan — that win shows up in the
+// EppPerNode/EppAllNodes pairs, not here.
+void BM_ConeExtractionCompiled(benchmark::State& state) {
+  const Circuit& c = circuit_for("s1238");
+  CompiledConeExtractor ex(compiled_for("s1238"));
+  const auto sites = error_sites(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ex.extract(sites[i % sites.size()], /*with_reconvergence=*/true)
+            .on_path.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_ConeExtractionCompiled);
+
+// ---- BENCH_micro.json — machine-readable kernel trajectory -----------------
+
+/// One generated >= 10k-gate circuit, shared by every JSON measurement (the
+/// acceptance-size workload: big enough that cache behaviour, not constant
+/// overheads, decides the numbers).
+Circuit make_json_circuit() {
+  GeneratorProfile p;
+  p.name = "micro12k";
+  p.num_inputs = 24;
+  p.num_outputs = 16;
+  p.num_dffs = 600;
+  p.num_gates = 12000;
+  p.target_depth = 27;
+  return generate_circuit(p, 2024);
+}
+
+void write_bench_micro_json(const std::string& path) {
+  const Circuit c = make_json_circuit();
+  const std::vector<NodeId> sites = error_sites(c);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const double n_sites = static_cast<double>(sites.size());
+
+  // cone_extract: extraction kernel alone, every site once. Like-for-like:
+  // the reference extractor always runs the reconvergence scan, so the
+  // compiled side keeps it on here; the hot path's skip of that scan is
+  // part of the propagate/full_sweep rows instead.
+  Stopwatch w1;
+  {
+    ConeExtractor ex(c);
+    std::size_t acc = 0;
+    for (NodeId s : sites) acc += ex.extract(s).on_path.size();
+    benchmark::DoNotOptimize(acc);
+  }
+  const double cone_ref_s = w1.seconds();
+
+  const CompiledCircuit compiled(c);
+  Stopwatch w2;
+  {
+    CompiledConeExtractor ex(compiled);
+    std::size_t acc = 0;
+    for (NodeId s : sites) {
+      acc += ex.extract(s, /*with_reconvergence=*/true).on_path.size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  const double cone_cmp_s = w2.seconds();
+
+  // propagate: p_sensitized per site on a warm engine (extraction + the
+  // linear Table-1 pass + the sink fold).
+  double check_ref = 0, check_cmp = 0;
+  Stopwatch w3;
+  {
+    EppEngine engine(c, sp);
+    for (NodeId s : sites) check_ref += engine.p_sensitized(s);
+  }
+  const double prop_ref_s = w3.seconds();
+  Stopwatch w4;
+  {
+    CompiledEppEngine engine(compiled, sp);
+    for (NodeId s : sites) check_cmp += engine.p_sensitized(s);
+  }
+  const double prop_cmp_s = w4.seconds();
+
+  // full_sweep: the end-to-end all-sites product. On the reference side
+  // this is exactly the propagate measurement (engine construction + every
+  // site), so that timing is reused rather than re-run; the compiled side
+  // additionally pays the one-shot CompiledCircuit build inside
+  // all_nodes_p_sensitized.
+  const double sweep_ref_s = prop_ref_s;
+  Stopwatch w6;
+  benchmark::DoNotOptimize(all_nodes_p_sensitized(c, sp));
+  const double sweep_cmp_s = w6.seconds();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_kernels: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"sereep.bench_micro.v1\",\n"
+               "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
+               "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
+               "  \"results_bit_identical\": %s,\n"
+               "  \"kernels\": {\n",
+               c.name().c_str(), c.gate_count(), c.node_count(), sites.size(),
+               c.depth(), check_ref == check_cmp ? "true" : "false");
+  const auto kernel = [&](const char* name, double ref_s, double cmp_s,
+                          const char* trailing) {
+    std::fprintf(f,
+                 "    \"%s\": {\"reference_sites_per_s\": %.1f, "
+                 "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
+                 "\"compiled_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 name, n_sites / ref_s, n_sites / cmp_s, ref_s * 1e3,
+                 cmp_s * 1e3, ref_s / cmp_s, trailing);
+  };
+  kernel("cone_extract", cone_ref_s, cone_cmp_s, ",");
+  kernel("propagate", prop_ref_s, prop_cmp_s, ",");
+  kernel("full_sweep", sweep_ref_s, sweep_cmp_s, "");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf(
+      "BENCH_micro.json: %zu sites, full sweep %.0f ms (ref) vs %.0f ms "
+      "(compiled) = %.2fx -> %s\n",
+      sites.size(), sweep_ref_s * 1e3, sweep_cmp_s * 1e3,
+      sweep_ref_s / sweep_cmp_s, path.c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own --json flag before google-benchmark sees the arguments.
+  std::string json_path = "BENCH_micro.json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!json_path.empty()) write_bench_micro_json(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -68,11 +68,10 @@ Row run_circuit(const std::string& name, std::size_t vectors,
   const SignalProbabilities sp = parker_mccluskey_sp(circuit);
   row.spt_s = sp_clock.seconds();
 
-  // --- SysT: EPP on every node -------------------------------------------
-  EppEngine engine(circuit, sp);
-  std::vector<double> epp(circuit.node_count(), 0.0);
+  // --- SysT: EPP on every node (compiled hot path, SP reused — the
+  // all_nodes overload never recomputes Parker-McCluskey) ------------------
   Stopwatch epp_clock;
-  for (NodeId site : sites) epp[site] = engine.p_sensitized(site);
+  const std::vector<double> epp = all_nodes_p_sensitized(circuit, sp);
   const double epp_total_s = epp_clock.seconds();
   row.syst_ms = epp_total_s * 1e3 / static_cast<double>(sites.size());
 

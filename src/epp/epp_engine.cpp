@@ -1,9 +1,13 @@
 #include "src/epp/epp_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <numeric>
 #include <thread>
 
+#include "src/epp/compiled_epp.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/sim/fault_injection.hpp"  // error_sites / subsample_sites
 
 namespace sereep {
@@ -124,8 +128,14 @@ std::vector<SiteEpp> EppEngine::compute_all(std::size_t max_sites) {
 }
 
 std::vector<double> all_nodes_p_sensitized(const Circuit& circuit) {
-  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
-  EppEngine engine(circuit, sp);
+  return all_nodes_p_sensitized(circuit, parker_mccluskey_sp(circuit));
+}
+
+std::vector<double> all_nodes_p_sensitized(const Circuit& circuit,
+                                           const SignalProbabilities& sp,
+                                           EppOptions options) {
+  const CompiledCircuit compiled(circuit);
+  CompiledEppEngine engine(compiled, sp, options);
   std::vector<double> out(circuit.node_count(), 0.0);
   for (NodeId site : error_sites(circuit)) {
     out[site] = engine.p_sensitized(site);
@@ -133,30 +143,107 @@ std::vector<double> all_nodes_p_sensitized(const Circuit& circuit) {
   return out;
 }
 
-std::vector<double> all_nodes_p_sensitized_parallel(
-    const Circuit& circuit, const SignalProbabilities& sp, EppOptions options,
-    unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  const std::vector<NodeId> sites = error_sites(circuit);
-  std::vector<double> out(circuit.node_count(), 0.0);
-  if (threads == 1 || sites.size() < 64) {
-    EppEngine engine(circuit, sp, options);
-    for (NodeId site : sites) out[site] = engine.p_sensitized(site);
-    return out;
+namespace {
+
+/// Chunk of the site list one fetch_add of the shared cursor hands out.
+/// Small enough to keep all workers busy on a skewed tail, large enough to
+/// amortize the atomic and keep neighbouring (similar-sized) cones together.
+constexpr std::size_t kSweepChunk = 32;
+
+/// Indices of `sites` in descending cone-size-estimate order, ties by
+/// original position (deterministic). Draining the big cones first is what
+/// lets the dynamic scheduler finish with a balanced tail of small cones
+/// instead of one thread stuck on a late giant.
+std::vector<std::size_t> sweep_schedule(const CompiledCircuit& compiled,
+                                        const std::vector<NodeId>& sites) {
+  std::vector<std::size_t> order(sites.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return compiled.cone_size_estimate(sites[a]) >
+                            compiled.cone_size_estimate(sites[b]);
+                   });
+  return order;
+}
+
+/// Runs `per_site(site_index)` for every site, distributing chunks of the
+/// schedule via an atomic cursor. `threads` <= 1 runs the same chunked loop
+/// on the calling thread. `make_worker_state()` builds one engine per worker.
+template <typename PerSiteFn>
+void run_sweep(const CompiledCircuit& compiled, const SignalProbabilities& sp,
+               const EppOptions& options,
+               const std::vector<std::size_t>& schedule, unsigned threads,
+               PerSiteFn per_site) {
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    CompiledEppEngine engine(compiled, sp, options);
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(kSweepChunk);
+      if (begin >= schedule.size()) break;
+      const std::size_t end =
+          std::min(begin + kSweepChunk, schedule.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        per_site(engine, schedule[i]);
+      }
+    }
+  };
+  // Never spawn more workers than there are chunks to hand out.
+  const std::size_t chunks =
+      (schedule.size() + kSweepChunk - 1) / kSweepChunk;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads == 0 ? 1 : threads, chunks));
+  if (threads <= 1) {
+    worker();
+    return;
   }
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      EppEngine engine(circuit, sp, options);
-      for (std::size_t i = t; i < sites.size(); i += threads) {
-        out[sites[i]] = engine.p_sensitized(sites[i]);
-      }
-    });
-  }
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& th : pool) th.join();
+}
+
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                      : threads;
+}
+
+}  // namespace
+
+std::vector<double> all_nodes_p_sensitized_parallel(
+    const Circuit& circuit, const SignalProbabilities& sp, EppOptions options,
+    unsigned threads) {
+  const CompiledCircuit compiled(circuit);
+  const std::vector<NodeId> sites = error_sites(circuit);
+  const std::vector<std::size_t> schedule = sweep_schedule(compiled, sites);
+  std::vector<double> out(circuit.node_count(), 0.0);
+  run_sweep(compiled, sp, options, schedule, resolve_threads(threads),
+            [&](CompiledEppEngine& engine, std::size_t i) {
+              out[sites[i]] = engine.p_sensitized(sites[i]);
+            });
+  return out;
+}
+
+std::vector<SiteEpp> compute_all_parallel(const Circuit& circuit,
+                                          const SignalProbabilities& sp,
+                                          EppOptions options, unsigned threads,
+                                          std::size_t max_sites) {
+  return compute_all_parallel(circuit, CompiledCircuit(circuit), sp, options,
+                              threads, max_sites);
+}
+
+std::vector<SiteEpp> compute_all_parallel(const Circuit& circuit,
+                                          const CompiledCircuit& compiled,
+                                          const SignalProbabilities& sp,
+                                          EppOptions options, unsigned threads,
+                                          std::size_t max_sites) {
+  const std::vector<NodeId> sites =
+      subsample_sites(error_sites(circuit), max_sites);
+  const std::vector<std::size_t> schedule = sweep_schedule(compiled, sites);
+  std::vector<SiteEpp> out(sites.size());
+  run_sweep(compiled, sp, options, schedule, resolve_threads(threads),
+            [&](CompiledEppEngine& engine, std::size_t i) {
+              out[i] = engine.compute(sites[i]);
+            });
   return out;
 }
 

@@ -11,6 +11,14 @@
 //
 // The engine is allocation-free per site after warm-up (scratch reuse), which
 // is what makes the all-nodes SysT column of Table 2 milliseconds-scale.
+//
+// EppEngine is the REFERENCE implementation: it walks the Circuit's node
+// structs directly and sorts each cone with a comparison sort. The
+// production hot path is CompiledEppEngine (compiled_epp.hpp), which runs
+// the same arithmetic over a flat-CSR CompiledCircuit and is bit-for-bit
+// equal by construction; the all_nodes_* conveniences below route through
+// it. Keep both: the reference engine is the oracle the compiled path is
+// tested against.
 #pragma once
 
 #include <cstdint>
@@ -116,17 +124,45 @@ class EppEngine {
 };
 
 /// Convenience one-shot: P_sensitized for every node of `circuit` with
-/// Parker-McCluskey SP, default options.
+/// Parker-McCluskey SP, default options. Runs the compiled hot path.
 [[nodiscard]] std::vector<double> all_nodes_p_sensitized(
     const Circuit& circuit);
 
+/// Same, with a caller-provided SP assignment — sweeps that already computed
+/// signal probabilities (the SER estimator, the Table-2 harness) must not
+/// pay a redundant Parker-McCluskey pass per call.
+[[nodiscard]] std::vector<double> all_nodes_p_sensitized(
+    const Circuit& circuit, const SignalProbabilities& sp,
+    EppOptions options = {});
+
 /// Multi-threaded all-nodes computation: per-site EPP is embarrassingly
-/// parallel (each site only reads the circuit and SPs), so each worker owns
-/// a private EppEngine and processes a stride of the site list. `threads`
-/// == 0 picks std::thread::hardware_concurrency(). Results are identical to
-/// the sequential path (pure computation, no accumulation order effects).
+/// parallel (each site only reads the compiled circuit and SPs), so each
+/// worker owns a private CompiledEppEngine and pulls chunks of sites from a
+/// shared atomic cursor (dynamic work stealing). Sites are handed out in
+/// descending cone-size order so the big cones are drained first and no
+/// thread idles on a skewed tail — output-cone sizes follow the circuit's
+/// fanout distribution and are always skewed. `threads` == 0 picks
+/// std::thread::hardware_concurrency(). Results are identical to the
+/// sequential path (pure computation, no accumulation order effects).
 [[nodiscard]] std::vector<double> all_nodes_p_sensitized_parallel(
     const Circuit& circuit, const SignalProbabilities& sp,
     EppOptions options = {}, unsigned threads = 0);
+
+class CompiledCircuit;
+
+/// Batched parallel compute(): full SiteEpp records for every error site (or
+/// an evenly spaced subsample when max_sites > 0), in error_sites() order.
+/// Same dynamic scheduler as all_nodes_p_sensitized_parallel.
+[[nodiscard]] std::vector<SiteEpp> compute_all_parallel(
+    const Circuit& circuit, const SignalProbabilities& sp,
+    EppOptions options = {}, unsigned threads = 0, std::size_t max_sites = 0);
+
+/// Same, reusing a CompiledCircuit the caller already built (`compiled` must
+/// be a compilation of `circuit`) — holders of a long-lived compiled view
+/// (the SER estimator) must not pay a second O(V+E) flatten per sweep.
+[[nodiscard]] std::vector<SiteEpp> compute_all_parallel(
+    const Circuit& circuit, const CompiledCircuit& compiled,
+    const SignalProbabilities& sp, EppOptions options = {},
+    unsigned threads = 0, std::size_t max_sites = 0);
 
 }  // namespace sereep

@@ -8,7 +8,7 @@ namespace sereep {
 MultiCycleEppEngine::MultiCycleEppEngine(const Circuit& circuit,
                                          const SignalProbabilities& sp,
                                          EppOptions options)
-    : circuit_(circuit), engine_(circuit, sp, options) {
+    : circuit_(circuit), compiled_(circuit), engine_(compiled_, sp, options) {
   // Precompute the state-error propagation matrix: one combinational EPP per
   // flip-flop, with the FF output as the error site.
   const auto dffs = circuit.dffs();

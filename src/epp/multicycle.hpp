@@ -24,7 +24,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
+#include "src/netlist/compiled.hpp"
 
 namespace sereep {
 
@@ -54,6 +56,11 @@ class MultiCycleEppEngine {
   MultiCycleEppEngine(const Circuit& circuit, const SignalProbabilities& sp,
                       EppOptions options = {});
 
+  // engine_ references the sibling member compiled_, so a copied or moved
+  // instance would point into the source object.
+  MultiCycleEppEngine(const MultiCycleEppEngine&) = delete;
+  MultiCycleEppEngine& operator=(const MultiCycleEppEngine&) = delete;
+
   /// Detection profile of `site` over `cycles` clock cycles.
   [[nodiscard]] MultiCycleEpp compute(NodeId site, std::size_t cycles);
 
@@ -69,7 +76,8 @@ class MultiCycleEppEngine {
   };
 
   const Circuit& circuit_;
-  EppEngine engine_;
+  CompiledCircuit compiled_;
+  CompiledEppEngine engine_;                ///< flat-CSR EPP hot path
   std::vector<FfRow> rows_;                 ///< indexed like circuit.dffs()
   std::vector<std::size_t> ff_index_;       ///< NodeId -> dff index
 };

@@ -1,0 +1,195 @@
+#include "src/netlist/compiled.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sereep {
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit) {
+  assert(circuit.finalized());
+  const std::size_t n = circuit.node_count();
+
+  types_.resize(n);
+  is_sink_.resize(n);
+  bucket_level_.resize(n);
+  const auto levels = circuit.levels();
+  for (NodeId id = 0; id < n; ++id) {
+    const GateType t = circuit.type(id);
+    types_[id] = t;
+    is_sink_[id] =
+        circuit.is_primary_output(id) || t == GateType::kDff ? 1 : 0;
+    // The circuit's levels already order every distribution read: a gate
+    // sits strictly above its non-DFF fanins, and a DFF sits strictly above
+    // its D pin (capture edge, level(D) + 1) — see bucket_level().
+    bucket_level_[id] = levels[id];
+  }
+  bucket_count_ = 0;
+  for (std::uint32_t b : bucket_level_) {
+    bucket_count_ = std::max(bucket_count_, b + 1);
+  }
+
+  // DFF-adjusted topological positions — must replicate ConeExtractor's
+  // table exactly (including the sequential dffs() fixup pass, which matters
+  // when a DFF's D pin is another DFF's output) so sink ordering matches the
+  // reference engine bit for bit.
+  topo_pos_.assign(n, 0);
+  const auto order = circuit.topo_order();
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+    topo_pos_[order[pos]] = pos;
+  }
+  for (NodeId ff : circuit.dffs()) {
+    topo_pos_[ff] =
+        static_cast<std::uint32_t>(n) + topo_pos_[circuit.fanin(ff)[0]];
+  }
+
+  // CSR adjacency.
+  fanin_offsets_.assign(n + 1, 0);
+  fanout_offsets_.assign(n + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    fanin_offsets_[id + 1] =
+        fanin_offsets_[id] +
+        static_cast<std::uint32_t>(circuit.fanin(id).size());
+    fanout_offsets_[id + 1] =
+        fanout_offsets_[id] +
+        static_cast<std::uint32_t>(circuit.fanout(id).size());
+  }
+  fanin_ids_.resize(fanin_offsets_[n]);
+  fanout_ids_.resize(fanout_offsets_[n]);
+  for (NodeId id = 0; id < n; ++id) {
+    std::copy(circuit.fanin(id).begin(), circuit.fanin(id).end(),
+              fanin_ids_.begin() + fanin_offsets_[id]);
+    std::copy(circuit.fanout(id).begin(), circuit.fanout(id).end(),
+              fanout_ids_.begin() + fanout_offsets_[id]);
+  }
+
+  // Global sink ranking: one whole-circuit sort at compile time replaces the
+  // per-site sink sort. Ties in topo_pos_ happen only between DFFs sharing a
+  // D pin (identical latched distributions, so their relative order cannot
+  // change any result); node id breaks them deterministically.
+  for (NodeId id = 0; id < n; ++id) {
+    if (is_sink_[id]) sinks_by_rank_.push_back(id);
+  }
+  std::sort(sinks_by_rank_.begin(), sinks_by_rank_.end(),
+            [this](NodeId a, NodeId b) {
+              if (topo_pos_[a] != topo_pos_[b]) {
+                return topo_pos_[a] < topo_pos_[b];
+              }
+              return a < b;
+            });
+
+  // Forward path-count cone estimate, reverse-topological. Pass 1 covers
+  // combinational nodes and sources (a DFF consumer is an endpoint: the
+  // error latches there); pass 2 covers DFF sites, whose own fanouts ARE
+  // traversed when the upset hits the state bit itself. Pass 2 only reads
+  // pass-1 values (a DFF's consumers are gates or DFF endpoints), so the
+  // order within circuit.dffs() does not matter.
+  cone_estimate_.assign(n, 1.0);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const NodeId id = order[i];
+    if (types_[id] == GateType::kDff) continue;
+    double est = 1.0;
+    for (NodeId consumer : fanout(id)) {
+      est += types_[consumer] == GateType::kDff ? 1.0
+                                                : cone_estimate_[consumer];
+    }
+    cone_estimate_[id] = est;
+  }
+  for (NodeId ff : circuit.dffs()) {
+    double est = 1.0;
+    for (NodeId consumer : fanout(ff)) {
+      est += types_[consumer] == GateType::kDff ? 1.0
+                                                : cone_estimate_[consumer];
+    }
+    cone_estimate_[ff] = est;
+  }
+}
+
+CompiledConeExtractor::CompiledConeExtractor(const CompiledCircuit& circuit)
+    : circuit_(circuit),
+      stamp_(circuit.node_count(), 0),
+      buckets_(circuit.bucket_count()) {}
+
+const Cone& CompiledConeExtractor::extract(NodeId site,
+                                           bool with_reconvergence) {
+  assert(site < circuit_.node_count());
+  ++epoch_;
+  cone_.site = site;
+  cone_.on_path.clear();
+  cone_.reachable_sinks.clear();
+  cone_.reconvergent_gates.clear();
+
+  // Forward DFS over the CSR fanout arrays, same traversal and stopping rule
+  // as ConeExtractor: a non-site DFF is an observation point, not a
+  // pass-through. Instead of sorting afterwards, every non-site cone member
+  // is dropped into its level bucket as it is popped.
+  cone_.on_path.push_back(site);  // the site always leads
+  std::size_t sink_count = circuit_.is_sink(site) ? 1 : 0;
+  std::uint32_t min_bucket = circuit_.bucket_count();
+  std::uint32_t max_bucket = 0;
+
+  stack_.clear();
+  stack_.push_back(site);
+  stamp_[site] = epoch_;
+  while (!stack_.empty()) {
+    const NodeId id = stack_.back();
+    stack_.pop_back();
+    if (id != site) {
+      const std::uint32_t b = circuit_.bucket_level(id);
+      buckets_[b].push_back(id);
+      min_bucket = std::min(min_bucket, b);
+      max_bucket = std::max(max_bucket, b);
+      if (circuit_.is_sink(id)) ++sink_count;
+      if (circuit_.is_dff(id)) {
+        continue;  // error latched; do not cross the register boundary
+      }
+    }
+    for (NodeId consumer : circuit_.fanout(id)) {
+      if (stamp_[consumer] != epoch_) {
+        stamp_[consumer] = epoch_;
+        stack_.push_back(consumer);
+      }
+    }
+  }
+
+  // Bucket concatenation: within a bucket all nodes are mutually
+  // independent (gates only read strictly lower levels; DFFs only read
+  // their D pin, one bucket down), so this is a valid propagation order.
+  for (std::uint32_t b = min_bucket; b <= max_bucket && b < buckets_.size();
+       ++b) {
+    cone_.on_path.insert(cone_.on_path.end(), buckets_[b].begin(),
+                         buckets_[b].end());
+    buckets_[b].clear();
+  }
+
+  // Reachable sinks in reference fold order: filter the rank-sorted global
+  // sink list against the visit marks, stopping once every cone sink is
+  // found.
+  if (sink_count > 0) {
+    cone_.reachable_sinks.reserve(sink_count);
+    for (NodeId sink : circuit_.sinks_by_rank()) {
+      if (stamp_[sink] == epoch_) {
+        cone_.reachable_sinks.push_back(sink);
+        if (cone_.reachable_sinks.size() == sink_count) break;
+      }
+    }
+  }
+
+  if (with_reconvergence) {
+    // Same rule as the reference: >= 2 on-path fanins, where a non-site DFF
+    // never counts as error-carrying.
+    for (const NodeId id : cone_.on_path) {
+      if (id == site) continue;
+      int on_path_fanins = 0;
+      for (NodeId f : circuit_.fanin(id)) {
+        if (stamp_[f] == epoch_ &&
+            (!circuit_.is_dff(f) || f == site)) {
+          ++on_path_fanins;
+        }
+      }
+      if (on_path_fanins >= 2) cone_.reconvergent_gates.push_back(id);
+    }
+  }
+  return cone_;
+}
+
+}  // namespace sereep

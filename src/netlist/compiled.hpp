@@ -1,0 +1,143 @@
+// CompiledCircuit — a cache-friendly kernel view of a finalized Circuit.
+//
+// Circuit optimizes for construction and inspection: each Node owns a name
+// string and two heap-allocated adjacency vectors, so every fanin/fanout
+// access in a hot loop is a pointer chase through a ~100-byte struct. The
+// EPP sweep visits every edge of every output cone once per error site, which
+// makes that layout the dominant cost of the paper's headline all-nodes
+// computation. CompiledCircuit flattens the graph once into CSR-style
+// contiguous arrays — flat fanin/fanout id arrays with per-node offsets, plus
+// structure-of-arrays gate types, levels, sink flags and topological
+// positions — with no strings and no per-node allocations, so the inner
+// loops of cone extraction and EPP propagation become contiguous scans.
+//
+// Lifecycle: build AFTER Circuit::finalize() (the constructor asserts this);
+// the compiled view is an immutable snapshot tied to the source circuit's
+// NodeIds. Circuit has no post-finalize mutation API, so a snapshot cannot go
+// stale within one Circuit lifetime; if a new Circuit is derived (e.g. TMR
+// rewriting), compile that circuit afresh — there is no incremental
+// invalidation. The view holds no reference to the Circuit and may outlive
+// it. Sharing one CompiledCircuit across threads is safe (read-only);
+// CompiledConeExtractor instances hold per-thread scratch and are not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+#include "src/netlist/topo.hpp"
+
+namespace sereep {
+
+/// Immutable flat-CSR snapshot of a finalized Circuit (see file comment).
+class CompiledCircuit {
+ public:
+  explicit CompiledCircuit(const Circuit& circuit);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return types_.size();
+  }
+  [[nodiscard]] GateType type(NodeId id) const { return types_[id]; }
+  [[nodiscard]] bool is_dff(NodeId id) const {
+    return types_[id] == GateType::kDff;
+  }
+  /// Primary output or flip-flop (the paper's observation points).
+  [[nodiscard]] bool is_sink(NodeId id) const { return is_sink_[id] != 0; }
+
+  [[nodiscard]] std::span<const NodeId> fanin(NodeId id) const {
+    return {fanin_ids_.data() + fanin_offsets_[id],
+            fanin_ids_.data() + fanin_offsets_[id + 1]};
+  }
+  [[nodiscard]] std::span<const NodeId> fanout(NodeId id) const {
+    return {fanout_ids_.data() + fanout_offsets_[id],
+            fanout_ids_.data() + fanout_offsets_[id + 1]};
+  }
+
+  /// Cone-ordering bucket of a node: its combinational level. Level-bucket
+  /// concatenation is a valid propagation order for any output cone: a gate
+  /// sits strictly above its non-DFF fanins (DFF fanins are off-path — no
+  /// distribution read), and a DFF sink sits strictly above its D pin when
+  /// that pin is combinational (the circuit assigns level(D) + 1). The one
+  /// exception, a DFF driven directly by another DFF, reads its D pin only
+  /// when that pin is the error site itself, whose distribution is seeded
+  /// before the pass — so its bucket never matters.
+  [[nodiscard]] std::uint32_t bucket_level(NodeId id) const {
+    return bucket_level_[id];
+  }
+  /// Number of distinct bucket levels (max bucket_level + 1).
+  [[nodiscard]] std::uint32_t bucket_count() const noexcept {
+    return bucket_count_;
+  }
+
+  /// DFF-adjusted topological position — the exact ordering key
+  /// ConeExtractor sorts by (DFFs pushed past all gates, keyed by their D
+  /// pin), kept so the compiled path reproduces the reference sink order.
+  [[nodiscard]] std::uint32_t topo_pos(NodeId id) const {
+    return topo_pos_[id];
+  }
+
+  /// All sink nodes (POs + DFFs) in ascending DFF-adjusted topological
+  /// position. Filtering this list against a visited mark yields a site's
+  /// reachable sinks already in the reference engine's fold order, without
+  /// any per-site sort.
+  [[nodiscard]] std::span<const NodeId> sinks_by_rank() const noexcept {
+    return sinks_by_rank_;
+  }
+
+  /// Upper-bound estimate of the output-cone size of `id` (a forward
+  /// path-count accumulated in one reverse-topological pass; counts shared
+  /// suffixes once per path, so estimate >= true cone size). Used to order a
+  /// parallel sweep so the biggest cones are drained first.
+  [[nodiscard]] double cone_size_estimate(NodeId id) const {
+    return cone_estimate_[id];
+  }
+
+ private:
+  std::vector<GateType> types_;
+  std::vector<std::uint8_t> is_sink_;
+  std::vector<std::uint32_t> bucket_level_;
+  std::vector<std::uint32_t> topo_pos_;
+  std::vector<std::uint32_t> fanin_offsets_;   // size n+1
+  std::vector<NodeId> fanin_ids_;
+  std::vector<std::uint32_t> fanout_offsets_;  // size n+1
+  std::vector<NodeId> fanout_ids_;
+  std::vector<NodeId> sinks_by_rank_;
+  std::vector<double> cone_estimate_;
+  std::uint32_t bucket_count_ = 0;
+};
+
+/// Sort-free forward-cone extraction over a CompiledCircuit.
+///
+/// Produces the same Cone contents as ConeExtractor (same on-path set, same
+/// reachable-sink sequence, same reconvergent-gate set) but replaces the
+/// per-site comparison sort with level-indexed bucket concatenation: cone
+/// members are dropped into buckets indexed by bucket_level() during the
+/// DFS and read back level by level, which is a valid topological order; the
+/// reachable sinks are recovered in reference order by filtering the global
+/// rank-sorted sink list. Holds reusable scratch — one instance per thread.
+class CompiledConeExtractor {
+ public:
+  explicit CompiledConeExtractor(const CompiledCircuit& circuit);
+
+  /// Extracts the cone of `site`; the reference is invalidated by the next
+  /// call. `with_reconvergence` toggles the reconvergent-gate scan, which
+  /// costs a full pass over the cone's fanin edges; p_sensitized-only
+  /// sweeps skip it.
+  const Cone& extract(NodeId site, bool with_reconvergence = true);
+
+  /// True iff `id` was in the cone of the most recent extract() call.
+  [[nodiscard]] bool in_last_cone(NodeId id) const noexcept {
+    return stamp_[id] == epoch_;
+  }
+
+ private:
+  const CompiledCircuit& circuit_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> stack_;
+  std::vector<std::vector<NodeId>> buckets_;
+  Cone cone_;
+};
+
+}  // namespace sereep

@@ -16,20 +16,21 @@ std::vector<NodeSer> CircuitSer::ranked() const {
 SerEstimator::SerEstimator(const Circuit& circuit,
                            const SignalProbabilities& sp, SerOptions options)
     : circuit_(circuit),
+      sp_(sp),
       options_(std::move(options)),
-      engine_(circuit, sp, options_.epp) {}
+      compiled_(circuit),
+      engine_(compiled_, sp, options_.epp) {}
 
-NodeSer SerEstimator::estimate_node(NodeId node) {
+NodeSer SerEstimator::node_ser_from_epp(const SiteEpp& epp) {
   NodeSer result;
-  result.node = node;
-  result.r_seu = options_.seu.rate(circuit_, node);
+  result.node = epp.site;
+  result.r_seu = options_.seu.rate(circuit_, epp.site);
 
   // The effective latching term must be weighted per sink: an error reaching
   // a DFF is latched with the window probability, one reaching a PO with the
   // PO observation probability. We therefore fold P_latched into the
   // per-sink EPP masses instead of using a single scalar:
   //   P_latch&sens = 1 − Π_j (1 − P_latched(sink_j) · EPP_j).
-  const SiteEpp epp = engine_.compute(node);
   result.p_sensitized = epp.p_sensitized;
   double miss = 1.0;
   for (const SinkEpp& s : epp.sinks) {
@@ -42,8 +43,21 @@ NodeSer SerEstimator::estimate_node(NodeId node) {
   return result;
 }
 
+NodeSer SerEstimator::estimate_node(NodeId node) {
+  return node_ser_from_epp(engine_.compute(node));
+}
+
 CircuitSer SerEstimator::estimate() {
   CircuitSer out;
+  if (options_.threads != 1) {
+    for (const SiteEpp& epp :
+         compute_all_parallel(circuit_, compiled_, sp_, options_.epp,
+                              options_.threads, options_.max_sites)) {
+      out.nodes.push_back(node_ser_from_epp(epp));
+      out.total_ser += out.nodes.back().ser;
+    }
+    return out;
+  }
   for (NodeId site :
        subsample_sites(error_sites(circuit_), options_.max_sites)) {
     out.nodes.push_back(estimate_node(site));

@@ -9,8 +9,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/circuit.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/ser/latching.hpp"
 #include "src/ser/seu_rate.hpp"
 #include "src/sigprob/signal_prob.hpp"
@@ -48,24 +50,40 @@ struct SerOptions {
   EppOptions epp;
   /// Evenly-spaced node subsample (0 = all nodes).
   std::size_t max_sites = 0;
+  /// Worker threads for estimate() (1 = sequential, 0 = hardware
+  /// concurrency). Per-node results are identical at any thread count.
+  unsigned threads = 1;
 };
 
 /// SER estimator bound to a circuit and a signal-probability assignment.
+/// EPP runs on the compiled flat-CSR hot path (compiled_epp.hpp).
 class SerEstimator {
  public:
   SerEstimator(const Circuit& circuit, const SignalProbabilities& sp,
                SerOptions options = {});
 
-  /// Full-circuit estimation.
+  // engine_ references the sibling member compiled_, so a copied or moved
+  // instance would point into the source object.
+  SerEstimator(const SerEstimator&) = delete;
+  SerEstimator& operator=(const SerEstimator&) = delete;
+
+  /// Full-circuit estimation (parallel across sites when options.threads
+  /// != 1).
   [[nodiscard]] CircuitSer estimate();
 
   /// Per-node estimation.
   [[nodiscard]] NodeSer estimate_node(NodeId node);
 
  private:
+  /// Folds the latching model into one site's EPP record (shared by the
+  /// sequential and batched paths).
+  [[nodiscard]] NodeSer node_ser_from_epp(const SiteEpp& epp);
+
   const Circuit& circuit_;
+  const SignalProbabilities& sp_;
   SerOptions options_;
-  EppEngine engine_;
+  CompiledCircuit compiled_;
+  CompiledEppEngine engine_;
 };
 
 /// Result of a hardening selection.

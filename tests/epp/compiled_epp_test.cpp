@@ -1,0 +1,201 @@
+// Compiled-vs-reference equivalence: the compiled flat-CSR EPP path must be
+// bit-for-bit equal to the reference EppEngine — EXPECT_EQ on doubles, no
+// tolerance. Any valid topological propagation order yields identical
+// distributions, and the compiled sink sequence reproduces the reference
+// fold order exactly; these tests pin that contract.
+#include "src/epp/compiled_epp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/compiled.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/ser/ser_estimator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+Circuit make_generated() {
+  GeneratorProfile p;
+  p.name = "cmp_epp_gen";
+  p.num_inputs = 24;
+  p.num_outputs = 16;
+  p.num_dffs = 100;
+  p.num_gates = 2000;
+  p.target_depth = 14;
+  return generate_circuit(p, 2024);
+}
+
+std::vector<Circuit> test_circuits() {
+  std::vector<Circuit> out;
+  out.push_back(make_c17());
+  out.push_back(make_s27());
+  out.push_back(make_iscas89_like("s953"));
+  out.push_back(make_generated());
+  return out;
+}
+
+void expect_site_epp_equal(const Circuit& c, const SiteEpp& ref,
+                           const SiteEpp& cmp) {
+  EXPECT_EQ(cmp.site, ref.site);
+  EXPECT_EQ(cmp.cone_size, ref.cone_size);
+  EXPECT_EQ(cmp.reconvergent_gates, ref.reconvergent_gates);
+  EXPECT_EQ(cmp.p_sensitized, ref.p_sensitized);
+  EXPECT_EQ(cmp.p_sens_lower, ref.p_sens_lower);
+  EXPECT_EQ(cmp.p_sens_upper, ref.p_sens_upper);
+  EXPECT_EQ(cmp.self_dpin_mass, ref.self_dpin_mass);
+  ASSERT_EQ(cmp.sinks.size(), ref.sinks.size());
+  // Compare per sink id (robust to tie-order among DFFs sharing a D pin —
+  // those carry identical distributions by construction).
+  std::map<NodeId, const SinkEpp*> by_sink;
+  for (const SinkEpp& s : ref.sinks) by_sink[s.sink] = &s;
+  for (const SinkEpp& s : cmp.sinks) {
+    ASSERT_TRUE(by_sink.count(s.sink)) << c.node(s.sink).name;
+    const SinkEpp& r = *by_sink[s.sink];
+    EXPECT_EQ(s.error_mass, r.error_mass) << c.node(s.sink).name;
+    for (int k = 0; k < kSymCount; ++k) {
+      EXPECT_EQ(s.distribution.p[k], r.distribution.p[k])
+          << c.node(s.sink).name << " component " << k;
+    }
+  }
+}
+
+TEST(CompiledEppEngine, PSensitizedBitIdenticalToReference) {
+  for (const Circuit& c : test_circuits()) {
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    EppEngine reference(c, sp);
+    const CompiledCircuit cc(c);
+    CompiledEppEngine compiled(cc, sp);
+    for (NodeId site : error_sites(c)) {
+      EXPECT_EQ(compiled.p_sensitized(site), reference.p_sensitized(site))
+          << c.name() << " site " << c.node(site).name;
+    }
+  }
+}
+
+TEST(CompiledEppEngine, ComputeBitIdenticalToReference) {
+  for (const Circuit& c : test_circuits()) {
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    EppEngine reference(c, sp);
+    const CompiledCircuit cc(c);
+    CompiledEppEngine compiled(cc, sp);
+    for (NodeId site : error_sites(c)) {
+      expect_site_epp_equal(c, reference.compute(site),
+                            compiled.compute(site));
+    }
+  }
+}
+
+TEST(CompiledEppEngine, OptionVariantsStayBitIdentical) {
+  const Circuit c = make_iscas89_like("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const CompiledCircuit cc(c);
+  for (const EppOptions& options :
+       {EppOptions{.track_polarity = false},
+        EppOptions{.electrical_survival = 0.9},
+        EppOptions{.track_polarity = false, .electrical_survival = 0.75}}) {
+    EppEngine reference(c, sp, options);
+    CompiledEppEngine compiled(cc, sp, options);
+    for (NodeId site : error_sites(c)) {
+      EXPECT_EQ(compiled.p_sensitized(site), reference.p_sensitized(site))
+          << c.node(site).name;
+    }
+  }
+}
+
+TEST(CompiledEppEngine, ParallelSweepMatchesSequentialAt1_2_8Threads) {
+  for (const Circuit& c : test_circuits()) {
+    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    EppEngine reference(c, sp);
+    const std::vector<double> sequential = all_nodes_p_sensitized(c, sp);
+    for (unsigned threads : {1u, 2u, 8u}) {
+      const std::vector<double> parallel =
+          all_nodes_p_sensitized_parallel(c, sp, {}, threads);
+      ASSERT_EQ(parallel.size(), sequential.size());
+      for (NodeId id = 0; id < c.node_count(); ++id) {
+        EXPECT_EQ(parallel[id], sequential[id])
+            << c.name() << " threads=" << threads << " node " << id;
+      }
+    }
+    // ... and the whole stack stays pinned to the reference engine.
+    for (NodeId site : error_sites(c)) {
+      EXPECT_EQ(sequential[site], reference.p_sensitized(site));
+    }
+  }
+}
+
+TEST(CompiledEppEngine, ComputeAllParallelMatchesPerSiteCompute) {
+  const Circuit c = make_iscas89_like("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const CompiledCircuit cc(c);
+  CompiledEppEngine engine(cc, sp);
+  const std::vector<NodeId> sites = error_sites(c);
+
+  const std::vector<SiteEpp> batch = compute_all_parallel(c, sp, {}, 4);
+  ASSERT_EQ(batch.size(), sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(batch[i].site, sites[i]);  // error_sites order preserved
+    expect_site_epp_equal(c, engine.compute(sites[i]), batch[i]);
+  }
+
+  const std::vector<SiteEpp> sampled = compute_all_parallel(c, sp, {}, 2, 7);
+  EXPECT_EQ(sampled.size(), 7u);
+}
+
+TEST(CompiledEppEngine, SpReuseOverloadMatchesConvenienceWrapper) {
+  const Circuit c = make_iscas89_like("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const std::vector<double> wrapper = all_nodes_p_sensitized(c);
+  const std::vector<double> reused = all_nodes_p_sensitized(c, sp);
+  ASSERT_EQ(wrapper.size(), reused.size());
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    EXPECT_EQ(wrapper[id], reused[id]);
+  }
+}
+
+TEST(CompiledEppEngine, SerEstimatorParallelMatchesSequential) {
+  const Circuit c = make_iscas89_like("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  SerOptions sequential_opt;
+  SerEstimator sequential(c, sp, sequential_opt);
+  SerOptions parallel_opt;
+  parallel_opt.threads = 3;
+  SerEstimator parallel(c, sp, parallel_opt);
+
+  const CircuitSer a = sequential.estimate();
+  const CircuitSer b = parallel.estimate();
+  EXPECT_EQ(b.total_ser, a.total_ser);
+  ASSERT_EQ(b.nodes.size(), a.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(b.nodes[i].node, a.nodes[i].node);
+    EXPECT_EQ(b.nodes[i].ser, a.nodes[i].ser);
+    EXPECT_EQ(b.nodes[i].p_sensitized, a.nodes[i].p_sensitized);
+    EXPECT_EQ(b.nodes[i].p_latched, a.nodes[i].p_latched);
+  }
+}
+
+TEST(CompiledEppEngine, LastDistributionMatchesReference) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  const CompiledCircuit cc(c);
+  CompiledEppEngine compiled(cc, sp);
+  for (NodeId site : error_sites(c)) {
+    const SiteEpp ref = reference.compute(site);
+    (void)compiled.compute(site);
+    for (const SinkEpp& s : ref.sinks) {
+      for (int k = 0; k < kSymCount; ++k) {
+        EXPECT_EQ(compiled.last_distribution(s.sink).p[k],
+                  s.distribution.p[k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sereep

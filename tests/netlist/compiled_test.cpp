@@ -1,0 +1,187 @@
+#include "src/netlist/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/netlist/topo.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+Circuit make_generated() {
+  GeneratorProfile p;
+  p.name = "cmp_gen";
+  p.num_inputs = 20;
+  p.num_outputs = 12;
+  p.num_dffs = 80;
+  p.num_gates = 1500;
+  p.target_depth = 14;
+  return generate_circuit(p, 7);
+}
+
+std::vector<Circuit> test_circuits() {
+  std::vector<Circuit> out;
+  out.push_back(make_c17());
+  out.push_back(make_s27());
+  out.push_back(make_iscas89_like("s953"));
+  out.push_back(make_generated());
+  return out;
+}
+
+TEST(CompiledCircuit, CsrMatchesCircuitAdjacency) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    ASSERT_EQ(cc.node_count(), c.node_count());
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(cc.type(id), c.type(id));
+      EXPECT_EQ(cc.is_dff(id), c.type(id) == GateType::kDff);
+      EXPECT_EQ(cc.is_sink(id), c.is_primary_output(id) ||
+                                    c.type(id) == GateType::kDff);
+      const auto fi = cc.fanin(id);
+      const auto fo = cc.fanout(id);
+      ASSERT_EQ(fi.size(), c.fanin(id).size());
+      ASSERT_EQ(fo.size(), c.fanout(id).size());
+      EXPECT_TRUE(std::equal(fi.begin(), fi.end(), c.fanin(id).begin()));
+      EXPECT_TRUE(std::equal(fo.begin(), fo.end(), c.fanout(id).begin()));
+    }
+  }
+}
+
+TEST(CompiledCircuit, TopoPosMatchesConeExtractorTable) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    ConeExtractor ex(c);
+    const auto& reference = ex.topo_positions();
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(cc.topo_pos(id), reference[id]) << "node " << id;
+    }
+  }
+}
+
+TEST(CompiledCircuit, BucketLevelsOrderEveryFaninDependency) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    const auto levels = c.levels();
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(cc.bucket_level(id), levels[id]);
+      if (c.type(id) == GateType::kDff) {
+        // A DFF reads its combinational D pin's distribution: strictly
+        // later bucket. (A DFF-driven DFF reads its D only when that D is
+        // the error site, which is seeded before the pass.)
+        if (c.type(c.fanin(id)[0]) != GateType::kDff) {
+          EXPECT_GT(cc.bucket_level(id), cc.bucket_level(c.fanin(id)[0]));
+        }
+      } else {
+        // A gate reads its non-DFF fanins: all in strictly earlier buckets.
+        for (NodeId f : c.fanin(id)) {
+          if (c.type(f) != GateType::kDff) {
+            EXPECT_LT(cc.bucket_level(f), cc.bucket_level(id));
+          }
+        }
+      }
+      EXPECT_LT(cc.bucket_level(id), cc.bucket_count());
+    }
+  }
+}
+
+TEST(CompiledCircuit, SinksByRankIsCompleteAndSorted) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    const auto sinks = cc.sinks_by_rank();
+    std::size_t expected = 0;
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      if (c.is_primary_output(id) || c.type(id) == GateType::kDff) ++expected;
+    }
+    ASSERT_EQ(sinks.size(), expected);
+    for (std::size_t i = 1; i < sinks.size(); ++i) {
+      EXPECT_LE(cc.topo_pos(sinks[i - 1]), cc.topo_pos(sinks[i]));
+    }
+  }
+}
+
+TEST(CompiledCircuit, ConeEstimateUpperBoundsTrueConeSize) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    CompiledConeExtractor ex(cc);
+    for (NodeId site : error_sites(c)) {
+      const Cone& cone = ex.extract(site, /*with_reconvergence=*/false);
+      EXPECT_GE(cc.cone_size_estimate(site),
+                static_cast<double>(cone.on_path.size()))
+          << "site " << site;
+    }
+  }
+}
+
+TEST(CompiledConeExtractor, MatchesReferenceExtractor) {
+  for (const Circuit& c : test_circuits()) {
+    const CompiledCircuit cc(c);
+    ConeExtractor reference(c);
+    CompiledConeExtractor compiled(cc);
+    for (NodeId site : error_sites(c)) {
+      const Cone ref = reference.extract(site);  // copy before reuse
+      const Cone& cmp = compiled.extract(site);
+
+      EXPECT_EQ(cmp.site, ref.site);
+      // Same on-path set; the site leads in both orderings.
+      ASSERT_EQ(cmp.on_path.size(), ref.on_path.size()) << "site " << site;
+      ASSERT_FALSE(cmp.on_path.empty());
+      EXPECT_EQ(cmp.on_path.front(), site);
+      std::vector<NodeId> a(ref.on_path), b(cmp.on_path);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "site " << site;
+
+      // Identical sink sequence (= identical fold order downstream).
+      EXPECT_EQ(cmp.reachable_sinks, ref.reachable_sinks) << "site " << site;
+
+      // Same reconvergent-gate set.
+      std::vector<NodeId> ra(ref.reconvergent_gates),
+          rb(cmp.reconvergent_gates);
+      std::sort(ra.begin(), ra.end());
+      std::sort(rb.begin(), rb.end());
+      EXPECT_EQ(ra, rb) << "site " << site;
+
+      // The compiled on-path order must be a valid propagation order: every
+      // non-DFF cone fanin of a cone node appears earlier, and a DFF's D pin
+      // appears earlier.
+      std::vector<std::int64_t> pos(c.node_count(), -1);
+      for (std::size_t i = 0; i < cmp.on_path.size(); ++i) {
+        pos[cmp.on_path[i]] = static_cast<std::int64_t>(i);
+      }
+      for (NodeId id : cmp.on_path) {
+        if (id == site) continue;
+        for (NodeId f : c.fanin(id)) {
+          const bool reads_dist =
+              pos[f] >= 0 &&
+              (c.type(id) == GateType::kDff || c.type(f) != GateType::kDff);
+          if (reads_dist) {
+            EXPECT_LT(pos[f], pos[id])
+                << "site " << site << ": node " << id
+                << " ordered before its fanin " << f;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CompiledConeExtractor, ReconvergenceScanIsOptional) {
+  const Circuit c = make_s27();
+  const CompiledCircuit cc(c);
+  CompiledConeExtractor ex(cc);
+  for (NodeId site : error_sites(c)) {
+    const Cone& fast = ex.extract(site, /*with_reconvergence=*/false);
+    EXPECT_TRUE(fast.reconvergent_gates.empty());
+    const std::size_t cone_size = fast.on_path.size();
+    const Cone& full = ex.extract(site, /*with_reconvergence=*/true);
+    EXPECT_EQ(full.on_path.size(), cone_size);
+  }
+}
+
+}  // namespace
+}  // namespace sereep

@@ -4,13 +4,15 @@
 //   sereep convert <in> <out>                    .bench <-> .v by extension
 //   sereep sp      <netlist> [--engine=pm|mc|seq] [--top=N]
 //   sereep epp     <netlist> --node=NAME         per-node EPP detail
-//   sereep ser     <netlist> [--top=N]           vulnerability ranking
+//   sereep sweep   <netlist> [--threads=N]       all-nodes P_sensitized sweep
+//   sereep ser     <netlist> [--top=N] [--threads=N]  vulnerability ranking
 //   sereep harden  <netlist> --target=0.5 [--emit=out.v]
 //   sereep gen     --profile=s953 [--seed=N] [-o out.bench]
 //
 // Netlists are read as ISCAS .bench (default) or structural Verilog when the
 // file ends in .v; embedded circuit names (c17, s27, s953, ...) work
 // anywhere a path is accepted.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,8 +20,10 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/bench_io.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/netlist/stats.hpp"
@@ -30,6 +34,7 @@
 #include "src/sim/fault_injection.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
+#include "src/util/timer.hpp"
 
 namespace {
 
@@ -116,7 +121,8 @@ int cmd_epp(const std::string& path, const bench::Flags& flags) {
     return 1;
   }
   const SignalProbabilities sp = parker_mccluskey_sp(c);
-  EppEngine engine(c, sp);
+  const CompiledCircuit compiled(c);
+  CompiledEppEngine engine(compiled, sp);
   const SiteEpp r = engine.compute(*site);
   std::printf("EPP of %s (cone %zu signals, %zu reconvergent gates)\n",
               node_name.c_str(), r.cone_size, r.reconvergent_gates);
@@ -139,10 +145,42 @@ int cmd_epp(const std::string& path, const bench::Flags& flags) {
   return 0;
 }
 
+int cmd_sweep(const std::string& path, const bench::Flags& flags) {
+  const Circuit c = load_any(path);
+  const auto threads =
+      static_cast<unsigned>(flags.get_int("threads", 0));
+  Stopwatch sp_clock;
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const double sp_s = sp_clock.seconds();
+  Stopwatch sweep_clock;
+  const std::vector<double> p = all_nodes_p_sensitized_parallel(c, sp, {}, threads);
+  const double sweep_s = sweep_clock.seconds();
+  const std::vector<NodeId> sites = error_sites(c);
+
+  std::vector<NodeId> ranked(sites);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](NodeId a, NodeId b) { return p[a] > p[b]; });
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 10));
+  AsciiTable t({"Node", "Type", "P_sensitized"});
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    t.add_row({c.node(ranked[i]).name,
+               std::string(gate_type_name(c.type(ranked[i]))),
+               format_fixed(p[ranked[i]], 4)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "%zu sites swept in %.1f ms (%.0f sites/s), SP pass %.1f ms\n",
+      sites.size(), sweep_s * 1e3,
+      static_cast<double>(sites.size()) / sweep_s, sp_s * 1e3);
+  return 0;
+}
+
 int cmd_ser(const std::string& path, const bench::Flags& flags) {
   const Circuit c = load_any(path);
   const SignalProbabilities sp = parker_mccluskey_sp(c);
-  SerEstimator est(c, sp, {});
+  SerOptions opt;
+  opt.threads = static_cast<unsigned>(flags.get_int("threads", 1));
+  SerEstimator est(c, sp, opt);
   const CircuitSer ser = est.estimate();
   const auto ranked = ser.ranked();
   const auto top =
@@ -226,7 +264,8 @@ void usage() {
                "  convert <in> <out>\n"
                "  sp      <netlist> [--engine=pm|mc|seq] [--top=N]\n"
                "  epp     <netlist> --node=NAME [--verify]\n"
-               "  ser     <netlist> [--top=N]\n"
+               "  sweep   <netlist> [--threads=N] [--top=N]\n"
+               "  ser     <netlist> [--top=N] [--threads=N]\n"
                "  harden  <netlist> [--target=0.5] [--emit=out.v]\n"
                "  report  <netlist> [--validate] [--seq-sp] [--o=report.md]\n"
                "  gen     [--profile=s953] [--seed=N] [--o=out.bench]\n"
@@ -252,6 +291,7 @@ int main(int argc, char** argv) {
     if (cmd == "convert" && pos.size() == 2) return cmd_convert(pos[0], pos[1]);
     if (cmd == "sp" && pos.size() == 1) return cmd_sp(pos[0], flags);
     if (cmd == "epp" && pos.size() == 1) return cmd_epp(pos[0], flags);
+    if (cmd == "sweep" && pos.size() == 1) return cmd_sweep(pos[0], flags);
     if (cmd == "ser" && pos.size() == 1) return cmd_ser(pos[0], flags);
     if (cmd == "harden" && pos.size() == 1) return cmd_harden(pos[0], flags);
     if (cmd == "report" && pos.size() == 1) return cmd_report(pos[0], flags);
