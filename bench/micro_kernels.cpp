@@ -7,21 +7,26 @@
 //
 // The binary also writes BENCH_micro.json before the google-benchmark run —
 // machine-readable op/s for the cone-extract, propagate and full-sweep
-// kernels, reference vs compiled, on a >= 10k-gate generated circuit — so
-// the perf trajectory is tracked across PRs (see write_bench_micro_json).
-// Pass --json=path to redirect it, --json= (empty) to skip.
+// kernels, reference vs compiled vs batched (cone-sharing clusters), on a
+// >= 10k-gate generated circuit — so the perf trajectory is tracked across
+// PRs (see write_bench_micro_json). Pass --json=path to redirect it,
+// --json= (empty) to skip, and --fast to exercise the JSON emitter on a
+// small circuit and skip the google-benchmark run (CI mode).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/epp/batched_epp.hpp"
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/epp/gate_rules.hpp"
 #include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/sim/simulator.hpp"
@@ -118,6 +123,30 @@ void BM_EppAllNodesCompiled(benchmark::State& state) {
                           static_cast<int64_t>(sites.size()));
 }
 BENCHMARK(BM_EppAllNodesCompiled);
+
+// The batched cone-sharing sweep on pre-planned clusters (warm planner +
+// warm engines, singleton clusters on the compiled engine — exactly the
+// per-worker loop of all_nodes_p_sensitized_parallel).
+void BM_EppAllNodesBatched(benchmark::State& state) {
+  const Circuit& c = circuit_for("s953");
+  const CompiledCircuit& cc = compiled_for("s953");
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto sites = error_sites(c);
+  const auto clusters = ConeClusterPlanner(cc).plan(sites);
+  BatchedEppEngine batched(cc, sp);
+  CompiledEppEngine single(cc, sp);
+  for (auto _ : state) {
+    double acc = 0;
+    for (const ConeCluster& cl : clusters) {
+      run_cluster_p_sensitized(batched, single, cl, sites,
+                               [&](std::uint32_t, double p) { acc += p; });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sites.size()));
+}
+BENCHMARK(BM_EppAllNodesBatched);
 
 void BM_BitParallelEval(benchmark::State& state) {
   const Circuit& c = circuit_for("s1423");
@@ -223,20 +252,21 @@ BENCHMARK(BM_ConeExtractionCompiled);
 
 /// One generated >= 10k-gate circuit, shared by every JSON measurement (the
 /// acceptance-size workload: big enough that cache behaviour, not constant
-/// overheads, decides the numbers).
-Circuit make_json_circuit() {
+/// overheads, decides the numbers). Fast mode (CI) shrinks it ~8x so the
+/// emitter and every kernel still run, in well under a second.
+Circuit make_json_circuit(bool fast) {
   GeneratorProfile p;
-  p.name = "micro12k";
+  p.name = fast ? "micro1k5" : "micro12k";
   p.num_inputs = 24;
   p.num_outputs = 16;
-  p.num_dffs = 600;
-  p.num_gates = 12000;
-  p.target_depth = 27;
+  p.num_dffs = fast ? 75 : 600;
+  p.num_gates = fast ? 1500 : 12000;
+  p.target_depth = fast ? 14 : 27;
   return generate_circuit(p, 2024);
 }
 
-void write_bench_micro_json(const std::string& path) {
-  const Circuit c = make_json_circuit();
+void write_bench_micro_json(const std::string& path, bool fast) {
+  const Circuit c = make_json_circuit(fast);
   const std::vector<NodeId> sites = error_sites(c);
   const SignalProbabilities sp = parker_mccluskey_sp(c);
   const double n_sites = static_cast<double>(sites.size());
@@ -282,15 +312,53 @@ void write_bench_micro_json(const std::string& path) {
   }
   const double prop_cmp_s = w4.seconds();
 
+  // batched propagate: the cone-sharing sweep on pre-planned clusters (warm
+  // planner; engines constructed inside the clock like the other rows pay
+  // their engine ctor). Singleton clusters run on the compiled engine —
+  // exactly the per-worker loop of all_nodes_p_sensitized_parallel.
+  const ConeClusterPlanner planner(compiled);
+  const auto clusters = planner.plan(sites);
+  std::size_t clustered_sites = 0;
+  std::size_t multi_clusters = 0;
+  std::size_t max_lanes = 0;
+  for (const ConeCluster& cl : clusters) {
+    max_lanes = std::max(max_lanes, cl.members.size());
+    if (cl.members.size() > 1) {
+      ++multi_clusters;
+      clustered_sites += cl.members.size();
+    }
+  }
+  // Per-site results land in a scatter buffer so the bit-identity check sums
+  // them in the same site order as the reference/compiled checks (the values
+  // are per-site identical; only a like-ordered sum can show that).
+  std::vector<double> bat_by_index(sites.size(), 0.0);
+  Stopwatch w5;
+  {
+    BatchedEppEngine batched(compiled, sp);
+    CompiledEppEngine single(compiled, sp);
+    for (const ConeCluster& cl : clusters) {
+      run_cluster_p_sensitized(
+          batched, single, cl, sites,
+          [&](std::uint32_t idx, double p) { bat_by_index[idx] = p; });
+    }
+  }
+  const double prop_bat_s = w5.seconds();
+  double check_bat = 0;
+  for (double v : bat_by_index) check_bat += v;
+
   // full_sweep: the end-to-end all-sites product. On the reference side
   // this is exactly the propagate measurement (engine construction + every
   // site), so that timing is reused rather than re-run; the compiled side
   // additionally pays the one-shot CompiledCircuit build inside
-  // all_nodes_p_sensitized.
+  // all_nodes_p_sensitized, and the batched side pays compile + cluster
+  // planning inside all_nodes_p_sensitized_parallel.
   const double sweep_ref_s = prop_ref_s;
   Stopwatch w6;
   benchmark::DoNotOptimize(all_nodes_p_sensitized(c, sp));
   const double sweep_cmp_s = w6.seconds();
+  Stopwatch w7;
+  benchmark::DoNotOptimize(all_nodes_p_sensitized_parallel(c, sp, {}, 1));
+  const double sweep_bat_s = w7.seconds();
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -299,49 +367,73 @@ void write_bench_micro_json(const std::string& path) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v1\",\n"
+               "  \"schema\": \"sereep.bench_micro.v2\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
+               "  \"clusters\": {\"count\": %zu, \"multi_site\": %zu, "
+               "\"clustered_sites\": %zu, \"max_lanes\": %zu},\n"
                "  \"kernels\": {\n",
                c.name().c_str(), c.gate_count(), c.node_count(), sites.size(),
-               c.depth(), check_ref == check_cmp ? "true" : "false");
+               c.depth(),
+               check_ref == check_cmp && check_ref == check_bat ? "true"
+                                                                : "false",
+               clusters.size(), multi_clusters, clustered_sites, max_lanes);
+  // A row prints reference + compiled columns, plus batched columns when the
+  // kernel has a batched variant (bat_s > 0).
   const auto kernel = [&](const char* name, double ref_s, double cmp_s,
-                          const char* trailing) {
+                          double bat_s, const char* trailing) {
     std::fprintf(f,
                  "    \"%s\": {\"reference_sites_per_s\": %.1f, "
                  "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
-                 "\"compiled_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 "\"compiled_ms\": %.3f, \"speedup\": %.3f",
                  name, n_sites / ref_s, n_sites / cmp_s, ref_s * 1e3,
-                 cmp_s * 1e3, ref_s / cmp_s, trailing);
+                 cmp_s * 1e3, ref_s / cmp_s);
+    if (bat_s > 0) {
+      std::fprintf(f,
+                   ", \"batched_sites_per_s\": %.1f, \"batched_ms\": %.3f, "
+                   "\"batched_speedup\": %.3f, "
+                   "\"batched_vs_compiled\": %.3f",
+                   n_sites / bat_s, bat_s * 1e3, ref_s / bat_s,
+                   cmp_s / bat_s);
+    }
+    std::fprintf(f, "}%s\n", trailing);
   };
-  kernel("cone_extract", cone_ref_s, cone_cmp_s, ",");
-  kernel("propagate", prop_ref_s, prop_cmp_s, ",");
-  kernel("full_sweep", sweep_ref_s, sweep_cmp_s, "");
+  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, ",");
+  kernel("propagate", prop_ref_s, prop_cmp_s, prop_bat_s, ",");
+  kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
       "BENCH_micro.json: %zu sites, full sweep %.0f ms (ref) vs %.0f ms "
-      "(compiled) = %.2fx -> %s\n",
-      sites.size(), sweep_ref_s * 1e3, sweep_cmp_s * 1e3,
-      sweep_ref_s / sweep_cmp_s, path.c_str());
+      "(compiled) vs %.0f ms (batched) = %.2fx / %.2fx; batched-vs-compiled "
+      "%.2fx -> %s\n",
+      sites.size(), sweep_ref_s * 1e3, sweep_cmp_s * 1e3, sweep_bat_s * 1e3,
+      sweep_ref_s / sweep_cmp_s, sweep_ref_s / sweep_bat_s,
+      sweep_cmp_s / sweep_bat_s, path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our own --json flag before google-benchmark sees the arguments.
+  // Strip our own --json/--fast flags before google-benchmark sees the
+  // arguments. --fast (CI mode) runs the JSON emitter on a small circuit
+  // and skips the google-benchmark suite entirely.
   std::string json_path = "BENCH_micro.json";
+  bool fast = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
-  if (!json_path.empty()) write_bench_micro_json(json_path);
+  if (!json_path.empty()) write_bench_micro_json(json_path, fast);
+  if (fast) return 0;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

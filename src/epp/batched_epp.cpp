@@ -1,0 +1,268 @@
+#include "src/epp/batched_epp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace sereep {
+
+BatchedEppEngine::BatchedEppEngine(const CompiledCircuit& circuit,
+                                   const SignalProbabilities& sp,
+                                   EppOptions options)
+    : circuit_(circuit),
+      sp_(sp),
+      options_(options),
+      owned_off_path_(build_off_path_table(sp)),
+      off_path_(owned_off_path_),
+      stamp_(circuit.node_count(), 0),
+      slot_(circuit.node_count(), 0),
+      site_lane_(circuit.node_count(), 0),
+      buckets_(circuit.bucket_count()) {
+  assert(sp.size() == circuit.node_count());
+}
+
+BatchedEppEngine::BatchedEppEngine(const CompiledCircuit& circuit,
+                                   const SignalProbabilities& sp,
+                                   std::span<const Prob4> off_path,
+                                   EppOptions options)
+    : circuit_(circuit),
+      sp_(sp),
+      options_(options),
+      off_path_(off_path),
+      stamp_(circuit.node_count(), 0),
+      slot_(circuit.node_count(), 0),
+      site_lane_(circuit.node_count(), 0),
+      buckets_(circuit.bucket_count()) {
+  assert(sp.size() == circuit.node_count());
+  assert(off_path.size() == circuit.node_count());
+}
+
+void BatchedEppEngine::propagate_cluster(std::span<const NodeId> sites,
+                                         bool with_reconvergence) {
+  const std::size_t lanes = sites.size();
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+
+  // ---- merged extraction: one DFS over the union of the member cones -----
+  ++epoch_;
+  stack_.clear();
+  merged_.clear();
+  merged_sink_count_ = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const NodeId s = sites[l];
+    assert(s < circuit_.node_count());
+    assert(stamp_[s] != epoch_ && "cluster sites must be distinct");
+    stamp_[s] = epoch_;
+    site_lane_[s] = static_cast<std::uint8_t>(l + 1);
+    stack_.push_back(s);
+  }
+  std::uint32_t min_bucket = circuit_.bucket_count();
+  std::uint32_t max_bucket = 0;
+  while (!stack_.empty()) {
+    const NodeId id = stack_.back();
+    stack_.pop_back();
+    const std::uint32_t b = circuit_.bucket_level(id);
+    buckets_[b].push_back(id);
+    min_bucket = std::min(min_bucket, b);
+    max_bucket = std::max(max_bucket, b);
+    if (circuit_.is_sink(id)) ++merged_sink_count_;
+    // Same stopping rule as the per-site extractors: a DFF is an observation
+    // point, not a pass-through — unless it is itself a member site (an
+    // upset of the state bit propagates from the FF output).
+    if (circuit_.is_dff(id) && site_lane_[id] == 0) continue;
+    for (NodeId consumer : circuit_.fanout(id)) {
+      if (stamp_[consumer] != epoch_) {
+        stamp_[consumer] = epoch_;
+        stack_.push_back(consumer);
+      }
+    }
+  }
+
+  // Bucket concatenation is a valid propagation order for every lane at
+  // once: restricted to one lane's cone it is exactly the order the per-site
+  // extractors produce, and same-bucket nodes never read each other.
+  for (std::uint32_t b = min_bucket; b <= max_bucket && b < buckets_.size();
+       ++b) {
+    for (NodeId id : buckets_[b]) {
+      slot_[id] = static_cast<std::uint32_t>(merged_.size());
+      merged_.push_back(id);
+    }
+    buckets_[b].clear();
+  }
+
+  mask_.resize(merged_.size());
+  dist_.resize(merged_.size() * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    folds_[l] = LaneFold{};
+    // The SEU flips the site: it carries the erroneous value with certainty.
+    dist_[static_cast<std::size_t>(slot_[sites[l]]) * lanes + l] =
+        Prob4::error_site();
+  }
+
+  // ---- one pass in merged order: membership masks + per-lane Table-1 -----
+  const bool track = options_.track_polarity;
+  const double survival = options_.electrical_survival;
+  for (const NodeId id : merged_) {
+    const std::size_t slot = slot_[id];
+    const auto fanin = circuit_.fanin(id);
+    const bool id_is_dff = circuit_.is_dff(id);
+
+    // Lane membership: a lane covers this node iff the node is its site or
+    // some fanin already carries the lane through a traversable edge (a
+    // non-DFF fanin passes its whole mask; a DFF fanin passes only its own
+    // seed bit — the cone never crosses a clean state bit). Non-DFF fanins
+    // sit in strictly lower buckets, so their masks are final; DFF fanins
+    // are read via site_lane_, which is known up front.
+    std::uint64_t mask =
+        site_lane_[id] ? std::uint64_t{1} << (site_lane_[id] - 1) : 0;
+    for (const NodeId f : fanin) {
+      if (stamp_[f] != epoch_) continue;
+      if (circuit_.is_dff(f)) {
+        if (site_lane_[f]) mask |= std::uint64_t{1} << (site_lane_[f] - 1);
+      } else {
+        mask |= mask_[slot_[f]];
+      }
+    }
+    mask_[slot] = mask;
+
+    // Per-lane propagation: identical arithmetic, in identical order, to the
+    // reference engine's per-site pass — only the traversal is shared.
+    std::uint64_t work = mask;
+    while (work != 0) {
+      const int l = std::countr_zero(work);
+      work &= work - 1;
+      ++folds_[l].cone_size;
+      if (site_lane_[id] == l + 1) continue;  // seeded error site
+      if (id_is_dff) {
+        // Sink: the latched distribution lives at the D pin (the D pin is
+        // always on this lane's path — it is how the DFS reached the FF).
+        dist_[slot * lanes + l] =
+            dist_[static_cast<std::size_t>(slot_[fanin[0]]) * lanes + l];
+        continue;
+      }
+      fanin_scratch_.clear();
+      int on_path_fanins = 0;
+      for (const NodeId f : fanin) {
+        // Same rule as the reference engine: a non-site DFF fanin holds
+        // clean state within the cycle and is off-path even when its D pin
+        // is in the cone; the member site itself is always on-path.
+        bool on;
+        if (circuit_.is_dff(f)) {
+          on = site_lane_[f] == l + 1;
+        } else {
+          on = stamp_[f] == epoch_ && (mask_[slot_[f]] >> l & 1) != 0;
+        }
+        if (on) {
+          fanin_scratch_.push_back(
+              dist_[static_cast<std::size_t>(slot_[f]) * lanes + l]);
+          ++on_path_fanins;
+        } else {
+          fanin_scratch_.push_back(off_path_[f]);
+        }
+      }
+      const GateType type = circuit_.type(id);
+      Prob4 d = track ? prob4_propagate(type, fanin_scratch_)
+                      : prob4_propagate_no_polarity(type, fanin_scratch_);
+      if (survival < 1.0) {
+        const double killed = d.error_mass() * (1.0 - survival);
+        d[Sym::kA] *= survival;
+        d[Sym::kABar] *= survival;
+        d[Sym::kOne] += killed * sp_.p1[id];
+        d[Sym::kZero] += killed * (1.0 - sp_.p1[id]);
+      }
+      dist_[slot * lanes + l] = d;
+      // A gate with >= 2 error-carrying fanins is reconvergent for this lane
+      // (the on-path test above matches the reference scan's condition).
+      if (with_reconvergence && on_path_fanins >= 2) ++folds_[l].reconvergent;
+    }
+  }
+
+  for (const NodeId s : sites) site_lane_[s] = 0;
+}
+
+void BatchedEppEngine::compute_cluster(std::span<const NodeId> sites,
+                                       std::span<SiteEpp> out) {
+  assert(out.size() >= sites.size());
+  const std::size_t lanes = sites.size();
+  propagate_cluster(sites, /*with_reconvergence=*/true);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    SiteEpp r;
+    r.site = sites[l];
+    r.cone_size = folds_[l].cone_size;
+    r.reconvergent_gates = folds_[l].reconvergent;
+    out[l] = std::move(r);
+  }
+
+  // One rank-filtered scan of the global sink list serves every lane; each
+  // lane picks up its own sinks in exactly the reference fold order.
+  std::size_t seen = 0;
+  for (const NodeId sink : circuit_.sinks_by_rank()) {
+    if (stamp_[sink] != epoch_) continue;
+    const std::size_t slot = slot_[sink];
+    std::uint64_t work = mask_[slot];
+    while (work != 0) {
+      const int l = std::countr_zero(work);
+      work &= work - 1;
+      SinkEpp s;
+      s.sink = sink;
+      s.distribution = dist_[slot * lanes + static_cast<std::size_t>(l)];
+      s.error_mass = s.distribution.error_mass();
+      folds_[l].miss *= 1.0 - s.error_mass;
+      folds_[l].max_mass = std::max(folds_[l].max_mass, s.error_mass);
+      folds_[l].sum_mass += s.error_mass;
+      out[l].sinks.push_back(s);
+    }
+    if (++seen == merged_sink_count_) break;
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    out[l].p_sensitized = 1.0 - folds_[l].miss;
+    out[l].p_sens_lower = folds_[l].max_mass;
+    out[l].p_sens_upper = std::min(1.0, folds_[l].sum_mass);
+    if (circuit_.is_dff(sites[l])) {
+      const NodeId d = circuit_.fanin(sites[l])[0];
+      const bool on_path =
+          stamp_[d] == epoch_ && (mask_[slot_[d]] >> l & 1) != 0;
+      out[l].self_dpin_mass =
+          on_path ? dist_[static_cast<std::size_t>(slot_[d]) * lanes + l]
+                        .error_mass()
+                  : 0.0;
+    }
+  }
+}
+
+void BatchedEppEngine::p_sensitized_cluster(std::span<const NodeId> sites,
+                                            std::span<double> out) {
+  assert(out.size() >= sites.size());
+  const std::size_t lanes = sites.size();
+  propagate_cluster(sites, /*with_reconvergence=*/false);
+
+  std::size_t seen = 0;
+  for (const NodeId sink : circuit_.sinks_by_rank()) {
+    if (stamp_[sink] != epoch_) continue;
+    const std::size_t slot = slot_[sink];
+    std::uint64_t work = mask_[slot];
+    while (work != 0) {
+      const int l = std::countr_zero(work);
+      work &= work - 1;
+      folds_[l].miss *=
+          1.0 - dist_[slot * lanes + static_cast<std::size_t>(l)].error_mass();
+    }
+    if (++seen == merged_sink_count_) break;
+  }
+  for (std::size_t l = 0; l < lanes; ++l) out[l] = 1.0 - folds_[l].miss;
+}
+
+SiteEpp BatchedEppEngine::compute(NodeId site) {
+  SiteEpp out;
+  compute_cluster({&site, 1}, {&out, 1});
+  return out;
+}
+
+double BatchedEppEngine::p_sensitized(NodeId site) {
+  double out = 0.0;
+  p_sensitized_cluster({&site, 1}, {&out, 1});
+  return out;
+}
+
+}  // namespace sereep

@@ -1,0 +1,160 @@
+// BatchedEppEngine — multi-site EPP propagation through one shared traversal.
+//
+// CompiledEppEngine re-extracts a cone per error site even when neighbouring
+// sites cover the same fanout region. This engine takes a *cluster* of sites
+// (planned by ConeClusterPlanner), runs ONE merged forward DFS / level-bucket
+// ordering / sink-list filter over the union of their cones, and propagates
+// every member site as an independent lane through the shared node order:
+// each merged-cone node carries a 64-bit lane-membership mask plus one Prob4
+// scratch slot per lane whose cone contains it. The structural work (DFS
+// stack, visited stamps, bucket concatenation, rank-filtered sink scan) is
+// paid once per cluster instead of once per site; the per-lane arithmetic is
+// unchanged.
+//
+// Bit-for-bit contract: for every member site, each lane performs exactly
+// the floating-point operations of the reference EppEngine, in the same
+// order — the merged bucket order restricted to one lane's cone is a valid
+// topological order of that cone, same-bucket nodes never read each other,
+// and per-lane sinks are folded in the same rank-filtered sequence the
+// compiled and reference engines use. The engine-equivalence tests assert
+// exact equality (EXPECT_EQ, no tolerance) against both oracles:
+// reference EppEngine -> CompiledEppEngine -> BatchedEppEngine.
+//
+// One engine per thread (it owns the merged-cone scratch); the underlying
+// CompiledCircuit and SignalProbabilities are read-only and safely shared.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/epp/compiled_epp.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
+
+namespace sereep {
+
+/// Multi-site EPP engine over one CompiledCircuit + one SP assignment.
+class BatchedEppEngine {
+ public:
+  static constexpr std::size_t kMaxLanes = ConeClusterPlanner::kMaxLanes;
+
+  /// `circuit` and `sp` must outlive the engine; `sp` must cover every node.
+  BatchedEppEngine(const CompiledCircuit& circuit,
+                   const SignalProbabilities& sp, EppOptions options = {});
+
+  /// Same, sharing a prebuilt off-path table (build_off_path_table(sp));
+  /// `off_path` must cover every node and outlive the engine.
+  BatchedEppEngine(const CompiledCircuit& circuit,
+                   const SignalProbabilities& sp,
+                   std::span<const Prob4> off_path, EppOptions options = {});
+
+  /// Full SiteEpp for every site of one cluster; out[i] receives sites[i]'s
+  /// record. `sites` must hold 1..kMaxLanes distinct sites.
+  void compute_cluster(std::span<const NodeId> sites, std::span<SiteEpp> out);
+
+  /// P_sensitized only — skips per-sink record assembly and the
+  /// reconvergent-gate count. out[i] receives sites[i]'s value.
+  void p_sensitized_cluster(std::span<const NodeId> sites,
+                            std::span<double> out);
+
+  /// Single-site conveniences (a 1-lane cluster); used by tests to pin the
+  /// degenerate case against CompiledEppEngine.
+  [[nodiscard]] SiteEpp compute(NodeId site);
+  [[nodiscard]] double p_sensitized(NodeId site);
+
+  [[nodiscard]] const CompiledCircuit& circuit() const noexcept {
+    return circuit_;
+  }
+  [[nodiscard]] const EppOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Merged extraction + per-lane propagation for one cluster. Fills
+  /// merged_, slot_, mask_, dist_ and the per-lane accumulators.
+  void propagate_cluster(std::span<const NodeId> sites,
+                         bool with_reconvergence);
+
+  const CompiledCircuit& circuit_;
+  const SignalProbabilities& sp_;
+  EppOptions options_;
+  std::vector<Prob4> owned_off_path_;   ///< empty when the table is shared
+  std::span<const Prob4> off_path_;     ///< Prob4::off_path(sp) per node
+
+  // Node-indexed scratch (epoch-stamped, reused across clusters).
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> slot_;     ///< node -> merged-cone slot
+  std::vector<std::uint8_t> site_lane_; ///< node -> lane + 1, 0 = not a site
+
+  // Cluster scratch (slot-indexed / lane-indexed).
+  std::vector<NodeId> stack_;
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<NodeId> merged_;          ///< merged cone, bucket order
+  std::vector<std::uint64_t> mask_;     ///< per slot: lane-membership bits
+  std::vector<Prob4> dist_;             ///< slot * lane_count + lane
+  std::vector<Prob4> fanin_scratch_;
+  std::size_t merged_sink_count_ = 0;
+
+  // Per-lane fold state, filled by propagate_cluster.
+  struct LaneFold {
+    double miss = 1.0;
+    double max_mass = 0.0;
+    double sum_mass = 0.0;
+    std::size_t cone_size = 0;
+    std::size_t reconvergent = 0;
+  };
+  LaneFold folds_[kMaxLanes];
+};
+
+// ---- cluster runners -------------------------------------------------------
+//
+// The one place that knows how to execute a planned ConeCluster: gather the
+// member sites into lane order, run the batched engine — or the compiled
+// engine for 1-member clusters, where the lane machinery buys nothing (both
+// are bit-identical, so the split is invisible) — and hand each member's
+// result to `emit(member_index, value)`, with member_index the site's index
+// into `sites` (= the planner's input order). Shared by the work-stealing
+// sweeps in epp_engine.cpp and the bench harnesses.
+
+template <typename Emit>
+void run_cluster_p_sensitized(BatchedEppEngine& batched,
+                              CompiledEppEngine& single,
+                              const ConeCluster& cluster,
+                              std::span<const NodeId> sites, Emit&& emit) {
+  const std::size_t m = cluster.members.size();
+  if (m == 1) {
+    emit(cluster.members[0], single.p_sensitized(sites[cluster.members[0]]));
+    return;
+  }
+  NodeId lane_sites[BatchedEppEngine::kMaxLanes];
+  double lane_out[BatchedEppEngine::kMaxLanes];
+  for (std::size_t k = 0; k < m; ++k) {
+    lane_sites[k] = sites[cluster.members[k]];
+  }
+  batched.p_sensitized_cluster({lane_sites, m}, {lane_out, m});
+  for (std::size_t k = 0; k < m; ++k) emit(cluster.members[k], lane_out[k]);
+}
+
+template <typename Emit>
+void run_cluster_compute(BatchedEppEngine& batched, CompiledEppEngine& single,
+                         const ConeCluster& cluster,
+                         std::span<const NodeId> sites, Emit&& emit) {
+  const std::size_t m = cluster.members.size();
+  if (m == 1) {
+    emit(cluster.members[0], single.compute(sites[cluster.members[0]]));
+    return;
+  }
+  NodeId lane_sites[BatchedEppEngine::kMaxLanes];
+  for (std::size_t k = 0; k < m; ++k) {
+    lane_sites[k] = sites[cluster.members[k]];
+  }
+  std::vector<SiteEpp> lane_out(m);
+  batched.compute_cluster({lane_sites, m}, lane_out);
+  for (std::size_t k = 0; k < m; ++k) {
+    emit(cluster.members[k], std::move(lane_out[k]));
+  }
+}
+
+}  // namespace sereep

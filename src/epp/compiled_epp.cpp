@@ -5,6 +5,13 @@
 
 namespace sereep {
 
+std::vector<Prob4> build_off_path_table(const SignalProbabilities& sp) {
+  std::vector<Prob4> table;
+  table.reserve(sp.size());
+  for (double p1 : sp.p1) table.push_back(Prob4::off_path(p1));
+  return table;
+}
+
 CompiledEppEngine::CompiledEppEngine(const CompiledCircuit& circuit,
                                      const SignalProbabilities& sp,
                                      EppOptions options)
@@ -12,13 +19,26 @@ CompiledEppEngine::CompiledEppEngine(const CompiledCircuit& circuit,
       sp_(sp),
       options_(options),
       cones_(circuit),
+      owned_off_path_(build_off_path_table(sp)),
+      off_path_(owned_off_path_),
       dist_(circuit.node_count()),
       on_path_stamp_(circuit.node_count(), 0) {
   assert(sp.size() == circuit.node_count());
-  off_path_.reserve(circuit.node_count());
-  for (NodeId id = 0; id < circuit.node_count(); ++id) {
-    off_path_.push_back(Prob4::off_path(sp.p1[id]));
-  }
+}
+
+CompiledEppEngine::CompiledEppEngine(const CompiledCircuit& circuit,
+                                     const SignalProbabilities& sp,
+                                     std::span<const Prob4> off_path,
+                                     EppOptions options)
+    : circuit_(circuit),
+      sp_(sp),
+      options_(options),
+      cones_(circuit),
+      off_path_(off_path),
+      dist_(circuit.node_count()),
+      on_path_stamp_(circuit.node_count(), 0) {
+  assert(sp.size() == circuit.node_count());
+  assert(off_path.size() == circuit.node_count());
 }
 
 const Cone& CompiledEppEngine::propagate(NodeId site,

@@ -16,12 +16,20 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/compiled.hpp"
 
 namespace sereep {
+
+/// Prob4::off_path(sp) for every node — the per-engine prebuilt table. A
+/// sweep that spawns several worker engines over one SP assignment should
+/// build this once and hand each engine a view (the per-engine constructors
+/// below otherwise each build an identical copy).
+[[nodiscard]] std::vector<Prob4> build_off_path_table(
+    const SignalProbabilities& sp);
 
 /// EPP computation engine bound to one CompiledCircuit + one SP assignment.
 /// Mirrors EppEngine's per-site API; see epp_engine.hpp for the result types.
@@ -30,6 +38,12 @@ class CompiledEppEngine {
   /// `circuit` and `sp` must outlive the engine; `sp` must cover every node.
   CompiledEppEngine(const CompiledCircuit& circuit,
                     const SignalProbabilities& sp, EppOptions options = {});
+
+  /// Same, sharing a prebuilt off-path table (build_off_path_table(sp));
+  /// `off_path` must cover every node and outlive the engine.
+  CompiledEppEngine(const CompiledCircuit& circuit,
+                    const SignalProbabilities& sp,
+                    std::span<const Prob4> off_path, EppOptions options = {});
 
   /// Full three-step computation for one error site (cone metadata, per-sink
   /// distributions, sensitization bounds).
@@ -57,7 +71,8 @@ class CompiledEppEngine {
   const SignalProbabilities& sp_;
   EppOptions options_;
   CompiledConeExtractor cones_;
-  std::vector<Prob4> off_path_;  ///< Prob4::off_path(sp) per node, prebuilt
+  std::vector<Prob4> owned_off_path_;   ///< empty when the table is shared
+  std::span<const Prob4> off_path_;     ///< Prob4::off_path(sp) per node
   std::vector<Prob4> dist_;
   std::vector<std::uint32_t> on_path_stamp_;
   std::uint32_t epoch_ = 0;

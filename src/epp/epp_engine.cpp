@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <numeric>
 #include <thread>
 
+#include "src/epp/batched_epp.hpp"
 #include "src/epp/compiled_epp.hpp"
 #include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
 #include "src/sim/fault_injection.hpp"  // error_sites / subsample_sites
 
 namespace sereep {
@@ -145,53 +146,70 @@ std::vector<double> all_nodes_p_sensitized(const Circuit& circuit,
 
 namespace {
 
-/// Chunk of the site list one fetch_add of the shared cursor hands out.
-/// Small enough to keep all workers busy on a skewed tail, large enough to
-/// amortize the atomic and keep neighbouring (similar-sized) cones together.
+/// Minimum sites per cursor grab. Chunks are cluster-granular (a cluster is
+/// never split across workers — its lanes share one traversal) and packed to
+/// at least this many sites: small enough to keep all workers busy on a
+/// skewed tail, large enough to amortize the atomic.
 constexpr std::size_t kSweepChunk = 32;
 
-/// Indices of `sites` in descending cone-size-estimate order, ties by
-/// original position (deterministic). Draining the big cones first is what
-/// lets the dynamic scheduler finish with a balanced tail of small cones
-/// instead of one thread stuck on a late giant.
-std::vector<std::size_t> sweep_schedule(const CompiledCircuit& compiled,
-                                        const std::vector<NodeId>& sites) {
-  std::vector<std::size_t> order(sites.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return compiled.cone_size_estimate(sites[a]) >
-                            compiled.cone_size_estimate(sites[b]);
-                   });
-  return order;
+/// The planned sweep: cone-sharing clusters in descending mass order
+/// (biggest first, so no thread idles on a late giant) plus cluster-index
+/// chunk boundaries for the work-stealing cursor.
+struct SweepPlan {
+  std::vector<ConeCluster> clusters;
+  std::vector<std::size_t> chunk_bounds;  ///< chunk i = [bounds[i], bounds[i+1])
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunk_bounds.empty() ? 0 : chunk_bounds.size() - 1;
+  }
+};
+
+SweepPlan plan_sweep(const ConeClusterPlanner& planner,
+                     std::span<const NodeId> sites) {
+  SweepPlan plan;
+  plan.clusters = planner.plan(sites);
+  std::size_t i = 0;
+  while (i < plan.clusters.size()) {
+    plan.chunk_bounds.push_back(i);
+    std::size_t count = 0;
+    while (i < plan.clusters.size() && count < kSweepChunk) {
+      count += plan.clusters[i++].members.size();
+    }
+  }
+  plan.chunk_bounds.push_back(plan.clusters.size());
+  return plan;
 }
 
-/// Runs `per_site(site_index)` for every site, distributing chunks of the
-/// schedule via an atomic cursor. `threads` <= 1 runs the same chunked loop
-/// on the calling thread. `make_worker_state()` builds one engine per worker.
-template <typename PerSiteFn>
+/// Runs `per_cluster(batched, single, cluster)` for every cluster,
+/// distributing chunks via an atomic cursor (dynamic work stealing).
+/// Each worker owns one BatchedEppEngine plus one CompiledEppEngine — the
+/// latter serves 1-member clusters, where the lane machinery buys nothing
+/// (both produce bit-identical results, so the split is invisible).
+/// `threads` <= 1 runs the same chunked loop on the calling thread.
+template <typename PerClusterFn>
 void run_sweep(const CompiledCircuit& compiled, const SignalProbabilities& sp,
-               const EppOptions& options,
-               const std::vector<std::size_t>& schedule, unsigned threads,
-               PerSiteFn per_site) {
+               const EppOptions& options, const SweepPlan& plan,
+               unsigned threads, PerClusterFn per_cluster) {
+  if (plan.chunk_count() == 0) return;  // before any O(n) engine build
+  // One off-path table for the whole sweep; every worker's engine pair
+  // borrows it instead of building identical per-engine copies.
+  const std::vector<Prob4> off_path = build_off_path_table(sp);
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&] {
-    CompiledEppEngine engine(compiled, sp, options);
+    BatchedEppEngine batched(compiled, sp, off_path, options);
+    CompiledEppEngine single(compiled, sp, off_path, options);
     for (;;) {
-      const std::size_t begin = cursor.fetch_add(kSweepChunk);
-      if (begin >= schedule.size()) break;
-      const std::size_t end =
-          std::min(begin + kSweepChunk, schedule.size());
-      for (std::size_t i = begin; i < end; ++i) {
-        per_site(engine, schedule[i]);
+      const std::size_t chunk = cursor.fetch_add(1);
+      if (chunk >= plan.chunk_count()) break;
+      for (std::size_t c = plan.chunk_bounds[chunk];
+           c < plan.chunk_bounds[chunk + 1]; ++c) {
+        per_cluster(batched, single, plan.clusters[c]);
       }
     }
   };
   // Never spawn more workers than there are chunks to hand out.
-  const std::size_t chunks =
-      (schedule.size() + kSweepChunk - 1) / kSweepChunk;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads == 0 ? 1 : threads, chunks));
+  threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads == 0 ? 1 : threads, plan.chunk_count()));
   if (threads <= 1) {
     worker();
     return;
@@ -214,11 +232,42 @@ std::vector<double> all_nodes_p_sensitized_parallel(
     unsigned threads) {
   const CompiledCircuit compiled(circuit);
   const std::vector<NodeId> sites = error_sites(circuit);
-  const std::vector<std::size_t> schedule = sweep_schedule(compiled, sites);
+  const SweepPlan plan = plan_sweep(ConeClusterPlanner(compiled), sites);
   std::vector<double> out(circuit.node_count(), 0.0);
-  run_sweep(compiled, sp, options, schedule, resolve_threads(threads),
-            [&](CompiledEppEngine& engine, std::size_t i) {
-              out[sites[i]] = engine.p_sensitized(sites[i]);
+  run_sweep(compiled, sp, options, plan, resolve_threads(threads),
+            [&](BatchedEppEngine& batched, CompiledEppEngine& single,
+                const ConeCluster& cluster) {
+              run_cluster_p_sensitized(
+                  batched, single, cluster, sites,
+                  [&](std::uint32_t idx, double p) { out[sites[idx]] = p; });
+            });
+  return out;
+}
+
+std::vector<SiteEpp> compute_sites_parallel(const CompiledCircuit& compiled,
+                                            std::span<const NodeId> sites,
+                                            const SignalProbabilities& sp,
+                                            EppOptions options,
+                                            unsigned threads) {
+  return compute_sites_parallel(compiled, ConeClusterPlanner(compiled), sites,
+                                sp, options, threads);
+}
+
+std::vector<SiteEpp> compute_sites_parallel(const CompiledCircuit& compiled,
+                                            const ConeClusterPlanner& planner,
+                                            std::span<const NodeId> sites,
+                                            const SignalProbabilities& sp,
+                                            EppOptions options,
+                                            unsigned threads) {
+  const SweepPlan plan = plan_sweep(planner, sites);
+  std::vector<SiteEpp> out(sites.size());
+  run_sweep(compiled, sp, options, plan, resolve_threads(threads),
+            [&](BatchedEppEngine& batched, CompiledEppEngine& single,
+                const ConeCluster& cluster) {
+              run_cluster_compute(batched, single, cluster, sites,
+                                  [&](std::uint32_t idx, SiteEpp&& epp) {
+                                    out[idx] = std::move(epp);
+                                  });
             });
   return out;
 }
@@ -238,13 +287,7 @@ std::vector<SiteEpp> compute_all_parallel(const Circuit& circuit,
                                           std::size_t max_sites) {
   const std::vector<NodeId> sites =
       subsample_sites(error_sites(circuit), max_sites);
-  const std::vector<std::size_t> schedule = sweep_schedule(compiled, sites);
-  std::vector<SiteEpp> out(sites.size());
-  run_sweep(compiled, sp, options, schedule, resolve_threads(threads),
-            [&](CompiledEppEngine& engine, std::size_t i) {
-              out[i] = engine.compute(sites[i]);
-            });
-  return out;
+  return compute_sites_parallel(compiled, sites, sp, options, threads);
 }
 
 }  // namespace sereep

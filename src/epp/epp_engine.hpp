@@ -14,14 +14,16 @@
 //
 // EppEngine is the REFERENCE implementation: it walks the Circuit's node
 // structs directly and sorts each cone with a comparison sort. The
-// production hot path is CompiledEppEngine (compiled_epp.hpp), which runs
-// the same arithmetic over a flat-CSR CompiledCircuit and is bit-for-bit
-// equal by construction; the all_nodes_* conveniences below route through
-// it. Keep both: the reference engine is the oracle the compiled path is
-// tested against.
+// single-site production path is CompiledEppEngine (compiled_epp.hpp), the
+// same arithmetic over a flat-CSR CompiledCircuit; full sweeps additionally
+// share traversals between sites with overlapping cones through
+// BatchedEppEngine (batched_epp.hpp). All three are bit-for-bit equal —
+// the oracle hierarchy reference -> compiled -> batched is pinned by the
+// engine-equivalence tests (see tests/README.md); keep every tier.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/epp/gate_rules.hpp"
@@ -135,20 +137,39 @@ class EppEngine {
     const Circuit& circuit, const SignalProbabilities& sp,
     EppOptions options = {});
 
-/// Multi-threaded all-nodes computation: per-site EPP is embarrassingly
-/// parallel (each site only reads the compiled circuit and SPs), so each
-/// worker owns a private CompiledEppEngine and pulls chunks of sites from a
-/// shared atomic cursor (dynamic work stealing). Sites are handed out in
-/// descending cone-size order so the big cones are drained first and no
-/// thread idles on a skewed tail — output-cone sizes follow the circuit's
-/// fanout distribution and are always skewed. `threads` == 0 picks
-/// std::thread::hardware_concurrency(). Results are identical to the
-/// sequential path (pure computation, no accumulation order effects).
+/// Multi-threaded all-nodes computation over the batched cone-sharing path:
+/// sites are grouped into cone-sharing clusters (ConeClusterPlanner), each
+/// worker owns a private BatchedEppEngine (plus a CompiledEppEngine for
+/// 1-member clusters) and pulls cluster chunks from a shared atomic cursor
+/// (dynamic work stealing), biggest clusters first so no thread idles on a
+/// skewed tail. `threads` == 0 picks std::thread::hardware_concurrency().
+/// Results are bit-identical to the sequential reference path at every
+/// thread count (pure computation, no accumulation order effects; the
+/// batched lanes replay the reference arithmetic exactly).
 [[nodiscard]] std::vector<double> all_nodes_p_sensitized_parallel(
     const Circuit& circuit, const SignalProbabilities& sp,
     EppOptions options = {}, unsigned threads = 0);
 
 class CompiledCircuit;
+class ConeClusterPlanner;
+
+/// Batched parallel compute() over an explicit site list: full SiteEpp
+/// records, out[i] for sites[i]. The cluster planner + work-stealing
+/// scheduler of all_nodes_p_sensitized_parallel, for callers sweeping a
+/// subset (the multicycle engine's FF matrix, sampled studies).
+[[nodiscard]] std::vector<SiteEpp> compute_sites_parallel(
+    const CompiledCircuit& compiled, std::span<const NodeId> sites,
+    const SignalProbabilities& sp, EppOptions options = {},
+    unsigned threads = 0);
+
+/// Same, reusing a ConeClusterPlanner the caller already built (`planner`
+/// must be a planner over `compiled`) — holders of a long-lived compiled
+/// view that sweep repeatedly (the SER estimator) must not pay a second
+/// O(V+E) signature pass per call.
+[[nodiscard]] std::vector<SiteEpp> compute_sites_parallel(
+    const CompiledCircuit& compiled, const ConeClusterPlanner& planner,
+    std::span<const NodeId> sites, const SignalProbabilities& sp,
+    EppOptions options = {}, unsigned threads = 0);
 
 /// Batched parallel compute(): full SiteEpp records for every error site (or
 /// an evenly spaced subsample when max_sites > 0), in error_sites() order.

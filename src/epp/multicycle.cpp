@@ -7,17 +7,22 @@ namespace sereep {
 
 MultiCycleEppEngine::MultiCycleEppEngine(const Circuit& circuit,
                                          const SignalProbabilities& sp,
-                                         EppOptions options)
+                                         EppOptions options, unsigned threads)
     : circuit_(circuit), compiled_(circuit), engine_(compiled_, sp, options) {
   // Precompute the state-error propagation matrix: one combinational EPP per
-  // flip-flop, with the FF output as the error site.
+  // flip-flop, with the FF output as the error site. FF cones overlap
+  // heavily (register banks feed the same next-state logic), so the rebuild
+  // runs on the batched cone-sharing sweep — bit-identical to a sequential
+  // per-FF loop at any thread count (pinned by the multicycle tests).
   const auto dffs = circuit.dffs();
   ff_index_.assign(circuit.node_count(), static_cast<std::size_t>(-1));
   for (std::size_t k = 0; k < dffs.size(); ++k) ff_index_[dffs[k]] = k;
 
+  const std::vector<SiteEpp> epps =
+      compute_sites_parallel(compiled_, dffs, sp, options, threads);
   rows_.resize(dffs.size());
   for (std::size_t k = 0; k < dffs.size(); ++k) {
-    const SiteEpp epp = engine_.compute(dffs[k]);
+    const SiteEpp& epp = epps[k];
     FfRow& row = rows_[k];
     double po_miss = 1.0;
     for (const SinkEpp& s : epp.sinks) {

@@ -53,8 +53,18 @@ struct MultiCycleEpp {
 /// `cycles` sparse matrix-vector products.
 class MultiCycleEppEngine {
  public:
+  /// One sparse matrix row: where one flip-flop's state error goes in a
+  /// cycle. Public so tests can pin the parallel/batched matrix rebuild
+  /// against a sequential per-FF oracle.
+  struct FfRow {
+    double to_po = 0.0;                      ///< P(reach any PO | error here)
+    std::vector<std::pair<std::size_t, double>> to_ff;  ///< (ff index, mass)
+  };
+
+  /// `threads` drives the FF-matrix rebuild (0 = hardware concurrency); the
+  /// matrix is bit-identical at every thread count.
   MultiCycleEppEngine(const Circuit& circuit, const SignalProbabilities& sp,
-                      EppOptions options = {});
+                      EppOptions options = {}, unsigned threads = 0);
 
   // engine_ references the sibling member compiled_, so a copied or moved
   // instance would point into the source object.
@@ -69,12 +79,13 @@ class MultiCycleEppEngine {
   [[nodiscard]] double detect_eventually(NodeId site, double tolerance = 1e-9,
                                          std::size_t max_cycles = 1000);
 
- private:
-  struct FfRow {
-    double to_po = 0.0;                      ///< P(reach any PO | error here)
-    std::vector<std::pair<std::size_t, double>> to_ff;  ///< (ff index, mass)
-  };
+  /// The precomputed FF→{PO, FF} matrix, indexed like circuit.dffs() (test
+  /// and diagnostic access).
+  [[nodiscard]] const std::vector<FfRow>& ff_rows() const noexcept {
+    return rows_;
+  }
 
+ private:
   const Circuit& circuit_;
   CompiledCircuit compiled_;
   CompiledEppEngine engine_;                ///< flat-CSR EPP hot path

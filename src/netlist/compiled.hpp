@@ -87,10 +87,17 @@ class CompiledCircuit {
 
   /// Upper-bound estimate of the output-cone size of `id` (a forward
   /// path-count accumulated in one reverse-topological pass; counts shared
-  /// suffixes once per path, so estimate >= true cone size). Used to order a
-  /// parallel sweep so the biggest cones are drained first.
+  /// suffixes once per path, so estimate >= true cone size). This is THE
+  /// scheduling cost model: the cluster planner's packing budget, the
+  /// work-stealing sweep's biggest-first order, and the bench's scheduling
+  /// statistics all read this one table — do not recompute it elsewhere
+  /// (its value on c17 is pinned by tests/netlist/compiled_test.cpp).
   [[nodiscard]] double cone_size_estimate(NodeId id) const {
     return cone_estimate_[id];
+  }
+  /// Whole-circuit view of the same table, one entry per node.
+  [[nodiscard]] std::span<const double> cone_size_estimates() const noexcept {
+    return cone_estimate_;
   }
 
  private:

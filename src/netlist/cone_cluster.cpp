@@ -1,0 +1,140 @@
+#include "src/netlist/cone_cluster.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+#include "src/util/rng.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// Bloom bit of one sink node: every sink hashes to one of the 64 signature
+/// bits (splitmix64 mixes the id so consecutive sinks land on unrelated
+/// bits).
+std::uint64_t sink_bit(NodeId id) {
+  std::uint64_t state = id;
+  return std::uint64_t{1} << (splitmix64(state) & 63);
+}
+
+/// What a fanout edge into `consumer` contributes to a signature: a DFF is an
+/// observation point (its own bit) — the cone never continues through it —
+/// while a gate passes its whole downstream sink set.
+std::uint64_t pass_through(const CompiledCircuit& c, NodeId consumer,
+                           const std::vector<std::uint64_t>& sig) {
+  return c.is_dff(consumer) ? sink_bit(consumer) : sig[consumer];
+}
+
+}  // namespace
+
+ConeClusterPlanner::ConeClusterPlanner(const CompiledCircuit& circuit)
+    : circuit_(circuit), sig_(circuit.node_count(), 0) {
+  const std::size_t n = circuit.node_count();
+
+  // Reverse-topological signature pass, same two-pass structure as the
+  // cone-size estimate (compiled.cpp): descending bucket level covers the
+  // combinational nodes (a gate sits strictly above its non-DFF fanins, so
+  // every non-DFF consumer is processed first), then DFF sites, whose
+  // consumers only ever contribute pass-1 values or plain sink bits.
+  std::vector<std::vector<NodeId>> by_level(circuit.bucket_count());
+  for (NodeId id = 0; id < n; ++id) {
+    if (!circuit.is_dff(id)) by_level[circuit.bucket_level(id)].push_back(id);
+  }
+  for (std::size_t b = by_level.size(); b-- > 0;) {
+    for (NodeId id : by_level[b]) {
+      std::uint64_t s = circuit.is_sink(id) ? sink_bit(id) : 0;
+      for (NodeId consumer : circuit.fanout(id)) {
+        s |= pass_through(circuit, consumer, sig_);
+      }
+      sig_[id] = s;
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (!circuit.is_dff(id)) continue;
+    std::uint64_t s = sink_bit(id);  // a DFF site is a sink of its own cone
+    for (NodeId consumer : circuit.fanout(id)) {
+      s |= pass_through(circuit, consumer, sig_);
+    }
+    sig_[id] = s;
+  }
+}
+
+std::vector<ConeCluster> ConeClusterPlanner::plan(
+    std::span<const NodeId> sites) const {
+  // Scratch-memory cap: the batched engine allocates one Prob4 lane per
+  // (merged-cone slot, member site), and the merged cone is bounded both by
+  // the sum of the member cone estimates (disjoint worst case — Bloom
+  // collisions can cluster disjoint cones) and by the circuit itself.
+  // Bounding lanes x that merged bound keeps per-worker scratch a few
+  // hundred MB even on million-gate netlists while leaving full 64-way
+  // sharing available at every size the repo currently runs.
+  constexpr double kScratchEntryBudget = 1 << 23;
+
+  const double n = static_cast<double>(circuit_.node_count());
+  const auto capped_estimate = [&](NodeId site) {
+    // The path-count estimate can overshoot exponentially; a cone can never
+    // exceed the circuit.
+    return std::min(circuit_.cone_size_estimate(site), n);
+  };
+
+  // Signature-sorted order: equal-signature sites become adjacent, and
+  // topological position keeps sites of one region together within a
+  // signature run.
+  std::vector<std::uint32_t> order(sites.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (sig_[sites[a]] != sig_[sites[b]]) {
+      return sig_[sites[a]] < sig_[sites[b]];
+    }
+    if (circuit_.topo_pos(sites[a]) != circuit_.topo_pos(sites[b])) {
+      return circuit_.topo_pos(sites[a]) < circuit_.topo_pos(sites[b]);
+    }
+    return sites[a] < sites[b];
+  });
+
+  std::vector<ConeCluster> clusters;
+  std::uint64_t cluster_sig = 0;
+  for (std::uint32_t idx : order) {
+    const NodeId site = sites[idx];
+    const std::uint64_t sig = sig_[site];
+    const double est = capped_estimate(site);
+
+    bool join = false;
+    if (!clusters.empty()) {
+      const ConeCluster& cur = clusters.back();
+      if (cur.members.size() < kMaxLanes &&
+          static_cast<double>(cur.members.size() + 1) *
+                  std::min(cur.mass + est, n) <=
+              kScratchEntryBudget) {
+        // Share a traversal only when the sink sets plausibly overlap:
+        // identical signatures (the common case — chains and reconvergent
+        // regions), or a Jaccard overlap of at least one half. Two empty
+        // signatures are both sink-free cones and trivially share.
+        const std::uint64_t both = sig & cluster_sig;
+        const std::uint64_t any = sig | cluster_sig;
+        join = sig == cluster_sig ||
+               (any != 0 && 2 * std::popcount(both) >= std::popcount(any));
+      }
+    }
+    if (!join) {
+      clusters.emplace_back();
+      cluster_sig = 0;
+    }
+    ConeCluster& cur = clusters.back();
+    cur.members.push_back(idx);
+    cur.mass += est;
+    cluster_sig |= sig;
+  }
+
+  // Biggest first: the parallel sweep drains heavy clusters before the tail
+  // of small ones, exactly like the per-site scheduler it replaces.
+  std::stable_sort(clusters.begin(), clusters.end(),
+                   [](const ConeCluster& a, const ConeCluster& b) {
+                     return a.mass > b.mass;
+                   });
+  return clusters;
+}
+
+}  // namespace sereep

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "src/epp/epp_engine.hpp"
+#include "src/util/csv.hpp"
 #include "src/netlist/stats.hpp"
 #include "src/ser/ser_estimator.hpp"
 #include "src/sim/fault_injection.hpp"
@@ -123,6 +125,20 @@ std::string generate_report(const Circuit& circuit,
        << "% (paper reports 5.4% average).\n";
   }
   return md.str();
+}
+
+std::string sweep_csv(const Circuit& circuit, unsigned threads) {
+  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
+  const std::vector<double> p =
+      all_nodes_p_sensitized_parallel(circuit, sp, {}, threads);
+  CsvWriter csv({"node", "type", "p_sensitized"});
+  for (NodeId site : error_sites(circuit)) {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.17g", p[site]);
+    csv.add_row({circuit.node(site).name,
+                 std::string(gate_type_name(circuit.type(site))), value});
+  }
+  return csv.str();
 }
 
 }  // namespace sereep

@@ -28,4 +28,14 @@ struct ReportOptions {
 [[nodiscard]] std::string generate_report(const Circuit& circuit,
                                           const ReportOptions& options = {});
 
+/// Machine-readable all-nodes P_sensitized sweep: CSV with one row per error
+/// site in error_sites() order, probabilities printed with round-trip
+/// precision (%.17g). The CLI's `sweep --csv=...` and the golden-file
+/// regression tests (tests/cli/) share this exact formatter, so any output
+/// or numeric drift in the sweep fails ctest instead of silently changing
+/// the Table-2 harness. `threads` only parallelizes; the text is identical
+/// at every thread count.
+[[nodiscard]] std::string sweep_csv(const Circuit& circuit,
+                                    unsigned threads = 1);
+
 }  // namespace sereep

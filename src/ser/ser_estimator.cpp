@@ -1,6 +1,7 @@
 #include "src/ser/ser_estimator.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "src/sim/fault_injection.hpp"  // error_sites / subsample_sites
 
@@ -19,6 +20,7 @@ SerEstimator::SerEstimator(const Circuit& circuit,
       sp_(sp),
       options_(std::move(options)),
       compiled_(circuit),
+      planner_(compiled_),
       engine_(compiled_, sp, options_.epp) {}
 
 NodeSer SerEstimator::node_ser_from_epp(const SiteEpp& epp) {
@@ -48,20 +50,26 @@ NodeSer SerEstimator::estimate_node(NodeId node) {
 }
 
 CircuitSer SerEstimator::estimate() {
+  // Always the batched cone-sharing sweep — at threads == 1 it runs on the
+  // calling thread; per-node results are bit-identical to estimate_node()'s
+  // per-site path at every thread count. The sweep is folded in bounded
+  // slices so peak memory is O(slice) full SiteEpp records, not all sites
+  // at once; slices are far larger than any cluster-packing window, so cone
+  // sharing within a slice is unaffected, and the per-slice worker-engine
+  // rebuild (O(nodes)) is amortized over kFoldSlice swept cones.
+  constexpr std::size_t kFoldSlice = 8192;
+  const std::vector<NodeId> sites =
+      subsample_sites(error_sites(circuit_), options_.max_sites);
   CircuitSer out;
-  if (options_.threads != 1) {
-    for (const SiteEpp& epp :
-         compute_all_parallel(circuit_, compiled_, sp_, options_.epp,
-                              options_.threads, options_.max_sites)) {
+  out.nodes.reserve(sites.size());
+  for (std::size_t begin = 0; begin < sites.size(); begin += kFoldSlice) {
+    const std::size_t count = std::min(kFoldSlice, sites.size() - begin);
+    for (SiteEpp& epp : compute_sites_parallel(
+             compiled_, planner_, std::span(sites).subspan(begin, count), sp_,
+             options_.epp, options_.threads)) {
       out.nodes.push_back(node_ser_from_epp(epp));
       out.total_ser += out.nodes.back().ser;
     }
-    return out;
-  }
-  for (NodeId site :
-       subsample_sites(error_sites(circuit_), options_.max_sites)) {
-    out.nodes.push_back(estimate_node(site));
-    out.total_ser += out.nodes.back().ser;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/circuit.hpp"
 #include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
 #include "src/ser/latching.hpp"
 #include "src/ser/seu_rate.hpp"
 #include "src/sigprob/signal_prob.hpp"
@@ -83,6 +84,7 @@ class SerEstimator {
   const SignalProbabilities& sp_;
   SerOptions options_;
   CompiledCircuit compiled_;
+  ConeClusterPlanner planner_;  ///< built once; estimate() sweeps reuse it
   CompiledEppEngine engine_;
 };
 

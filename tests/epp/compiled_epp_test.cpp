@@ -7,7 +7,6 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <vector>
 
 #include "src/epp/epp_engine.hpp"
@@ -16,6 +15,7 @@
 #include "src/netlist/generator.hpp"
 #include "src/ser/ser_estimator.hpp"
 #include "src/sim/fault_injection.hpp"
+#include "tests/epp/site_epp_testutil.hpp"
 
 namespace sereep {
 namespace {
@@ -40,30 +40,7 @@ std::vector<Circuit> test_circuits() {
   return out;
 }
 
-void expect_site_epp_equal(const Circuit& c, const SiteEpp& ref,
-                           const SiteEpp& cmp) {
-  EXPECT_EQ(cmp.site, ref.site);
-  EXPECT_EQ(cmp.cone_size, ref.cone_size);
-  EXPECT_EQ(cmp.reconvergent_gates, ref.reconvergent_gates);
-  EXPECT_EQ(cmp.p_sensitized, ref.p_sensitized);
-  EXPECT_EQ(cmp.p_sens_lower, ref.p_sens_lower);
-  EXPECT_EQ(cmp.p_sens_upper, ref.p_sens_upper);
-  EXPECT_EQ(cmp.self_dpin_mass, ref.self_dpin_mass);
-  ASSERT_EQ(cmp.sinks.size(), ref.sinks.size());
-  // Compare per sink id (robust to tie-order among DFFs sharing a D pin —
-  // those carry identical distributions by construction).
-  std::map<NodeId, const SinkEpp*> by_sink;
-  for (const SinkEpp& s : ref.sinks) by_sink[s.sink] = &s;
-  for (const SinkEpp& s : cmp.sinks) {
-    ASSERT_TRUE(by_sink.count(s.sink)) << c.node(s.sink).name;
-    const SinkEpp& r = *by_sink[s.sink];
-    EXPECT_EQ(s.error_mass, r.error_mass) << c.node(s.sink).name;
-    for (int k = 0; k < kSymCount; ++k) {
-      EXPECT_EQ(s.distribution.p[k], r.distribution.p[k])
-          << c.node(s.sink).name << " component " << k;
-    }
-  }
-}
+using testutil::expect_site_epp_equal;
 
 TEST(CompiledEppEngine, PSensitizedBitIdenticalToReference) {
   for (const Circuit& c : test_circuits()) {

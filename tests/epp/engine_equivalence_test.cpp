@@ -1,0 +1,196 @@
+// Engine-equivalence fuzz harness — the contract every perf PR must keep.
+//
+// The paper's claim is an all-nodes EPP sweep that is fast *and* exact, so
+// every accelerated engine must compute bit-for-bit the same probabilities
+// as the reference implementation. This suite generates random circuits
+// across size / fanout-density / flip-flop profiles (seeded RNG, no
+// wall-clock dependence anywhere) and pins the full oracle hierarchy
+//
+//     EppEngine (reference)  ->  CompiledEppEngine  ->  BatchedEppEngine
+//
+// with EXPECT_EQ on doubles — no tolerance — across:
+//   * compute() records including all four Prob4 components per sink,
+//   * planner-clustered batched sweeps,
+//   * the parallel sweep at 1 / 2 / 8 threads,
+//   * randomized site subsets through compute_sites_parallel.
+//
+// Future engines join the hierarchy by being added here; a refactor that
+// changes any floating-point result in any profile fails this file first.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/epp/batched_epp.hpp"
+#include "src/epp/compiled_epp.hpp"
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/rng.hpp"
+#include "tests/epp/site_epp_testutil.hpp"
+
+namespace sereep {
+namespace {
+
+/// One fuzz point: a structural profile plus the generator seed. Everything
+/// downstream is a pure function of this struct.
+struct FuzzProfile {
+  const char* tag;
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t dffs;
+  std::size_t gates;
+  std::uint32_t depth;
+  double reuse_bias;  ///< fanout-stem density (see GeneratorProfile)
+  std::uint64_t seed;
+};
+
+// Spans the axes the engines are sensitive to: pure combinational vs
+// FF-heavy (DFF boundary + self-feedback paths), sparse vs dense fanout
+// (cone overlap and reconvergence), shallow-wide vs deep-narrow (bucket
+// counts), and the 1-gate-deep degenerate corner.
+const FuzzProfile kProfiles[] = {
+    {"tiny_comb", 6, 4, 0, 25, 4, 0.30, 11},
+    {"small_seq", 10, 6, 12, 120, 8, 0.35, 22},
+    {"single_ff", 8, 4, 1, 60, 6, 0.35, 33},
+    {"dense_fanout", 16, 10, 40, 600, 12, 0.70, 44},
+    {"sparse_fanout", 16, 10, 40, 600, 12, 0.05, 55},
+    {"deep_narrow", 8, 6, 30, 800, 30, 0.35, 66},
+    {"ff_heavy", 12, 8, 150, 700, 10, 0.40, 77},
+    {"mid_comb", 24, 16, 0, 1200, 16, 0.35, 88},
+};
+
+Circuit make_fuzz_circuit(const FuzzProfile& f) {
+  GeneratorProfile p;
+  p.name = std::string("fuzz_") + f.tag;
+  p.num_inputs = f.inputs;
+  p.num_outputs = f.outputs;
+  p.num_dffs = f.dffs;
+  p.num_gates = f.gates;
+  p.target_depth = f.depth;
+  p.reuse_bias = f.reuse_bias;
+  return generate_circuit(p, f.seed);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<FuzzProfile> {};
+
+TEST_P(EngineEquivalence, ComputeBitIdenticalAcrossHierarchy) {
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  const CompiledCircuit cc(c);
+  CompiledEppEngine compiled(cc, sp);
+  BatchedEppEngine batched(cc, sp);
+  for (NodeId site : error_sites(c)) {
+    const SiteEpp ref = reference.compute(site);
+    testutil::expect_site_epp_equal(c, ref, compiled.compute(site));
+    testutil::expect_site_epp_equal(c, ref, batched.compute(site));
+    EXPECT_EQ(batched.p_sensitized(site), reference.p_sensitized(site))
+        << c.node(site).name;
+  }
+}
+
+TEST_P(EngineEquivalence, PlannedClustersBitIdenticalToReference) {
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  const CompiledCircuit cc(c);
+  BatchedEppEngine batched(cc, sp);
+  const std::vector<NodeId> sites = error_sites(c);
+
+  const auto clusters = ConeClusterPlanner(cc).plan(sites);
+  std::size_t covered = 0;
+  for (const ConeCluster& cluster : clusters) {
+    std::vector<NodeId> lane_sites;
+    for (std::uint32_t idx : cluster.members) lane_sites.push_back(sites[idx]);
+    std::vector<SiteEpp> out(lane_sites.size());
+    batched.compute_cluster(lane_sites, out);
+    for (std::size_t k = 0; k < lane_sites.size(); ++k) {
+      testutil::expect_site_epp_equal(c, reference.compute(lane_sites[k]),
+                                      out[k]);
+    }
+    covered += cluster.members.size();
+  }
+  EXPECT_EQ(covered, sites.size());  // every site in exactly one cluster
+}
+
+TEST_P(EngineEquivalence, ParallelSweepBitIdenticalAt_1_2_8_Threads) {
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  std::vector<double> expected(c.node_count(), 0.0);
+  for (NodeId site : error_sites(c)) {
+    expected[site] = reference.p_sensitized(site);
+  }
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const std::vector<double> got =
+        all_nodes_p_sensitized_parallel(c, sp, {}, threads);
+    ASSERT_EQ(got.size(), expected.size());
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(got[id], expected[id])
+          << GetParam().tag << " threads=" << threads << " node " << id;
+    }
+  }
+}
+
+TEST_P(EngineEquivalence, RandomSiteSubsetsBitIdentical) {
+  const FuzzProfile& profile = GetParam();
+  const Circuit c = make_fuzz_circuit(profile);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  const CompiledCircuit cc(c);
+  const std::vector<NodeId> all = error_sites(c);
+
+  // Seeded subset draws — a Fisher-Yates prefix per round, sizes from one
+  // lone site up to most of the circuit, each swept at a different thread
+  // count.
+  Rng rng(profile.seed ^ 0xf00dULL);
+  const std::size_t sizes[] = {1, 3, all.size() / 4 + 2, all.size() / 2 + 1};
+  unsigned threads = 1;
+  for (std::size_t want : sizes) {
+    std::vector<NodeId> pool = all;
+    const std::size_t n = std::min(want, pool.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    rng.below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(n);
+    const std::vector<SiteEpp> got =
+        compute_sites_parallel(cc, pool, sp, {}, threads);
+    ASSERT_EQ(got.size(), pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      EXPECT_EQ(got[i].site, pool[i]);  // caller order preserved
+      testutil::expect_site_epp_equal(c, reference.compute(pool[i]), got[i]);
+    }
+    threads = threads == 8 ? 1 : threads * 2;
+  }
+}
+
+TEST_P(EngineEquivalence, OptionVariantsStayBitIdentical) {
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const CompiledCircuit cc(c);
+  const std::vector<NodeId> sites = error_sites(c);
+  for (const EppOptions& options :
+       {EppOptions{.track_polarity = false},
+        EppOptions{.electrical_survival = 0.9}}) {
+    EppEngine reference(c, sp, options);
+    const std::vector<SiteEpp> got =
+        compute_sites_parallel(cc, sites, sp, options, 2);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      testutil::expect_site_epp_equal(c, reference.compute(sites[i]), got[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, EngineEquivalence, ::testing::ValuesIn(kProfiles),
+    [](const ::testing::TestParamInfo<FuzzProfile>& info) {
+      return std::string(info.param.tag);
+    });
+
+}  // namespace
+}  // namespace sereep

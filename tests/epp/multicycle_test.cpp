@@ -148,5 +148,132 @@ TEST(SequentialFaultInjection, MoreCyclesDetectMore) {
   EXPECT_GE(d8 + 0.02, d1);
 }
 
+// ---- FF-matrix rebuild: batched/parallel route vs sequential oracle -------
+//
+// The engine's constructor now builds the FF→{PO, FF} matrix through the
+// batched cone-sharing sweep (compute_sites_parallel). These tests rebuild
+// the matrix the pre-batching way — one CompiledEppEngine::compute per
+// flip-flop, in dffs() order — and demand exact equality (EXPECT_EQ, no
+// tolerance) at several thread counts, including the 0-FF and single-FF
+// edge cases.
+
+/// The sequential oracle: a verbatim replay of the original per-FF loop.
+std::vector<MultiCycleEppEngine::FfRow> sequential_ff_rows(
+    const Circuit& circuit, const SignalProbabilities& sp,
+    EppOptions options = {}) {
+  const CompiledCircuit compiled(circuit);
+  CompiledEppEngine engine(compiled, sp, options);
+  const auto dffs = circuit.dffs();
+  std::vector<std::size_t> ff_index(circuit.node_count(),
+                                    static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < dffs.size(); ++k) ff_index[dffs[k]] = k;
+  std::vector<MultiCycleEppEngine::FfRow> rows(dffs.size());
+  for (std::size_t k = 0; k < dffs.size(); ++k) {
+    const SiteEpp epp = engine.compute(dffs[k]);
+    MultiCycleEppEngine::FfRow& row = rows[k];
+    double po_miss = 1.0;
+    for (const SinkEpp& s : epp.sinks) {
+      if (s.sink == dffs[k]) {
+        if (epp.self_dpin_mass > 0.0) {
+          row.to_ff.emplace_back(k, epp.self_dpin_mass);
+        }
+        continue;
+      }
+      if (circuit.type(s.sink) == GateType::kDff) {
+        row.to_ff.emplace_back(ff_index[s.sink], s.error_mass);
+      } else {
+        po_miss *= 1.0 - s.error_mass;
+      }
+    }
+    row.to_po = 1.0 - po_miss;
+  }
+  return rows;
+}
+
+void expect_ff_rows_equal(
+    const std::vector<MultiCycleEppEngine::FfRow>& expected,
+    const std::vector<MultiCycleEppEngine::FfRow>& got) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(got[k].to_po, expected[k].to_po) << "ff " << k;
+    ASSERT_EQ(got[k].to_ff.size(), expected[k].to_ff.size()) << "ff " << k;
+    for (std::size_t j = 0; j < expected[k].to_ff.size(); ++j) {
+      EXPECT_EQ(got[k].to_ff[j].first, expected[k].to_ff[j].first)
+          << "ff " << k << " entry " << j;
+      EXPECT_EQ(got[k].to_ff[j].second, expected[k].to_ff[j].second)
+          << "ff " << k << " entry " << j;
+    }
+  }
+}
+
+TEST(MultiCycleEpp, FfMatrixBatchedRouteMatchesSequentialOnS27) {
+  const Circuit c = make_s27();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto expected = sequential_ff_rows(c, sp);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    MultiCycleEppEngine engine(c, sp, {}, threads);
+    expect_ff_rows_equal(expected, engine.ff_rows());
+  }
+}
+
+TEST(MultiCycleEpp, FfMatrixBatchedRouteMatchesSequentialOnGeneratedProfile) {
+  GeneratorProfile p;
+  p.name = "mc_seq_gen";
+  p.num_inputs = 16;
+  p.num_outputs = 8;
+  p.num_dffs = 120;
+  p.num_gates = 900;
+  p.target_depth = 12;
+  const Circuit c = generate_circuit(p, 4242);
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto expected = sequential_ff_rows(c, sp);
+  MultiCycleEppEngine engine(c, sp, {}, 4);
+  expect_ff_rows_equal(expected, engine.ff_rows());
+}
+
+TEST(MultiCycleEpp, FfMatrixZeroFfCircuitIsEmptyAndEngineStillWorks) {
+  const Circuit c = make_c17();  // purely combinational
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  MultiCycleEppEngine engine(c, sp, {}, 2);
+  EXPECT_TRUE(engine.ff_rows().empty());
+  // With no state, detection is decided entirely in cycle 1 and nothing
+  // lingers.
+  const CompiledCircuit cc(c);
+  CompiledEppEngine single(cc, sp);
+  for (NodeId site : error_sites(c)) {
+    const MultiCycleEpp r = engine.compute(site, 4);
+    ASSERT_GE(r.detect_by_cycle.size(), 1u);
+    EXPECT_EQ(r.detect_by_cycle[0], single.compute(site).p_sensitized);
+    for (std::size_t t = 0; t < r.detect_by_cycle.size(); ++t) {
+      EXPECT_EQ(r.detect_by_cycle[t], r.detect_by_cycle[0]);  // no state left
+      EXPECT_EQ(r.residual_state[t], 0.0);
+    }
+  }
+}
+
+TEST(MultiCycleEpp, FfMatrixSingleFfWithFeedback) {
+  // One flip-flop holding AND(in, ff): a genuine self-feedback loop plus a
+  // PO tap — the smallest circuit where the self-entry of the matrix is
+  // nonzero.
+  Circuit c;
+  const NodeId in = c.add_input("in");
+  const NodeId ff = c.add_dff_placeholder("ff");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {in, ff});
+  c.connect_dff(ff, g);
+  const NodeId po = c.add_gate(GateType::kBuf, "po", {g});
+  c.mark_output(po);
+  c.finalize();
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const auto expected = sequential_ff_rows(c, sp);
+  ASSERT_EQ(expected.size(), 1u);
+  ASSERT_EQ(expected[0].to_ff.size(), 1u);  // the self-feedback entry
+  EXPECT_GT(expected[0].to_ff[0].second, 0.0);
+  EXPECT_GT(expected[0].to_po, 0.0);
+  for (unsigned threads : {1u, 3u}) {
+    MultiCycleEppEngine engine(c, sp, {}, threads);
+    expect_ff_rows_equal(expected, engine.ff_rows());
+  }
+}
+
 }  // namespace
 }  // namespace sereep

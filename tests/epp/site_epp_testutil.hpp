@@ -1,0 +1,40 @@
+// Shared assertion for the engine-equivalence suites: two SiteEpp records
+// must match bit for bit — EXPECT_EQ on doubles, no tolerance — including
+// every component of every per-sink Prob4 distribution. Sinks are compared
+// by id (robust to tie-order among DFFs sharing a D pin, which carry
+// identical latched distributions by construction).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/circuit.hpp"
+
+namespace sereep::testutil {
+
+inline void expect_site_epp_equal(const Circuit& c, const SiteEpp& ref,
+                                  const SiteEpp& cmp) {
+  EXPECT_EQ(cmp.site, ref.site);
+  EXPECT_EQ(cmp.cone_size, ref.cone_size);
+  EXPECT_EQ(cmp.reconvergent_gates, ref.reconvergent_gates);
+  EXPECT_EQ(cmp.p_sensitized, ref.p_sensitized);
+  EXPECT_EQ(cmp.p_sens_lower, ref.p_sens_lower);
+  EXPECT_EQ(cmp.p_sens_upper, ref.p_sens_upper);
+  EXPECT_EQ(cmp.self_dpin_mass, ref.self_dpin_mass);
+  ASSERT_EQ(cmp.sinks.size(), ref.sinks.size()) << c.node(ref.site).name;
+  std::map<NodeId, const SinkEpp*> by_sink;
+  for (const SinkEpp& s : ref.sinks) by_sink[s.sink] = &s;
+  for (const SinkEpp& s : cmp.sinks) {
+    ASSERT_TRUE(by_sink.count(s.sink)) << c.node(s.sink).name;
+    const SinkEpp& r = *by_sink[s.sink];
+    EXPECT_EQ(s.error_mass, r.error_mass) << c.node(s.sink).name;
+    for (int k = 0; k < kSymCount; ++k) {
+      EXPECT_EQ(s.distribution.p[k], r.distribution.p[k])
+          << c.node(s.sink).name << " component " << k;
+    }
+  }
+}
+
+}  // namespace sereep::testutil

@@ -183,5 +183,40 @@ TEST(CompiledConeExtractor, ReconvergenceScanIsOptional) {
   }
 }
 
+TEST(CompiledCircuit, ConeSizeEstimatePinnedOnC17) {
+  // cone_size_estimate() is the single scheduling cost model shared by the
+  // cluster planner, the work-stealing sweep order and the bench statistics
+  // (see compiled.hpp). Pin its exact value on c17 — the forward path count
+  // per node — so any change to the estimator is a deliberate, visible one.
+  const Circuit c = make_c17();
+  const CompiledCircuit cc(c);
+  const std::pair<const char*, double> expected[] = {
+      // PIs:   1 + sum over consumers' counts
+      {"1", 3.0}, {"2", 4.0}, {"3", 9.0}, {"6", 7.0}, {"7", 3.0},
+      // NANDs: 10->22, 11->{16,19}, 16->{22,23}, 19->23, POs 22 / 23
+      {"10", 2.0}, {"11", 6.0}, {"16", 3.0}, {"19", 2.0},
+      {"22", 1.0}, {"23", 1.0},
+  };
+  for (const auto& [name, value] : expected) {
+    const auto id = c.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(cc.cone_size_estimate(*id), value) << name;
+  }
+  // The whole-circuit view is the same table.
+  const auto all = cc.cone_size_estimates();
+  ASSERT_EQ(all.size(), c.node_count());
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    EXPECT_EQ(all[id], cc.cone_size_estimate(id));
+  }
+  // And the estimate really upper-bounds the true cone size everywhere.
+  CompiledConeExtractor ex(cc);
+  for (NodeId site : error_sites(c)) {
+    EXPECT_GE(cc.cone_size_estimate(site),
+              static_cast<double>(
+                  ex.extract(site, /*with_reconvergence=*/false)
+                      .on_path.size()));
+  }
+}
+
 }  // namespace
 }  // namespace sereep

@@ -4,7 +4,8 @@
 //   sereep convert <in> <out>                    .bench <-> .v by extension
 //   sereep sp      <netlist> [--engine=pm|mc|seq] [--top=N]
 //   sereep epp     <netlist> --node=NAME         per-node EPP detail
-//   sereep sweep   <netlist> [--threads=N]       all-nodes P_sensitized sweep
+//   sereep sweep   <netlist> [--threads=N] [--csv=out.csv]
+//                                                all-nodes P_sensitized sweep
 //   sereep ser     <netlist> [--top=N] [--threads=N]  vulnerability ranking
 //   sereep harden  <netlist> --target=0.5 [--emit=out.v]
 //   sereep gen     --profile=s953 [--seed=N] [-o out.bench]
@@ -149,6 +150,25 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
   const Circuit c = load_any(path);
   const auto threads =
       static_cast<unsigned>(flags.get_int("threads", 0));
+  if (flags.has("csv")) {
+    // Machine-readable mode: the exact formatter the golden-file regression
+    // tests pin (tests/cli/), written to a file or - for stdout.
+    const std::string out = flags.get("csv", "-");
+    const std::string text = sweep_csv(c, threads);
+    if (out == "-" || out.empty()) {
+      std::printf("%s", text.c_str());
+      return 0;
+    }
+    std::ofstream f(out);
+    f << text;
+    f.flush();  // surface buffered-write failures before declaring success
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    std::printf("sweep CSV written to %s\n", out.c_str());
+    return 0;
+  }
   Stopwatch sp_clock;
   const SignalProbabilities sp = parker_mccluskey_sp(c);
   const double sp_s = sp_clock.seconds();
@@ -264,7 +284,7 @@ void usage() {
                "  convert <in> <out>\n"
                "  sp      <netlist> [--engine=pm|mc|seq] [--top=N]\n"
                "  epp     <netlist> --node=NAME [--verify]\n"
-               "  sweep   <netlist> [--threads=N] [--top=N]\n"
+               "  sweep   <netlist> [--threads=N] [--top=N] [--csv=out.csv]\n"
                "  ser     <netlist> [--top=N] [--threads=N]\n"
                "  harden  <netlist> [--target=0.5] [--emit=out.v]\n"
                "  report  <netlist> [--validate] [--seq-sp] [--o=report.md]\n"
