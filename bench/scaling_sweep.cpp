@@ -94,7 +94,8 @@ int main(int argc, char** argv) {
   // Thread-scaling of the dynamic work-stealing sweep on the largest
   // circuit. Results are identical at every thread count; only wall time
   // changes.
-  const SignalProbabilities sp = parker_mccluskey_sp(largest);
+  const CompiledCircuit largest_compiled(largest);
+  const SignalProbabilities sp = compiled_parker_mccluskey_sp(largest_compiled);
   AsciiTable threads_table({"Threads", "Sweep(ms)", "Speedup", "Sites/s"});
   double t1_s = 0.0;
   const std::size_t n_sites = error_sites(largest).size();
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
   thread_counts.push_back(cap);
   for (unsigned t : thread_counts) {
     Stopwatch clock;
-    (void)all_nodes_p_sensitized_parallel(largest, sp, {}, t);
+    (void)all_nodes_p_sensitized_parallel(largest, largest_compiled, sp, {}, t);
     const double s = clock.seconds();
     if (t == 1) t1_s = s;
     threads_table.add_row(

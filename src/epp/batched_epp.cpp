@@ -90,17 +90,23 @@ void BatchedEppEngine::propagate_cluster(std::span<const NodeId> sites,
   }
 
   mask_.resize(merged_.size());
-  dist_.resize(merged_.size() * lanes);
+  stride_ = simd::round_up_lanes(lanes);
+  planes_.resize(merged_.size() * static_cast<std::size_t>(kSymCount) *
+                 stride_);
   for (std::size_t l = 0; l < lanes; ++l) {
     folds_[l] = LaneFold{};
     // The SEU flips the site: it carries the erroneous value with certainty.
-    dist_[static_cast<std::size_t>(slot_[sites[l]]) * lanes + l] =
-        Prob4::error_site();
+    // Seeded before the pass (a DFF site's slot can be read by consumers in
+    // LOWER buckets) and re-applied after the kernel writes the site's slot.
+    simd::seed_error_lane(block(slot_[sites[l]]), stride_, l);
   }
 
   // ---- one pass in merged order: membership masks + per-lane Table-1 -----
   const bool track = options_.track_polarity;
   const double survival = options_.electrical_survival;
+  // The vector kernels replay the scalar polarity-tracking arithmetic; the
+  // polarity-blind ablation keeps the per-lane scalar fold.
+  const bool vector = track && simd::enabled();
   for (const NodeId id : merged_) {
     const std::size_t slot = slot_[id];
     const auto fanin = circuit_.fanin(id);
@@ -124,19 +130,103 @@ void BatchedEppEngine::propagate_cluster(std::span<const NodeId> sites,
     }
     mask_[slot] = mask;
 
-    // Per-lane propagation: identical arithmetic, in identical order, to the
-    // reference engine's per-site pass — only the traversal is shared.
+    // The lane-plane kernels win once a node carries enough lanes to fill
+    // vector registers; sparse nodes (cone fringes) stay on the per-lane
+    // scalar branch. Both branches are bit-identical, so the threshold is a
+    // pure scheduling choice.
+    constexpr int kVectorMinLanes = 4;
+    if (vector && std::popcount(mask) >= kVectorMinLanes) {
+      // ---- lane-plane path: one kernel updates every member lane group ---
+      for (std::uint64_t work = mask; work != 0; work &= work - 1) {
+        ++folds_[std::countr_zero(work)].cone_size;
+      }
+      if (fanin.empty()) continue;  // source node: only its own seed lane
+      const simd::GroupMask groups = simd::active_groups(mask);
+      double* out = block(slot);
+      if (id_is_dff) {
+        // Sink: the latched distribution lives at the D pin. Member lanes
+        // always have the D pin on-path (it is how the DFS reached the FF);
+        // the group copy drags garbage sibling lanes along, which no reader
+        // uses.
+        if (stamp_[fanin[0]] == epoch_) {
+          simd::copy_groups(out, block(slot_[fanin[0]]), groups, stride_);
+        }
+        if (site_lane_[id]) {
+          simd::seed_error_lane(out, stride_, site_lane_[id] - 1);
+        }
+        continue;
+      }
+      fanin_lanes_.clear();
+      for (const NodeId f : fanin) {
+        simd::FaninLanes in;
+        in.off = off_path_[f];
+        // Same rule as the reference engine: a non-site DFF fanin holds
+        // clean state within the cycle and is off-path even when its D pin
+        // is in the cone; the member site itself is always on-path.
+        if (circuit_.is_dff(f)) {
+          if (site_lane_[f]) {
+            in.on = std::uint64_t{1} << (site_lane_[f] - 1);
+            in.src = block(slot_[f]);
+          }
+        } else if (stamp_[f] == epoch_) {
+          in.on = mask_[slot_[f]];
+          in.src = block(slot_[f]);
+        }
+        fanin_lanes_.push_back(in);
+      }
+      // Reconvergence bookkeeping reads the true on-masks; the kernels get
+      // don't-care-widened copies (lanes outside `mask` may read either
+      // side — nothing consumes them), which turns most per-lane blends
+      // into whole-group copies.
+      std::uint64_t seen = 0, twice = 0;
+      for (simd::FaninLanes& in : fanin_lanes_) {
+        twice |= seen & in.on;
+        seen |= in.on;
+        if (in.src != nullptr) in.on |= ~mask;
+      }
+      simd::propagate_gate(circuit_.type(id), out, fanin_lanes_.data(),
+                           fanin_lanes_.size(), groups, stride_);
+      if (survival < 1.0) {
+        simd::attenuate(out, survival, sp_.p1[id], groups, stride_);
+      }
+      if (site_lane_[id]) {
+        simd::seed_error_lane(out, stride_, site_lane_[id] - 1);
+      }
+      if (with_reconvergence) {
+        // A gate with >= 2 error-carrying fanins is reconvergent for a lane;
+        // the carry-save pass above gives "at least two" per lane without a
+        // per-lane loop (matches the scalar count exactly).
+        std::uint64_t rework = mask & twice;
+        if (site_lane_[id]) {
+          rework &= ~(std::uint64_t{1} << (site_lane_[id] - 1));
+        }
+        for (; rework != 0; rework &= rework - 1) {
+          ++folds_[std::countr_zero(rework)].reconvergent;
+        }
+      }
+      continue;
+    }
+
+    // ---- scalar per-lane path (SIMD off / polarity-blind ablation) -------
+    // Identical arithmetic, in identical order, to the reference engine's
+    // per-site pass — only the traversal is shared. Gathers each lane's
+    // Prob4 from the planes and scatters the result back (data movement
+    // only; the planes are the single source of truth for both paths).
     std::uint64_t work = mask;
     while (work != 0) {
       const int l = std::countr_zero(work);
       work &= work - 1;
       ++folds_[l].cone_size;
       if (site_lane_[id] == l + 1) continue;  // seeded error site
+      double* out = block(slot);
       if (id_is_dff) {
         // Sink: the latched distribution lives at the D pin (the D pin is
         // always on this lane's path — it is how the DFS reached the FF).
-        dist_[slot * lanes + l] =
-            dist_[static_cast<std::size_t>(slot_[fanin[0]]) * lanes + l];
+        const double* d_pin = block(slot_[fanin[0]]);
+        for (int s = 0; s < kSymCount; ++s) {
+          out[static_cast<std::size_t>(s) * stride_ + l] =
+              d_pin[static_cast<std::size_t>(s) * stride_ + l];
+        }
         continue;
       }
       fanin_scratch_.clear();
@@ -153,7 +243,7 @@ void BatchedEppEngine::propagate_cluster(std::span<const NodeId> sites,
         }
         if (on) {
           fanin_scratch_.push_back(
-              dist_[static_cast<std::size_t>(slot_[f]) * lanes + l]);
+              lane_prob4(slot_[f], static_cast<std::size_t>(l)));
           ++on_path_fanins;
         } else {
           fanin_scratch_.push_back(off_path_[f]);
@@ -169,7 +259,9 @@ void BatchedEppEngine::propagate_cluster(std::span<const NodeId> sites,
         d[Sym::kOne] += killed * sp_.p1[id];
         d[Sym::kZero] += killed * (1.0 - sp_.p1[id]);
       }
-      dist_[slot * lanes + l] = d;
+      for (int s = 0; s < kSymCount; ++s) {
+        out[static_cast<std::size_t>(s) * stride_ + l] = d.p[s];
+      }
       // A gate with >= 2 error-carrying fanins is reconvergent for this lane
       // (the on-path test above matches the reference scan's condition).
       if (with_reconvergence && on_path_fanins >= 2) ++folds_[l].reconvergent;
@@ -205,7 +297,7 @@ void BatchedEppEngine::compute_cluster(std::span<const NodeId> sites,
       work &= work - 1;
       SinkEpp s;
       s.sink = sink;
-      s.distribution = dist_[slot * lanes + static_cast<std::size_t>(l)];
+      s.distribution = lane_prob4(slot, static_cast<std::size_t>(l));
       s.error_mass = s.distribution.error_mass();
       folds_[l].miss *= 1.0 - s.error_mass;
       folds_[l].max_mass = std::max(folds_[l].max_mass, s.error_mass);
@@ -224,9 +316,7 @@ void BatchedEppEngine::compute_cluster(std::span<const NodeId> sites,
       const bool on_path =
           stamp_[d] == epoch_ && (mask_[slot_[d]] >> l & 1) != 0;
       out[l].self_dpin_mass =
-          on_path ? dist_[static_cast<std::size_t>(slot_[d]) * lanes + l]
-                        .error_mass()
-                  : 0.0;
+          on_path ? lane_prob4(slot_[d], l).error_mass() : 0.0;
     }
   }
 }
@@ -234,7 +324,6 @@ void BatchedEppEngine::compute_cluster(std::span<const NodeId> sites,
 void BatchedEppEngine::p_sensitized_cluster(std::span<const NodeId> sites,
                                             std::span<double> out) {
   assert(out.size() >= sites.size());
-  const std::size_t lanes = sites.size();
   propagate_cluster(sites, /*with_reconvergence=*/false);
 
   std::size_t seen = 0;
@@ -246,11 +335,11 @@ void BatchedEppEngine::p_sensitized_cluster(std::span<const NodeId> sites,
       const int l = std::countr_zero(work);
       work &= work - 1;
       folds_[l].miss *=
-          1.0 - dist_[slot * lanes + static_cast<std::size_t>(l)].error_mass();
+          1.0 - lane_prob4(slot, static_cast<std::size_t>(l)).error_mass();
     }
     if (++seen == merged_sink_count_) break;
   }
-  for (std::size_t l = 0; l < lanes; ++l) out[l] = 1.0 - folds_[l].miss;
+  for (std::size_t l = 0; l < sites.size(); ++l) out[l] = 1.0 - folds_[l].miss;
 }
 
 SiteEpp BatchedEppEngine::compute(NodeId site) {

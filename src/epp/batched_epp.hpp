@@ -1,24 +1,51 @@
-// BatchedEppEngine — multi-site EPP propagation through one shared traversal.
+// BatchedEppEngine — multi-site EPP propagation through one shared traversal,
+// with SIMD lane-plane arithmetic.
 //
 // CompiledEppEngine re-extracts a cone per error site even when neighbouring
 // sites cover the same fanout region. This engine takes a *cluster* of sites
 // (planned by ConeClusterPlanner), runs ONE merged forward DFS / level-bucket
 // ordering / sink-list filter over the union of their cones, and propagates
-// every member site as an independent lane through the shared node order:
-// each merged-cone node carries a 64-bit lane-membership mask plus one Prob4
-// scratch slot per lane whose cone contains it. The structural work (DFS
-// stack, visited stamps, bucket concatenation, rank-filtered sink scan) is
-// paid once per cluster instead of once per site; the per-lane arithmetic is
-// unchanged.
+// every member site as an independent lane through the shared node order.
+// The structural work (DFS stack, visited stamps, bucket concatenation,
+// rank-filtered sink scan) is paid once per cluster instead of once per
+// site, and one gate evaluation updates every lane of the cluster at once.
 //
-// Bit-for-bit contract: for every member site, each lane performs exactly
-// the floating-point operations of the reference EppEngine, in the same
+// Prob4 plane memory layout
+// -------------------------
+// Lane distributions are stored structure-of-arrays, not as Prob4 structs:
+// each merged-cone slot owns one contiguous lane vector PER SYMBOL,
+//
+//   planes_[(slot * 4 + sym) * stride + lane]
+//
+// with sym indexed by Sym (kZero, kOne, kA, kABar) and stride = the cluster's
+// lane count rounded up to simd::kLaneWidth (one cache line of doubles).
+// A slot's whole block (4 * stride doubles) is contiguous, so one gate
+// evaluation streams its fanin blocks and writes its output block with plain
+// unit-stride loops — the lane-plane kernels in src/util/simd.hpp, which
+// auto-vectorize with no intrinsics. Per-fanin on/off-path selection is a
+// branch-free per-lane blend against the node's 64-bit membership mask.
+// Lanes the node does not belong to compute harmless garbage (all inputs
+// blend to finite off-path constants) that no reader ever consumes: every
+// downstream read — fanin blend, sink fold, self-D-pin probe — is gated by
+// the membership mask.
+//
+// Bit-for-bit contract
+// --------------------
+// For every member site, each lane performs exactly the floating-point
+// operations of the reference EppEngine, on the same values, in the same
 // order — the merged bucket order restricted to one lane's cone is a valid
 // topological order of that cone, same-bucket nodes never read each other,
-// and per-lane sinks are folded in the same rank-filtered sequence the
-// compiled and reference engines use. The engine-equivalence tests assert
-// exact equality (EXPECT_EQ, no tolerance) against both oracles:
-// reference EppEngine -> CompiledEppEngine -> BatchedEppEngine.
+// per-lane sinks fold in the same rank-filtered sequence the compiled and
+// reference engines use, and each simd kernel replays the scalar gate_rules
+// arithmetic per lane (pinned by tests/epp/simd_kernels_test.cpp). The
+// error-site seed is a constant re-applied after the kernel writes the
+// site's slot, never a kernel output. The SIMD and scalar per-lane paths
+// are therefore interchangeable at runtime (simd::set_enabled /
+// SEREEP_NO_SIMD; the scalar path also serves the polarity-blind ablation,
+// whose 3-symbol fold is not vectorized). The engine-equivalence tests
+// assert exact equality (EXPECT_EQ, no tolerance) against both oracles and
+// with SIMD on and off: reference EppEngine -> CompiledEppEngine ->
+// BatchedEppEngine.
 //
 // One engine per thread (it owns the merged-cone scratch); the underlying
 // CompiledCircuit and SignalProbabilities are read-only and safely shared.
@@ -33,6 +60,7 @@
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/compiled.hpp"
 #include "src/netlist/cone_cluster.hpp"
+#include "src/util/simd.hpp"
 
 namespace sereep {
 
@@ -72,9 +100,24 @@ class BatchedEppEngine {
 
  private:
   /// Merged extraction + per-lane propagation for one cluster. Fills
-  /// merged_, slot_, mask_, dist_ and the per-lane accumulators.
+  /// merged_, slot_, mask_, planes_ and the per-lane accumulators.
   void propagate_cluster(std::span<const NodeId> sites,
                          bool with_reconvergence);
+
+  /// One slot's lane-plane block (4 * stride_ doubles, plane-major).
+  [[nodiscard]] double* block(std::size_t slot) noexcept {
+    return planes_.data() + slot * static_cast<std::size_t>(kSymCount) *
+                                stride_;
+  }
+  /// Gathers one lane's Prob4 from a slot's planes (pure data movement).
+  [[nodiscard]] Prob4 lane_prob4(std::size_t slot,
+                                 std::size_t lane) const noexcept {
+    const double* b = planes_.data() +
+                      slot * static_cast<std::size_t>(kSymCount) * stride_;
+    Prob4 d;
+    for (int s = 0; s < kSymCount; ++s) d.p[s] = b[s * stride_ + lane];
+    return d;
+  }
 
   const CompiledCircuit& circuit_;
   const SignalProbabilities& sp_;
@@ -93,8 +136,10 @@ class BatchedEppEngine {
   std::vector<std::vector<NodeId>> buckets_;
   std::vector<NodeId> merged_;          ///< merged cone, bucket order
   std::vector<std::uint64_t> mask_;     ///< per slot: lane-membership bits
-  std::vector<Prob4> dist_;             ///< slot * lane_count + lane
-  std::vector<Prob4> fanin_scratch_;
+  std::vector<double> planes_;          ///< SoA lane planes (see file comment)
+  std::size_t stride_ = 0;              ///< padded lane count of this cluster
+  std::vector<simd::FaninLanes> fanin_lanes_;
+  std::vector<Prob4> fanin_scratch_;    ///< scalar-path gather buffer
   std::size_t merged_sink_count_ = 0;
 
   // Per-lane fold state, filled by propagate_cluster.

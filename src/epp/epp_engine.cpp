@@ -135,7 +135,14 @@ std::vector<double> all_nodes_p_sensitized(const Circuit& circuit) {
 std::vector<double> all_nodes_p_sensitized(const Circuit& circuit,
                                            const SignalProbabilities& sp,
                                            EppOptions options) {
-  const CompiledCircuit compiled(circuit);
+  return all_nodes_p_sensitized(circuit, CompiledCircuit(circuit), sp,
+                                options);
+}
+
+std::vector<double> all_nodes_p_sensitized(const Circuit& circuit,
+                                           const CompiledCircuit& compiled,
+                                           const SignalProbabilities& sp,
+                                           EppOptions options) {
   CompiledEppEngine engine(compiled, sp, options);
   std::vector<double> out(circuit.node_count(), 0.0);
   for (NodeId site : error_sites(circuit)) {
@@ -230,7 +237,13 @@ unsigned resolve_threads(unsigned threads) {
 std::vector<double> all_nodes_p_sensitized_parallel(
     const Circuit& circuit, const SignalProbabilities& sp, EppOptions options,
     unsigned threads) {
-  const CompiledCircuit compiled(circuit);
+  return all_nodes_p_sensitized_parallel(circuit, CompiledCircuit(circuit),
+                                         sp, options, threads);
+}
+
+std::vector<double> all_nodes_p_sensitized_parallel(
+    const Circuit& circuit, const CompiledCircuit& compiled,
+    const SignalProbabilities& sp, EppOptions options, unsigned threads) {
   const std::vector<NodeId> sites = error_sites(circuit);
   const SweepPlan plan = plan_sweep(ConeClusterPlanner(compiled), sites);
   std::vector<double> out(circuit.node_count(), 0.0);

@@ -137,6 +137,16 @@ class EppEngine {
     const Circuit& circuit, const SignalProbabilities& sp,
     EppOptions options = {});
 
+class CompiledCircuit;
+
+/// Same, additionally reusing a CompiledCircuit the caller already built
+/// (`compiled` must be a compilation of `circuit`) — callers that ran the
+/// compiled SP pass hold the view already and must not pay a second O(V+E)
+/// flatten.
+[[nodiscard]] std::vector<double> all_nodes_p_sensitized(
+    const Circuit& circuit, const CompiledCircuit& compiled,
+    const SignalProbabilities& sp, EppOptions options = {});
+
 /// Multi-threaded all-nodes computation over the batched cone-sharing path:
 /// sites are grouped into cone-sharing clusters (ConeClusterPlanner), each
 /// worker owns a private BatchedEppEngine (plus a CompiledEppEngine for
@@ -150,8 +160,15 @@ class EppEngine {
     const Circuit& circuit, const SignalProbabilities& sp,
     EppOptions options = {}, unsigned threads = 0);
 
-class CompiledCircuit;
 class ConeClusterPlanner;
+
+/// Same, reusing a CompiledCircuit the caller already built (`compiled` must
+/// be a compilation of `circuit`) — callers that ran the compiled SP pass
+/// already hold the view and must not pay a second O(V+E) flatten.
+[[nodiscard]] std::vector<double> all_nodes_p_sensitized_parallel(
+    const Circuit& circuit, const CompiledCircuit& compiled,
+    const SignalProbabilities& sp, EppOptions options = {},
+    unsigned threads = 0);
 
 /// Batched parallel compute() over an explicit site list: full SiteEpp
 /// records, out[i] for sites[i]. The cluster planner + work-stealing

@@ -9,13 +9,27 @@ MultiCycleEppEngine::MultiCycleEppEngine(const Circuit& circuit,
                                          const SignalProbabilities& sp,
                                          EppOptions options, unsigned threads)
     : circuit_(circuit), compiled_(circuit), engine_(compiled_, sp, options) {
+  build_matrix(sp, options, threads);
+}
+
+MultiCycleEppEngine::MultiCycleEppEngine(const Circuit& circuit,
+                                         EppOptions options, unsigned threads)
+    : circuit_(circuit),
+      compiled_(circuit),
+      owned_sp_(compiled_parker_mccluskey_sp(compiled_)),
+      engine_(compiled_, owned_sp_, options) {
+  build_matrix(owned_sp_, options, threads);
+}
+
+void MultiCycleEppEngine::build_matrix(const SignalProbabilities& sp,
+                                       EppOptions options, unsigned threads) {
   // Precompute the state-error propagation matrix: one combinational EPP per
   // flip-flop, with the FF output as the error site. FF cones overlap
   // heavily (register banks feed the same next-state logic), so the rebuild
   // runs on the batched cone-sharing sweep — bit-identical to a sequential
   // per-FF loop at any thread count (pinned by the multicycle tests).
-  const auto dffs = circuit.dffs();
-  ff_index_.assign(circuit.node_count(), static_cast<std::size_t>(-1));
+  const auto dffs = circuit_.dffs();
+  ff_index_.assign(circuit_.node_count(), static_cast<std::size_t>(-1));
   for (std::size_t k = 0; k < dffs.size(); ++k) ff_index_[dffs[k]] = k;
 
   const std::vector<SiteEpp> epps =
@@ -34,7 +48,7 @@ MultiCycleEppEngine::MultiCycleEppEngine(const Circuit& circuit,
         }
         continue;
       }
-      if (circuit.type(s.sink) == GateType::kDff) {
+      if (circuit_.type(s.sink) == GateType::kDff) {
         row.to_ff.emplace_back(ff_index_[s.sink], s.error_mass);
       } else {
         po_miss *= 1.0 - s.error_mass;

@@ -66,6 +66,12 @@ class MultiCycleEppEngine {
   MultiCycleEppEngine(const Circuit& circuit, const SignalProbabilities& sp,
                       EppOptions options = {}, unsigned threads = 0);
 
+  /// Owns its SP: runs the compiled Parker-McCluskey pass over the view it
+  /// compiles anyway — callers without an existing SP assignment must not
+  /// pay the reference pass (bit-identical either way).
+  explicit MultiCycleEppEngine(const Circuit& circuit, EppOptions options = {},
+                               unsigned threads = 0);
+
   // engine_ references the sibling member compiled_, so a copied or moved
   // instance would point into the source object.
   MultiCycleEppEngine(const MultiCycleEppEngine&) = delete;
@@ -86,8 +92,13 @@ class MultiCycleEppEngine {
   }
 
  private:
+  /// Shared tail of both constructors: the FF→{PO, FF} matrix rebuild.
+  void build_matrix(const SignalProbabilities& sp, EppOptions options,
+                    unsigned threads);
+
   const Circuit& circuit_;
   CompiledCircuit compiled_;
+  SignalProbabilities owned_sp_;            ///< empty when SP is borrowed
   CompiledEppEngine engine_;                ///< flat-CSR EPP hot path
   std::vector<FfRow> rows_;                 ///< indexed like circuit.dffs()
   std::vector<std::size_t> ff_index_;       ///< NodeId -> dff index

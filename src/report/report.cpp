@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/util/csv.hpp"
 #include "src/netlist/stats.hpp"
 #include "src/ser/ser_estimator.hpp"
@@ -34,6 +36,9 @@ std::string generate_report(const Circuit& circuit,
   md << "| Fanout stems (>=2) | " << stats.fanout_stems << " |\n\n";
 
   // --- 2. Signal probability ----------------------------------------------
+  // The compiled view is shared by the SP pass and the SER estimator below
+  // (one O(V+E) flatten for the whole report).
+  CompiledCircuit compiled(circuit);
   Stopwatch sp_clock;
   SignalProbabilities sp;
   std::ostringstream sp_note;
@@ -43,8 +48,8 @@ std::string generate_report(const Circuit& circuit,
     sp_note << "sequential fixed point, " << seq.iterations
             << " iterations, residual " << seq.residual;
   } else {
-    sp = parker_mccluskey_sp(circuit);
-    sp_note << "Parker-McCluskey single pass, uniform inputs";
+    sp = compiled_parker_mccluskey_sp(compiled);
+    sp_note << "Parker-McCluskey single pass (compiled CSR), uniform inputs";
   }
   const double spt_ms = sp_clock.millis();
   md << "## Signal probability\n\n";
@@ -53,7 +58,7 @@ std::string generate_report(const Circuit& circuit,
 
   // --- 3. SER estimation ---------------------------------------------------
   Stopwatch ser_clock;
-  SerEstimator estimator(circuit, sp, {});
+  SerEstimator estimator(circuit, std::move(compiled), sp, {});
   const CircuitSer ser = estimator.estimate();
   const double sert_ms = ser_clock.millis();
   const auto ranked = ser.ranked();
@@ -127,10 +132,46 @@ std::string generate_report(const Circuit& circuit,
   return md.str();
 }
 
-std::string sweep_csv(const Circuit& circuit, unsigned threads) {
-  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
+std::optional<SweepEngine> parse_sweep_engine(std::string_view name) {
+  if (name == "reference") return SweepEngine::kReference;
+  if (name == "compiled") return SweepEngine::kCompiled;
+  if (name == "batched") return SweepEngine::kBatched;
+  return std::nullopt;
+}
+
+std::vector<double> sweep_p_sensitized(const Circuit& circuit,
+                                       const CompiledCircuit& compiled,
+                                       const SignalProbabilities& sp,
+                                       SweepEngine engine, unsigned threads) {
+  std::vector<double> p(circuit.node_count(), 0.0);
+  switch (engine) {
+    case SweepEngine::kReference: {
+      EppEngine e(circuit, sp);
+      for (NodeId site : error_sites(circuit)) {
+        p[site] = e.p_sensitized(site);
+      }
+      break;
+    }
+    case SweepEngine::kCompiled: {
+      CompiledEppEngine e(compiled, sp);
+      for (NodeId site : error_sites(circuit)) {
+        p[site] = e.p_sensitized(site);
+      }
+      break;
+    }
+    case SweepEngine::kBatched:
+      p = all_nodes_p_sensitized_parallel(circuit, compiled, sp, {}, threads);
+      break;
+  }
+  return p;
+}
+
+std::string sweep_csv(const Circuit& circuit, unsigned threads,
+                      SweepEngine engine) {
+  const CompiledCircuit compiled(circuit);
+  const SignalProbabilities sp = compiled_parker_mccluskey_sp(compiled);
   const std::vector<double> p =
-      all_nodes_p_sensitized_parallel(circuit, sp, {}, threads);
+      sweep_p_sensitized(circuit, compiled, sp, engine, threads);
   CsvWriter csv({"node", "type", "p_sensitized"});
   for (NodeId site : error_sites(circuit)) {
     char value[64];

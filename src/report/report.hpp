@@ -7,11 +7,17 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/netlist/circuit.hpp"
 
 namespace sereep {
+
+class CompiledCircuit;
+struct SignalProbabilities;
 
 /// Report configuration.
 struct ReportOptions {
@@ -28,14 +34,35 @@ struct ReportOptions {
 [[nodiscard]] std::string generate_report(const Circuit& circuit,
                                           const ReportOptions& options = {});
 
+/// Which EPP engine a sweep runs on. All three are bit-for-bit equal (the
+/// oracle hierarchy of tests/README.md), so the choice is observable only
+/// in timing — the selector exists so A/B comparisons and golden runs never
+/// require a rebuild.
+enum class SweepEngine { kReference, kCompiled, kBatched };
+
+/// Parses "reference" / "compiled" / "batched"; nullopt otherwise.
+[[nodiscard]] std::optional<SweepEngine> parse_sweep_engine(
+    std::string_view name);
+
+/// All-nodes P_sensitized (indexed by NodeId, non-sites 0) through the
+/// selected engine — the one dispatch sweep_csv and the CLI's table mode
+/// share. `compiled` must be a compilation of `circuit`; `threads` applies
+/// to the batched engine only (the per-site engines are sequential).
+[[nodiscard]] std::vector<double> sweep_p_sensitized(
+    const Circuit& circuit, const CompiledCircuit& compiled,
+    const SignalProbabilities& sp, SweepEngine engine, unsigned threads = 1);
+
 /// Machine-readable all-nodes P_sensitized sweep: CSV with one row per error
 /// site in error_sites() order, probabilities printed with round-trip
 /// precision (%.17g). The CLI's `sweep --csv=...` and the golden-file
 /// regression tests (tests/cli/) share this exact formatter, so any output
 /// or numeric drift in the sweep fails ctest instead of silently changing
-/// the Table-2 harness. `threads` only parallelizes; the text is identical
-/// at every thread count.
+/// the Table-2 harness. Signal probabilities come from the compiled
+/// Parker-McCluskey pass; `threads` only parallelizes (batched engine) and
+/// `engine` only re-routes — the text is identical for every combination
+/// (the golden tests assert all three engines).
 [[nodiscard]] std::string sweep_csv(const Circuit& circuit,
-                                    unsigned threads = 1);
+                                    unsigned threads = 1,
+                                    SweepEngine engine = SweepEngine::kBatched);
 
 }  // namespace sereep

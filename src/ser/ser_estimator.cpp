@@ -17,11 +17,29 @@ std::vector<NodeSer> CircuitSer::ranked() const {
 SerEstimator::SerEstimator(const Circuit& circuit,
                            const SignalProbabilities& sp, SerOptions options)
     : circuit_(circuit),
-      sp_(sp),
       options_(std::move(options)),
       compiled_(circuit),
+      sp_(sp),
       planner_(compiled_),
-      engine_(compiled_, sp, options_.epp) {}
+      engine_(compiled_, sp_, options_.epp) {}
+
+SerEstimator::SerEstimator(const Circuit& circuit, CompiledCircuit compiled,
+                           const SignalProbabilities& sp, SerOptions options)
+    : circuit_(circuit),
+      options_(std::move(options)),
+      compiled_(std::move(compiled)),
+      sp_(sp),
+      planner_(compiled_),
+      engine_(compiled_, sp_, options_.epp) {}
+
+SerEstimator::SerEstimator(const Circuit& circuit, SerOptions options)
+    : circuit_(circuit),
+      options_(std::move(options)),
+      compiled_(circuit),
+      owned_sp_(compiled_parker_mccluskey_sp(compiled_)),
+      sp_(owned_sp_),
+      planner_(compiled_),
+      engine_(compiled_, sp_, options_.epp) {}
 
 NodeSer SerEstimator::node_ser_from_epp(const SiteEpp& epp) {
   NodeSer result;

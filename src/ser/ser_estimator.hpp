@@ -60,8 +60,20 @@ struct SerOptions {
 /// EPP runs on the compiled flat-CSR hot path (compiled_epp.hpp).
 class SerEstimator {
  public:
+  /// Borrows a caller-held SP assignment (must outlive the estimator).
   SerEstimator(const Circuit& circuit, const SignalProbabilities& sp,
                SerOptions options = {});
+
+  /// Same, adopting a CompiledCircuit the caller already built (`compiled`
+  /// must be a compilation of `circuit`) — callers that ran the compiled SP
+  /// pass must not pay a second O(V+E) flatten.
+  SerEstimator(const Circuit& circuit, CompiledCircuit compiled,
+               const SignalProbabilities& sp, SerOptions options = {});
+
+  /// Owns its SP: compiles the circuit, then runs the compiled
+  /// Parker-McCluskey pass over the CSR view (the paper's SPT step) — the
+  /// production route for callers without an existing SP assignment.
+  explicit SerEstimator(const Circuit& circuit, SerOptions options = {});
 
   // engine_ references the sibling member compiled_, so a copied or moved
   // instance would point into the source object.
@@ -75,15 +87,19 @@ class SerEstimator {
   /// Per-node estimation.
   [[nodiscard]] NodeSer estimate_node(NodeId node);
 
+  /// The SP assignment in use (owned or borrowed).
+  [[nodiscard]] const SignalProbabilities& sp() const noexcept { return sp_; }
+
  private:
   /// Folds the latching model into one site's EPP record (shared by the
   /// sequential and batched paths).
   [[nodiscard]] NodeSer node_ser_from_epp(const SiteEpp& epp);
 
   const Circuit& circuit_;
-  const SignalProbabilities& sp_;
   SerOptions options_;
   CompiledCircuit compiled_;
+  SignalProbabilities owned_sp_;  ///< empty when sp_ is borrowed
+  const SignalProbabilities& sp_;
   ConeClusterPlanner planner_;  ///< built once; estimate() sweeps reuse it
   CompiledEppEngine engine_;
 };

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/netlist/compiled.hpp"
 #include "src/netlist/topo.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -94,6 +95,81 @@ SignalProbabilities parker_mccluskey_sp_custom(const Circuit& circuit,
     throw std::runtime_error("parker_mccluskey_sp_custom: size mismatch");
   }
   return pm_pass(circuit, input_sp, dff_sp);
+}
+
+SignalProbabilities compiled_parker_mccluskey_sp(const CompiledCircuit& circuit,
+                                                 const SpOptions& options) {
+  const std::size_t n = circuit.node_count();
+  SignalProbabilities out;
+  out.p1.assign(n, std::numeric_limits<double>::quiet_NaN());
+
+  // Sources first (a gate may read a DFF output from any bucket), then one
+  // counting sort by bucket level gives a valid evaluation order for the
+  // combinational gates: a gate sits strictly above its non-DFF fanins.
+  std::vector<std::uint32_t> bucket_start(circuit.bucket_count() + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    switch (circuit.type(id)) {
+      case GateType::kInput:  out.p1[id] = options.input_sp; continue;
+      case GateType::kDff:    out.p1[id] = options.dff_sp; continue;
+      case GateType::kConst0: out.p1[id] = 0.0; continue;
+      case GateType::kConst1: out.p1[id] = 1.0; continue;
+      default:
+        ++bucket_start[circuit.bucket_level(id) + 1];
+    }
+  }
+  for (std::size_t b = 1; b < bucket_start.size(); ++b) {
+    bucket_start[b] += bucket_start[b - 1];
+  }
+  std::vector<NodeId> order(bucket_start.back());
+  {
+    std::vector<std::uint32_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (NodeId id = 0; id < n; ++id) {
+      if (!is_combinational(circuit.type(id))) continue;
+      order[cursor[circuit.bucket_level(id)]++] = id;
+    }
+  }
+
+  // Flat fanin walk with the exact per-gate arithmetic of gate_sp(), fanins
+  // folded in CSR order (= the source circuit's fanin order).
+  double* p1 = out.p1.data();
+  for (NodeId id : order) {
+    const auto fanin = circuit.fanin(id);
+    double v;
+    switch (circuit.type(id)) {
+      case GateType::kBuf:
+        v = p1[fanin[0]];
+        break;
+      case GateType::kNot:
+        v = 1.0 - p1[fanin[0]];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        double p = 1.0;
+        for (NodeId f : fanin) p *= p1[f];
+        v = circuit.type(id) == GateType::kNand ? 1.0 - p : p;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        double q = 1.0;
+        for (NodeId f : fanin) q *= 1.0 - p1[f];
+        v = circuit.type(id) == GateType::kNor ? q : 1.0 - q;
+        break;
+      }
+      default: {  // kXor / kXnor: P(odd parity) folded pairwise
+        double p = 0.0;
+        for (NodeId f : fanin) {
+          const double s = p1[f];
+          p = p * (1.0 - s) + s * (1.0 - p);
+        }
+        v = circuit.type(id) == GateType::kXnor ? 1.0 - p : p;
+        break;
+      }
+    }
+    p1[id] = v;
+  }
+  return out;
 }
 
 SignalProbabilities exact_sp(const Circuit& circuit,

@@ -27,6 +27,8 @@
 
 namespace sereep {
 
+class CompiledCircuit;
+
 /// Per-node signal probabilities; index by NodeId.
 struct SignalProbabilities {
   std::vector<double> p1;  ///< probability of logic 1
@@ -53,6 +55,18 @@ struct SpOptions {
 [[nodiscard]] SignalProbabilities parker_mccluskey_sp_custom(
     const Circuit& circuit, std::vector<double> input_sp,
     std::vector<double> dff_sp);
+
+/// The Parker-McCluskey pass over a CompiledCircuit's CSR view: sources are
+/// preset, then gates evaluate in ascending bucket order with a flat fanin
+/// walk — no Node structs, no per-node fanin-SP vector churn. Bit-identical
+/// to parker_mccluskey_sp on the source circuit (same arithmetic per gate,
+/// in fanin order; node visit order cannot matter — each SP is a pure
+/// function of final fanin SPs), asserted EXPECT_EQ by
+/// tests/sigprob/signal_prob_test.cpp. This is the production SP route: the
+/// SER estimator, the multicycle engine, `sereep sweep` and the benches all
+/// call it with the compiled view they already hold.
+[[nodiscard]] SignalProbabilities compiled_parker_mccluskey_sp(
+    const CompiledCircuit& circuit, const SpOptions& options = {});
 
 /// Options for exact SP.
 struct ExactSpOptions {

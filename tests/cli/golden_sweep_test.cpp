@@ -53,5 +53,25 @@ TEST(GoldenSweep, TextIsIdenticalAtAnyThreadCount) {
   EXPECT_EQ(sweep_csv(c, 8), t1);
 }
 
+TEST(GoldenSweep, AllThreeEnginesMatchTheGoldens) {
+  // `sereep sweep --engine=...` must be a pure re-route: every engine of the
+  // oracle hierarchy reproduces the committed bytes exactly.
+  for (const SweepEngine engine : {SweepEngine::kReference,
+                                   SweepEngine::kCompiled,
+                                   SweepEngine::kBatched}) {
+    EXPECT_EQ(sweep_csv(make_c17(), 1, engine),
+              read_file(golden_path("sweep_c17.golden.csv")));
+    EXPECT_EQ(sweep_csv(make_s27(), 1, engine),
+              read_file(golden_path("sweep_s27.golden.csv")));
+  }
+}
+
+TEST(GoldenSweep, EngineSelectorParses) {
+  EXPECT_EQ(parse_sweep_engine("reference"), SweepEngine::kReference);
+  EXPECT_EQ(parse_sweep_engine("compiled"), SweepEngine::kCompiled);
+  EXPECT_EQ(parse_sweep_engine("batched"), SweepEngine::kBatched);
+  EXPECT_EQ(parse_sweep_engine("turbo"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace sereep

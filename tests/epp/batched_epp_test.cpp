@@ -110,6 +110,104 @@ TEST(ConeClusterPlanner, ChainSharesOneCluster) {
   EXPECT_EQ(clusters[0].members.size(), sites.size());
 }
 
+TEST(ConeClusterPlanner, DominatorSinkSemantics) {
+  // chain: in -> b0 -> b1 -> PO(g). Every path from every chain node first
+  // crosses g, so g dominates them all; g (a sink) dominates itself.
+  Circuit c;
+  const NodeId in = c.add_input("in");
+  const NodeId b0 = c.add_gate(GateType::kBuf, "b0", {in});
+  const NodeId b1 = c.add_gate(GateType::kBuf, "b1", {b0});
+  const NodeId g = c.add_gate(GateType::kBuf, "g", {b1});
+  c.mark_output(g);
+  // stem: s fans out to two POs directly — no unique first sink, so the key
+  // falls back to the nearest (lowest-rank) reachable sink.
+  const NodeId s = c.add_input("s");
+  const NodeId p1 = c.add_gate(GateType::kBuf, "p1", {s});
+  const NodeId p2 = c.add_gate(GateType::kBuf, "p2", {s});
+  c.mark_output(p1);
+  c.mark_output(p2);
+  c.finalize();
+  const CompiledCircuit cc(c);
+  const ConeClusterPlanner planner(cc);
+  for (NodeId id : {in, b0, b1, g}) {
+    EXPECT_EQ(planner.dominator_sink(id), g) << c.node(id).name;
+  }
+  const NodeId fallback = planner.dominator_sink(s);
+  EXPECT_TRUE(fallback == p1 || fallback == p2);
+  const NodeId lower_rank =
+      cc.topo_pos(p1) < cc.topo_pos(p2) ? p1 : p2;
+  EXPECT_EQ(fallback, lower_rank);
+}
+
+TEST(ConeClusterPlanner, DffIsItsOwnDominator) {
+  const Circuit c = make_s27();
+  const CompiledCircuit cc(c);
+  const ConeClusterPlanner planner(cc);
+  for (NodeId ff : c.dffs()) EXPECT_EQ(planner.dominator_sink(ff), ff);
+}
+
+TEST(ConeClusterPlanner, TwoLevelPlanKeepsInvariantsAndPacksTighter) {
+  // The dominator regrouping must preserve every packing invariant (each
+  // site exactly once, lane cap, determinism) and can only reduce the
+  // number of singleton clusters relative to the Bloom-only plan.
+  for (const Circuit& c : embedded_circuits()) {
+    const CompiledCircuit cc(c);
+    const std::vector<NodeId> sites = error_sites(c);
+    const ConeClusterPlanner planner(cc);
+    const auto bloom =
+        planner.plan(sites, ConeClusterPlanner::PlanLevel::kBloomOnly);
+    const auto two = planner.plan(sites);  // kTwoLevel default
+    const auto singles = [](const std::vector<ConeCluster>& cs) {
+      std::size_t n = 0;
+      for (const ConeCluster& cl : cs) n += cl.members.size() == 1;
+      return n;
+    };
+    EXPECT_LE(singles(two), singles(bloom)) << c.name();
+    std::vector<int> seen(sites.size(), 0);
+    for (const ConeCluster& cluster : two) {
+      EXPECT_GE(cluster.members.size(), 1u);
+      EXPECT_LE(cluster.members.size(), ConeClusterPlanner::kMaxLanes);
+      for (std::uint32_t idx : cluster.members) {
+        ASSERT_LT(idx, sites.size());
+        ++seen[idx];
+      }
+    }
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << c.name() << " site " << c.node(sites[i]).name;
+    }
+    const auto again = planner.plan(sites);
+    ASSERT_EQ(again.size(), two.size()) << c.name();
+    for (std::size_t i = 0; i < two.size(); ++i) {
+      EXPECT_EQ(again[i].members, two[i].members);
+    }
+  }
+}
+
+TEST(ConeClusterPlanner, TwoLevelPacksDominatorSharingSingletons) {
+  // Star of buffer chains into one PO through an AND: each chain has a
+  // distinct Bloom-signature *neighbourhood* but every site's first-crossed
+  // sink is the lone PO, so level 2 must merge whatever level 1 left alone.
+  Circuit c;
+  std::vector<NodeId> ins;
+  std::vector<NodeId> mids;
+  for (int i = 0; i < 6; ++i) {
+    NodeId prev = c.add_input("in" + std::to_string(i));
+    ins.push_back(prev);
+    prev = c.add_gate(GateType::kBuf, "m" + std::to_string(i), {prev});
+    mids.push_back(prev);
+  }
+  const NodeId sink = c.add_gate(GateType::kAnd, "sink", mids);
+  c.mark_output(sink);
+  c.finalize();
+  const CompiledCircuit cc(c);
+  const ConeClusterPlanner planner(cc);
+  const std::vector<NodeId> sites = error_sites(c);
+  const auto two = planner.plan(sites);
+  // Everything funnels into one sink => one cluster holds every site.
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0].members.size(), sites.size());
+}
+
 TEST(BatchedEppEngine, SingleSiteMatchesCompiledOnEmbedded) {
   for (const Circuit& c : embedded_circuits()) {
     const SignalProbabilities sp = parker_mccluskey_sp(c);

@@ -12,7 +12,10 @@
 //   * compute() records including all four Prob4 components per sink,
 //   * planner-clustered batched sweeps,
 //   * the parallel sweep at 1 / 2 / 8 threads,
-//   * randomized site subsets through compute_sites_parallel.
+//   * randomized site subsets through compute_sites_parallel,
+//   * the batched engine's SIMD lane-plane kernels ON and OFF (the scalar
+//     per-lane fallback is a peer tier of the hierarchy — see
+//     SimdOnAndOffBitIdentical and tests/README.md).
 //
 // Future engines join the hierarchy by being added here; a refactor that
 // changes any floating-point result in any profile fails this file first.
@@ -29,10 +32,17 @@
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/simd.hpp"
 #include "tests/epp/site_epp_testutil.hpp"
 
 namespace sereep {
 namespace {
+
+/// Restores the process-wide SIMD runtime switch on scope exit.
+struct SimdGuard {
+  bool saved = simd::enabled();
+  ~SimdGuard() { simd::set_enabled(saved); }
+};
 
 /// One fuzz point: a structural profile plus the generator seed. Everything
 /// downstream is a pure function of this struct.
@@ -166,6 +176,43 @@ TEST_P(EngineEquivalence, RandomSiteSubsetsBitIdentical) {
       testutil::expect_site_epp_equal(c, reference.compute(pool[i]), got[i]);
     }
     threads = threads == 8 ? 1 : threads * 2;
+  }
+}
+
+TEST_P(EngineEquivalence, SimdOnAndOffBitIdentical) {
+  // The lane-plane kernels and the scalar per-lane fallback must be
+  // interchangeable: same reference-exact records through planner-built
+  // clusters, and the same parallel-sweep output, with SIMD forced on and
+  // forced off (whatever the build/environment default is).
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  EppEngine reference(c, sp);
+  const CompiledCircuit cc(c);
+  const std::vector<NodeId> sites = error_sites(c);
+  const auto clusters = ConeClusterPlanner(cc).plan(sites);
+
+  SimdGuard guard;
+  for (const bool simd_on : {true, false}) {
+    simd::set_enabled(simd_on);
+    BatchedEppEngine batched(cc, sp);
+    for (const ConeCluster& cluster : clusters) {
+      std::vector<NodeId> lane_sites;
+      for (std::uint32_t idx : cluster.members) {
+        lane_sites.push_back(sites[idx]);
+      }
+      std::vector<SiteEpp> out(lane_sites.size());
+      batched.compute_cluster(lane_sites, out);
+      for (std::size_t k = 0; k < lane_sites.size(); ++k) {
+        testutil::expect_site_epp_equal(c, reference.compute(lane_sites[k]),
+                                        out[k]);
+      }
+    }
+    const std::vector<double> swept =
+        all_nodes_p_sensitized_parallel(c, cc, sp, {}, 2);
+    for (NodeId site : sites) {
+      EXPECT_EQ(swept[site], reference.p_sensitized(site))
+          << GetParam().tag << " simd=" << simd_on << " node " << site;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/netlist/benchmarks.hpp"
+#include "src/netlist/compiled.hpp"
 #include "src/netlist/generator.hpp"
 
 namespace sereep {
@@ -203,6 +204,43 @@ TEST(AllEngines, ProbabilitiesInUnitInterval) {
     for (NodeId id = 0; id < c.node_count(); ++id) {
       EXPECT_GE(sp[id], 0.0) << c.node(id).name;
       EXPECT_LE(sp[id], 1.0) << c.node(id).name;
+    }
+  }
+}
+
+TEST(CompiledParkerMcCluskey, BitIdenticalToReferenceOnEmbedded) {
+  // The CSR pass is the production SP route (SER estimator, multicycle,
+  // `sereep sweep`, benches); it must reproduce the reference pass exactly,
+  // not approximately — EXPECT_EQ, no tolerance, NaN-free.
+  for (const char* name : {"c17", "s27", "s953", "s1423"}) {
+    const Circuit c = make_circuit(name);
+    const SignalProbabilities ref = parker_mccluskey_sp(c);
+    const SignalProbabilities got =
+        compiled_parker_mccluskey_sp(CompiledCircuit(c));
+    ASSERT_EQ(got.size(), ref.size()) << name;
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(got.p1[id], ref.p1[id]) << name << " node " << id;
+      EXPECT_FALSE(std::isnan(got.p1[id])) << name << " node " << id;
+    }
+  }
+}
+
+TEST(CompiledParkerMcCluskey, BitIdenticalOnGeneratedCircuitAndOptions) {
+  GeneratorProfile p;
+  p.name = "sp_csr_gen";
+  p.num_inputs = 20;
+  p.num_outputs = 12;
+  p.num_dffs = 80;
+  p.num_gates = 1500;
+  p.target_depth = 14;
+  const Circuit c = generate_circuit(p, 99);
+  const CompiledCircuit cc(c);
+  for (const SpOptions options :
+       {SpOptions{}, SpOptions{.input_sp = 0.3, .dff_sp = 0.7}}) {
+    const SignalProbabilities ref = parker_mccluskey_sp(c, options);
+    const SignalProbabilities got = compiled_parker_mccluskey_sp(cc, options);
+    for (NodeId id = 0; id < c.node_count(); ++id) {
+      EXPECT_EQ(got.p1[id], ref.p1[id]) << "node " << id;
     }
   }
 }

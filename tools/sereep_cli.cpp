@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -150,11 +151,21 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
   const Circuit c = load_any(path);
   const auto threads =
       static_cast<unsigned>(flags.get_int("threads", 0));
+  // All three engines are bit-identical (the oracle hierarchy); the selector
+  // exists so A/B timings and golden runs never require a rebuild.
+  const std::string engine_name = flags.get("engine", "batched");
+  const std::optional<SweepEngine> engine = parse_sweep_engine(engine_name);
+  if (!engine) {
+    std::fprintf(stderr,
+                 "error: unknown --engine '%s' (reference|compiled|batched)\n",
+                 engine_name.c_str());
+    return 1;
+  }
   if (flags.has("csv")) {
     // Machine-readable mode: the exact formatter the golden-file regression
     // tests pin (tests/cli/), written to a file or - for stdout.
     const std::string out = flags.get("csv", "-");
-    const std::string text = sweep_csv(c, threads);
+    const std::string text = sweep_csv(c, threads, *engine);
     if (out == "-" || out.empty()) {
       std::printf("%s", text.c_str());
       return 0;
@@ -169,11 +180,13 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
     std::printf("sweep CSV written to %s\n", out.c_str());
     return 0;
   }
+  const CompiledCircuit compiled(c);
   Stopwatch sp_clock;
-  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  const SignalProbabilities sp = compiled_parker_mccluskey_sp(compiled);
   const double sp_s = sp_clock.seconds();
   Stopwatch sweep_clock;
-  const std::vector<double> p = all_nodes_p_sensitized_parallel(c, sp, {}, threads);
+  const std::vector<double> p =
+      sweep_p_sensitized(c, compiled, sp, *engine, threads);
   const double sweep_s = sweep_clock.seconds();
   const std::vector<NodeId> sites = error_sites(c);
 
@@ -189,18 +202,20 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
   }
   std::printf("%s", t.render().c_str());
   std::printf(
-      "%zu sites swept in %.1f ms (%.0f sites/s), SP pass %.1f ms\n",
+      "%zu sites swept in %.1f ms (%.0f sites/s, %s engine), "
+      "SP pass %.1f ms\n",
       sites.size(), sweep_s * 1e3,
-      static_cast<double>(sites.size()) / sweep_s, sp_s * 1e3);
+      static_cast<double>(sites.size()) / sweep_s, engine_name.c_str(),
+      sp_s * 1e3);
   return 0;
 }
 
 int cmd_ser(const std::string& path, const bench::Flags& flags) {
   const Circuit c = load_any(path);
-  const SignalProbabilities sp = parker_mccluskey_sp(c);
   SerOptions opt;
   opt.threads = static_cast<unsigned>(flags.get_int("threads", 1));
-  SerEstimator est(c, sp, opt);
+  // The estimator owns its SP: one compile, compiled Parker-McCluskey pass.
+  SerEstimator est(c, opt);
   const CircuitSer ser = est.estimate();
   const auto ranked = ser.ranked();
   const auto top =
@@ -224,8 +239,7 @@ int cmd_ser(const std::string& path, const bench::Flags& flags) {
 int cmd_harden(const std::string& path, const bench::Flags& flags) {
   const Circuit c = load_any(path);
   const double target = flags.get_double("target", 0.5);
-  const SignalProbabilities sp = parker_mccluskey_sp(c);
-  SerEstimator est(c, sp, {});
+  SerEstimator est(c);
   const HardeningPlan plan = select_hardening(est.estimate(), target);
   std::printf("protect %zu nodes for a %.0f%% reduction (achieved %.1f%%):\n",
               plan.protect.size(), 100 * target, 100 * plan.reduction());
@@ -285,6 +299,7 @@ void usage() {
                "  sp      <netlist> [--engine=pm|mc|seq] [--top=N]\n"
                "  epp     <netlist> --node=NAME [--verify]\n"
                "  sweep   <netlist> [--threads=N] [--top=N] [--csv=out.csv]\n"
+               "          [--engine=reference|compiled|batched]\n"
                "  ser     <netlist> [--top=N] [--threads=N]\n"
                "  harden  <netlist> [--target=0.5] [--emit=out.v]\n"
                "  report  <netlist> [--validate] [--seq-sp] [--o=report.md]\n"
