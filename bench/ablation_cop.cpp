@@ -12,9 +12,8 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "sereep/sereep.hpp"
 #include "src/epp/cop.hpp"
-#include "src/epp/epp_engine.hpp"
-#include "src/netlist/benchmarks.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/util/strings.hpp"
@@ -33,19 +32,23 @@ int main(int argc, char** argv) {
 
   for (const char* name :
        {"c17", "s27", "s208", "s298", "s344", "s386", "s526", "s953"}) {
-    const Circuit c = make_circuit(name);
-    const SignalProbabilities sp = parker_mccluskey_sp(c);
+    // Session with the reference engine (the tier COP competes with on
+    // model fidelity); COP reads the session's SP assignment directly.
+    Options opt;
+    opt.engine = "reference";
+    Session session = Session::open(name, std::move(opt));
+    const Circuit& c = session.circuit();
+    const SignalProbabilities& sp = session.sp();
 
     Stopwatch cop_clock;
     const auto obs = cop_observability(c, sp);
     const double cop_ms = cop_clock.millis();
 
-    EppEngine engine(c, sp);
-    const auto sites = error_sites(c);
     Stopwatch epp_clock;
-    std::vector<double> epp(c.node_count(), 0.0);
-    for (NodeId s : sites) epp[s] = engine.p_sensitized(s);
+    const std::vector<double> epp = session.sweep_p_sensitized();
     const double epp_ms = epp_clock.millis();
+    const std::vector<NodeId> sites(session.sites().begin(),
+                                    session.sites().end());
 
     FaultInjector fi(c);
     McOptions mc;

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "src/epp/epp_engine.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/netlist/topo.hpp"
 #include "src/sim/fault_injection.hpp"
@@ -37,11 +37,15 @@ int main(int argc, char** argv) {
     p.num_gates = 400;
     p.target_depth = 14;
     p.reuse_bias = bias;
-    const Circuit c = generate_circuit(p, 99);
-
-    const SignalProbabilities sp = parker_mccluskey_sp(c);
-    EppEngine exact(c, sp);
-    EppEngine pooled(c, sp, EppOptions{.track_polarity = false});
+    // Two sessions over the same circuit, differing only in the EPP layer
+    // (the ablation knob is an Options field like everything else).
+    Options exact_opt;
+    exact_opt.engine = "reference";
+    Options pooled_opt = exact_opt;
+    pooled_opt.epp.track_polarity = false;
+    Session exact(generate_circuit(p, 99), std::move(exact_opt));
+    Session pooled(Circuit(exact.circuit()), std::move(pooled_opt));
+    const Circuit& c = exact.circuit();
     FaultInjector fi(c);
     McOptions mc;
     mc.num_vectors = vectors;

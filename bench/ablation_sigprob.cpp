@@ -12,7 +12,7 @@
 #include <functional>
 
 #include "bench/common.hpp"
-#include "src/epp/epp_engine.hpp"
+#include "sereep/engine.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/compiled.hpp"
 #include "src/netlist/generator.hpp"
@@ -85,11 +85,18 @@ int main(int argc, char** argv) {
       Stopwatch clock;
       const SignalProbabilities sp = e.run(c, compiled);
       const double spt_ms = clock.millis();
-      EppEngine engine(c, sp);
+      // The EPP step resolves through the engine registry over the ablated
+      // SP assignment — the same IEppEngine route the Session serves, with
+      // an externally supplied context.
+      EngineContext ctx;
+      ctx.circuit = &c;
+      ctx.compiled = &compiled;
+      ctx.sp = &sp;
+      const auto engine = EngineRegistry::instance().create("reference", ctx);
       double mean = 0, max = 0;
       for (std::size_t i = 0; i < sites.size(); ++i) {
         const double d =
-            100 * std::fabs(engine.p_sensitized(sites[i]) - ref[i]);
+            100 * std::fabs(engine->p_sensitized(sites[i]) - ref[i]);
         mean += d;
         max = std::max(max, d);
       }

@@ -14,8 +14,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
-#include "src/epp/epp_engine.hpp"
-#include "src/netlist/benchmarks.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/util/strings.hpp"
@@ -44,16 +43,17 @@ int main(int argc, char** argv) {
   double grand_sum = 0;
   std::size_t grand_n = 0;
   for (const std::string& name : circuits) {
-    const Circuit c = make_circuit(name);
-    const SignalProbabilities sp = parker_mccluskey_sp(c);
-    EppEngine engine(c, sp);
+    Session session = Session::open(name);  // default (batched) engine
+    const Circuit& c = session.circuit();
     FaultInjector fi(c);
     McOptions mc;
     mc.num_vectors = vectors;
 
     std::vector<double> diffs;
-    for (NodeId site : subsample_sites(error_sites(c), max_sites)) {
-      const double d = std::fabs(engine.p_sensitized(site) -
+    const std::vector<NodeId> all(session.sites().begin(),
+                                  session.sites().end());
+    for (NodeId site : subsample_sites(all, max_sites)) {
+      const double d = std::fabs(session.p_sensitized(site) -
                                  fi.run_site(site, mc).probability());
       diffs.push_back(100.0 * d);
     }

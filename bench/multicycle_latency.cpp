@@ -12,8 +12,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "src/epp/multicycle.hpp"
-#include "src/netlist/benchmarks.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/util/strings.hpp"
@@ -29,10 +28,10 @@ int main(int argc, char** argv) {
   std::printf("Multi-cycle detection latency — analytic EPP vs sequential MC\n\n");
 
   for (const char* name : {"s27", "s298", "s526"}) {
-    const Circuit c = make_circuit(name);
-    // Owning ctor: SP comes from the compiled Parker-McCluskey pass over
-    // the view the engine compiles anyway (bit-identical to the reference).
-    MultiCycleEppEngine engine(c);
+    // Session facade: the multicycle engine reuses the session's compiled
+    // view, SP pass and cluster plan (bit-identical to the owning ctors).
+    Session session = Session::open(name);
+    const Circuit& c = session.circuit();
     FaultInjector fi(c);
     McOptions mc;
     mc.num_vectors = vectors;
@@ -43,7 +42,7 @@ int main(int argc, char** argv) {
     for (std::size_t k = 1; k <= cycles; ++k) {
       double epp_mean = 0, mc_mean = 0, diff = 0, residual = 0;
       for (NodeId site : sites) {
-        const MultiCycleEpp profile = engine.compute(site, k);
+        const MultiCycleEpp profile = session.multicycle(site, k);
         const double a = profile.detect_within(k);
         const double m = fi.run_site_multicycle(site, k, mc).probability();
         epp_mean += a;

@@ -31,11 +31,9 @@
 #include <vector>
 
 #include "bench/common.hpp"
-#include "src/epp/epp_engine.hpp"
-#include "src/netlist/compiled.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/generator.hpp"
 #include "src/sim/fault_injection.hpp"
-#include "src/sigprob/signal_prob.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
@@ -60,22 +58,28 @@ Row run_circuit(const std::string& name, std::size_t vectors,
                 std::size_t sim_sites, bool scalar_baseline) {
   Row row;
   row.circuit = name;
-  const Circuit circuit = make_iscas89_like(name);
-  const std::vector<NodeId> sites = error_sites(circuit);
+  // One Session per circuit: the compiled view is built outside both clocks
+  // (SPT and SysT reuse it — neither column double-counts the flatten), the
+  // SP pass lands in SPT, the sweep in SysT. The compiled single-site
+  // engine keeps the per-node accounting of the paper's SysT column.
+  Options opt;
+  opt.engine = "compiled";
+  Session session(make_iscas89_like(name), std::move(opt));
+  const Circuit& circuit = session.circuit();
+  const std::vector<NodeId> sites(session.sites().begin(),
+                                  session.sites().end());
   row.nodes = sites.size();
 
-  // --- SPT: signal probability, whole circuit (compiled CSR pass; the
-  // flatten is hoisted out of the clock because the SysT step below REUSES
-  // the same view — neither column double-counts it) -----------------------
-  const CompiledCircuit compiled(circuit);
+  // --- SPT: signal probability, whole circuit (compiled CSR pass) ---------
+  (void)session.compiled();  // hoist the flatten out of the SP clock
   Stopwatch sp_clock;
-  const SignalProbabilities sp = compiled_parker_mccluskey_sp(compiled);
+  (void)session.sp();
   row.spt_s = sp_clock.seconds();
 
   // --- SysT: EPP on every node (compiled hot path; SP and the compiled
   // view reused — nothing is recomputed inside this clock) ----------------
   Stopwatch epp_clock;
-  const std::vector<double> epp = all_nodes_p_sensitized(circuit, compiled, sp);
+  const std::vector<double> epp = session.sweep_p_sensitized();
   const double epp_total_s = epp_clock.seconds();
   row.syst_ms = epp_total_s * 1e3 / static_cast<double>(sites.size());
 

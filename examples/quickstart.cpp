@@ -1,43 +1,41 @@
-// Quickstart: the minimal sereep flow on a real netlist.
+// Quickstart: the minimal sereep flow on a real netlist, through the public
+// sereep::Session facade.
 //
-//   1. Load a circuit (embedded c17 here; load_bench_file() for your own).
-//   2. Compute signal probabilities (one topological pass).
-//   3. Compute the error-propagation probability of a node.
-//   4. Estimate the full-circuit SER.
+//   1. Open a session (embedded c17 here; any .bench/.v path works).
+//   2. Per-node error-propagation probability: one sweep call.
+//   3. Full-circuit SER estimate + most vulnerable node.
 //
-// Build & run:  ./build/examples/quickstart [path/to/netlist.bench]
+// The session builds the shared artifacts (compiled circuit view, signal
+// probabilities, cone-cluster sweep plan) lazily, exactly once — the sweep
+// and the SER estimate below share them.
+//
+// Build & run:  ./build/example_quickstart [path/to/netlist.bench]
 #include <cstdio>
 
-#include "src/netlist/bench_io.hpp"
-#include "src/netlist/benchmarks.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/stats.hpp"
-#include "src/ser/ser_estimator.hpp"
-#include "src/sim/fault_injection.hpp"  // error_sites()
 
 int main(int argc, char** argv) {
   using namespace sereep;
 
-  // 1. A circuit: embedded ISCAS'85 c17, or any .bench file you pass in.
-  const Circuit circuit =
-      argc > 1 ? load_bench_file(argv[1]) : make_c17();
+  // 1. A session over a circuit: embedded ISCAS'85 c17 by default.
+  Session session = Session::open(argc > 1 ? argv[1] : "c17");
+  const Circuit& circuit = session.circuit();
   std::printf("Loaded %s\n", compute_stats(circuit).summary().c_str());
 
-  // 2. Signal probabilities for the off-path inputs (Parker-McCluskey).
-  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
-
-  // 3. EPP of every node: one call per error site, linear in its cone.
-  EppEngine engine(circuit, sp);
+  // 2. EPP of every node: one batched sweep (engine, threads, SP source are
+  // all sereep::Options fields — defaults shown here).
   std::printf("\nPer-node sensitization probability (EPP):\n");
-  for (NodeId site : error_sites(circuit)) {
-    const SiteEpp epp = engine.compute(site);
-    std::printf("  %-8s P_sens = %.4f  (cone %zu signals, %zu outputs reachable)\n",
-                circuit.node(site).name.c_str(), epp.p_sensitized,
-                epp.cone_size, epp.sinks.size());
+  for (const SiteEpp& epp : session.sweep()) {
+    std::printf(
+        "  %-8s P_sens = %.4f  (cone %zu signals, %zu outputs reachable)\n",
+        circuit.node(epp.site).name.c_str(), epp.p_sensitized, epp.cone_size,
+        epp.sinks.size());
   }
 
-  // 4. Full SER estimate: R_SEU x P_latched x P_sensitized per node.
-  SerEstimator estimator(circuit, sp, {});
-  const CircuitSer ser = estimator.estimate();
+  // 3. Full SER estimate: R_SEU x P_latched x P_sensitized per node. Reuses
+  // every artifact the sweep already built.
+  const CircuitSer& ser = session.ser();
   std::printf("\nCircuit SER: %.3e failures/s (%.2f FIT)\n", ser.total_ser,
               ser.total_fit());
   const NodeSer worst = ser.ranked().front();

@@ -14,9 +14,8 @@
 #include <vector>
 
 #include "bench/common.hpp"
-#include "src/netlist/benchmarks.hpp"
+#include "sereep/sereep.hpp"
 #include "src/netlist/stats.hpp"
-#include "src/ser/ser_estimator.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
@@ -46,12 +45,10 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const std::string name = flags.get("circuit", "s1196");
 
-  const Circuit circuit = make_circuit(name);
-  std::printf("%s\n\n", compute_stats(circuit).summary().c_str());
+  Session session = Session::open(name);
+  std::printf("%s\n\n", compute_stats(session.circuit()).summary().c_str());
 
-  const SignalProbabilities sp = parker_mccluskey_sp(circuit);
-  SerEstimator estimator(circuit, sp, {});
-  const CircuitSer ser = estimator.estimate();
+  const CircuitSer& ser = session.ser();
 
   // Policy 1: EPP-guided (rank by full SER contribution).
   const std::vector<NodeSer> by_ser = ser.ranked();

@@ -1,0 +1,135 @@
+// sereep public API — the EPP engine strategy interface and its registry.
+//
+// The three engine tiers (reference / compiled / batched — the oracle
+// hierarchy of tests/README.md) share one arithmetic contract but three
+// construction signatures; before this interface every consumer hard-wired
+// one of them through #includes. IEppEngine erases that difference behind a
+// uniform per-site + sweep surface, and EngineRegistry makes the selection
+// DATA: a string key resolved at runtime, so the CLI's --engine flag, the
+// benches' A/B loops and the equivalence fuzz all pick engines the same way,
+// and new engines (a future sharded or GPU tier) join by registering a
+// factory — no call-site edits.
+//
+// Bit-for-bit contract: every registered built-in produces results exactly
+// equal (EXPECT_EQ on doubles, no tolerance) to direct construction of the
+// underlying engine; tests/api/engine_registry_test.cpp pins this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/circuit.hpp"
+#include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
+#include "src/sigprob/signal_prob.hpp"
+
+namespace sereep {
+
+/// Everything an engine factory may bind to. All pointers outlive the
+/// created engine (the Session owns them; direct users must guarantee the
+/// same). The cluster plan feeds batched sweeps only and can arrive two
+/// ways: `planner` (already built), or `planner_source` (a callable the
+/// engine invokes ON FIRST SWEEP — a session's per-site-only workloads
+/// never pay the O(V+E) planning pass). Both null/empty: sweep-capable
+/// engines build a private plan per sweep call.
+struct EngineContext {
+  const Circuit* circuit = nullptr;          ///< required
+  const CompiledCircuit* compiled = nullptr; ///< required
+  const SignalProbabilities* sp = nullptr;   ///< required
+  const ConeClusterPlanner* planner = nullptr;  ///< optional (batched sweeps)
+  std::function<const ConeClusterPlanner*()> planner_source;  ///< lazy form
+  EppOptions epp;                            ///< EPP-layer options
+};
+
+/// Static capability flags, declared at registration time so callers can
+/// pick engines by property ("fastest multi-threaded engine") instead of by
+/// name, and so help text / errors can describe what a key buys.
+struct EngineCaps {
+  /// Sweeps honour a thread count (engines without it run sequentially).
+  bool threads = false;
+  /// Uses the lane-plane SIMD kernels (subject to the runtime switch).
+  bool simd = false;
+};
+
+/// Uniform EPP engine surface: per-site queries plus explicit-site-list
+/// sweeps. One instance per thread of external parallelism (engines own
+/// per-site scratch); sweep() manages its own internal parallelism where the
+/// capability allows.
+class IEppEngine {
+ public:
+  virtual ~IEppEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual EngineCaps caps() const noexcept = 0;
+
+  /// Full three-step computation for one error site.
+  [[nodiscard]] virtual SiteEpp compute(NodeId site) = 0;
+
+  /// P_sensitized only — the fastest per-site path.
+  [[nodiscard]] virtual double p_sensitized(NodeId site) = 0;
+
+  /// Full SiteEpp records for an explicit site list; out[i] for sites[i].
+  /// `threads` follows the Options convention (1 sequential, 0 = hardware
+  /// concurrency); ignored without the `threads` capability.
+  [[nodiscard]] virtual std::vector<SiteEpp> sweep(
+      std::span<const NodeId> sites, unsigned threads) = 0;
+
+  /// P_sensitized for an explicit site list; out[i] for sites[i].
+  [[nodiscard]] virtual std::vector<double> sweep_p_sensitized(
+      std::span<const NodeId> sites, unsigned threads) = 0;
+};
+
+/// String-keyed engine registry. The built-ins ("reference", "compiled",
+/// "batched") self-register when the library is linked; anything else can be
+/// added at runtime through add() (e.g. an experimental tier in a bench, a
+/// remote backend in a service build). Keys are unique; lookups are
+/// case-sensitive. Not thread-safe for concurrent mutation — register
+/// engines at startup, resolve freely afterwards.
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<IEppEngine>(
+      const EngineContext&)>;
+
+  /// The process-wide registry (built-ins pre-registered).
+  [[nodiscard]] static EngineRegistry& instance();
+
+  /// Registers a new engine; returns false (and changes nothing) if the key
+  /// is already taken.
+  bool add(std::string name, EngineCaps caps, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered keys, sorted — the vocabulary error messages and --help
+  /// print.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// One "a, b, c" line of names(), for error messages.
+  [[nodiscard]] std::string names_joined() const;
+
+  /// Capability flags of a registered engine (throws std::invalid_argument
+  /// listing the registered keys when unknown).
+  [[nodiscard]] EngineCaps caps(std::string_view name) const;
+
+  /// Creates an engine. `context.circuit/compiled/sp` must be set and
+  /// outlive the result. Throws std::invalid_argument listing the
+  /// registered keys when the name is unknown.
+  [[nodiscard]] std::unique_ptr<IEppEngine> create(
+      std::string_view name, const EngineContext& context) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    EngineCaps caps;
+    Factory factory;
+  };
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+
+  std::vector<Entry> entries_;  ///< registration order; names() sorts
+};
+
+}  // namespace sereep

@@ -1,0 +1,97 @@
+// sereep public API — layered run configuration.
+//
+// One Options value configures a whole Session: engine selection (a registry
+// key, see sereep/engine.hpp), parallelism, the SIMD runtime switch, the
+// signal-probability source and every model knob the analysis layers expose.
+// The struct replaces the scattered per-subsystem option plumbing (SpOptions
+// here, EppOptions there, SerOptions somewhere else) with ONE value that
+// validates as a unit — invalid combinations fail at Session construction
+// with an actionable message, not deep inside a sweep.
+//
+// Layering: each nested field is the subsystem's own option struct, so the
+// facade adds no second vocabulary — anything expressible against the
+// internal headers is expressible here, and defaults stay in one place (the
+// subsystem that owns them).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/cone_cluster.hpp"
+#include "src/ser/latching.hpp"
+#include "src/ser/seu_rate.hpp"
+#include "src/sigprob/signal_prob.hpp"
+
+namespace sereep {
+
+/// Where a Session's signal probabilities come from.
+enum class SpSource {
+  /// Parker-McCluskey single topological pass over the compiled CSR view —
+  /// the paper's SPT step and the production default.
+  kParkerMcCluskey,
+  /// Fixed-point iteration of the combinational pass, feeding FF D-pin SPs
+  /// back to FF outputs until the state distribution converges.
+  kSequentialFixedPoint,
+  /// Bit-parallel Monte-Carlo sampling (sp.monte_carlo_vectors vectors).
+  kMonteCarlo,
+};
+
+/// Signal-probability layer configuration.
+struct SpLayerOptions {
+  SpSource source = SpSource::kParkerMcCluskey;
+  /// Source probabilities (inputs / FF outputs) for the analytic passes.
+  SpOptions probabilities;
+  /// Sample count when source == kMonteCarlo.
+  std::size_t monte_carlo_vectors = 65536;
+};
+
+/// Cluster-planning layer configuration (the batched engine's sweep plan).
+struct ClusterOptions {
+  /// kTwoLevel (default) regroups Bloom-pass singletons by their
+  /// immediate-dominator sink; kBloomOnly is kept for A/B stats.
+  ConeClusterPlanner::PlanLevel level =
+      ConeClusterPlanner::PlanLevel::kTwoLevel;
+};
+
+/// SER layer configuration.
+struct SerLayerOptions {
+  SeuRateModel seu;        ///< raw upset-rate model
+  LatchingModel latching;  ///< latching-window model per sink
+  /// Evenly-spaced site subsample for ser()/harden() (0 = all sites).
+  std::size_t max_sites = 0;
+};
+
+/// One Session's full configuration.
+struct Options {
+  /// EPP engine, by registry key ("reference" | "compiled" | "batched", plus
+  /// anything registered at runtime — see EngineRegistry). All built-in
+  /// engines are bit-for-bit equal; the choice is observable only in timing.
+  std::string engine = "batched";
+
+  /// Worker threads for sweeps (1 = sequential, 0 = hardware concurrency).
+  /// Results are bit-identical at any thread count. Engines without the
+  /// `threads` capability run sequentially regardless.
+  unsigned threads = 1;
+
+  /// Lane-plane SIMD kernels in the batched engine: nullopt (default)
+  /// leaves the process-wide runtime switch alone (so the SEREEP_NO_SIMD
+  /// build/environment default stands); a value maps onto the switch
+  /// (simd::set_enabled) at query time. Both paths are bit-identical — the
+  /// knob exists for A/B timing.
+  std::optional<bool> simd;
+
+  SpLayerOptions sp;    ///< signal-probability layer
+  EppOptions epp;       ///< EPP layer (polarity, electrical masking)
+  ClusterOptions cluster;  ///< batched-sweep planning layer
+  SerLayerOptions ser;  ///< SER layer (rate + latching models)
+
+  /// Validates every layer; throws std::invalid_argument with an actionable
+  /// message (unknown engine errors list the registered keys). Session
+  /// constructors and set_options() call this — a constructed Session is
+  /// always backed by a valid Options value.
+  void validate() const;
+};
+
+}  // namespace sereep

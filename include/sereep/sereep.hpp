@@ -1,0 +1,16 @@
+// sereep public API — umbrella header.
+//
+// #include "sereep/sereep.hpp" pulls in the whole stable surface:
+//
+//   sereep::Session        the facade (sereep/session.hpp)
+//   sereep::Options        layered configuration (sereep/options.hpp)
+//   sereep::IEppEngine     engine strategy + registry (sereep/engine.hpp)
+//
+// Internal headers under src/ remain reachable for power users (benches,
+// kernel-level tests), but everything a consumer of the analysis needs —
+// load a netlist, sweep it, rank it, harden it — lives behind these three.
+#pragma once
+
+#include "sereep/engine.hpp"
+#include "sereep/options.hpp"
+#include "sereep/session.hpp"

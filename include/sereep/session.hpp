@@ -1,0 +1,199 @@
+// sereep public API — the Session facade.
+//
+// A Session owns one finalized Circuit plus one Options value, and serves
+// every analysis the library offers — per-site EPP, full sweeps, SER
+// estimation, hardening selection, multi-cycle propagation — from shared,
+// lazily-built artifacts:
+//
+//   CompiledCircuit      flat-CSR kernel view          built on first need
+//   SignalProbabilities  SP assignment (Options-selected source)    "
+//   ConeClusterPlanner   cone-sharing sweep plan                    "
+//   IEppEngine           the Options-selected engine (registry)     "
+//
+// Each artifact is built AT MOST ONCE per (Session, Options) and memoized;
+// sweep() + ser() + harden() on one session share one flatten, one SP pass
+// and one cluster plan (the caching contract is pinned by
+// tests/api/session_test.cpp through build_counts(), and documented in
+// tests/README.md). set_options() invalidates exactly the artifacts the
+// changed layers feed — see the table there.
+//
+// Sessions are movable (artifacts live behind stable pointers) but not
+// copyable, and are NOT thread-safe: one session per thread, or external
+// synchronization. Internal sweep parallelism (Options::threads) is safe and
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sereep/engine.hpp"
+#include "sereep/options.hpp"
+#include "src/epp/multicycle.hpp"
+#include "src/ser/ser_estimator.hpp"
+
+namespace sereep {
+
+/// Loads a netlist the way every sereep front end spells it: an embedded
+/// circuit name (c17, s27, s953, ...), a structural-Verilog path (*.v), or
+/// an ISCAS .bench path (anything else). Throws std::runtime_error with the
+/// parser's message on failure.
+[[nodiscard]] Circuit load_netlist(const std::string& spec);
+
+/// The facade. See the file comment for the ownership and caching model.
+class Session {
+ public:
+  /// Build counters behind the caching contract: how many times each shared
+  /// artifact has been constructed over the session's lifetime. After any
+  /// call sequence with unchanged Options, every field is 0 or 1.
+  struct BuildCounts {
+    std::size_t compiled = 0;
+    std::size_t sp = 0;
+    std::size_t planner = 0;
+    std::size_t engine = 0;
+    std::size_t multicycle = 0;
+    std::size_t ser = 0;
+  };
+
+  /// Convergence diagnostics of the kSequentialFixedPoint SP source —
+  /// callers must be able to see a fixed point that hit the iteration cap
+  /// (unconverged SPs silently feeding SER numbers would look
+  /// authoritative).
+  struct SpDiagnostics {
+    std::size_t iterations = 0;
+    double residual = 0.0;
+    bool converged = true;
+  };
+
+  /// Takes ownership of a finalized circuit. Validates `options` (throws
+  /// std::invalid_argument, e.g. unknown engine keys list the registered
+  /// ones). No artifact is built yet — construction is cheap.
+  explicit Session(Circuit circuit, Options options = {});
+
+  /// load_netlist() + Session in one step — the CLI / quickstart route.
+  [[nodiscard]] static Session open(const std::string& spec,
+                                    Options options = {});
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return *circuit_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Re-configures the session, validating first. Memoized artifacts are
+  /// invalidated selectively: only what the changed layers feed is dropped
+  /// (e.g. a new engine key drops the engine + SER cache but keeps the
+  /// compiled view, SPs and cluster plan). See tests/README.md.
+  void set_options(Options options);
+
+  // ---- shared artifacts (lazily built, memoized) ---------------------------
+
+  [[nodiscard]] const CompiledCircuit& compiled();
+  [[nodiscard]] const SignalProbabilities& sp();
+  /// Fixed-point convergence info once sp() has been built from the
+  /// kSequentialFixedPoint source; nullopt before that and for every other
+  /// source.
+  [[nodiscard]] const std::optional<SpDiagnostics>& sp_diagnostics()
+      const noexcept {
+    return sp_diagnostics_;
+  }
+  /// NOTE: sweeps consult the plan lazily — batched-engine sessions running
+  /// only per-site queries never pay for it; calling this forces the build.
+  [[nodiscard]] const ConeClusterPlanner& planner();
+  /// The Options-selected engine, resolved through EngineRegistry.
+  [[nodiscard]] IEppEngine& engine();
+  /// All error sites of the circuit, in error_sites() order.
+  [[nodiscard]] std::span<const NodeId> sites();
+
+  // ---- queries -------------------------------------------------------------
+
+  [[nodiscard]] std::optional<NodeId> find(std::string_view name) const;
+
+  /// Full per-site EPP record (cone metadata, per-sink distributions).
+  [[nodiscard]] SiteEpp epp(NodeId site);
+
+  /// P_sensitized of one site — the fastest per-site query.
+  [[nodiscard]] double p_sensitized(NodeId site);
+
+  /// Full SiteEpp records for every error site, in sites() order.
+  [[nodiscard]] std::vector<SiteEpp> sweep();
+
+  /// All-nodes P_sensitized, indexed by NodeId (non-sites 0.0).
+  [[nodiscard]] std::vector<double> sweep_p_sensitized();
+
+  /// Whole-circuit SER (memoized; ser()+harden() share one sweep). Folded
+  /// from the selected engine's sweep records in bounded slices, so peak
+  /// memory is O(slice), with the SER-layer models of Options.
+  [[nodiscard]] const CircuitSer& ser();
+
+  /// Greedy hardening selection over ser().
+  [[nodiscard]] HardeningPlan harden(double target_reduction);
+
+  /// Multi-cycle detection profile of one site (the engine behind it is
+  /// memoized and reuses the session's compiled view + SPs).
+  [[nodiscard]] MultiCycleEpp multicycle(NodeId site, std::size_t cycles);
+
+  // ---- canonical text renderings ------------------------------------------
+  // The exact bytes the CLI emits and the golden-file tests (tests/cli/)
+  // pin. Probabilities print at round-trip precision (%.17g); every engine
+  // selection produces identical text (bit-for-bit contract).
+
+  /// One row per error site: node,type,p_sensitized.
+  [[nodiscard]] std::string sweep_csv();
+
+  /// One row per error site: node,type,r_seu,p_latched,p_sensitized,ser.
+  [[nodiscard]] std::string ser_csv();
+
+  /// The hardening-plan text `sereep harden` prints — harden_plan_text()
+  /// over harden(target_reduction).
+  [[nodiscard]] std::string harden_text(double target_reduction);
+
+  [[nodiscard]] const BuildCounts& build_counts() const noexcept {
+    return *counts_;
+  }
+
+ private:
+  /// Lazily-built cluster plan behind a stable address, so engines can hold
+  /// a deferred handle to it that survives Session moves (defined in
+  /// session.cpp).
+  struct PlannerCache;
+
+  /// Applies Options::simd to the process-wide runtime switch (documented on
+  /// the field) before any engine work.
+  void apply_simd() const noexcept;
+
+  /// The planner cache, created (not built) on demand.
+  PlannerCache& planner_cache();
+
+  std::unique_ptr<const Circuit> circuit_;  ///< stable address across moves
+  Options options_;
+  std::unique_ptr<BuildCounts> counts_;  ///< stable: the planner cache and
+                                         ///< engines reference it
+
+  // Memoized artifacts; unique_ptr keeps addresses stable across Session
+  // moves (engines hold references into their context).
+  std::unique_ptr<const CompiledCircuit> compiled_;
+  std::unique_ptr<const SignalProbabilities> sp_;
+  std::optional<SpDiagnostics> sp_diagnostics_;
+  std::unique_ptr<PlannerCache> planner_cache_;
+  std::unique_ptr<IEppEngine> engine_;
+  std::unique_ptr<MultiCycleEppEngine> multicycle_;
+  std::unique_ptr<const CircuitSer> ser_;
+  std::optional<std::vector<NodeId>> sites_;
+};
+
+/// Renders a hardening plan as the canonical text Session::harden_text()
+/// returns and `sereep harden` prints (golden-pinned) — for callers that
+/// already hold the plan and must not recompute the selection.
+[[nodiscard]] std::string harden_plan_text(const Circuit& circuit,
+                                           const HardeningPlan& plan,
+                                           double target_reduction);
+
+}  // namespace sereep

@@ -1,0 +1,255 @@
+// EngineRegistry + the built-in engine adapters.
+//
+// Each adapter wraps one tier of the oracle hierarchy (see tests/README.md)
+// behind IEppEngine. The wrappers add NO arithmetic — per-site calls forward
+// verbatim and sweeps either loop the per-site path (sequential engines) or
+// forward to the planner-reusing parallel routes (batched), so registry
+// resolution is bit-for-bit equal to direct construction by construction;
+// tests/api/engine_registry_test.cpp pins it anyway.
+#include "sereep/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/epp/batched_epp.hpp"
+#include "src/epp/compiled_epp.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// "reference": the paper-shaped EppEngine over Circuit node structs.
+class ReferenceEngine final : public IEppEngine {
+ public:
+  explicit ReferenceEngine(const EngineContext& ctx)
+      : engine_(*ctx.circuit, *ctx.sp, ctx.epp) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "reference";
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override { return {}; }
+
+  [[nodiscard]] SiteEpp compute(NodeId site) override {
+    return engine_.compute(site);
+  }
+  [[nodiscard]] double p_sensitized(NodeId site) override {
+    return engine_.p_sensitized(site);
+  }
+  [[nodiscard]] std::vector<SiteEpp> sweep(std::span<const NodeId> sites,
+                                           unsigned /*threads*/) override {
+    std::vector<SiteEpp> out;
+    out.reserve(sites.size());
+    for (NodeId site : sites) out.push_back(engine_.compute(site));
+    return out;
+  }
+  [[nodiscard]] std::vector<double> sweep_p_sensitized(
+      std::span<const NodeId> sites, unsigned /*threads*/) override {
+    std::vector<double> out;
+    out.reserve(sites.size());
+    for (NodeId site : sites) out.push_back(engine_.p_sensitized(site));
+    return out;
+  }
+
+ private:
+  EppEngine engine_;
+};
+
+/// "compiled": the flat-CSR single-site hot path.
+class CompiledEngine final : public IEppEngine {
+ public:
+  explicit CompiledEngine(const EngineContext& ctx)
+      : engine_(*ctx.compiled, *ctx.sp, ctx.epp) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "compiled";
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override { return {}; }
+
+  [[nodiscard]] SiteEpp compute(NodeId site) override {
+    return engine_.compute(site);
+  }
+  [[nodiscard]] double p_sensitized(NodeId site) override {
+    return engine_.p_sensitized(site);
+  }
+  [[nodiscard]] std::vector<SiteEpp> sweep(std::span<const NodeId> sites,
+                                           unsigned /*threads*/) override {
+    std::vector<SiteEpp> out;
+    out.reserve(sites.size());
+    for (NodeId site : sites) out.push_back(engine_.compute(site));
+    return out;
+  }
+  [[nodiscard]] std::vector<double> sweep_p_sensitized(
+      std::span<const NodeId> sites, unsigned /*threads*/) override {
+    std::vector<double> out;
+    out.reserve(sites.size());
+    for (NodeId site : sites) out.push_back(engine_.p_sensitized(site));
+    return out;
+  }
+
+ private:
+  CompiledEppEngine engine_;
+};
+
+/// "batched": cone-sharing clusters + lane-plane SIMD kernels; sweeps run
+/// the work-stealing parallel routes, reusing the context's cluster planner
+/// when one is provided (the Session always provides its memoized one).
+class BatchedEngine final : public IEppEngine {
+ public:
+  explicit BatchedEngine(const EngineContext& ctx)
+      : compiled_(*ctx.compiled),
+        sp_(*ctx.sp),
+        epp_(ctx.epp),
+        planner_(ctx.planner),
+        planner_source_(ctx.planner_source),
+        engine_(*ctx.compiled, *ctx.sp, ctx.epp) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "batched";
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override {
+    return {.threads = true, .simd = true};
+  }
+
+  [[nodiscard]] SiteEpp compute(NodeId site) override {
+    return engine_.compute(site);  // a 1-lane cluster — bit-identical
+  }
+  [[nodiscard]] double p_sensitized(NodeId site) override {
+    return engine_.p_sensitized(site);
+  }
+  [[nodiscard]] std::vector<SiteEpp> sweep(std::span<const NodeId> sites,
+                                           unsigned threads) override {
+    if (const ConeClusterPlanner* planner = resolve_planner()) {
+      return compute_sites_parallel(compiled_, *planner, sites, sp_, epp_,
+                                    threads);
+    }
+    return compute_sites_parallel(compiled_, sites, sp_, epp_, threads);
+  }
+  [[nodiscard]] std::vector<double> sweep_p_sensitized(
+      std::span<const NodeId> sites, unsigned threads) override {
+    if (const ConeClusterPlanner* planner = resolve_planner()) {
+      return p_sensitized_sites_parallel(compiled_, *planner, sites, sp_,
+                                         epp_, threads);
+    }
+    return p_sensitized_sites_parallel(compiled_, ConeClusterPlanner(compiled_),
+                                       sites, sp_, epp_, threads);
+  }
+
+ private:
+  /// The context's plan, resolved lazily: per-site queries never trigger a
+  /// deferred planner_source; sweeps resolve it once and keep it.
+  [[nodiscard]] const ConeClusterPlanner* resolve_planner() {
+    if (planner_ == nullptr && planner_source_) {
+      planner_ = planner_source_();
+      planner_source_ = nullptr;
+    }
+    return planner_;
+  }
+
+  const CompiledCircuit& compiled_;
+  const SignalProbabilities& sp_;
+  EppOptions epp_;
+  const ConeClusterPlanner* planner_;  ///< may be null (see resolve_planner)
+  std::function<const ConeClusterPlanner*()> planner_source_;
+  BatchedEppEngine engine_;
+};
+
+void require_context(const EngineContext& context) {
+  if (context.circuit == nullptr || context.compiled == nullptr ||
+      context.sp == nullptr) {
+    throw std::invalid_argument(
+        "EngineContext: circuit, compiled and sp must all be set");
+  }
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::instance() {
+  // Built-ins registered on first touch — no static-initialization-order
+  // dependence, and linking the registry always brings them along.
+  static EngineRegistry registry = [] {
+    EngineRegistry r;
+    r.add("reference", {}, [](const EngineContext& ctx) {
+      return std::unique_ptr<IEppEngine>(new ReferenceEngine(ctx));
+    });
+    r.add("compiled", {}, [](const EngineContext& ctx) {
+      return std::unique_ptr<IEppEngine>(new CompiledEngine(ctx));
+    });
+    r.add("batched", {.threads = true, .simd = true},
+          [](const EngineContext& ctx) {
+            return std::unique_ptr<IEppEngine>(new BatchedEngine(ctx));
+          });
+    return r;
+  }();
+  return registry;
+}
+
+bool EngineRegistry::add(std::string name, EngineCaps caps, Factory factory) {
+  if (name.empty() || factory == nullptr || find(name) != nullptr) {
+    return false;
+  }
+  entries_.push_back({std::move(name), caps, std::move(factory)});
+  return true;
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool EngineRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string EngineRegistry::names_joined() const {
+  std::string out;
+  for (const std::string& n : names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+EngineCaps EngineRegistry::caps(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("unknown engine '" + std::string(name) +
+                                "' (registered: " + names_joined() + ")");
+  }
+  return e->caps;
+}
+
+std::unique_ptr<IEppEngine> EngineRegistry::create(
+    std::string_view name, const EngineContext& context) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("unknown engine '" + std::string(name) +
+                                "' (registered: " + names_joined() + ")");
+  }
+  require_context(context);
+  std::unique_ptr<IEppEngine> engine = e->factory(context);
+  // The registered flags are the load-bearing copy (planner wiring, CLI
+  // listing); an implementation whose caps() drifts from them would
+  // silently mis-wire — catch it at the single choke point instead.
+  const EngineCaps actual = engine->caps();
+  if (actual.threads != e->caps.threads || actual.simd != e->caps.simd) {
+    throw std::logic_error(
+        "engine '" + e->name +
+        "': capability flags declared at registration disagree with the "
+        "implementation's caps()");
+  }
+  return engine;
+}
+
+}  // namespace sereep

@@ -1,0 +1,36 @@
+#include "sereep/options.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sereep/engine.hpp"
+
+namespace sereep {
+
+namespace {
+
+void check_probability(double value, const char* what) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string(what) + " must be in [0, 1], got " +
+                                std::to_string(value));
+  }
+}
+
+}  // namespace
+
+void Options::validate() const {
+  if (!EngineRegistry::instance().contains(engine)) {
+    throw std::invalid_argument(
+        "unknown engine '" + engine + "' (registered: " +
+        EngineRegistry::instance().names_joined() + ")");
+  }
+  check_probability(sp.probabilities.input_sp, "sp.probabilities.input_sp");
+  check_probability(sp.probabilities.dff_sp, "sp.probabilities.dff_sp");
+  if (sp.source == SpSource::kMonteCarlo && sp.monte_carlo_vectors == 0) {
+    throw std::invalid_argument(
+        "sp.monte_carlo_vectors must be > 0 for the Monte-Carlo SP source");
+  }
+  check_probability(epp.electrical_survival, "epp.electrical_survival");
+}
+
+}  // namespace sereep

@@ -1,0 +1,299 @@
+#include "sereep/session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/verilog_io.hpp"
+#include "src/sim/fault_injection.hpp"  // error_sites / subsample_sites
+#include "src/util/csv.hpp"
+#include "src/util/simd.hpp"
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// %.17g — the round-trip precision every golden CSV is pinned at.
+std::string round_trip(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+Circuit load_netlist(const std::string& spec) {
+  for (const std::string& name : known_circuit_names()) {
+    if (spec == name) return make_circuit(spec);
+  }
+  if (spec.ends_with(".v")) return load_verilog_file(spec);
+  return load_bench_file(spec);
+}
+
+/// The memoized cluster plan behind one stable heap address: deferred
+/// planner handles held by engines (EngineContext::planner_source) stay
+/// valid across Session moves, and the build-at-most-once counter lives in
+/// the (equally stable) BuildCounts block.
+struct Session::PlannerCache {
+  const CompiledCircuit* compiled = nullptr;
+  ConeClusterPlanner::PlanLevel level =
+      ConeClusterPlanner::PlanLevel::kTwoLevel;
+  BuildCounts* counts = nullptr;
+  std::unique_ptr<ConeClusterPlanner> planner;
+
+  const ConeClusterPlanner& get() {
+    if (planner == nullptr) {
+      planner = std::make_unique<ConeClusterPlanner>(*compiled);
+      planner->set_default_level(level);
+      ++counts->planner;
+    }
+    return *planner;
+  }
+};
+
+Session::Session(Circuit circuit, Options options)
+    : circuit_(std::make_unique<const Circuit>(std::move(circuit))),
+      options_(std::move(options)),
+      counts_(std::make_unique<BuildCounts>()) {
+  options_.validate();
+}
+
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+Session Session::open(const std::string& spec, Options options) {
+  return Session(load_netlist(spec), std::move(options));
+}
+
+void Session::set_options(Options options) {
+  options.validate();
+  const bool sp_changed =
+      options.sp.source != options_.sp.source ||
+      options.sp.probabilities.input_sp !=
+          options_.sp.probabilities.input_sp ||
+      options.sp.probabilities.dff_sp != options_.sp.probabilities.dff_sp ||
+      (options.sp.source == SpSource::kMonteCarlo &&
+       options.sp.monte_carlo_vectors != options_.sp.monte_carlo_vectors);
+  options_ = std::move(options);
+  // Always dropped: the engine (binds the SP table, EPP options and — for
+  // batched — the planner), the multicycle engine (same bindings plus a
+  // model-dependent matrix) and the SER cache (folds model objects that
+  // don't support comparison). Never dropped: the compiled view and the site
+  // list (pure functions of the immutable circuit).
+  engine_.reset();
+  multicycle_.reset();
+  ser_.reset();
+  if (sp_changed) {
+    sp_.reset();
+    sp_diagnostics_.reset();
+  }
+  // The cluster plan survives; only its default level follows the options.
+  if (planner_cache_ != nullptr) {
+    planner_cache_->level = options_.cluster.level;
+    if (planner_cache_->planner != nullptr) {
+      planner_cache_->planner->set_default_level(options_.cluster.level);
+    }
+  }
+}
+
+void Session::apply_simd() const noexcept {
+  if (options_.simd.has_value()) simd::set_enabled(*options_.simd);
+}
+
+const CompiledCircuit& Session::compiled() {
+  if (compiled_ == nullptr) {
+    compiled_ = std::make_unique<const CompiledCircuit>(*circuit_);
+    ++counts_->compiled;
+  }
+  return *compiled_;
+}
+
+const SignalProbabilities& Session::sp() {
+  if (sp_ == nullptr) {
+    SignalProbabilities built;
+    switch (options_.sp.source) {
+      case SpSource::kParkerMcCluskey:
+        built = compiled_parker_mccluskey_sp(compiled(),
+                                             options_.sp.probabilities);
+        break;
+      case SpSource::kSequentialFixedPoint: {
+        SequentialSpResult result =
+            sequential_fixed_point_sp(*circuit_, options_.sp.probabilities);
+        sp_diagnostics_ = SpDiagnostics{.iterations = result.iterations,
+                                        .residual = result.residual,
+                                        .converged = result.converged};
+        built = std::move(result.sp);
+        break;
+      }
+      case SpSource::kMonteCarlo:
+        built = monte_carlo_sp(*circuit_, options_.sp.monte_carlo_vectors);
+        break;
+    }
+    sp_ = std::make_unique<const SignalProbabilities>(std::move(built));
+    ++counts_->sp;
+  }
+  return *sp_;
+}
+
+Session::PlannerCache& Session::planner_cache() {
+  if (planner_cache_ == nullptr) {
+    planner_cache_ = std::make_unique<PlannerCache>();
+    planner_cache_->compiled = &compiled();
+    planner_cache_->level = options_.cluster.level;
+    planner_cache_->counts = counts_.get();
+  }
+  return *planner_cache_;
+}
+
+const ConeClusterPlanner& Session::planner() { return planner_cache().get(); }
+
+IEppEngine& Session::engine() {
+  if (engine_ == nullptr) {
+    EngineContext context;
+    context.circuit = circuit_.get();
+    context.compiled = &compiled();
+    context.sp = &sp();
+    // Sweep-capable engines get a DEFERRED handle on the session's plan:
+    // built on their first sweep, shared and memoized after that, never
+    // built for per-site-only workloads. Sequential engines get nothing.
+    if (EngineRegistry::instance().caps(options_.engine).threads) {
+      context.planner_source = [cache = &planner_cache()] {
+        return &cache->get();
+      };
+    }
+    context.epp = options_.epp;
+    engine_ = EngineRegistry::instance().create(options_.engine, context);
+    ++counts_->engine;
+  }
+  return *engine_;
+}
+
+std::span<const NodeId> Session::sites() {
+  if (!sites_.has_value()) sites_ = error_sites(*circuit_);
+  return *sites_;
+}
+
+std::optional<NodeId> Session::find(std::string_view name) const {
+  return circuit_->find(name);
+}
+
+SiteEpp Session::epp(NodeId site) {
+  apply_simd();
+  return engine().compute(site);
+}
+
+double Session::p_sensitized(NodeId site) {
+  apply_simd();
+  return engine().p_sensitized(site);
+}
+
+std::vector<SiteEpp> Session::sweep() {
+  apply_simd();
+  return engine().sweep(sites(), options_.threads);
+}
+
+std::vector<double> Session::sweep_p_sensitized() {
+  apply_simd();
+  const std::span<const NodeId> all = sites();
+  const std::vector<double> per_site =
+      engine().sweep_p_sensitized(all, options_.threads);
+  std::vector<double> out(circuit_->node_count(), 0.0);
+  for (std::size_t i = 0; i < all.size(); ++i) out[all[i]] = per_site[i];
+  return out;
+}
+
+const CircuitSer& Session::ser() {
+  if (ser_ == nullptr) {
+    apply_simd();
+    // Folded in bounded slices so peak memory is O(slice) SiteEpp records —
+    // the same discipline SerEstimator::estimate() keeps (and the same
+    // slice width, so the batched engine's cluster packing matches it too).
+    constexpr std::size_t kFoldSlice = 8192;
+    const std::span<const NodeId> all = sites();
+    const std::vector<NodeId> swept = subsample_sites(
+        std::vector<NodeId>(all.begin(), all.end()), options_.ser.max_sites);
+    CircuitSer out;
+    out.nodes.reserve(swept.size());
+    IEppEngine& eng = engine();
+    for (std::size_t begin = 0; begin < swept.size(); begin += kFoldSlice) {
+      const std::size_t count = std::min(kFoldSlice, swept.size() - begin);
+      for (const SiteEpp& epp :
+           eng.sweep(std::span(swept).subspan(begin, count),
+                     options_.threads)) {
+        out.nodes.push_back(node_ser_from_epp(*circuit_, epp,
+                                              options_.ser.seu,
+                                              options_.ser.latching));
+        out.total_ser += out.nodes.back().ser;
+      }
+    }
+    ser_ = std::make_unique<const CircuitSer>(std::move(out));
+    ++counts_->ser;
+  }
+  return *ser_;
+}
+
+HardeningPlan Session::harden(double target_reduction) {
+  return select_hardening(ser(), target_reduction);
+}
+
+MultiCycleEpp Session::multicycle(NodeId site, std::size_t cycles) {
+  apply_simd();
+  if (multicycle_ == nullptr) {
+    multicycle_ = std::make_unique<MultiCycleEppEngine>(
+        *circuit_, compiled(), sp(), options_.epp, options_.threads,
+        &planner());
+    ++counts_->multicycle;
+  }
+  return multicycle_->compute(site, cycles);
+}
+
+std::string Session::sweep_csv() {
+  const std::vector<double> p = sweep_p_sensitized();
+  CsvWriter csv({"node", "type", "p_sensitized"});
+  for (NodeId site : sites()) {
+    csv.add_row({circuit_->node(site).name,
+                 std::string(gate_type_name(circuit_->type(site))),
+                 round_trip(p[site])});
+  }
+  return csv.str();
+}
+
+std::string Session::ser_csv() {
+  const CircuitSer& circuit_ser = ser();
+  CsvWriter csv(
+      {"node", "type", "r_seu", "p_latched", "p_sensitized", "ser"});
+  for (const NodeSer& n : circuit_ser.nodes) {
+    csv.add_row({circuit_->node(n.node).name,
+                 std::string(gate_type_name(circuit_->type(n.node))),
+                 round_trip(n.r_seu), round_trip(n.p_latched),
+                 round_trip(n.p_sensitized), round_trip(n.ser)});
+  }
+  return csv.str();
+}
+
+std::string Session::harden_text(double target_reduction) {
+  return harden_plan_text(*circuit_, harden(target_reduction),
+                          target_reduction);
+}
+
+std::string harden_plan_text(const Circuit& circuit, const HardeningPlan& plan,
+                             double target_reduction) {
+  char head[128];
+  std::snprintf(head, sizeof head,
+                "protect %zu nodes for a %.0f%% reduction (achieved %.1f%%):\n",
+                plan.protect.size(), 100 * target_reduction,
+                100 * plan.reduction());
+  std::string out = head;
+  for (NodeId id : plan.protect) {
+    out += "  ";
+    out += circuit.node(id).name;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sereep

@@ -245,14 +245,25 @@ std::vector<double> all_nodes_p_sensitized_parallel(
     const Circuit& circuit, const CompiledCircuit& compiled,
     const SignalProbabilities& sp, EppOptions options, unsigned threads) {
   const std::vector<NodeId> sites = error_sites(circuit);
-  const SweepPlan plan = plan_sweep(ConeClusterPlanner(compiled), sites);
+  const std::vector<double> per_site = p_sensitized_sites_parallel(
+      compiled, ConeClusterPlanner(compiled), sites, sp, options, threads);
   std::vector<double> out(circuit.node_count(), 0.0);
+  for (std::size_t i = 0; i < sites.size(); ++i) out[sites[i]] = per_site[i];
+  return out;
+}
+
+std::vector<double> p_sensitized_sites_parallel(
+    const CompiledCircuit& compiled, const ConeClusterPlanner& planner,
+    std::span<const NodeId> sites, const SignalProbabilities& sp,
+    EppOptions options, unsigned threads) {
+  const SweepPlan plan = plan_sweep(planner, sites);
+  std::vector<double> out(sites.size(), 0.0);
   run_sweep(compiled, sp, options, plan, resolve_threads(threads),
             [&](BatchedEppEngine& batched, CompiledEppEngine& single,
                 const ConeCluster& cluster) {
               run_cluster_p_sensitized(
                   batched, single, cluster, sites,
-                  [&](std::uint32_t idx, double p) { out[sites[idx]] = p; });
+                  [&](std::uint32_t idx, double p) { out[idx] = p; });
             });
   return out;
 }

@@ -170,6 +170,16 @@ class ConeClusterPlanner;
     const SignalProbabilities& sp, EppOptions options = {},
     unsigned threads = 0);
 
+/// P_sensitized over an explicit site list (out[i] for sites[i]), reusing a
+/// ConeClusterPlanner the caller already built (`planner` must be a planner
+/// over `compiled`). The cheap sibling of compute_sites_parallel for callers
+/// that only need the scalar — the registry's batched engine routes its
+/// sweep_p_sensitized here.
+[[nodiscard]] std::vector<double> p_sensitized_sites_parallel(
+    const CompiledCircuit& compiled, const ConeClusterPlanner& planner,
+    std::span<const NodeId> sites, const SignalProbabilities& sp,
+    EppOptions options = {}, unsigned threads = 0);
+
 /// Batched parallel compute() over an explicit site list: full SiteEpp
 /// records, out[i] for sites[i]. The cluster planner + work-stealing
 /// scheduler of all_nodes_p_sensitized_parallel, for callers sweeping a

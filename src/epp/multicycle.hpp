@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
 
 namespace sereep {
 
@@ -61,14 +63,26 @@ class MultiCycleEppEngine {
     std::vector<std::pair<std::size_t, double>> to_ff;  ///< (ff index, mass)
   };
 
-  /// `threads` drives the FF-matrix rebuild (0 = hardware concurrency); the
-  /// matrix is bit-identical at every thread count.
+  /// Borrows every artifact from the caller (`compiled` must be a
+  /// compilation of `circuit`; `sp` must cover every node; both must outlive
+  /// the engine; `planner`, when given, must be a planner over `compiled` —
+  /// the FF-matrix rebuild then reuses it instead of building its own).
+  /// This is the sereep::Session route: one flatten, one SP pass and one
+  /// cluster plan shared across every analysis of the session. `threads`
+  /// drives the FF-matrix rebuild (0 = hardware concurrency); the matrix is
+  /// bit-identical at every thread count.
+  MultiCycleEppEngine(const Circuit& circuit, const CompiledCircuit& compiled,
+                      const SignalProbabilities& sp, EppOptions options = {},
+                      unsigned threads = 0,
+                      const ConeClusterPlanner* planner = nullptr);
+
+  /// DEPRECATED shim (prefer sereep::Session, or the borrowing constructor
+  /// above): compiles a private view of `circuit`.
   MultiCycleEppEngine(const Circuit& circuit, const SignalProbabilities& sp,
                       EppOptions options = {}, unsigned threads = 0);
 
-  /// Owns its SP: runs the compiled Parker-McCluskey pass over the view it
-  /// compiles anyway — callers without an existing SP assignment must not
-  /// pay the reference pass (bit-identical either way).
+  /// DEPRECATED shim (prefer sereep::Session): compiles a private view AND
+  /// owns its SP (compiled Parker-McCluskey pass over that view).
   explicit MultiCycleEppEngine(const Circuit& circuit, EppOptions options = {},
                                unsigned threads = 0);
 
@@ -92,12 +106,13 @@ class MultiCycleEppEngine {
   }
 
  private:
-  /// Shared tail of both constructors: the FF→{PO, FF} matrix rebuild.
+  /// Shared tail of every constructor: the FF→{PO, FF} matrix rebuild.
   void build_matrix(const SignalProbabilities& sp, EppOptions options,
-                    unsigned threads);
+                    unsigned threads, const ConeClusterPlanner* planner);
 
   const Circuit& circuit_;
-  CompiledCircuit compiled_;
+  std::optional<CompiledCircuit> owned_compiled_;  ///< empty when borrowed
+  const CompiledCircuit& compiled_;
   SignalProbabilities owned_sp_;            ///< empty when SP is borrowed
   CompiledEppEngine engine_;                ///< flat-CSR EPP hot path
   std::vector<FfRow> rows_;                 ///< indexed like circuit.dffs()

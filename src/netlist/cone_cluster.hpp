@@ -80,9 +80,22 @@ class ConeClusterPlanner {
   /// appears in exactly one cluster; clusters are returned in descending
   /// mass order (ties broken by first member index). `sites` must not
   /// contain duplicates.
+  [[nodiscard]] std::vector<ConeCluster> plan(std::span<const NodeId> sites,
+                                              PlanLevel level) const;
+
+  /// Same, at the planner's default level (kTwoLevel unless reconfigured) —
+  /// the form every sweep uses, so one set_default_level() call (e.g. from
+  /// sereep::Options::cluster) re-levels a whole session's sweeps. Either
+  /// level is correct (grouping never affects results, only sharing).
   [[nodiscard]] std::vector<ConeCluster> plan(
-      std::span<const NodeId> sites,
-      PlanLevel level = PlanLevel::kTwoLevel) const;
+      std::span<const NodeId> sites) const {
+    return plan(sites, default_level_);
+  }
+
+  void set_default_level(PlanLevel level) noexcept { default_level_ = level; }
+  [[nodiscard]] PlanLevel default_level() const noexcept {
+    return default_level_;
+  }
 
   /// The 64-bit Bloom signature of the reachable-sink set of `id`'s output
   /// cone. Equal cones have equal signatures; distinct signatures imply the
@@ -100,6 +113,7 @@ class ConeClusterPlanner {
 
  private:
   const CompiledCircuit& circuit_;
+  PlanLevel default_level_ = PlanLevel::kTwoLevel;
   std::vector<std::uint64_t> sig_;
   std::vector<NodeId> dom_;
 };

@@ -17,6 +17,7 @@
 namespace sereep {
 
 class CompiledCircuit;
+class Session;
 struct SignalProbabilities;
 
 /// Report configuration.
@@ -30,37 +31,54 @@ struct ReportOptions {
   bool sequential_sp = false;
 };
 
-/// Runs the full flow on `circuit` and renders a markdown report.
+/// Renders the markdown report from a Session — one compiled view, one SP
+/// pass, one sweep shared with everything else the session already built.
+/// ReportOptions::sequential_sp is honoured only through the Session's own
+/// Options (set sp.source = SpSource::kSequentialFixedPoint).
+[[nodiscard]] std::string generate_report(Session& session,
+                                          const ReportOptions& options = {});
+
+/// DEPRECATED shim (prefer the Session overload): builds a one-shot Session
+/// internally (mapping options.sequential_sp onto its SP source) and
+/// delegates. Note: the Session owns its circuit, so this shim deep-copies
+/// `circuit` — per-call O(nodes+edges) the Session overload never pays.
 [[nodiscard]] std::string generate_report(const Circuit& circuit,
                                           const ReportOptions& options = {});
 
-/// Which EPP engine a sweep runs on. All three are bit-for-bit equal (the
+/// DEPRECATED shim over the engine registry (sereep/engine.hpp): the
+/// registry's string keys are the real selector now; this enum survives for
+/// pre-registry callers. All built-in engines are bit-for-bit equal (the
 /// oracle hierarchy of tests/README.md), so the choice is observable only
-/// in timing — the selector exists so A/B comparisons and golden runs never
-/// require a rebuild.
+/// in timing.
 enum class SweepEngine { kReference, kCompiled, kBatched };
 
-/// Parses "reference" / "compiled" / "batched"; nullopt otherwise.
+/// Parses "reference" / "compiled" / "batched"; nullopt otherwise. The
+/// registry-backed vocabulary (any registered key) is
+/// EngineRegistry::instance().contains(); this shim covers the enum only.
 [[nodiscard]] std::optional<SweepEngine> parse_sweep_engine(
     std::string_view name);
 
+/// The registry key of a SweepEngine value.
+[[nodiscard]] std::string_view sweep_engine_name(SweepEngine engine);
+
 /// All-nodes P_sensitized (indexed by NodeId, non-sites 0) through the
-/// selected engine — the one dispatch sweep_csv and the CLI's table mode
-/// share. `compiled` must be a compilation of `circuit`; `threads` applies
-/// to the batched engine only (the per-site engines are sequential).
+/// selected engine, resolved via the engine registry. `compiled` must be a
+/// compilation of `circuit`; `threads` applies to engines with the threads
+/// capability only.
 [[nodiscard]] std::vector<double> sweep_p_sensitized(
     const Circuit& circuit, const CompiledCircuit& compiled,
     const SignalProbabilities& sp, SweepEngine engine, unsigned threads = 1);
 
 /// Machine-readable all-nodes P_sensitized sweep: CSV with one row per error
 /// site in error_sites() order, probabilities printed with round-trip
-/// precision (%.17g). The CLI's `sweep --csv=...` and the golden-file
-/// regression tests (tests/cli/) share this exact formatter, so any output
-/// or numeric drift in the sweep fails ctest instead of silently changing
-/// the Table-2 harness. Signal probabilities come from the compiled
-/// Parker-McCluskey pass; `threads` only parallelizes (batched engine) and
-/// `engine` only re-routes — the text is identical for every combination
-/// (the golden tests assert all three engines).
+/// precision (%.17g). DEPRECATED shim over Session::sweep_csv() — it
+/// deep-copies `circuit` into a one-shot Session per call. The CLI's
+/// `sweep --csv=...` and the golden-file regression tests (tests/cli/) share
+/// that one formatter, so any output or numeric drift in the sweep fails
+/// ctest instead of silently changing the Table-2 harness. `threads` only
+/// parallelizes (batched engine) and `engine` only re-routes — the text is
+/// identical for every combination (the golden tests assert all three
+/// engines).
 [[nodiscard]] std::string sweep_csv(const Circuit& circuit,
                                     unsigned threads = 1,
                                     SweepEngine engine = SweepEngine::kBatched);

@@ -41,26 +41,27 @@ SerEstimator::SerEstimator(const Circuit& circuit, SerOptions options)
       planner_(compiled_),
       engine_(compiled_, sp_, options_.epp) {}
 
-NodeSer SerEstimator::node_ser_from_epp(const SiteEpp& epp) {
+NodeSer node_ser_from_epp(const Circuit& circuit, const SiteEpp& epp,
+                          const SeuRateModel& seu,
+                          const LatchingModel& latching) {
   NodeSer result;
   result.node = epp.site;
-  result.r_seu = options_.seu.rate(circuit_, epp.site);
-
-  // The effective latching term must be weighted per sink: an error reaching
-  // a DFF is latched with the window probability, one reaching a PO with the
-  // PO observation probability. We therefore fold P_latched into the
-  // per-sink EPP masses instead of using a single scalar:
-  //   P_latch&sens = 1 − Π_j (1 − P_latched(sink_j) · EPP_j).
+  result.r_seu = seu.rate(circuit, epp.site);
   result.p_sensitized = epp.p_sensitized;
   double miss = 1.0;
   for (const SinkEpp& s : epp.sinks) {
-    miss *= 1.0 - options_.latching.probability(circuit_, s.sink) * s.error_mass;
+    miss *= 1.0 - latching.probability(circuit, s.sink) * s.error_mass;
   }
   const double latch_and_sens = 1.0 - miss;
   result.p_latched =
       epp.p_sensitized > 0 ? latch_and_sens / epp.p_sensitized : 0.0;
   result.ser = result.r_seu * latch_and_sens;
   return result;
+}
+
+NodeSer SerEstimator::node_ser_from_epp(const SiteEpp& epp) {
+  return sereep::node_ser_from_epp(circuit_, epp, options_.seu,
+                                   options_.latching);
 }
 
 NodeSer SerEstimator::estimate_node(NodeId node) {

@@ -56,23 +56,43 @@ struct SerOptions {
   unsigned threads = 1;
 };
 
+/// Folds the SEU-rate and latching models into one site's EPP record — the
+/// one place the R(n) = R_SEU · P_latched · P_sens product is assembled.
+/// The latching term is weighted per sink (a DFF sink latches with the
+/// window probability, a PO with the observation probability):
+///   P_latch&sens = 1 − Π_j (1 − P_latched(sink_j) · EPP_j).
+/// Shared by SerEstimator and sereep::Session::ser() (which folds the
+/// records of whichever engine its Options selected — every engine is
+/// bit-identical, so so is the fold).
+[[nodiscard]] NodeSer node_ser_from_epp(const Circuit& circuit,
+                                        const SiteEpp& epp,
+                                        const SeuRateModel& seu,
+                                        const LatchingModel& latching);
+
 /// SER estimator bound to a circuit and a signal-probability assignment.
 /// EPP runs on the compiled flat-CSR hot path (compiled_epp.hpp).
+///
+/// DEPRECATED as a public entry point: prefer sereep::Session (ser() /
+/// harden()), which shares the compiled view, SP pass and cluster plan with
+/// every other analysis of the session and routes through the configured
+/// engine. The class remains the internal implementation and the shim target
+/// for pre-Session callers.
 class SerEstimator {
  public:
   /// Borrows a caller-held SP assignment (must outlive the estimator).
   SerEstimator(const Circuit& circuit, const SignalProbabilities& sp,
                SerOptions options = {});
 
-  /// Same, adopting a CompiledCircuit the caller already built (`compiled`
-  /// must be a compilation of `circuit`) — callers that ran the compiled SP
-  /// pass must not pay a second O(V+E) flatten.
+  /// DEPRECATED shim (prefer sereep::Session): adopts a CompiledCircuit the
+  /// caller already built (`compiled` must be a compilation of `circuit`) —
+  /// callers that ran the compiled SP pass must not pay a second O(V+E)
+  /// flatten.
   SerEstimator(const Circuit& circuit, CompiledCircuit compiled,
                const SignalProbabilities& sp, SerOptions options = {});
 
   /// Owns its SP: compiles the circuit, then runs the compiled
   /// Parker-McCluskey pass over the CSR view (the paper's SPT step) — the
-  /// production route for callers without an existing SP assignment.
+  /// route for callers without an existing SP assignment.
   explicit SerEstimator(const Circuit& circuit, SerOptions options = {});
 
   // engine_ references the sibling member compiled_, so a copied or moved

@@ -1,0 +1,267 @@
+// sereep::Session — the facade's artifact-caching contract, option
+// validation/invalidation semantics, and value equivalence against the
+// pre-facade construction paths.
+//
+// The caching contract (see tests/README.md): every shared artifact
+// (CompiledCircuit, SignalProbabilities, ConeClusterPlanner, engine) is
+// built AT MOST ONCE per (Session, Options), across any sequence of
+// queries — pinned here through Session::build_counts().
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "sereep/sereep.hpp"
+#include "src/epp/multicycle.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/ser/ser_estimator.hpp"
+#include "src/sim/fault_injection.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(Session, ConstructionBuildsNoArtifacts) {
+  Session session(make_s27());
+  const Session::BuildCounts& counts = session.build_counts();
+  EXPECT_EQ(counts.compiled, 0u);
+  EXPECT_EQ(counts.sp, 0u);
+  EXPECT_EQ(counts.planner, 0u);
+  EXPECT_EQ(counts.engine, 0u);
+  EXPECT_EQ(counts.ser, 0u);
+  EXPECT_EQ(counts.multicycle, 0u);
+}
+
+TEST(Session, ArtifactsBuiltAtMostOnceAcrossSweepSerHarden) {
+  // The acceptance contract: sweep() + ser() + harden() on one session share
+  // ONE compiled view, ONE SP pass and ONE cluster plan.
+  Session session(make_s27());
+  (void)session.sweep();
+  (void)session.ser();
+  (void)session.harden(0.5);
+  (void)session.sweep_p_sensitized();
+  (void)session.epp(session.sites().front());
+  const Session::BuildCounts& counts = session.build_counts();
+  EXPECT_EQ(counts.compiled, 1u);
+  EXPECT_EQ(counts.sp, 1u);
+  EXPECT_EQ(counts.planner, 1u);
+  EXPECT_EQ(counts.engine, 1u);
+  EXPECT_EQ(counts.ser, 1u);  // harden() reused the memoized CircuitSer
+}
+
+TEST(Session, PerSiteQueriesNeverBuildThePlan) {
+  // The cluster plan feeds sweeps only — a batched-engine session doing
+  // per-site work must not pay the O(V+E) planning pass.
+  Session session(make_s27());  // default engine: batched
+  (void)session.epp(session.sites().front());
+  (void)session.p_sensitized(session.sites().back());
+  EXPECT_EQ(session.build_counts().planner, 0u);
+  (void)session.sweep();  // first sweep resolves the deferred plan...
+  EXPECT_EQ(session.build_counts().planner, 1u);
+  (void)session.sweep();  // ...and keeps it
+  EXPECT_EQ(session.build_counts().planner, 1u);
+}
+
+TEST(Session, SequentialSpSourceExposesDiagnostics) {
+  Options options;
+  options.sp.source = SpSource::kSequentialFixedPoint;
+  Session session(make_s27(), std::move(options));
+  EXPECT_FALSE(session.sp_diagnostics().has_value());  // not built yet
+  (void)session.sp();
+  ASSERT_TRUE(session.sp_diagnostics().has_value());
+  EXPECT_TRUE(session.sp_diagnostics()->converged);
+  EXPECT_GT(session.sp_diagnostics()->iterations, 0u);
+
+  Session pm(make_s27());
+  (void)pm.sp();
+  EXPECT_FALSE(pm.sp_diagnostics().has_value());  // other sources: none
+}
+
+TEST(Session, SequentialEnginesSkipThePlanner) {
+  // The cluster plan feeds batched sweeps only; a reference-engine session
+  // must not pay for one.
+  Options options;
+  options.engine = "reference";
+  Session session(make_s27(), std::move(options));
+  (void)session.sweep();
+  (void)session.ser();
+  EXPECT_EQ(session.build_counts().planner, 0u);
+  EXPECT_EQ(session.build_counts().compiled, 1u);
+}
+
+TEST(Session, MulticycleReusesSessionArtifacts) {
+  Session session(make_s27());
+  (void)session.sweep();
+  const NodeId dff = session.circuit().dffs().front();
+  (void)session.multicycle(dff, 4);
+  (void)session.multicycle(dff, 8);  // second query: engine memoized
+  const Session::BuildCounts& counts = session.build_counts();
+  EXPECT_EQ(counts.compiled, 1u);
+  EXPECT_EQ(counts.sp, 1u);
+  EXPECT_EQ(counts.multicycle, 1u);
+}
+
+TEST(Session, UnknownEngineThrowsListingRegisteredKeys) {
+  Options options;
+  options.engine = "turbo";
+  try {
+    Session session(make_c17(), std::move(options));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("turbo"), std::string::npos);
+    EXPECT_NE(what.find("registered:"), std::string::npos);
+    EXPECT_NE(what.find("batched"), std::string::npos);
+    EXPECT_NE(what.find("compiled"), std::string::npos);
+    EXPECT_NE(what.find("reference"), std::string::npos);
+  }
+}
+
+TEST(Session, InvalidLayerValuesThrow) {
+  Options bad_survival;
+  bad_survival.epp.electrical_survival = 1.5;
+  EXPECT_THROW(Session(make_c17(), std::move(bad_survival)),
+               std::invalid_argument);
+  Options bad_sp;
+  bad_sp.sp.probabilities.input_sp = -0.1;
+  EXPECT_THROW(Session(make_c17(), std::move(bad_sp)), std::invalid_argument);
+  Options bad_mc;
+  bad_mc.sp.source = SpSource::kMonteCarlo;
+  bad_mc.sp.monte_carlo_vectors = 0;
+  EXPECT_THROW(Session(make_c17(), std::move(bad_mc)), std::invalid_argument);
+}
+
+TEST(Session, SetOptionsInvalidatesSelectively) {
+  Session session(make_s27());
+  (void)session.sweep();
+  ASSERT_EQ(session.build_counts().sp, 1u);
+  ASSERT_EQ(session.build_counts().engine, 1u);
+
+  // Engine change: new engine, same compiled view and SPs.
+  Options next = session.options();
+  next.engine = "compiled";
+  session.set_options(std::move(next));
+  (void)session.sweep();
+  EXPECT_EQ(session.build_counts().engine, 2u);
+  EXPECT_EQ(session.build_counts().sp, 1u);
+  EXPECT_EQ(session.build_counts().compiled, 1u);
+
+  // SP-layer change: SPs rebuilt (and the engine, which binds them).
+  next = session.options();
+  next.sp.probabilities.input_sp = 0.25;
+  session.set_options(std::move(next));
+  (void)session.sweep();
+  EXPECT_EQ(session.build_counts().sp, 2u);
+  EXPECT_EQ(session.build_counts().engine, 3u);
+  EXPECT_EQ(session.build_counts().compiled, 1u);  // never invalidated
+}
+
+TEST(Session, SweepMatchesEverySelectedEngineExactly) {
+  // The facade is a pure re-route: per-site values are EXPECT_EQ-identical
+  // across engine selections (the oracle-hierarchy contract surfaced at the
+  // API layer).
+  const Circuit circuit = make_iscas89_like("s298");
+  Session reference(Circuit(circuit), [] {
+    Options o;
+    o.engine = "reference";
+    return o;
+  }());
+  const std::vector<double> expected = reference.sweep_p_sensitized();
+  for (const char* key : {"compiled", "batched"}) {
+    Options options;
+    options.engine = key;
+    Session session(Circuit(circuit), std::move(options));
+    const std::vector<double> got = session.sweep_p_sensitized();
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << key << " node " << i;
+    }
+  }
+}
+
+TEST(Session, SerMatchesSerEstimatorExactly) {
+  // Session::ser() folds engine sweep records through the same
+  // node_ser_from_epp as SerEstimator — totals and every per-node field are
+  // bit-identical to the pre-facade path.
+  const Circuit circuit = make_s27();
+  Session session{Circuit(circuit)};
+  const CircuitSer& via_session = session.ser();
+
+  SerEstimator estimator(circuit, SerOptions{});
+  const CircuitSer direct = estimator.estimate();
+
+  EXPECT_EQ(via_session.total_ser, direct.total_ser);
+  ASSERT_EQ(via_session.nodes.size(), direct.nodes.size());
+  for (std::size_t i = 0; i < direct.nodes.size(); ++i) {
+    EXPECT_EQ(via_session.nodes[i].node, direct.nodes[i].node);
+    EXPECT_EQ(via_session.nodes[i].r_seu, direct.nodes[i].r_seu);
+    EXPECT_EQ(via_session.nodes[i].p_latched, direct.nodes[i].p_latched);
+    EXPECT_EQ(via_session.nodes[i].p_sensitized,
+              direct.nodes[i].p_sensitized);
+    EXPECT_EQ(via_session.nodes[i].ser, direct.nodes[i].ser);
+  }
+}
+
+TEST(Session, HardenMatchesSelectHardening) {
+  Session session(make_s27());
+  const HardeningPlan via_session = session.harden(0.5);
+  const HardeningPlan direct = select_hardening(session.ser(), 0.5);
+  EXPECT_EQ(via_session.protect, direct.protect);
+  EXPECT_EQ(via_session.residual_ser, direct.residual_ser);
+}
+
+TEST(Session, MulticycleMatchesDirectEngineExactly) {
+  const Circuit circuit = make_s27();
+  Session session{Circuit(circuit)};
+  MultiCycleEppEngine direct(circuit);  // owning shim ctor
+  for (NodeId site : error_sites(circuit)) {
+    const MultiCycleEpp a = session.multicycle(site, 6);
+    const MultiCycleEpp b = direct.compute(site, 6);
+    ASSERT_EQ(a.detect_by_cycle.size(), b.detect_by_cycle.size()) << site;
+    for (std::size_t t = 0; t < a.detect_by_cycle.size(); ++t) {
+      EXPECT_EQ(a.detect_by_cycle[t], b.detect_by_cycle[t]);
+      EXPECT_EQ(a.residual_state[t], b.residual_state[t]);
+    }
+  }
+}
+
+TEST(Session, MovedSessionKeepsServingQueries) {
+  // Artifacts live behind stable pointers; engines built before a move must
+  // stay valid after it.
+  Session source(make_s27());
+  const std::vector<double> before = source.sweep_p_sensitized();
+  Session moved(std::move(source));
+  const std::vector<double> after = moved.sweep_p_sensitized();
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(moved.build_counts().engine, 1u);  // no rebuild after the move
+}
+
+TEST(Session, DeferredPlanResolvesAfterAMove) {
+  // An engine created before the move holds a deferred handle on the plan;
+  // resolving it for the first time afterwards must hit the moved-to
+  // session's cache (stable heap address), not freed memory.
+  Session source(make_s27());
+  const double direct = source.p_sensitized(source.sites().front());
+  ASSERT_EQ(source.build_counts().planner, 0u);
+  Session moved(std::move(source));
+  const std::vector<SiteEpp> swept = moved.sweep();
+  EXPECT_EQ(moved.build_counts().planner, 1u);
+  EXPECT_EQ(swept.front().p_sensitized, direct);
+}
+
+TEST(Session, OpenResolvesEmbeddedNames) {
+  Session session = Session::open("c17");
+  EXPECT_EQ(session.circuit().name(), "c17");
+  EXPECT_TRUE(session.find("22").has_value());
+  EXPECT_FALSE(session.find("no-such-node").has_value());
+}
+
+TEST(Session, SubsampledSerRespectsMaxSites) {
+  Options options;
+  options.ser.max_sites = 5;
+  Session session(make_iscas89_like("s298"), std::move(options));
+  EXPECT_EQ(session.ser().nodes.size(), 5u);
+  EXPECT_GT(session.sites().size(), 5u);  // the sweep surface is unaffected
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,91 @@
+// Golden-file regression for the CLI ser/harden output.
+//
+// `sereep ser --csv` emits Session::ser_csv() verbatim and `sereep harden`
+// prints Session::harden_text(); these tests pin both texts on the embedded
+// c17 and s27 netlists against files committed under tests/data/, with
+// probabilities at full round-trip precision (%.17g). Any drift — a format
+// change, a model-constant tweak, or a single ULP of numeric movement in
+// the SER fold — fails ctest here instead of silently changing downstream
+// rankings and hardening plans.
+//
+// To regenerate after an INTENTIONAL change (document it in the PR):
+//   build/sereep ser c17 --csv=tests/data/ser_c17.golden.csv
+//   build/sereep ser s27 --csv=tests/data/ser_s27.golden.csv
+//   build/sereep harden c17 > tests/data/harden_c17.golden.txt
+//   build/sereep harden s27 > tests/data/harden_s27.golden.txt
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sereep/sereep.hpp"
+#include "src/netlist/benchmarks.hpp"
+
+namespace sereep {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing golden file: " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string golden_path(const char* name) {
+  return std::string(SEREEP_SOURCE_DIR) + "/tests/data/" + name;
+}
+
+Session session_for(Circuit circuit, const char* engine, unsigned threads) {
+  Options options;
+  options.engine = engine;
+  options.threads = threads;
+  return Session(std::move(circuit), std::move(options));
+}
+
+TEST(GoldenSer, C17MatchesCommittedCsv) {
+  EXPECT_EQ(Session(make_c17()).ser_csv(),
+            read_file(golden_path("ser_c17.golden.csv")));
+}
+
+TEST(GoldenSer, S27MatchesCommittedCsv) {
+  EXPECT_EQ(Session(make_s27()).ser_csv(),
+            read_file(golden_path("ser_s27.golden.csv")));
+}
+
+TEST(GoldenSer, AllEnginesAndThreadCountsMatchTheGoldens) {
+  // `sereep ser --engine=...` must be a pure re-route, and the parallel fold
+  // must not let scheduling reach the output bytes.
+  const std::string c17 = read_file(golden_path("ser_c17.golden.csv"));
+  const std::string s27 = read_file(golden_path("ser_s27.golden.csv"));
+  for (const char* engine : {"reference", "compiled", "batched"}) {
+    EXPECT_EQ(session_for(make_c17(), engine, 1).ser_csv(), c17) << engine;
+    EXPECT_EQ(session_for(make_s27(), engine, 1).ser_csv(), s27) << engine;
+  }
+  EXPECT_EQ(session_for(make_s27(), "batched", 8).ser_csv(), s27);
+}
+
+TEST(GoldenHarden, C17MatchesCommittedText) {
+  EXPECT_EQ(Session(make_c17()).harden_text(0.5),
+            read_file(golden_path("harden_c17.golden.txt")));
+}
+
+TEST(GoldenHarden, S27MatchesCommittedText) {
+  EXPECT_EQ(Session(make_s27()).harden_text(0.5),
+            read_file(golden_path("harden_s27.golden.txt")));
+}
+
+TEST(GoldenHarden, EverySelectedEngineMatchesTheGoldens) {
+  const std::string c17 = read_file(golden_path("harden_c17.golden.txt"));
+  const std::string s27 = read_file(golden_path("harden_s27.golden.txt"));
+  for (const char* engine : {"reference", "compiled", "batched"}) {
+    EXPECT_EQ(session_for(make_c17(), engine, 1).harden_text(0.5), c17)
+        << engine;
+    EXPECT_EQ(session_for(make_s27(), engine, 1).harden_text(0.5), s27)
+        << engine;
+  }
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,7 +1,11 @@
 // Integration: the full flow (parse -> SP -> EPP -> SER -> hardening) on
-// real and generated circuits, plus cross-engine consistency checks.
+// real and generated circuits, plus cross-engine consistency checks. The
+// full-flow tests run through the public sereep::Session facade; the
+// deprecated pre-facade construction shims keep one test of their own so
+// they cannot rot silently.
 #include <gtest/gtest.h>
 
+#include "sereep/sereep.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/generator.hpp"
@@ -12,14 +16,26 @@ namespace sereep {
 namespace {
 
 TEST(EndToEnd, FullFlowOnS27) {
-  const Circuit c = make_s27();
-  const SignalProbabilities sp = parker_mccluskey_sp(c);
-  SerEstimator est(c, sp, {});
-  const CircuitSer ser = est.estimate();
+  Session session(make_s27());
+  const CircuitSer& ser = session.ser();
   EXPECT_GT(ser.total_ser, 0.0);
-  const HardeningPlan plan = select_hardening(ser, 0.5);
+  const HardeningPlan plan = session.harden(0.5);
   EXPECT_FALSE(plan.protect.empty());
   EXPECT_GE(plan.reduction(), 0.5);
+}
+
+TEST(EndToEnd, DeprecatedShimCtorsMatchTheFacade) {
+  // The pre-Session construction paths stay supported; their results must
+  // remain bit-identical to the facade's.
+  const Circuit c = make_s27();
+  Session session{Circuit(c)};
+  const SignalProbabilities sp = parker_mccluskey_sp(c);
+  SerEstimator borrowed_sp(c, sp, {});
+  SerEstimator owning(c, SerOptions{});
+  const CircuitSer via_borrowed = borrowed_sp.estimate();
+  const CircuitSer via_owning = owning.estimate();
+  EXPECT_EQ(via_borrowed.total_ser, session.ser().total_ser);
+  EXPECT_EQ(via_owning.total_ser, session.ser().total_ser);
 }
 
 TEST(EndToEnd, BenchFileRoundTripPreservesEpp) {
