@@ -7,12 +7,14 @@
 //
 // The binary also writes BENCH_micro.json before the google-benchmark run —
 // machine-readable op/s for the cone-extract, propagate and full-sweep
-// kernels, reference vs compiled vs batched (cone-sharing clusters), on a
-// >= 10k-gate generated circuit — so the perf trajectory is tracked across
-// PRs (see write_bench_micro_json). Pass --json=path to redirect it,
+// kernels, reference vs compiled vs batched (cone-sharing clusters) vs
+// sharded (worker processes; schema v4), on a >= 10k-gate generated
+// circuit — so the perf trajectory is tracked across PRs (see
+// write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
 // small circuit and skip the google-benchmark run (CI mode).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "sereep/engine.hpp"
 #include "src/epp/batched_epp.hpp"
+#include "src/netlist/bench_io.hpp"
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/epp/gate_rules.hpp"
@@ -31,6 +35,7 @@
 #include "src/sim/fault_injection.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sigprob/signal_prob.hpp"
+#include "src/util/exe_path.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/simd.hpp"
 #include "src/util/timer.hpp"
@@ -440,10 +445,59 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   const double sweep_bat_s = timed_min([&] {
     benchmark::DoNotOptimize(all_nodes_p_sensitized_parallel(c, sp, {}, 1));
   });
+
+  // sharded full_sweep: the multi-process tier, 2 `sereep worker` processes
+  // over the same workload. The row measures END-TO-END fan-out cost per
+  // sweep — worker spawn, netlist load + compile, SP transfer, result
+  // streaming, merge — i.e. what `sereep sweep --engine=sharded --shards=2`
+  // pays; on a 1-core box that is pure overhead vs batched, the win arrives
+  // with real cores. Workers load the netlist by spec, so the circuit
+  // round-trips through a temp .bench and the PARENT side is rebuilt from
+  // the same file (a .bench reload is not node-id-identical to the
+  // in-memory generator output; both sides must read the same bytes).
+  // Bit-identity of the sharded row is judged element-wise against a
+  // batched sweep of the reloaded circuit.
+  double sweep_shard_s = 0.0;
+  bool shard_ran = false;
+  bool shard_identical = true;
+  const unsigned json_shards = 2;
+  if (const std::string worker = sibling_binary_path("sereep");
+      !worker.empty()) {
+    const std::string netlist =
+        "/tmp/sereep_micro_" + std::to_string(::getpid()) + ".bench";
+    if (save_bench_file(c, netlist)) {
+      const Circuit reloaded = load_bench_file(netlist);
+      const CompiledCircuit reloaded_cc(reloaded);
+      const SignalProbabilities reloaded_sp =
+          compiled_parker_mccluskey_sp(reloaded_cc);
+      const std::vector<NodeId> reloaded_sites = error_sites(reloaded);
+      EngineContext ctx;
+      ctx.circuit = &reloaded;
+      ctx.compiled = &reloaded_cc;
+      ctx.sp = &reloaded_sp;
+      ctx.shard.shards = json_shards;
+      ctx.shard.worker_path = worker;
+      ctx.shard.netlist = netlist;
+      const std::unique_ptr<IEppEngine> sharded =
+          EngineRegistry::instance().create("sharded", ctx);
+      std::vector<double> shard_p;
+      sweep_shard_s = timed_min(
+          [&] { shard_p = sharded->sweep_p_sensitized(reloaded_sites, 1); });
+      const std::vector<double> want = all_nodes_p_sensitized_parallel(
+          reloaded, reloaded_cc, reloaded_sp, {}, 1);
+      for (std::size_t i = 0; i < reloaded_sites.size(); ++i) {
+        shard_identical =
+            shard_identical && shard_p[i] == want[reloaded_sites[i]];
+      }
+      shard_ran = true;
+    }
+    std::remove(netlist.c_str());
+  }
   simd::set_enabled(saved_simd);
 
   const bool identical = check_ref == check_cmp && check_ref == check_bat &&
-                         check_ref == check_bat_scalar && sp_identical;
+                         check_ref == check_bat_scalar && sp_identical &&
+                         shard_identical;
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -452,7 +506,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v3\",\n"
+               "  \"schema\": \"sereep.bench_micro.v4\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -489,7 +543,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   // when measured (bat_scalar_s > 0).
   const auto kernel = [&](const char* name, double ref_s, double cmp_s,
                           double bat_s, double bat_scalar_s,
-                          const char* trailing) {
+                          double shard_s, const char* trailing) {
     std::fprintf(f,
                  "    \"%s\": {\"reference_sites_per_s\": %.1f, "
                  "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
@@ -511,12 +565,23 @@ void write_bench_micro_json(const std::string& path, bool fast) {
                    n_sites / bat_scalar_s, bat_scalar_s * 1e3,
                    bat_scalar_s / bat_s);
     }
+    if (shard_s > 0) {
+      // shards is a config constant, not a measurement; sharded_vs_batched
+      // follows the batched_vs_compiled convention (>1 = sharded faster).
+      // Same-machine gating only — process fan-out cost is all host.
+      std::fprintf(f,
+                   ", \"shards\": %u, \"sharded_sites_per_s\": %.1f, "
+                   "\"sharded_ms\": %.3f, \"sharded_vs_batched\": %.3f",
+                   json_shards, n_sites / shard_s, shard_s * 1e3,
+                   bat_s / shard_s);
+    }
     std::fprintf(f, "}%s\n", trailing);
   };
-  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, ",");
+  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, ",");
   kernel("propagate", prop_ref_s, prop_cmp_s, prop_bat_s, prop_bat_scalar_s,
-         ",");
-  kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, 0.0, "");
+         0.0, ",");
+  kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, 0.0,
+         shard_ran ? sweep_shard_s : 0.0, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
@@ -528,6 +593,13 @@ void write_bench_micro_json(const std::string& path, bool fast) {
       sweep_cmp_s / sweep_bat_s, prop_bat_scalar_s / prop_bat_s,
       sp_ref_s / sp_cmp_s, stats_bloom.singletons, stats_two.singletons,
       path.c_str());
+  if (shard_ran) {
+    std::printf(
+        "  sharded (%u procs): %.0f ms end-to-end (%.2fx vs batched, "
+        "bit-identical: %s)\n",
+        json_shards, sweep_shard_s * 1e3, sweep_bat_s / sweep_shard_s,
+        shard_identical ? "yes" : "NO");
+  }
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sereep/options.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/circuit.hpp"
 #include "src/netlist/compiled.hpp"
@@ -44,6 +45,7 @@ struct EngineContext {
   const ConeClusterPlanner* planner = nullptr;  ///< optional (batched sweeps)
   std::function<const ConeClusterPlanner*()> planner_source;  ///< lazy form
   EppOptions epp;                            ///< EPP-layer options
+  ShardOptions shard;                        ///< sharded-engine layer
 };
 
 /// Static capability flags, declared at registration time so callers can
@@ -54,6 +56,9 @@ struct EngineCaps {
   bool threads = false;
   /// Uses the lane-plane SIMD kernels (subject to the runtime switch).
   bool simd = false;
+  /// Sweeps fan out across worker PROCESSES (the sharded tier) — needs a
+  /// worker binary + a loadable netlist spec (ShardOptions).
+  bool processes = false;
 };
 
 /// Uniform EPP engine surface: per-site queries plus explicit-site-list

@@ -63,8 +63,49 @@ struct SerLayerOptions {
   std::size_t max_sites = 0;
 };
 
+/// Sharded-engine layer configuration (the "sharded" registry key): sweeps
+/// fan out to `shards` worker PROCESSES, each a `sereep worker` instance
+/// that loads `netlist`, computes its assigned sites with the batched
+/// engine, and streams results back over a pipe (src/epp/shard_protocol.hpp
+/// documents the frame format). Results are bit-for-bit identical to the
+/// in-process batched engine — the shard planner only partitions work.
+struct ShardOptions {
+  /// Worker process count for sharded sweeps. 1 runs in-process (the
+  /// batched path with no fork). Bounded by kMaxShards in validate().
+  unsigned shards = 2;
+
+  /// Path to the worker binary (the `sereep` CLI). The CLI fills this with
+  /// its own executable path; library users must point it at a built
+  /// `sereep`. Empty = sharding unavailable (see fallback_to_in_process).
+  std::string worker_path;
+
+  /// Netlist spec the workers load — a .bench/.v path or an embedded name,
+  /// exactly the vocabulary of load_netlist(). Session::open() records its
+  /// spec here automatically; sessions built from an in-memory Circuit have
+  /// no spec, so sharding is unavailable for them unless one is supplied.
+  std::string netlist;
+
+  /// Policy when sharding is UNAVAILABLE (empty worker_path/netlist): true
+  /// silently serves the sweep from the in-process batched path (results
+  /// are identical anyway); false — the default — fails loudly, because an
+  /// explicitly requested sharded run that quietly runs single-process
+  /// would mask a broken deployment. Worker DEATH is always a hard error,
+  /// never a fallback: a dead worker means lost sites, and partial sweeps
+  /// must not masquerade as complete ones.
+  bool fallback_to_in_process = false;
+};
+
 /// One Session's full configuration.
 struct Options {
+  /// Upper bound validate() enforces on `threads`. Well past any plausible
+  /// machine; catches the negative-flag wraparound class of bug (e.g. a
+  /// -1 cast to unsigned is ~4.3e9) without clamping silently.
+  static constexpr unsigned kMaxThreads = 1024;
+
+  /// Upper bound validate() enforces on `shard.shards` — one worker process
+  /// per shard, so this is a fork bomb guard, not a tuning knob.
+  static constexpr unsigned kMaxShards = 256;
+
   /// EPP engine, by registry key ("reference" | "compiled" | "batched", plus
   /// anything registered at runtime — see EngineRegistry). All built-in
   /// engines are bit-for-bit equal; the choice is observable only in timing.
@@ -86,6 +127,7 @@ struct Options {
   EppOptions epp;       ///< EPP layer (polarity, electrical masking)
   ClusterOptions cluster;  ///< batched-sweep planning layer
   SerLayerOptions ser;  ///< SER layer (rate + latching models)
+  ShardOptions shard;   ///< sharded-engine layer (worker processes)
 
   /// Validates every layer; throws std::invalid_argument with an actionable
   /// message (unknown engine errors list the registered keys). Session

@@ -34,6 +34,7 @@
 #include "sereep/engine.hpp"
 #include "sereep/options.hpp"
 #include "src/epp/multicycle.hpp"
+#include "src/epp/sharded_epp.hpp"
 #include "src/ser/ser_estimator.hpp"
 
 namespace sereep {
@@ -104,6 +105,14 @@ class Session {
       const noexcept {
     return sp_diagnostics_;
   }
+  /// The sharded engine's last-sweep record (shard layout, worker count,
+  /// whether it fell back in-process) — non-null only when the session's
+  /// engine is the sharded tier and has been built. Worker FAILURES are
+  /// exceptions from the sweep itself, carrying the shard index and exit
+  /// status; this accessor is for verifying that healthy sweeps really fan
+  /// out.
+  [[nodiscard]] const ShardedEppEngine::Diagnostics* shard_diagnostics()
+      const noexcept;
   /// NOTE: sweeps consult the plan lazily — batched-engine sessions running
   /// only per-site queries never pay for it; calling this forces the build.
   [[nodiscard]] const ConeClusterPlanner& planner();

@@ -14,6 +14,7 @@
 
 #include "src/epp/batched_epp.hpp"
 #include "src/epp/compiled_epp.hpp"
+#include "src/epp/sharded_epp.hpp"
 
 namespace sereep {
 
@@ -179,6 +180,14 @@ EngineRegistry& EngineRegistry::instance() {
           [](const EngineContext& ctx) {
             return std::unique_ptr<IEppEngine>(new BatchedEngine(ctx));
           });
+    // The multi-process tier (src/epp/sharded_epp.hpp): sweeps fan out to
+    // `sereep worker` processes when ShardOptions names a worker binary and
+    // netlist spec; per-site queries run in-process. Bit-for-bit equal to
+    // batched — sharding only partitions work.
+    r.add("sharded", {.threads = true, .simd = true, .processes = true},
+          [](const EngineContext& ctx) {
+            return std::unique_ptr<IEppEngine>(new ShardedEppEngine(ctx));
+          });
     return r;
   }();
   return registry;
@@ -243,7 +252,8 @@ std::unique_ptr<IEppEngine> EngineRegistry::create(
   // listing); an implementation whose caps() drifts from them would
   // silently mis-wire — catch it at the single choke point instead.
   const EngineCaps actual = engine->caps();
-  if (actual.threads != e->caps.threads || actual.simd != e->caps.simd) {
+  if (actual.threads != e->caps.threads || actual.simd != e->caps.simd ||
+      actual.processes != e->caps.processes) {
     throw std::logic_error(
         "engine '" + e->name +
         "': capability flags declared at registration disagree with the "

@@ -31,6 +31,20 @@ void Options::validate() const {
         "sp.monte_carlo_vectors must be > 0 for the Monte-Carlo SP source");
   }
   check_probability(epp.electrical_survival, "epp.electrical_survival");
+  // Reject, never clamp: an absurd thread count is a caller bug (the classic
+  // one being -1 wrapped through a cast to unsigned), and silently running
+  // with a different value would hide it.
+  if (threads > kMaxThreads) {
+    throw std::invalid_argument(
+        "threads must be <= " + std::to_string(kMaxThreads) + ", got " +
+        std::to_string(threads) +
+        " (a negative flag cast to unsigned wraps here)");
+  }
+  if (shard.shards == 0 || shard.shards > kMaxShards) {
+    throw std::invalid_argument(
+        "shard.shards must be in [1, " + std::to_string(kMaxShards) +
+        "], got " + std::to_string(shard.shards));
+  }
 }
 
 }  // namespace sereep

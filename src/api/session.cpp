@@ -66,7 +66,18 @@ Session& Session::operator=(Session&&) noexcept = default;
 Session::~Session() = default;
 
 Session Session::open(const std::string& spec, Options options) {
+  // Record the spec for the sharded engine's workers: they must load the
+  // SAME netlist the session analyses. Sessions built from an in-memory
+  // Circuit have no spec, which is exactly what ShardOptions::netlist being
+  // empty means.
+  if (options.shard.netlist.empty()) options.shard.netlist = spec;
   return Session(load_netlist(spec), std::move(options));
+}
+
+const ShardedEppEngine::Diagnostics* Session::shard_diagnostics()
+    const noexcept {
+  const auto* sharded = dynamic_cast<const ShardedEppEngine*>(engine_.get());
+  return sharded == nullptr ? nullptr : &sharded->last_sweep();
 }
 
 void Session::set_options(Options options) {
@@ -166,6 +177,7 @@ IEppEngine& Session::engine() {
       };
     }
     context.epp = options_.epp;
+    context.shard = options_.shard;
     engine_ = EngineRegistry::instance().create(options_.engine, context);
     ++counts_->engine;
   }

@@ -1,0 +1,30 @@
+#include "src/epp/shard_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sereep {
+
+std::vector<Shard> plan_shards(std::span<const ConeCluster> clusters,
+                               unsigned shards) {
+  assert(shards >= 1);
+  std::vector<Shard> bins(std::max(1u, shards));
+  // plan() returns clusters in descending mass order (ties by first member
+  // index), which is exactly the LPT visit order; keep it rather than
+  // re-sorting so the shard plan stays aligned with the in-process
+  // scheduler's drain order.
+  for (const ConeCluster& cluster : clusters) {
+    std::size_t lightest = 0;
+    for (std::size_t b = 1; b < bins.size(); ++b) {
+      if (bins[b].mass < bins[lightest].mass) lightest = b;
+    }
+    Shard& bin = bins[lightest];
+    bin.members.insert(bin.members.end(), cluster.members.begin(),
+                       cluster.members.end());
+    bin.mass += cluster.mass;
+  }
+  std::erase_if(bins, [](const Shard& s) { return s.members.empty(); });
+  return bins;
+}
+
+}  // namespace sereep

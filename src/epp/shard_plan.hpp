@@ -1,0 +1,44 @@
+// Shard planner — partitions a cone-cluster plan across worker shards.
+//
+// The sharded engine (sharded_epp.hpp) fans a sweep out to worker PROCESSES;
+// this is the piece that decides which sites go where. It reuses the exact
+// cost model the in-process work-stealing scheduler steals by — the clusters'
+// capped cone-size-estimate mass — and assigns WHOLE clusters, never split
+// ones: a cluster split across shards would extract its merged cone twice,
+// throwing away the sharing the planner found. Assignment is longest-
+// processing-time greedy over the mass-sorted cluster list (the order
+// ConeClusterPlanner::plan() already returns): each cluster lands in the
+// currently lightest shard, ties broken by shard index, so the plan is a
+// pure function of (clusters, shard count) — the parent's merge can rely on
+// every shard's site list being deterministic.
+//
+// Shard membership is expressed exactly like ConeCluster::members: indices
+// into the site span the clusters were planned over, so callers scatter
+// per-site results straight back into their own order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/cone_cluster.hpp"
+
+namespace sereep {
+
+/// One shard's planned work.
+struct Shard {
+  /// Indices into the planned site span, in deterministic plan order.
+  std::vector<std::uint32_t> members;
+  /// Sum of the assigned clusters' masses (the scheduling cost model).
+  double mass = 0.0;
+};
+
+/// Distributes `clusters` (a ConeClusterPlanner::plan() result) over at most
+/// `shards` shards, biggest mass first (see file comment). Every cluster
+/// member index appears in exactly one shard; shards that received no work
+/// are dropped, so the result may be shorter than `shards` (it is empty only
+/// when `clusters` is). `shards` must be >= 1.
+[[nodiscard]] std::vector<Shard> plan_shards(
+    std::span<const ConeCluster> clusters, unsigned shards);
+
+}  // namespace sereep

@@ -1,0 +1,270 @@
+#include "src/epp/shard_protocol.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sereep {
+
+namespace {
+
+/// Payloads past this are a protocol error, not a big sweep: the largest
+/// legitimate frame is a job carrying one SP double per node plus the site
+/// list, far under this even for 100M-node netlists.
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 34;  // 16 GiB
+
+/// Little-endian byte serializer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(v); }
+  void u32(std::uint32_t v) { raw(v); }
+  void u64(std::uint64_t v) { raw(v); }
+  /// IEEE bit pattern — the double that crosses the pipe IS the double.
+  void f64(double v) { raw(std::bit_cast<std::uint64_t>(v)); }
+
+ private:
+  template <typename T>
+  void raw(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reader; throws on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return raw<std::uint16_t>(); }
+  std::uint32_t u32() { return raw<std::uint32_t>(); }
+  std::uint64_t u64() { return raw<std::uint64_t>(); }
+  double f64() { return std::bit_cast<double>(raw<std::uint64_t>()); }
+
+  void expect_end() const {
+    if (pos_ != data_.size()) {
+      throw std::runtime_error("shard protocol: trailing payload bytes");
+    }
+  }
+
+  /// Validates an untrusted element count against the bytes actually left
+  /// (`min_size` per element) BEFORE the caller sizes a vector by it — a
+  /// corrupted count must be a protocol error, never a multi-GB allocation.
+  [[nodiscard]] std::uint64_t count(std::uint64_t value,
+                                    std::size_t min_size) const {
+    if (value > (data_.size() - pos_) / min_size) {
+      throw std::runtime_error(
+          "shard protocol: element count exceeds payload size");
+    }
+    return value;
+  }
+
+ private:
+  template <typename T>
+  T raw() {
+    const std::span<const std::uint8_t> b = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(b[i]) << (8 * i));
+    }
+    return v;
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw std::runtime_error("shard protocol: truncated payload");
+    }
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("shard protocol: pipe write: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first byte;
+/// throws on EOF mid-buffer or a read error.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("shard protocol: pipe read: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("shard protocol: unexpected EOF mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + job.sp.size() * 8);
+  ByteWriter w(out);
+  w.u8(job.epp.track_polarity ? 1 : 0);
+  w.f64(job.epp.electrical_survival);
+  w.u32(job.threads);
+  w.u8(job.simd_mode);
+  w.u8(job.p_only ? 1 : 0);
+  w.u64(job.sp.size());
+  for (double p : job.sp) w.f64(p);
+  return out;
+}
+
+void append_job_sites(std::vector<std::uint8_t>& payload,
+                      std::span<const NodeId> sites) {
+  payload.reserve(payload.size() + 8 + sites.size() * 4);
+  ByteWriter w(payload);
+  w.u64(sites.size());
+  for (NodeId site : sites) w.u32(site);
+}
+
+std::vector<std::uint8_t> encode_job(const ShardJob& job) {
+  std::vector<std::uint8_t> out = encode_job_prefix(job);
+  append_job_sites(out, job.sites);
+  return out;
+}
+
+ShardJob decode_job(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ShardJob job;
+  job.epp.track_polarity = r.u8() != 0;
+  job.epp.electrical_survival = r.f64();
+  job.threads = r.u32();
+  job.simd_mode = r.u8();
+  job.p_only = r.u8() != 0;
+  job.sp.resize(r.count(r.u64(), 8));
+  for (double& p : job.sp) p = r.f64();
+  job.sites.resize(r.count(r.u64(), 4));
+  for (NodeId& site : job.sites) site = r.u32();
+  r.expect_end();
+  return job;
+}
+
+std::vector<std::uint8_t> encode_results(std::span<const SiteEpp> records) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const SiteEpp& rec : records) {
+    w.u32(rec.site);
+    w.f64(rec.p_sensitized);
+    w.f64(rec.p_sens_lower);
+    w.f64(rec.p_sens_upper);
+    w.f64(rec.self_dpin_mass);
+    w.u64(rec.cone_size);
+    w.u64(rec.reconvergent_gates);
+    w.u32(static_cast<std::uint32_t>(rec.sinks.size()));
+    for (const SinkEpp& sink : rec.sinks) {
+      w.u32(sink.sink);
+      w.f64(sink.error_mass);
+      for (int s = 0; s < 4; ++s) w.f64(sink.distribution.p[s]);
+    }
+  }
+  return out;
+}
+
+std::vector<SiteEpp> decode_results(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  // 56 bytes = one record with no sinks — the minimum wire footprint.
+  std::vector<SiteEpp> records(r.count(r.u32(), 56));
+  for (SiteEpp& rec : records) {
+    rec.site = r.u32();
+    rec.p_sensitized = r.f64();
+    rec.p_sens_lower = r.f64();
+    rec.p_sens_upper = r.f64();
+    rec.self_dpin_mass = r.f64();
+    rec.cone_size = r.u64();
+    rec.reconvergent_gates = r.u64();
+    rec.sinks.resize(r.count(r.u32(), 44));  // 44 bytes per sink entry
+    for (SinkEpp& sink : rec.sinks) {
+      sink.sink = r.u32();
+      sink.error_mass = r.f64();
+      for (int s = 0; s < 4; ++s) sink.distribution.p[s] = r.f64();
+    }
+  }
+  r.expect_end();
+  return records;
+}
+
+std::vector<std::uint8_t> encode_done(std::uint64_t total) {
+  std::vector<std::uint8_t> out;
+  ByteWriter(out).u64(total);
+  return out;
+}
+
+std::uint64_t decode_done(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t total = r.u64();
+  r.expect_end();
+  return total;
+}
+
+void write_shard_frame(int fd, ShardFrameType type,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> header;
+  header.reserve(16);
+  ByteWriter w(header);
+  w.u32(kShardMagic);
+  w.u16(kShardProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload.size());
+  write_all(fd, header.data(), header.size());
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<ShardFrame> read_shard_frame(int fd) {
+  std::uint8_t header[16];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  ByteReader r({header, sizeof header});
+  if (r.u32() != kShardMagic) {
+    throw std::runtime_error(
+        "shard protocol: bad frame magic (not a sereep worker stream?)");
+  }
+  if (const std::uint16_t version = r.u16();
+      version != kShardProtocolVersion) {
+    throw std::runtime_error(
+        "shard protocol: version mismatch (worker speaks v" +
+        std::to_string(version) + ", parent v" +
+        std::to_string(kShardProtocolVersion) + ")");
+  }
+  ShardFrame frame;
+  frame.type = static_cast<ShardFrameType>(r.u16());
+  const std::uint64_t size = r.u64();
+  if (size > kMaxPayload) {
+    throw std::runtime_error("shard protocol: implausible payload size");
+  }
+  frame.payload.resize(size);
+  if (size > 0 && !read_all(fd, frame.payload.data(), size)) {
+    throw std::runtime_error("shard protocol: unexpected EOF mid-frame");
+  }
+  return frame;
+}
+
+}  // namespace sereep

@@ -1,0 +1,113 @@
+// Shard wire protocol — versioned length-prefixed frames over a byte pipe.
+//
+// The sharded sweep engine (sharded_epp.hpp) talks to its worker processes
+// over plain pipes with a binary frame stream:
+//
+//   +--------+---------+------+--------------+---------------+
+//   | magic  | version | type | payload size | payload bytes |
+//   | u32    | u16     | u16  | u64          | ...           |
+//   +--------+---------+------+--------------+---------------+
+//
+// All integers are little-endian fixed width; doubles travel as their IEEE
+// bit pattern in a u64, so a value that crosses the pipe is THE value — the
+// parent's merged sweep can stay bit-for-bit identical to an in-process run.
+// The magic + version header makes a stream from a mismatched binary (or a
+// stray print into stdout) a loud protocol error rather than garbage
+// results; bumping kShardProtocolVersion invalidates old workers explicitly.
+//
+// Conversation (one per worker):
+//   parent -> worker   kJob      EPP options, SP table, assigned site list
+//   worker -> parent   kResults  a batch of SiteEpp records (repeated)
+//   worker -> parent   kDone     total record count (completeness check)
+//   worker -> parent   kError    human-readable failure message
+//
+// The worker streams results as it computes; the parent requires the kDone
+// total to match both the streamed count and its assignment, so a worker
+// that dies mid-stream (EOF before kDone) or skips sites can never produce
+// a silent partial sweep.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/epp/epp_engine.hpp"
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+
+inline constexpr std::uint32_t kShardMagic = 0x53'52'50'46;  // "SRPF"
+inline constexpr std::uint16_t kShardProtocolVersion = 1;
+
+/// Frame kinds (the `type` header field).
+enum class ShardFrameType : std::uint16_t {
+  kJob = 1,      ///< parent -> worker: the shard's whole assignment
+  kResults = 2,  ///< worker -> parent: a batch of SiteEpp records
+  kDone = 3,     ///< worker -> parent: total streamed record count (u64)
+  kError = 4,    ///< worker -> parent: failure message (UTF-8 bytes)
+};
+
+/// One decoded frame.
+struct ShardFrame {
+  ShardFrameType type = ShardFrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Everything a worker needs to compute its shard. The SP table is the
+/// PARENT'S — workers must not recompute it (a different SP source or seed
+/// would change results); the netlist itself travels out of band (the
+/// worker's --netlist flag), since both sides load it deterministically.
+struct ShardJob {
+  EppOptions epp;
+  unsigned threads = 1;
+  /// Options::simd tri-state: 0 = leave the worker's default, 1 = force the
+  /// scalar path, 2 = force the SIMD kernels (timing only — bit-identical).
+  std::uint8_t simd_mode = 0;
+  /// True when the sweep only needs p_sensitized: workers skip per-sink
+  /// record assembly and stream records with empty sink lists.
+  bool p_only = false;
+  std::vector<double> sp;       ///< per-node P(1), indexed by NodeId
+  std::vector<NodeId> sites;    ///< assigned sites, plan order
+};
+
+// ---- payload codecs --------------------------------------------------------
+// Encoders produce payload bytes (no header); decoders throw
+// std::runtime_error on truncated or malformed payloads.
+
+[[nodiscard]] std::vector<std::uint8_t> encode_job(const ShardJob& job);
+[[nodiscard]] ShardJob decode_job(std::span<const std::uint8_t> payload);
+
+/// Split encoding for the fan-out loop: the prefix (options + the whole SP
+/// table — identical for every shard of one sweep, and by far the bulk of
+/// the bytes) is built ONCE, and each shard's payload is prefix +
+/// append_job_sites(). Byte-for-byte equal to encode_job() of the same
+/// fields.
+[[nodiscard]] std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job);
+void append_job_sites(std::vector<std::uint8_t>& payload,
+                      std::span<const NodeId> sites);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_results(
+    std::span<const SiteEpp> records);
+[[nodiscard]] std::vector<SiteEpp> decode_results(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_done(std::uint64_t total);
+[[nodiscard]] std::uint64_t decode_done(std::span<const std::uint8_t> payload);
+
+// ---- frame I/O over file descriptors ---------------------------------------
+
+/// Writes one complete frame (header + payload), retrying short writes.
+/// Throws std::runtime_error on any write failure — with SIGPIPE ignored,
+/// a dead reader surfaces here as EPIPE.
+void write_shard_frame(int fd, ShardFrameType type,
+                       std::span<const std::uint8_t> payload);
+
+/// Reads one complete frame. Returns nullopt on clean EOF at a frame
+/// boundary; throws std::runtime_error on EOF mid-frame, a bad magic or
+/// version, or an implausible payload size — a killed worker is therefore
+/// always an exception or a missing kDone, never silent truncation.
+[[nodiscard]] std::optional<ShardFrame> read_shard_frame(int fd);
+
+}  // namespace sereep

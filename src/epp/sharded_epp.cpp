@@ -1,0 +1,458 @@
+#include "src/epp/sharded_epp.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "sereep/session.hpp"  // load_netlist — the worker's input vocabulary
+#include "src/epp/batched_epp.hpp"
+#include "src/epp/shard_plan.hpp"
+#include "src/epp/shard_protocol.hpp"
+#include "src/util/simd.hpp"
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// Ignores SIGPIPE for the duration of a sharded sweep (restoring the prior
+/// disposition on exit), so a worker that dies while the parent is feeding
+/// its job surfaces as an EPIPE write error — an exception with a shard
+/// number attached — instead of killing the whole parent process.
+class SigPipeGuard {
+ public:
+  SigPipeGuard() {
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~SigPipeGuard() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+  SigPipeGuard(const SigPipeGuard&) = delete;
+  SigPipeGuard& operator=(const SigPipeGuard&) = delete;
+
+ private:
+  struct sigaction saved_ = {};
+};
+
+/// One spawned worker process plus the parent's pipe ends.
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_child = -1;    ///< parent writes the job frame here (worker stdin)
+  int from_child = -1;  ///< parent reads result frames here (worker stdout)
+};
+
+[[nodiscard]] std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with raw wait status " + std::to_string(status);
+}
+
+/// Owns the worker fleet of one sweep. Destruction closes every pipe and
+/// SIGKILLs + reaps any worker not yet reaped — an exception mid-sweep must
+/// not leak processes or zombies.
+class WorkerPool {
+ public:
+  /// Must be called before the first spawn(): spawn() hands out references
+  /// into workers_, so the vector may never reallocate afterwards.
+  void reserve(std::size_t count) { workers_.reserve(count); }
+
+  ~WorkerPool() {
+    for (WorkerProc& w : workers_) {
+      close_fds(w);
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        reap(w);
+      }
+    }
+  }
+
+  /// Forks + execs one worker; stdin/stdout are pipes, everything else is
+  /// inherited (stderr deliberately so — worker diagnostics reach the
+  /// parent's stderr). Parent-side pipe ends are close-on-exec, so later
+  /// workers cannot hold an earlier worker's pipe open and mask its death.
+  WorkerProc& spawn(const std::string& worker_path,
+                    const std::string& netlist) {
+    int to_child[2];
+    int from_child[2];
+    if (::pipe2(to_child, O_CLOEXEC) != 0) {
+      throw std::runtime_error("sharded engine: pipe2 failed");
+    }
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      throw std::runtime_error("sharded engine: pipe2 failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // EAGAIN under process-limit pressure is the likely cause — exactly
+      // when leaking four fds per failed sweep would hurt the most.
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      throw std::runtime_error("sharded engine: fork failed");
+    }
+    if (pid == 0) {
+      // Child: wire the pipe ends onto stdin/stdout (dup2 clears
+      // close-on-exec on the duplicate) and become the worker.
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      const std::string netlist_flag = "--netlist=" + netlist;
+      const char* argv[] = {worker_path.c_str(), "worker",
+                            netlist_flag.c_str(), nullptr};
+      ::execv(worker_path.c_str(), const_cast<char* const*>(argv));
+      // exec failed: the parent sees EOF before any frame plus status 127.
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    workers_.push_back(
+        {.pid = pid, .to_child = to_child[1], .from_child = from_child[0]});
+    return workers_.back();
+  }
+
+  /// Closes the job pipe after the assignment is fully written; the worker
+  /// needs exactly one frame, and a worker stuck on a second read must see
+  /// EOF, not a hang.
+  static void finish_job(WorkerProc& w) {
+    if (w.to_child >= 0) {
+      ::close(w.to_child);
+      w.to_child = -1;
+    }
+  }
+
+  /// Waits for the worker and returns its exit description; "" for a clean
+  /// zero exit. Idempotent per worker.
+  static std::string reap_describe(WorkerProc& w) {
+    close_fds(w);
+    const int status = reap(w);
+    return status == 0 ? std::string() : describe_exit(status);
+  }
+
+ private:
+  static void close_fds(WorkerProc& w) {
+    if (w.to_child >= 0) ::close(std::exchange(w.to_child, -1));
+    if (w.from_child >= 0) ::close(std::exchange(w.from_child, -1));
+  }
+
+  static int reap(WorkerProc& w) {
+    if (w.pid <= 0) return 0;
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+    return status;
+  }
+
+  std::vector<WorkerProc> workers_;  ///< stable: callers hold references
+};
+
+}  // namespace
+
+ShardedEppEngine::ShardedEppEngine(const EngineContext& context)
+    : compiled_(*context.compiled),
+      sp_(*context.sp),
+      epp_(context.epp),
+      shard_(context.shard),
+      planner_(context.planner),
+      planner_source_(context.planner_source),
+      single_(*context.compiled, *context.sp, context.epp) {}
+
+const ConeClusterPlanner* ShardedEppEngine::resolve_planner() {
+  if (planner_ == nullptr && planner_source_) {
+    planner_ = planner_source_();
+    planner_source_ = nullptr;
+  }
+  if (planner_ == nullptr) {
+    owned_planner_ = std::make_unique<ConeClusterPlanner>(compiled_);
+    planner_ = owned_planner_.get();
+  }
+  return planner_;
+}
+
+std::vector<SiteEpp> ShardedEppEngine::sweep(std::span<const NodeId> sites,
+                                             unsigned threads) {
+  return run(sites, threads, /*p_only=*/false);
+}
+
+std::vector<double> ShardedEppEngine::sweep_p_sensitized(
+    std::span<const NodeId> sites, unsigned threads) {
+  const std::vector<SiteEpp> records = run(sites, threads, /*p_only=*/true);
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const SiteEpp& rec : records) out.push_back(rec.p_sensitized);
+  return out;
+}
+
+std::vector<SiteEpp> ShardedEppEngine::run(std::span<const NodeId> sites,
+                                           unsigned threads, bool p_only) {
+  ++diagnostics_.sweeps;
+  // shards == 1 and degenerate site counts are CONFIGURED in-process runs,
+  // not fallbacks; only a missing worker binary / netlist spec consults the
+  // fallback policy.
+  if (shard_.shards > 1 && sites.size() >= 2) {
+    if (!shard_.worker_path.empty() && !shard_.netlist.empty()) {
+      return run_sharded(sites, threads, p_only);
+    }
+    if (!shard_.fallback_to_in_process) {
+      throw std::runtime_error(
+          "sharded engine: sharding unavailable — Options::shard." +
+          std::string(shard_.worker_path.empty() ? "worker_path" : "netlist") +
+          " is empty (Session::open() records the netlist spec "
+          "automatically; sessions over in-memory circuits must set one). "
+          "Set it, or opt into shard.fallback_to_in_process.");
+    }
+  }
+  return run_in_process(sites, threads, p_only);
+}
+
+std::vector<SiteEpp> ShardedEppEngine::run_in_process(
+    std::span<const NodeId> sites, unsigned threads, bool p_only) {
+  diagnostics_.workers_spawned = 0;
+  diagnostics_.shard_sites.assign(1, sites.size());
+  diagnostics_.in_process = true;
+  const ConeClusterPlanner* planner = resolve_planner();
+  if (!p_only) {
+    return compute_sites_parallel(compiled_, *planner, sites, sp_, epp_,
+                                  threads);
+  }
+  const std::vector<double> p =
+      p_sensitized_sites_parallel(compiled_, *planner, sites, sp_, epp_,
+                                  threads);
+  std::vector<SiteEpp> out(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    out[i].site = sites[i];
+    out[i].p_sensitized = p[i];
+  }
+  return out;
+}
+
+std::vector<SiteEpp> ShardedEppEngine::run_sharded(
+    std::span<const NodeId> sites, unsigned threads, bool p_only) {
+  const std::vector<ConeCluster> clusters = resolve_planner()->plan(sites);
+  const std::vector<Shard> shards = plan_shards(clusters, shard_.shards);
+  if (shards.size() <= 1) {
+    // One cluster == one shard: fanning out buys nothing, skip the forks.
+    return run_in_process(sites, threads, p_only);
+  }
+
+  diagnostics_.workers_spawned = static_cast<unsigned>(shards.size());
+  diagnostics_.shard_sites.clear();
+  for (const Shard& s : shards) {
+    diagnostics_.shard_sites.push_back(s.members.size());
+  }
+  diagnostics_.in_process = false;
+
+  SigPipeGuard sigpipe;
+  WorkerPool pool;
+  pool.reserve(shards.size());
+  std::vector<WorkerProc*> workers;
+  workers.reserve(shards.size());
+  const auto shard_error = [&](std::size_t index, WorkerProc& w,
+                               const std::string& what) -> std::runtime_error {
+    std::string exit_note = WorkerPool::reap_describe(w);
+    if (!exit_note.empty()) exit_note = " (worker " + exit_note + ")";
+    return std::runtime_error(
+        "sharded engine: shard " + std::to_string(index) + "/" +
+        std::to_string(shards.size()) + " (" +
+        std::to_string(shards[index].members.size()) + " sites, worker '" +
+        shard_.worker_path + "'): " + what + exit_note +
+        " — the sweep was aborted; no partial results were returned");
+  };
+
+  // Spawn the whole fleet first so the shards compute concurrently, then
+  // feed each its assignment. A worker consumes its job frame before it
+  // writes anything, so these sequential blocking writes cannot deadlock
+  // against the (still unread) result streams.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    workers.push_back(&pool.spawn(shard_.worker_path, shard_.netlist));
+  }
+  ShardJob job;
+  job.epp = epp_;
+  job.threads = threads;
+  job.simd_mode = simd::enabled() ? 2 : 1;  // mirror the parent's switch
+  job.p_only = p_only;
+  job.sp = sp_.p1;
+  // One prefix (options + the full SP table — the bulk of the bytes) for
+  // the whole sweep; only the site list is per shard.
+  const std::vector<std::uint8_t> prefix = encode_job_prefix(job);
+  std::vector<NodeId> shard_sites;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shard_sites.clear();
+    shard_sites.reserve(shards[i].members.size());
+    for (std::uint32_t idx : shards[i].members) {
+      shard_sites.push_back(sites[idx]);
+    }
+    std::vector<std::uint8_t> payload = prefix;
+    append_job_sites(payload, shard_sites);
+    try {
+      write_shard_frame(workers[i]->to_child, ShardFrameType::kJob, payload);
+    } catch (const std::exception& e) {
+      throw shard_error(i, *workers[i], e.what());
+    }
+    WorkerPool::finish_job(*workers[i]);
+  }
+
+  // Collect + merge. Shards are drained in plan order and every record is
+  // scattered to its member index, so the merged vector is deterministic —
+  // identical to the in-process sweep's site order — no matter how the
+  // workers interleave in time.
+  std::vector<SiteEpp> out(sites.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Shard& shard = shards[i];
+    WorkerProc& w = *workers[i];
+    std::vector<SiteEpp> got;
+    got.reserve(shard.members.size());
+    try {
+      bool done = false;
+      while (!done) {
+        std::optional<ShardFrame> frame = read_shard_frame(w.from_child);
+        if (!frame.has_value()) {
+          throw std::runtime_error(
+              "result stream ended before the completion frame — worker "
+              "died mid-sweep");
+        }
+        switch (frame->type) {
+          case ShardFrameType::kResults: {
+            std::vector<SiteEpp> batch = decode_results(frame->payload);
+            for (SiteEpp& rec : batch) got.push_back(std::move(rec));
+            break;
+          }
+          case ShardFrameType::kDone: {
+            const std::uint64_t total = decode_done(frame->payload);
+            if (total != got.size() || total != shard.members.size()) {
+              throw std::runtime_error(
+                  "completion count mismatch: assigned " +
+                  std::to_string(shard.members.size()) + ", streamed " +
+                  std::to_string(got.size()) + ", worker claims " +
+                  std::to_string(total));
+            }
+            done = true;
+            break;
+          }
+          case ShardFrameType::kError:
+            throw std::runtime_error(
+                "worker reported: " +
+                std::string(frame->payload.begin(), frame->payload.end()));
+          case ShardFrameType::kJob:
+            throw std::runtime_error("unexpected job frame from worker");
+        }
+      }
+    } catch (const std::exception& e) {
+      // std::exception, not just runtime_error: a length_error/bad_alloc
+      // from a corrupted stream must still carry the shard diagnostic.
+      throw shard_error(i, w, e.what());
+    }
+    for (std::size_t k = 0; k < shard.members.size(); ++k) {
+      const std::uint32_t idx = shard.members[k];
+      if (got[k].site != sites[idx]) {
+        throw shard_error(i, w,
+                          "record order mismatch at record " +
+                              std::to_string(k));
+      }
+      out[idx] = std::move(got[k]);
+    }
+    // The stream was complete and consistent; the worker must also EXIT
+    // cleanly — a non-zero status after a full stream still means something
+    // went wrong on that machine, and this is the last chance to hear it.
+    if (const std::string exit_note = WorkerPool::reap_describe(w);
+        !exit_note.empty()) {
+      throw std::runtime_error(
+          "sharded engine: shard " + std::to_string(i) +
+          " streamed a complete result set but its worker " + exit_note);
+    }
+  }
+  return out;
+}
+
+// ---- the worker side -------------------------------------------------------
+
+int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd) {
+  const auto send_error = [out_fd](const std::string& message) {
+    try {
+      const std::vector<std::uint8_t> payload(message.begin(), message.end());
+      write_shard_frame(out_fd, ShardFrameType::kError, payload);
+    } catch (...) {
+      // The parent is gone; its read loop will report EOF instead.
+    }
+  };
+  try {
+    std::optional<ShardFrame> frame = read_shard_frame(in_fd);
+    if (!frame.has_value() || frame->type != ShardFrameType::kJob) {
+      throw std::runtime_error("expected a job frame on stdin");
+    }
+    ShardJob job = decode_job(frame->payload);
+
+    const Circuit circuit = load_netlist(netlist_spec);
+    if (job.sp.size() != circuit.node_count()) {
+      throw std::runtime_error(
+          "SP table covers " + std::to_string(job.sp.size()) +
+          " nodes but '" + netlist_spec + "' has " +
+          std::to_string(circuit.node_count()) +
+          " — parent and worker loaded different netlists");
+    }
+    const CompiledCircuit compiled(circuit);
+    SignalProbabilities sp;
+    sp.p1 = std::move(job.sp);
+    if (job.simd_mode == 1) simd::set_enabled(false);
+    if (job.simd_mode == 2) simd::set_enabled(true);
+
+    // Failure-injection hook for the kill-a-worker tests: die (hard, no
+    // error frame) after streaming this many result frames.
+    long fail_after = -1;
+    if (const char* env = std::getenv("SEREEP_WORKER_FAIL_AFTER")) {
+      fail_after = parse_long_strict(env).value_or(-1);
+    }
+
+    const ConeClusterPlanner planner(compiled);
+    // Stream in slices: results flow while later slices compute, and worker
+    // memory stays O(slice) even for million-site shards.
+    constexpr std::size_t kSlice = 1024;
+    std::uint64_t streamed = 0;
+    long frames_written = 0;
+    for (std::size_t begin = 0; begin < job.sites.size(); begin += kSlice) {
+      const std::size_t count = std::min(kSlice, job.sites.size() - begin);
+      const std::span<const NodeId> slice =
+          std::span(job.sites).subspan(begin, count);
+      std::vector<SiteEpp> records;
+      if (job.p_only) {
+        const std::vector<double> p = p_sensitized_sites_parallel(
+            compiled, planner, slice, sp, job.epp, job.threads);
+        records.resize(count);
+        for (std::size_t k = 0; k < count; ++k) {
+          records[k].site = slice[k];
+          records[k].p_sensitized = p[k];
+        }
+      } else {
+        records = compute_sites_parallel(compiled, planner, slice, sp,
+                                         job.epp, job.threads);
+      }
+      if (fail_after >= 0 && frames_written == fail_after) _exit(9);
+      write_shard_frame(out_fd, ShardFrameType::kResults,
+                        encode_results(records));
+      ++frames_written;
+      streamed += count;
+    }
+    // The hook also covers the nastiest failure: every result frame
+    // streamed, then death BEFORE the completion frame — a plausible-looking
+    // stream the parent must still refuse.
+    if (fail_after >= 0 && frames_written == fail_after) _exit(9);
+    write_shard_frame(out_fd, ShardFrameType::kDone, encode_done(streamed));
+    return 0;
+  } catch (const std::exception& e) {
+    send_error(e.what());
+    return 1;
+  }
+}
+
+}  // namespace sereep

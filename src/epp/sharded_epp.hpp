@@ -1,0 +1,114 @@
+// ShardedEppEngine — the multi-process sweep tier ("sharded" registry key).
+//
+// sweep()/sweep_p_sensitized() partition the cone-cluster plan into N shards
+// (shard_plan.hpp — whole clusters, biggest mass first, the same cost model
+// the in-process work stealer uses) and fan them out to worker processes:
+// each worker is a `sereep worker --netlist=...` instance that loads the
+// netlist, receives its assignment over stdin (shard_protocol.hpp — the
+// parent's SP table travels with it, so workers never recompute SPs), sweeps
+// its sites with the batched engine, and streams SiteEpp records back over
+// stdout. The parent scatters every record into the caller's site order, so
+// the merged result is BIT-FOR-BIT identical to an in-process batched sweep
+// — per-site values are pure functions of (circuit, SP, EPP options),
+// independent of clustering, threading and sharding; the engine-equivalence
+// tests pin this with EXPECT_EQ.
+//
+// Failure contract: a worker that exits, is killed, or streams a short /
+// malformed / miscounted result set raises std::runtime_error naming the
+// shard — NEVER a silent partial sweep. In-process fallback exists only for
+// "sharding unavailable" configurations (no worker binary / no loadable
+// netlist spec) and only when ShardOptions::fallback_to_in_process opts in;
+// see the policy note there.
+//
+// Per-site queries (compute / p_sensitized) never fork — a process round
+// trip per site would be absurd — they run the in-process compiled engine,
+// which is bit-identical anyway.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sereep/engine.hpp"
+#include "src/epp/compiled_epp.hpp"
+
+namespace sereep {
+
+/// IEppEngine over worker processes. Construct through the registry
+/// ("sharded") or directly from an EngineContext whose `shard` layer names
+/// the worker binary and netlist spec.
+class ShardedEppEngine final : public IEppEngine {
+ public:
+  /// What the last sweep actually did — surfaced through
+  /// Session::shard_diagnostics() so a deployment can verify its sweeps
+  /// really fan out (and tests can pin the fallback policy).
+  struct Diagnostics {
+    std::size_t sweeps = 0;           ///< sweeps served so far
+    unsigned workers_spawned = 0;     ///< processes forked by the last sweep
+    std::vector<std::size_t> shard_sites;  ///< per-shard site counts
+    bool in_process = false;          ///< last sweep ran without forking
+  };
+
+  explicit ShardedEppEngine(const EngineContext& context);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sharded";
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override {
+    return {.threads = true, .simd = true, .processes = true};
+  }
+
+  [[nodiscard]] SiteEpp compute(NodeId site) override {
+    return single_.compute(site);
+  }
+  [[nodiscard]] double p_sensitized(NodeId site) override {
+    return single_.p_sensitized(site);
+  }
+
+  [[nodiscard]] std::vector<SiteEpp> sweep(std::span<const NodeId> sites,
+                                           unsigned threads) override;
+  [[nodiscard]] std::vector<double> sweep_p_sensitized(
+      std::span<const NodeId> sites, unsigned threads) override;
+
+  [[nodiscard]] const Diagnostics& last_sweep() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  /// The common sweep body; p_only drops per-sink payloads on the wire.
+  [[nodiscard]] std::vector<SiteEpp> run(std::span<const NodeId> sites,
+                                         unsigned threads, bool p_only);
+
+  /// Fans `sites` out across worker processes (the tentpole path). Throws
+  /// on any worker failure.
+  [[nodiscard]] std::vector<SiteEpp> run_sharded(std::span<const NodeId> sites,
+                                                 unsigned threads,
+                                                 bool p_only);
+
+  /// In-process batched sweep — the fallback and the shards==1 path.
+  [[nodiscard]] std::vector<SiteEpp> run_in_process(
+      std::span<const NodeId> sites, unsigned threads, bool p_only);
+
+  [[nodiscard]] const ConeClusterPlanner* resolve_planner();
+
+  const CompiledCircuit& compiled_;
+  const SignalProbabilities& sp_;
+  EppOptions epp_;
+  ShardOptions shard_;
+  const ConeClusterPlanner* planner_;  ///< may arrive lazily
+  std::function<const ConeClusterPlanner*()> planner_source_;
+  std::unique_ptr<ConeClusterPlanner> owned_planner_;  ///< when neither given
+  CompiledEppEngine single_;  ///< per-site queries (never fork)
+  Diagnostics diagnostics_;
+};
+
+/// The worker side: reads one kJob frame from `in_fd`, loads `netlist_spec`,
+/// computes the assigned sites with the batched engine, and streams
+/// kResults/kDone frames to `out_fd` (kError + non-zero return on failure).
+/// `sereep worker --netlist=SPEC` is a thin wrapper over this. The
+/// SEREEP_WORKER_FAIL_AFTER environment variable (test-only failure
+/// injection) makes the worker die after streaming that many result frames.
+int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd);
+
+}  // namespace sereep

@@ -1,0 +1,27 @@
+#include "src/util/exe_path.hpp"
+
+#include <unistd.h>
+
+namespace sereep {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return buf;
+}
+
+std::string sibling_binary_path(const std::string& name,
+                                bool require_executable) {
+  std::string path = self_exe_path();
+  if (path.empty()) return {};
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return {};
+  path.resize(slash + 1);
+  path += name;
+  if (require_executable && ::access(path.c_str(), X_OK) != 0) return {};
+  return path;
+}
+
+}  // namespace sereep

@@ -1,0 +1,25 @@
+// Locating the running executable and its sibling binaries.
+//
+// The sharded sweep tier spawns `sereep worker` processes from the `sereep`
+// binary itself, and the bench harnesses look for that binary next to
+// themselves in the build tree — one resolver, used by all of them, instead
+// of a per-binary readlink copy.
+#pragma once
+
+#include <string>
+
+namespace sereep {
+
+/// Absolute path of the running executable (/proc/self/exe). Empty when
+/// unreadable — callers must treat that as "no worker binary available",
+/// never guess.
+[[nodiscard]] std::string self_exe_path();
+
+/// Path of a binary named `name` in the running executable's directory
+/// ("" when the executable path is unknown). `require_executable` filters
+/// to files the process may exec — the bench harnesses use it to skip
+/// their sharded rows gracefully outside a full build tree.
+[[nodiscard]] std::string sibling_binary_path(const std::string& name,
+                                              bool require_executable = true);
+
+}  // namespace sereep

@@ -1,8 +1,10 @@
 #include "src/util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sereep {
 
@@ -73,6 +75,36 @@ std::string to_upper(std::string_view text) {
 bool istarts_with(std::string_view text, std::string_view prefix) noexcept {
   return text.size() >= prefix.size() &&
          iequals(text.substr(0, prefix.size()), prefix);
+}
+
+std::optional<long> parse_long_strict(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  // strtol accepts leading whitespace; the strict contract does not.
+  if (std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    return std::nullopt;
+  }
+  const std::string owned(text);  // strtol needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double_strict(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  if (std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    return std::nullopt;
+  }
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (errno == ERANGE && !std::isfinite(value)) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;  // explicit inf/nan input
+  return value;
 }
 
 std::string format_fixed(double value, int decimals) {

@@ -1,6 +1,7 @@
 // Small string utilities shared by the .bench parser and report writers.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,20 @@ namespace sereep {
 /// True if `text` starts with `prefix` (case-insensitive).
 [[nodiscard]] bool istarts_with(std::string_view text,
                                 std::string_view prefix) noexcept;
+
+/// Strict base-10 integer parse of the WHOLE string: nullopt on an empty
+/// string, leading/trailing garbage ("12x", "1e4", " 7"), or a value outside
+/// long's range. The forgiving strtol convention (silently returning 0 and
+/// ignoring trailing text) turned CLI typos like --threads=abc into valid
+/// configurations; every user-facing numeric flag must parse through here.
+[[nodiscard]] std::optional<long> parse_long_strict(
+    std::string_view text) noexcept;
+
+/// Strict floating-point parse of the WHOLE string: nullopt on an empty
+/// string, trailing garbage, or overflow to +-inf ("1e999"). "inf"/"nan"
+/// spellings are rejected too — no numeric flag means them.
+[[nodiscard]] std::optional<double> parse_double_strict(
+    std::string_view text) noexcept;
 
 /// printf-style float with fixed decimals, used by table rendering.
 [[nodiscard]] std::string format_fixed(double value, int decimals);

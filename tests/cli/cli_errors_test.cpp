@@ -1,0 +1,129 @@
+// CLI input-validation regression — the error paths must ERROR.
+//
+// Before this suite, `sereep sweep --threads=abc` parsed as 0 threads via
+// unchecked strtol, `--threads=-1` wrapped through a cast to unsigned into
+// ~4.3 billion threads, and `--vectors=1e4` silently became 1 vector. Every
+// malformed or out-of-range numeric flag must now exit NON-ZERO with a
+// diagnostic naming the flag — these tests exec the real `sereep` binary
+// (SEREEP_CLI_PATH, wired by CMake) so the whole path from argv to exit code
+// is pinned, not just the parser in isolation.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sereep {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(SEREEP_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return result;
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void expect_rejected(const std::string& args, const std::string& flag) {
+  const CliResult r = run_cli(args);
+  EXPECT_NE(r.exit_code, 0) << "`sereep " << args
+                            << "` should fail, printed:\n"
+                            << r.output;
+  EXPECT_NE(r.output.find("error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find(flag), std::string::npos)
+      << "diagnostic should name " << flag << ", printed:\n"
+      << r.output;
+}
+
+// ---- the pinned regressions from the issue ---------------------------------
+
+TEST(CliErrors, NegativeThreadsRejectedNotWrapped) {
+  // -1 used to become ~4.3e9 workers through static_cast<unsigned>.
+  expect_rejected("sweep c17 --threads=-1", "--threads");
+  expect_rejected("ser c17 --threads=-1", "--threads");
+}
+
+TEST(CliErrors, GarbageThreadsRejectedNotZero) {
+  expect_rejected("sweep c17 --threads=abc", "--threads");
+  expect_rejected("harden c17 --threads=abc", "--threads");
+}
+
+TEST(CliErrors, ScientificNotationIntegerRejectedNotTruncated) {
+  // "1e4" used to strtol-parse as 1 (four orders of magnitude off).
+  expect_rejected("sp c17 --engine=mc --vectors=1e4", "--vectors");
+}
+
+// ---- the audited remainder of the numeric flag surface ---------------------
+
+TEST(CliErrors, ThreadsAboveBoundRejected) {
+  expect_rejected("sweep c17 --threads=1000000", "--threads");
+}
+
+TEST(CliErrors, TrailingGarbageRejected) {
+  expect_rejected("sweep c17 --threads=4x", "--threads");
+  expect_rejected("ser c17 --top=20abc", "--top");
+}
+
+TEST(CliErrors, NegativeTopRejected) {
+  expect_rejected("sweep c17 --top=-5", "--top");
+  expect_rejected("ser c17 --top=-1", "--top");
+}
+
+TEST(CliErrors, ShardsValidated) {
+  expect_rejected("sweep c17 --engine=sharded --shards=0", "--shards");
+  expect_rejected("sweep c17 --engine=sharded --shards=abc", "--shards");
+  expect_rejected("sweep c17 --engine=sharded --shards=100000", "--shards");
+  expect_rejected("sweep c17 --engine=sharded --shards=-2", "--shards");
+}
+
+TEST(CliErrors, HardenTargetValidated) {
+  expect_rejected("harden c17 --target=1.5", "--target");
+  expect_rejected("harden c17 --target=-0.1", "--target");
+  expect_rejected("harden c17 --target=abc", "--target");
+  expect_rejected("report c17 --target=nan", "--target");
+}
+
+TEST(CliErrors, VectorsValidated) {
+  expect_rejected("sp c17 --engine=mc --vectors=0", "--vectors");
+  expect_rejected("sp c17 --engine=mc --vectors=abc", "--vectors");
+}
+
+TEST(CliErrors, GenSeedGarbageRejected) {
+  expect_rejected("gen --profile=s953 --seed=banana --o=/dev/null", "--seed");
+}
+
+TEST(CliErrors, UnknownEngineListsRegisteredKeys) {
+  const CliResult r = run_cli("sweep c17 --engine=turbo");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("sharded"), std::string::npos)
+      << "engine error should list the registered keys:\n"
+      << r.output;
+}
+
+// ---- valid usage must still work -------------------------------------------
+
+TEST(CliErrors, ValidNumericFlagsStillAccepted) {
+  const CliResult r = run_cli("sweep c17 --threads=2 --top=3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const CliResult h = run_cli("harden c17 --target=0.5");
+  EXPECT_EQ(h.exit_code, 0) << h.output;
+}
+
+}  // namespace
+}  // namespace sereep

@@ -15,16 +15,22 @@
 //   * randomized site subsets through compute_sites_parallel,
 //   * the batched engine's SIMD lane-plane kernels ON and OFF (the scalar
 //     per-lane fallback is a peer tier of the hierarchy — see
-//     SimdOnAndOffBitIdentical and tests/README.md).
+//     SimdOnAndOffBitIdentical and tests/README.md),
+//   * the sharded multi-process tier: the fuzz circuit round-trips to disk
+//     and is swept through real `sereep worker` processes
+//     (ShardedProcessSweepBitIdentical).
 //
 // Future engines join the hierarchy by being added here; a refactor that
 // changes any floating-point result in any profile fails this file first.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "sereep/sereep.hpp"
 #include "src/epp/batched_epp.hpp"
+#include "src/netlist/bench_io.hpp"
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/compiled.hpp"
@@ -214,6 +220,34 @@ TEST_P(EngineEquivalence, SimdOnAndOffBitIdentical) {
           << GetParam().tag << " simd=" << simd_on << " node " << site;
     }
   }
+}
+
+TEST_P(EngineEquivalence, ShardedProcessSweepBitIdentical) {
+  // The multi-process tier joins the hierarchy here: the fuzz circuit is
+  // written to disk (the workers' input vocabulary is a netlist spec), then
+  // swept through real `sereep worker` processes and compared EXPECT_EQ
+  // against the in-process batched session — shard merging must be a pure
+  // re-route, exactly like every other engine selection.
+  const Circuit c = make_fuzz_circuit(GetParam());
+  const std::string path = ::testing::TempDir() + "/sereep_eq_" +
+                           GetParam().tag + ".bench";
+  ASSERT_TRUE(save_bench_file(c, path));
+
+  Session batched = Session::open(path);
+  Options opt;
+  opt.engine = "sharded";
+  opt.shard.shards = 3;
+  opt.shard.worker_path = SEREEP_CLI_PATH;
+  Session sharded = Session::open(path, std::move(opt));
+
+  const std::vector<SiteEpp> want = batched.sweep();
+  const std::vector<SiteEpp> got = sharded.sweep();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    testutil::expect_site_epp_equal(batched.circuit(), want[i], got[i]);
+  }
+  EXPECT_EQ(sharded.sweep_p_sensitized(), batched.sweep_p_sensitized());
+  std::remove(path.c_str());
 }
 
 TEST_P(EngineEquivalence, OptionVariantsStayBitIdentical) {

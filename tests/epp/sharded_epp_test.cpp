@@ -1,0 +1,391 @@
+// Sharded multi-process sweep engine — planner, protocol and end-to-end
+// equivalence + failure-contract tests.
+//
+// The "sharded" tier joins the oracle hierarchy with the same contract as
+// every other engine: bit-for-bit equality (EXPECT_EQ, no tolerance) with
+// the batched engine it delegates to — sharding only partitions work across
+// `sereep worker` processes (SEREEP_CLI_PATH, the real CLI binary built by
+// this tree). The failure half of the contract matters just as much: a
+// worker that dies, truncates its stream, or miscounts its results must
+// abort the sweep with a diagnostic naming the shard — silent partial
+// sweeps are the one outcome these tests exist to forbid.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sereep/sereep.hpp"
+#include "src/netlist/benchmarks.hpp"
+#include "src/epp/shard_plan.hpp"
+#include "src/epp/shard_protocol.hpp"
+#include "src/epp/sharded_epp.hpp"
+#include "src/netlist/bench_io.hpp"
+#include "src/netlist/generator.hpp"
+#include "tests/epp/site_epp_testutil.hpp"
+
+namespace sereep {
+namespace {
+
+// ---- shard planner ---------------------------------------------------------
+
+std::vector<ConeCluster> toy_clusters(
+    std::initializer_list<std::pair<std::vector<std::uint32_t>, double>>
+        spec) {
+  std::vector<ConeCluster> out;
+  for (const auto& [members, mass] : spec) {
+    out.push_back({.members = members, .mass = mass});
+  }
+  return out;
+}
+
+TEST(ShardPlan, EveryMemberLandsInExactlyOneShard) {
+  const auto clusters = toy_clusters(
+      {{{0, 1, 2}, 9.0}, {{3, 4}, 7.0}, {{5}, 5.0}, {{6}, 3.0}, {{7}, 1.0}});
+  const std::vector<Shard> shards = plan_shards(clusters, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  std::vector<int> seen(8, 0);
+  for (const Shard& s : shards) {
+    for (std::uint32_t m : s.members) ++seen[m];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ShardPlan, LptGreedyBalancesByMass) {
+  // Masses 9, 7, 5, 3, 1 over two shards: LPT gives {9, 3, 1} vs {7, 5}.
+  const auto clusters = toy_clusters(
+      {{{0}, 9.0}, {{1}, 7.0}, {{2}, 5.0}, {{3}, 3.0}, {{4}, 1.0}});
+  const std::vector<Shard> shards = plan_shards(clusters, 2);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_DOUBLE_EQ(shards[0].mass, 13.0);
+  EXPECT_DOUBLE_EQ(shards[1].mass, 12.0);
+  EXPECT_EQ(shards[0].members, (std::vector<std::uint32_t>{0, 3, 4}));
+  EXPECT_EQ(shards[1].members, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(ShardPlan, ClustersAreNeverSplit) {
+  const auto clusters = toy_clusters({{{0, 1, 2, 3}, 4.0}, {{4, 5}, 2.0}});
+  for (unsigned n : {2u, 3u, 8u}) {
+    const std::vector<Shard> shards = plan_shards(clusters, n);
+    ASSERT_EQ(shards.size(), 2u) << n;  // empties dropped
+    EXPECT_EQ(shards[0].members.size(), 4u);
+    EXPECT_EQ(shards[1].members.size(), 2u);
+  }
+}
+
+TEST(ShardPlan, DeterministicAndEdgeCases) {
+  const auto clusters = toy_clusters(
+      {{{0}, 2.0}, {{1}, 2.0}, {{2}, 2.0}});
+  const auto a = plan_shards(clusters, 2);
+  const auto b = plan_shards(clusters, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members);
+  }
+  EXPECT_TRUE(plan_shards({}, 4).empty());
+  const auto one = plan_shards(clusters, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].members.size(), 3u);
+}
+
+// ---- wire protocol ---------------------------------------------------------
+
+TEST(ShardProtocol, JobRoundTripsExactly) {
+  ShardJob job;
+  job.epp.track_polarity = false;
+  job.epp.electrical_survival = 0.97251;
+  job.threads = 7;
+  job.simd_mode = 2;
+  job.p_only = true;
+  job.sp = {0.0, 1.0, 0.5, 0.123456789012345678, 1e-300};
+  job.sites = {3, 1, 4, 1'000'000};
+  const ShardJob back = decode_job(encode_job(job));
+  EXPECT_EQ(back.epp.track_polarity, job.epp.track_polarity);
+  EXPECT_EQ(back.epp.electrical_survival, job.epp.electrical_survival);
+  EXPECT_EQ(back.threads, job.threads);
+  EXPECT_EQ(back.simd_mode, job.simd_mode);
+  EXPECT_EQ(back.p_only, job.p_only);
+  EXPECT_EQ(back.sp, job.sp);
+  EXPECT_EQ(back.sites, job.sites);
+}
+
+TEST(ShardProtocol, ResultsRoundTripBitForBit) {
+  SiteEpp rec;
+  rec.site = 42;
+  rec.p_sensitized = 0.12345678901234567;
+  rec.p_sens_lower = 0.1;
+  rec.p_sens_upper = 0.2;
+  rec.self_dpin_mass = 3.5e-17;
+  rec.cone_size = 1234;
+  rec.reconvergent_gates = 9;
+  rec.sinks.push_back(
+      {.sink = 7, .error_mass = 0.25, .distribution = Prob4{}});
+  rec.sinks[0].distribution.p[0] = 0.5;
+  rec.sinks[0].distribution.p[3] = 1e-308;  // denormal-adjacent survives
+  const std::vector<SiteEpp> back =
+      decode_results(encode_results(std::vector<SiteEpp>{rec}));
+  ASSERT_EQ(back.size(), 1u);
+  testutil::expect_site_epp_equal(make_c17(), rec, back[0]);
+  EXPECT_EQ(decode_done(encode_done(12345)), 12345u);
+}
+
+TEST(ShardProtocol, SplitJobEncodingEqualsOneShot) {
+  // The fan-out loop reuses one encoded prefix + per-shard site lists; the
+  // bytes must be exactly what a one-shot encode_job would produce.
+  ShardJob job;
+  job.threads = 3;
+  job.sp = {0.25, 0.75, 0.5};
+  job.sites = {2, 0, 1};
+  std::vector<std::uint8_t> split = encode_job_prefix(job);
+  append_job_sites(split, job.sites);
+  EXPECT_EQ(split, encode_job(job));
+}
+
+TEST(ShardProtocol, ImplausibleElementCountsRejectedBeforeAllocation) {
+  // A corrupted count field must be a protocol error, not a multi-GB
+  // vector resize: payload claims 2^32-1 records but carries 4 bytes.
+  std::vector<std::uint8_t> payload = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW((void)decode_results(payload), std::runtime_error);
+  // And a job whose SP count outruns the payload.
+  ShardJob job;
+  job.sp = {0.5};
+  std::vector<std::uint8_t> bytes = encode_job(job);
+  bytes[15] = 0xff;  // sp count lives after the 15-byte option block
+  EXPECT_THROW((void)decode_job(bytes), std::runtime_error);
+}
+
+TEST(ShardProtocol, TruncatedPayloadThrows) {
+  const std::vector<std::uint8_t> payload = encode_done(7);
+  EXPECT_THROW(
+      (void)decode_done(std::span(payload).subspan(0, payload.size() - 1)),
+      std::runtime_error);
+  EXPECT_THROW((void)decode_job(payload), std::runtime_error);
+}
+
+TEST(ShardProtocol, FrameStreamOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_shard_frame(fds[1], ShardFrameType::kDone, encode_done(3));
+  ::close(fds[1]);
+  const std::optional<ShardFrame> frame = read_shard_frame(fds[0]);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, ShardFrameType::kDone);
+  EXPECT_EQ(decode_done(frame->payload), 3u);
+  EXPECT_FALSE(read_shard_frame(fds[0]).has_value());  // clean EOF
+  ::close(fds[0]);
+}
+
+TEST(ShardProtocol, GarbageAndMidFrameEofThrow) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char garbage[] = "node,type,p_sensitized\n";  // a stray print
+  ASSERT_GT(::write(fds[1], garbage, sizeof garbage), 0);
+  ::close(fds[1]);
+  EXPECT_THROW((void)read_shard_frame(fds[0]), std::runtime_error);
+  ::close(fds[0]);
+
+  ASSERT_EQ(::pipe(fds), 0);
+  // A valid header promising 100 payload bytes, then death.
+  write_shard_frame(fds[1], ShardFrameType::kResults,
+                    std::vector<std::uint8_t>(100));
+  // Re-read only part: write a fresh truncated copy instead.
+  ::close(fds[1]);
+  ASSERT_TRUE(read_shard_frame(fds[0]).has_value());
+  ::close(fds[0]);
+
+  ASSERT_EQ(::pipe(fds), 0);
+  std::uint8_t header[16] = {};
+  header[0] = 0x46;  // kShardMagic little-endian first byte
+  header[1] = 0x50;
+  header[2] = 0x52;
+  header[3] = 0x53;
+  header[4] = 1;  // version 1
+  header[6] = 2;  // kResults
+  header[8] = 100;  // promises 100 bytes that never arrive
+  ASSERT_EQ(::write(fds[1], header, sizeof header),
+            static_cast<ssize_t>(sizeof header));
+  ::close(fds[1]);
+  EXPECT_THROW((void)read_shard_frame(fds[0]), std::runtime_error);
+  ::close(fds[0]);
+}
+
+// ---- end-to-end equivalence over real worker processes ---------------------
+
+Options sharded_options(unsigned shards, unsigned threads = 1) {
+  Options opt;
+  opt.engine = "sharded";
+  opt.threads = threads;
+  opt.shard.shards = shards;
+  opt.shard.worker_path = SEREEP_CLI_PATH;
+  return opt;
+}
+
+void expect_sweeps_equal(Session& expected, Session& actual) {
+  const std::vector<SiteEpp> want = expected.sweep();
+  const std::vector<SiteEpp> got = actual.sweep();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    testutil::expect_site_epp_equal(expected.circuit(), want[i], got[i]);
+  }
+  EXPECT_EQ(actual.sweep_p_sensitized(), expected.sweep_p_sensitized());
+}
+
+TEST(ShardedEngine, BitIdenticalToBatchedOnEmbeddedCircuits) {
+  for (const char* name : {"c17", "s27", "s953"}) {
+    for (unsigned shards : {2u, 3u, 4u}) {
+      Session batched = Session::open(name);
+      Session sharded = Session::open(name, sharded_options(shards));
+      expect_sweeps_equal(batched, sharded);
+      const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+      ASSERT_NE(diag, nullptr);
+      if (std::string(name) != "c17") {  // c17 may fit one cluster
+        EXPECT_FALSE(diag->in_process) << name << " shards=" << shards;
+        EXPECT_GE(diag->workers_spawned, 2u);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, BitIdenticalOnAGeneratedNetlistFromDisk) {
+  // The worker loads the netlist by spec; a generated circuit written to a
+  // temp .bench exercises the full file round trip (both sides parse the
+  // same bytes — the parent session opens the same path).
+  GeneratorProfile profile;
+  profile.name = "shardfuzz";
+  profile.num_inputs = 16;
+  profile.num_outputs = 12;
+  profile.num_dffs = 40;
+  profile.num_gates = 900;
+  profile.target_depth = 14;
+  profile.reuse_bias = 0.5;
+  const Circuit circuit = generate_circuit(profile, 777);
+  const std::string path =
+      ::testing::TempDir() + "/sereep_sharded_fuzz.bench";
+  ASSERT_TRUE(save_bench_file(circuit, path));
+
+  Session batched = Session::open(path);
+  Session sharded = Session::open(path, sharded_options(3, /*threads=*/2));
+  expect_sweeps_equal(batched, sharded);
+  std::remove(path.c_str());
+}
+
+std::string read_golden(const char* name) {
+  const std::string path =
+      std::string(SEREEP_SOURCE_DIR) + "/tests/data/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "missing golden file: " << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(ShardedEngine, GoldenCsvsByteEqualAtEveryShardCount) {
+  // The acceptance bar: --engine=sharded --shards=2..4 reproduces the
+  // committed golden bytes exactly — the same files every in-process engine
+  // is pinned against.
+  for (unsigned shards : {2u, 3u, 4u}) {
+    Session c17 = Session::open("c17", sharded_options(shards));
+    EXPECT_EQ(c17.sweep_csv(), read_golden("sweep_c17.golden.csv"))
+        << "shards=" << shards;
+    EXPECT_EQ(c17.ser_csv(), read_golden("ser_c17.golden.csv"))
+        << "shards=" << shards;
+    Session s27 = Session::open("s27", sharded_options(shards));
+    EXPECT_EQ(s27.sweep_csv(), read_golden("sweep_s27.golden.csv"))
+        << "shards=" << shards;
+    EXPECT_EQ(s27.ser_csv(), read_golden("ser_s27.golden.csv"))
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEngine, SerAndGoldenTextIdenticalThroughTheFacade) {
+  // ser()/harden() fold the engine's sweep records — the whole analysis
+  // stack must be byte-identical through worker processes.
+  Session batched = Session::open("s27");
+  Session sharded = Session::open("s27", sharded_options(2));
+  EXPECT_EQ(sharded.sweep_csv(), batched.sweep_csv());
+  EXPECT_EQ(sharded.ser_csv(), batched.ser_csv());
+  EXPECT_EQ(sharded.harden_text(0.5), batched.harden_text(0.5));
+}
+
+TEST(ShardedEngine, PerSiteQueriesNeverFork) {
+  Session sharded = Session::open("s27", sharded_options(2));
+  Session batched = Session::open("s27");
+  for (NodeId site : sharded.sites()) {
+    EXPECT_EQ(sharded.p_sensitized(site), batched.p_sensitized(site));
+  }
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->sweeps, 0u);  // per-site traffic is not a sweep
+}
+
+// ---- failure contract ------------------------------------------------------
+
+TEST(ShardedEngine, DeadWorkerBinaryErrorsLoudly) {
+  Options opt = sharded_options(2);
+  opt.shard.worker_path = "/bin/false";  // spawns, exits 1, streams nothing
+  Session session = Session::open("s953", std::move(opt));
+  try {
+    (void)session.sweep();
+    FAIL() << "a dead worker must abort the sweep";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard"), std::string::npos) << what;
+    EXPECT_NE(what.find("no partial results"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedEngine, MissingWorkerBinaryErrorsLoudly) {
+  Options opt = sharded_options(2);
+  opt.shard.worker_path = "/nonexistent/sereep";
+  Session session = Session::open("s953", std::move(opt));
+  EXPECT_THROW((void)session.sweep(), std::runtime_error);
+}
+
+TEST(ShardedEngine, WorkerKilledMidStreamErrorsLoudly) {
+  // SEREEP_WORKER_FAIL_AFTER makes the real worker _exit(9) after N result
+  // frames — the stream ends without a completion frame and the parent must
+  // refuse the partial data. N=1 dies after genuinely streaming results
+  // (the nastiest case: plausible-looking but incomplete).
+  for (const char* after : {"0", "1"}) {
+    ASSERT_EQ(::setenv("SEREEP_WORKER_FAIL_AFTER", after, 1), 0);
+    Session session = Session::open("s953", sharded_options(2));
+    EXPECT_THROW((void)session.sweep(), std::runtime_error) << after;
+    ASSERT_EQ(::unsetenv("SEREEP_WORKER_FAIL_AFTER"), 0);
+  }
+}
+
+TEST(ShardedEngine, UnavailableShardingFailsUnlessFallbackOptedIn) {
+  // A session over an in-memory circuit has no netlist spec for workers.
+  Options opt = sharded_options(2);
+  opt.shard.worker_path.clear();
+  Session strict(make_s27(), opt);
+  EXPECT_THROW((void)strict.sweep(), std::runtime_error);
+
+  opt.shard.fallback_to_in_process = true;
+  Session fallback(make_s27(), opt);
+  Session batched(make_s27());
+  expect_sweeps_equal(batched, fallback);
+  const ShardedEppEngine::Diagnostics* diag = fallback.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_TRUE(diag->in_process);
+  EXPECT_EQ(diag->workers_spawned, 0u);
+}
+
+TEST(ShardedEngine, SingleShardIsAConfiguredInProcessRun) {
+  // shards=1 is a legitimate configuration, not a fallback — it must work
+  // with no worker binary at all and stay bit-identical.
+  Options opt = sharded_options(1);
+  opt.shard.worker_path.clear();
+  Session single(make_s27(), opt);
+  Session batched(make_s27());
+  expect_sweeps_equal(batched, single);
+}
+
+}  // namespace
+}  // namespace sereep

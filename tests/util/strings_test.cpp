@@ -67,5 +67,49 @@ TEST(FormatSi, Magnitudes) {
 
 TEST(ToUpper, Ascii) { EXPECT_EQ(to_upper("nand2_x1"), "NAND2_X1"); }
 
+TEST(ParseLongStrict, AcceptsWholeStringIntegersOnly) {
+  EXPECT_EQ(parse_long_strict("0"), 0);
+  EXPECT_EQ(parse_long_strict("42"), 42);
+  EXPECT_EQ(parse_long_strict("-17"), -17);
+  EXPECT_EQ(parse_long_strict("+8"), 8);
+  EXPECT_EQ(parse_long_strict("007"), 7);
+}
+
+TEST(ParseLongStrict, RejectsTheSilentZeroFamily) {
+  // Every one of these was a silent 0 (or a silent truncation) under plain
+  // strtol — the CLI bugs this parser exists to close.
+  EXPECT_EQ(parse_long_strict("abc"), std::nullopt);
+  EXPECT_EQ(parse_long_strict(""), std::nullopt);
+  EXPECT_EQ(parse_long_strict("1e4"), std::nullopt);   // parsed as 1
+  EXPECT_EQ(parse_long_strict("12x"), std::nullopt);   // parsed as 12
+  EXPECT_EQ(parse_long_strict("4.5"), std::nullopt);   // parsed as 4
+  EXPECT_EQ(parse_long_strict(" 7"), std::nullopt);    // no implicit trim
+  EXPECT_EQ(parse_long_strict("7 "), std::nullopt);
+  EXPECT_EQ(parse_long_strict("-"), std::nullopt);
+  EXPECT_EQ(parse_long_strict("0x10"), std::nullopt);  // base 10 only
+}
+
+TEST(ParseLongStrict, RejectsOutOfRange) {
+  EXPECT_EQ(parse_long_strict("99999999999999999999999999"), std::nullopt);
+  EXPECT_EQ(parse_long_strict("-99999999999999999999999999"), std::nullopt);
+}
+
+TEST(ParseDoubleStrict, AcceptsFiniteNumbers) {
+  EXPECT_EQ(parse_double_strict("0.5"), 0.5);
+  EXPECT_EQ(parse_double_strict("-1.25"), -1.25);
+  EXPECT_EQ(parse_double_strict("1e4"), 1e4);
+  EXPECT_EQ(parse_double_strict("3"), 3.0);
+}
+
+TEST(ParseDoubleStrict, RejectsGarbageAndNonFinite) {
+  EXPECT_EQ(parse_double_strict("abc"), std::nullopt);
+  EXPECT_EQ(parse_double_strict(""), std::nullopt);
+  EXPECT_EQ(parse_double_strict("0.5x"), std::nullopt);
+  EXPECT_EQ(parse_double_strict(" 0.5"), std::nullopt);
+  EXPECT_EQ(parse_double_strict("1e999"), std::nullopt);  // overflow
+  EXPECT_EQ(parse_double_strict("inf"), std::nullopt);
+  EXPECT_EQ(parse_double_strict("nan"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace sereep

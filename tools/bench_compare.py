@@ -36,7 +36,10 @@ RATIO_HINTS = ("speedup", "_vs_")
 # Ratios whose numerator runs the SIMD lane-plane kernels (built
 # -march=native, so their speed is a property of the HOST's vector ISA) or
 # that directly compare the two kernel paths; meaningless cross-machine.
-HW_SENSITIVE = {"simd_speedup", "batched_speedup", "batched_vs_compiled"}
+# sharded_vs_batched is process fan-out cost (fork/exec + pipe bandwidth +
+# core count) — all host, gated by same-machine runs only.
+HW_SENSITIVE = {"simd_speedup", "batched_speedup", "batched_vs_compiled",
+                "sharded_vs_batched"}
 
 
 def is_ratio(column):

@@ -5,20 +5,30 @@
 //   sereep sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]
 //   sereep epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]
 //                                                per-node EPP detail
-//   sereep sweep   <netlist> [--engine=E] [--threads=N] [--top=N]
-//                  [--csv=out.csv]               all-nodes P_sensitized sweep
-//   sereep ser     <netlist> [--engine=E] [--threads=N] [--top=N]
-//                  [--csv=out.csv]               vulnerability ranking
+//   sereep sweep   <netlist> [--engine=E] [--threads=N] [--shards=N]
+//                  [--top=N] [--csv=out.csv]     all-nodes P_sensitized sweep
+//   sereep ser     <netlist> [--engine=E] [--threads=N] [--shards=N]
+//                  [--top=N] [--csv=out.csv]     vulnerability ranking
 //   sereep harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]
 //   sereep report  <netlist> [--validate] [--seq-sp] [--o=report.md]
 //   sereep gen     [--profile=s953] [--seed=N] [--o=out.bench]
 //   sereep engines                               registered EPP engines
 //
 // --engine=E takes any key registered in sereep::EngineRegistry
-// ("reference", "compiled", "batched" built in; all bit-for-bit equal).
+// ("reference", "compiled", "batched", "sharded" built in; all bit-for-bit
+// equal). --engine=sharded fans sweeps out across --shards worker PROCESSES;
+// the workers are `sereep worker --netlist=SPEC` instances of this same
+// binary — a hidden subcommand that reads its assignment from stdin and
+// streams results to stdout (src/epp/shard_protocol.hpp).
 // Netlists are read as ISCAS .bench (default) or structural Verilog when the
 // file ends in .v; embedded circuit names (c17, s27, s953, ...) work
 // anywhere a path is accepted.
+//
+// Every numeric flag parses STRICTLY and is range-checked: --threads=abc,
+// --threads=-1, --vectors=1e4 are usage errors (non-zero exit + diagnostic),
+// never a silent 0 or a 4-billion-thread wraparound.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -36,6 +46,7 @@
 #include "src/report/report.hpp"
 #include "src/ser/tmr.hpp"
 #include "src/sim/fault_injection.hpp"
+#include "src/util/exe_path.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -49,15 +60,53 @@ bool save_any(const Circuit& circuit, const std::string& path) {
   return save_bench_file(circuit, path);
 }
 
+/// Range-checked integer flag: Flags::get_int already rejects malformed
+/// values (exit 2); this adds the per-flag domain so "--threads=-1" is a
+/// diagnostic, not a wraparound through a cast to unsigned. nullopt after
+/// the error message when out of range.
+std::optional<long> checked_int(const bench::Flags& flags, const char* name,
+                                long fallback, long min, long max) {
+  const long value = flags.get_int(name, fallback);
+  if (value < min || value > max) {
+    std::fprintf(stderr, "error: --%s must be in [%ld, %ld], got %ld\n", name,
+                 min, max, value);
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Range-checked floating-point flag, same contract as checked_int.
+std::optional<double> checked_double(const bench::Flags& flags,
+                                     const char* name, double fallback,
+                                     double min, double max) {
+  const double value = flags.get_double(name, fallback);
+  if (!(value >= min && value <= max)) {
+    std::fprintf(stderr, "error: --%s must be in [%g, %g], got %g\n", name,
+                 min, max, value);
+    return std::nullopt;
+  }
+  return value;
+}
+
 /// Builds the Session Options shared by the analysis subcommands from the
-/// --engine / --threads flags; nullopt (after an error message listing the
-/// registered engines) when the key is unknown.
+/// --engine / --threads / --shards flags; nullopt (after an error message)
+/// when the key is unknown or a numeric flag is out of range.
 std::optional<Options> analysis_options(const bench::Flags& flags,
                                         long default_threads) {
   Options opt;
   opt.engine = flags.get("engine", "batched");
-  opt.threads =
-      static_cast<unsigned>(flags.get_int("threads", default_threads));
+  const std::optional<long> threads =
+      checked_int(flags, "threads", default_threads, 0, Options::kMaxThreads);
+  if (!threads) return std::nullopt;
+  opt.threads = static_cast<unsigned>(*threads);
+  const std::optional<long> shards =
+      checked_int(flags, "shards", opt.shard.shards, 1, Options::kMaxShards);
+  if (!shards) return std::nullopt;
+  // The workers ARE this binary (hidden `worker` mode). Empty when
+  // /proc/self/exe is unreadable; the sharded engine then fails with an
+  // actionable message rather than exec'ing a guess.
+  opt.shard.shards = static_cast<unsigned>(*shards);
+  opt.shard.worker_path = self_exe_path();
   if (!EngineRegistry::instance().contains(opt.engine)) {
     std::fprintf(stderr, "error: unknown --engine '%s' (registered: %s)\n",
                  opt.engine.c_str(),
@@ -116,8 +165,10 @@ int cmd_sp(const std::string& path, const bench::Flags& flags) {
   Options opt;
   if (engine == "mc") {
     opt.sp.source = SpSource::kMonteCarlo;
-    opt.sp.monte_carlo_vectors =
-        static_cast<std::size_t>(flags.get_int("vectors", 65536));
+    const std::optional<long> vectors =
+        checked_int(flags, "vectors", 65536, 1, 1'000'000'000);
+    if (!vectors) return 1;
+    opt.sp.monte_carlo_vectors = static_cast<std::size_t>(*vectors);
   } else if (engine == "seq") {
     opt.sp.source = SpSource::kSequentialFixedPoint;
   } else if (engine != "pm") {
@@ -133,7 +184,10 @@ int cmd_sp(const std::string& path, const bench::Flags& flags) {
                 diag->converged ? "converged" : "NOT converged");
   }
   const Circuit& c = session.circuit();
-  const auto top = static_cast<std::size_t>(flags.get_int("top", 0));
+  const std::optional<long> top_flag =
+      checked_int(flags, "top", 0, 0, 1'000'000'000);
+  if (!top_flag) return 1;
+  const auto top = static_cast<std::size_t>(*top_flag);
   AsciiTable t({"Net", "P(1)"});
   std::size_t shown = 0;
   for (NodeId id = 0; id < c.node_count(); ++id) {
@@ -174,7 +228,10 @@ int cmd_epp(const std::string& path, const bench::Flags& flags) {
   if (flags.has("verify")) {
     FaultInjector fi(c);
     McOptions mc;
-    mc.num_vectors = static_cast<std::size_t>(flags.get_int("vectors", 65536));
+    const std::optional<long> vectors =
+        checked_int(flags, "vectors", 65536, 1, 1'000'000'000);
+    if (!vectors) return 1;
+    mc.num_vectors = static_cast<std::size_t>(*vectors);
     std::printf("fault injection (%zu vectors): %.4f\n", mc.num_vectors,
                 fi.run_site(*site, mc).probability());
   }
@@ -207,7 +264,10 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
   const std::size_t site_count = ranked.size();
   std::sort(ranked.begin(), ranked.end(),
             [&](NodeId a, NodeId b) { return p[a] > p[b]; });
-  const auto top = static_cast<std::size_t>(flags.get_int("top", 10));
+  const std::optional<long> top_flag =
+      checked_int(flags, "top", 10, 0, 1'000'000'000);
+  if (!top_flag) return 1;
+  const auto top = static_cast<std::size_t>(*top_flag);
   AsciiTable t({"Node", "Type", "P_sensitized"});
   for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
     t.add_row({c.node(ranked[i]).name,
@@ -220,6 +280,19 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
       "SP pass %.1f ms\n",
       site_count, sweep_s * 1e3, static_cast<double>(site_count) / sweep_s,
       session.options().engine.c_str(), sp_s * 1e3);
+  if (const ShardedEppEngine::Diagnostics* d = session.shard_diagnostics()) {
+    if (d->in_process) {
+      std::printf("sharded engine served the sweep in-process (no fan-out)\n");
+    } else {
+      std::string sizes;
+      for (std::size_t n : d->shard_sites) {
+        if (!sizes.empty()) sizes += "+";
+        sizes += std::to_string(n);
+      }
+      std::printf("sharded across %u worker processes (%s sites)\n",
+                  d->workers_spawned, sizes.c_str());
+    }
+  }
   return 0;
 }
 
@@ -236,7 +309,10 @@ int cmd_ser(const std::string& path, const bench::Flags& flags) {
   const Circuit& c = session.circuit();
   const CircuitSer& ser = session.ser();
   const auto ranked = ser.ranked();
-  const auto top = static_cast<std::size_t>(flags.get_int("top", 20));
+  const std::optional<long> top_flag =
+      checked_int(flags, "top", 20, 0, 1'000'000'000);
+  if (!top_flag) return 1;
+  const auto top = static_cast<std::size_t>(*top_flag);
   AsciiTable t({"Rank", "Node", "Type", "P_sens", "SER share"});
   double cum = 0;
   for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
@@ -257,7 +333,10 @@ int cmd_harden(const std::string& path, const bench::Flags& flags) {
   std::optional<Options> opt = analysis_options(flags, 1);
   if (!opt) return 1;
   Session session = Session::open(path, std::move(*opt));
-  const double target = flags.get_double("target", 0.5);
+  const std::optional<double> target_flag =
+      checked_double(flags, "target", 0.5, 0.0, 1.0);
+  if (!target_flag) return 1;
+  const double target = *target_flag;
   // One selection pass; the text is the exact rendering the golden
   // regression pins (tests/cli/golden_ser_test.cpp).
   const HardeningPlan plan = session.harden(target);
@@ -286,8 +365,14 @@ int cmd_report(const std::string& path, const bench::Flags& flags) {
   }
   Session session(std::move(circuit), std::move(sopt));
   ReportOptions opt;
-  opt.top_nodes = static_cast<std::size_t>(flags.get_int("top", 20));
-  opt.hardening_target = flags.get_double("target", 0.5);
+  const std::optional<long> top =
+      checked_int(flags, "top", 20, 0, 1'000'000'000);
+  if (!top) return 1;
+  opt.top_nodes = static_cast<std::size_t>(*top);
+  const std::optional<double> target =
+      checked_double(flags, "target", 0.5, 0.0, 1.0);
+  if (!target) return 1;
+  opt.hardening_target = *target;
   opt.validate_with_simulation = flags.has("validate");
   opt.sequential_sp = flags.has("seq-sp");
   const std::string report = generate_report(session, opt);
@@ -314,16 +399,31 @@ int cmd_gen(const bench::Flags& flags) {
 }
 
 int cmd_engines() {
-  AsciiTable t({"Engine", "Threads", "SIMD"});
+  AsciiTable t({"Engine", "Threads", "SIMD", "Processes"});
   for (const std::string& name : EngineRegistry::instance().names()) {
     const EngineCaps caps = EngineRegistry::instance().caps(name);
-    t.add_row({name, caps.threads ? "yes" : "no", caps.simd ? "yes" : "no"});
+    t.add_row({name, caps.threads ? "yes" : "no", caps.simd ? "yes" : "no",
+               caps.processes ? "yes" : "no"});
   }
   std::printf("%s", t.render().c_str());
   std::printf(
       "All built-in engines are bit-for-bit equal; the choice is timing "
-      "only.\n");
+      "only.\nProcesses = sweeps fan out across `sereep worker` processes "
+      "(--shards=N).\n");
   return 0;
+}
+
+/// Hidden worker mode: `sereep worker --netlist=SPEC`. One shard of a
+/// sharded sweep — reads the kJob frame from stdin, streams kResults/kDone
+/// to stdout (src/epp/shard_protocol.hpp). Spawned by the sharded engine;
+/// not listed in usage() because nothing a human types at it is useful.
+int cmd_worker(const bench::Flags& flags) {
+  const std::string spec = flags.get("netlist", "");
+  if (spec.empty()) {
+    std::fprintf(stderr, "error: worker requires --netlist=SPEC\n");
+    return 2;
+  }
+  return run_shard_worker(spec, STDIN_FILENO, STDOUT_FILENO);
 }
 
 void usage() {
@@ -335,16 +435,17 @@ void usage() {
       "  convert <in> <out>\n"
       "  sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]\n"
       "  epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]\n"
-      "  sweep   <netlist> [--engine=E] [--threads=N] [--top=N]\n"
+      "  sweep   <netlist> [--engine=E] [--threads=N] [--shards=N] [--top=N]\n"
       "          [--csv=out.csv]\n"
-      "  ser     <netlist> [--engine=E] [--threads=N] [--top=N]\n"
+      "  ser     <netlist> [--engine=E] [--threads=N] [--shards=N] [--top=N]\n"
       "          [--csv=out.csv]\n"
       "  harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]\n"
       "  report  <netlist> [--validate] [--seq-sp] [--top=N] [--target=T]\n"
       "          [--o=report.md]\n"
       "  gen     [--profile=s953] [--seed=N] [--o=out.bench]\n"
       "  engines\n"
-      "--engine=E: any registered EPP engine (see `sereep engines`).\n"
+      "--engine=E: any registered EPP engine (see `sereep engines`);\n"
+      "  sharded fans sweeps out across --shards worker processes.\n"
       "netlist: a .bench/.v path or an embedded name (c17, s27, s953...)\n");
 }
 
@@ -373,6 +474,7 @@ int main(int argc, char** argv) {
     if (cmd == "report" && pos.size() == 1) return cmd_report(pos[0], flags);
     if (cmd == "gen") return cmd_gen(flags);
     if (cmd == "engines") return cmd_engines();
+    if (cmd == "worker") return cmd_worker(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
