@@ -8,7 +8,8 @@
 // The binary also writes BENCH_micro.json before the google-benchmark run —
 // machine-readable op/s for the cone-extract, propagate and full-sweep
 // kernels, reference vs compiled vs batched (cone-sharing clusters) vs
-// sharded (worker processes; schema v4), on a >= 10k-gate generated
+// sharded (worker processes, clean + one injected worker death to price
+// the supervisor's recovery; schema v5), on a >= 10k-gate generated
 // circuit — so the perf trajectory is tracked across PRs (see
 // write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
@@ -18,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -458,6 +460,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   // Bit-identity of the sharded row is judged element-wise against a
   // batched sweep of the reloaded circuit.
   double sweep_shard_s = 0.0;
+  double sweep_shard_retry_s = 0.0;
   bool shard_ran = false;
   bool shard_identical = true;
   const unsigned json_shards = 2;
@@ -489,6 +492,26 @@ void write_bench_micro_json(const std::string& path, bool fast) {
         shard_identical =
             shard_identical && shard_p[i] == want[reloaded_sites[i]];
       }
+      // sharded_retry: the same sweep with the fault harness killing
+      // spawn 0 after its first result frame (SEREEP_FAULT_PLAN is read by
+      // the worker processes, which inherit this env). The supervisor keeps
+      // the verified prefix, respawns, and re-dispatches the residual;
+      // retry - clean prices one full recovery. Backoff is disabled so the
+      // column measures supervision cost, not a configured sleep.
+      ctx.shard.retry.on_failure = OnShardFailure::kRetry;
+      ctx.shard.retry.retries = 2;
+      ctx.shard.retry.backoff_base_ms = 0;
+      const std::unique_ptr<IEppEngine> retrying =
+          EngineRegistry::instance().create("sharded", ctx);
+      ::setenv("SEREEP_FAULT_PLAN", "0:die-after-frames=1", 1);
+      std::vector<double> retry_p;
+      sweep_shard_retry_s = timed_min(
+          [&] { retry_p = retrying->sweep_p_sensitized(reloaded_sites, 1); });
+      ::unsetenv("SEREEP_FAULT_PLAN");
+      for (std::size_t i = 0; i < reloaded_sites.size(); ++i) {
+        shard_identical =
+            shard_identical && retry_p[i] == want[reloaded_sites[i]];
+      }
       shard_ran = true;
     }
     std::remove(netlist.c_str());
@@ -506,7 +529,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v4\",\n"
+               "  \"schema\": \"sereep.bench_micro.v5\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -542,8 +565,8 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   // kernel has a batched variant (bat_s > 0), plus the scalar-fallback A/B
   // when measured (bat_scalar_s > 0).
   const auto kernel = [&](const char* name, double ref_s, double cmp_s,
-                          double bat_s, double bat_scalar_s,
-                          double shard_s, const char* trailing) {
+                          double bat_s, double bat_scalar_s, double shard_s,
+                          double shard_retry_s, const char* trailing) {
     std::fprintf(f,
                  "    \"%s\": {\"reference_sites_per_s\": %.1f, "
                  "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
@@ -575,13 +598,23 @@ void write_bench_micro_json(const std::string& path, bool fast) {
                    json_shards, n_sites / shard_s, shard_s * 1e3,
                    bat_s / shard_s);
     }
+    if (shard_retry_s > 0) {
+      // One injected worker death + prefix-keeping recovery per sweep
+      // (schema v5). _ms columns regress when they RISE and are gated
+      // same-machine only, like every other absolute timing.
+      std::fprintf(f,
+                   ", \"sharded_retry_ms\": %.3f, "
+                   "\"sharded_retry_overhead_ms\": %.3f",
+                   shard_retry_s * 1e3, (shard_retry_s - shard_s) * 1e3);
+    }
     std::fprintf(f, "}%s\n", trailing);
   };
-  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, ",");
+  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, 0.0, ",");
   kernel("propagate", prop_ref_s, prop_cmp_s, prop_bat_s, prop_bat_scalar_s,
-         0.0, ",");
+         0.0, 0.0, ",");
   kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, 0.0,
-         shard_ran ? sweep_shard_s : 0.0, "");
+         shard_ran ? sweep_shard_s : 0.0,
+         shard_ran ? sweep_shard_retry_s : 0.0, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
@@ -596,9 +629,11 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   if (shard_ran) {
     std::printf(
         "  sharded (%u procs): %.0f ms end-to-end (%.2fx vs batched, "
-        "bit-identical: %s)\n",
+        "bit-identical: %s); with one injected worker death + recovery: "
+        "%.0f ms (+%.0f ms)\n",
         json_shards, sweep_shard_s * 1e3, sweep_bat_s / sweep_shard_s,
-        shard_identical ? "yes" : "NO");
+        shard_identical ? "yes" : "NO", sweep_shard_retry_s * 1e3,
+        (sweep_shard_retry_s - sweep_shard_s) * 1e3);
   }
 }
 

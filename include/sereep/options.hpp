@@ -63,6 +63,51 @@ struct SerLayerOptions {
   std::size_t max_sites = 0;
 };
 
+/// What the shard supervisor does when a worker FAILS mid-sweep (dies, hangs
+/// past the deadline, or corrupts its stream).
+enum class OnShardFailure {
+  /// Abort the whole sweep with an exception naming the shard (the default —
+  /// PR 5's contract: no silent partial sweep, ever).
+  kFail,
+  /// Re-plan the shard's unreceived residual and re-dispatch it onto a
+  /// respawned worker, up to `ShardRetryOptions::retries` times per shard
+  /// (with bounded exponential backoff); exhaustion aborts like kFail.
+  /// Results stay bit-for-bit identical — per-site values are pure functions
+  /// of (circuit, SP, EPP options), so a recomputed residual merges exactly.
+  kRetry,
+  /// Like kRetry, but budget exhaustion sweeps the residual IN-PROCESS with
+  /// the batched engine instead of aborting — the sweep always completes
+  /// (bit-identically), at in-process speed for the degraded remainder.
+  kDegrade,
+};
+
+/// Fault-tolerance layer of the sharded engine (the --shard-retries /
+/// --shard-timeout-ms / --on-shard-failure CLI flags).
+struct ShardRetryOptions {
+  /// Re-dispatch budget PER SHARD when `on_failure` != kFail. 0 means a
+  /// first failure immediately hits the exhaustion policy. Bounded by
+  /// Options::kMaxShardRetries in validate().
+  unsigned retries = 2;
+
+  /// Progress deadline in milliseconds: a worker that produces NO bytes for
+  /// this long is killed and treated as failed (a hung worker must not hang
+  /// the sweep). 0 — the default — disables the deadline. The clock resets
+  /// on every received byte, and workers send progress frames between
+  /// compute slices, so set this comfortably above the worst netlist-load /
+  /// single-slice-compute gap, not above the whole sweep.
+  unsigned timeout_ms = 0;
+
+  /// Failure policy; see OnShardFailure. kFail preserves the loud-abort
+  /// contract; kRetry/kDegrade make long sweeps survive worker loss.
+  OnShardFailure on_failure = OnShardFailure::kFail;
+
+  /// Bounded exponential backoff before respawning a failed shard's worker:
+  /// attempt k sleeps min(backoff_base_ms << (k-1), backoff_max_ms). Base 0
+  /// disables the sleep (tests and benches).
+  unsigned backoff_base_ms = 25;
+  unsigned backoff_max_ms = 2000;
+};
+
 /// Sharded-engine layer configuration (the "sharded" registry key): sweeps
 /// fan out to `shards` worker PROCESSES, each a `sereep worker` instance
 /// that loads `netlist`, computes its assigned sites with the batched
@@ -89,10 +134,15 @@ struct ShardOptions {
   /// silently serves the sweep from the in-process batched path (results
   /// are identical anyway); false — the default — fails loudly, because an
   /// explicitly requested sharded run that quietly runs single-process
-  /// would mask a broken deployment. Worker DEATH is always a hard error,
-  /// never a fallback: a dead worker means lost sites, and partial sweeps
-  /// must not masquerade as complete ones.
+  /// would mask a broken deployment. Worker DEATH is governed by
+  /// `retry.on_failure`, never by this flag: under the default kFail policy
+  /// it is a hard error — partial sweeps must not masquerade as complete
+  /// ones — and under kRetry/kDegrade the supervisor recomputes the lost
+  /// residual rather than ever serving partial data.
   bool fallback_to_in_process = false;
+
+  /// Fault tolerance: retry budget, progress deadline, failure policy.
+  ShardRetryOptions retry;
 };
 
 /// One Session's full configuration.
@@ -105,6 +155,16 @@ struct Options {
   /// Upper bound validate() enforces on `shard.shards` — one worker process
   /// per shard, so this is a fork bomb guard, not a tuning knob.
   static constexpr unsigned kMaxShards = 256;
+
+  /// Upper bound validate() enforces on `shard.retry.retries`: each retry
+  /// respawns a process and recomputes a residual, so a huge budget is a
+  /// misconfiguration (a shard failing 16 times is dead, not unlucky).
+  static constexpr unsigned kMaxShardRetries = 16;
+
+  /// Upper bound validate() enforces on `shard.retry.timeout_ms` (24 h) and
+  /// the backoff knobs (10 min) — catches unit confusion (seconds vs ms).
+  static constexpr unsigned kMaxShardTimeoutMs = 86'400'000;
+  static constexpr unsigned kMaxShardBackoffMs = 600'000;
 
   /// EPP engine, by registry key ("reference" | "compiled" | "batched", plus
   /// anything registered at runtime — see EngineRegistry). All built-in

@@ -45,6 +45,25 @@ void Options::validate() const {
         "shard.shards must be in [1, " + std::to_string(kMaxShards) +
         "], got " + std::to_string(shard.shards));
   }
+  if (shard.retry.retries > kMaxShardRetries) {
+    throw std::invalid_argument(
+        "shard.retry.retries must be <= " + std::to_string(kMaxShardRetries) +
+        ", got " + std::to_string(shard.retry.retries));
+  }
+  if (shard.retry.timeout_ms > kMaxShardTimeoutMs) {
+    throw std::invalid_argument(
+        "shard.retry.timeout_ms must be <= " +
+        std::to_string(kMaxShardTimeoutMs) + " (milliseconds, not seconds), "
+        "got " + std::to_string(shard.retry.timeout_ms));
+  }
+  if (shard.retry.backoff_base_ms > kMaxShardBackoffMs ||
+      shard.retry.backoff_max_ms > kMaxShardBackoffMs) {
+    throw std::invalid_argument(
+        "shard.retry backoff must be <= " +
+        std::to_string(kMaxShardBackoffMs) + " ms, got base " +
+        std::to_string(shard.retry.backoff_base_ms) + " / max " +
+        std::to_string(shard.retry.backoff_max_ms));
+  }
 }
 
 }  // namespace sereep

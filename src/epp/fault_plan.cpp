@@ -1,0 +1,121 @@
+#include "src/epp/fault_plan.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace sereep {
+
+namespace {
+
+struct ModeInfo {
+  std::string_view name;
+  FaultMode mode;
+  /// Whether the directive takes an =arg: 0 forbidden, 1 required,
+  /// 2 optional (defaults to 0).
+  int arg_kind;
+};
+
+constexpr ModeInfo kModes[] = {
+    {"exit", FaultMode::kExit, 0},
+    {"die-before-handshake", FaultMode::kDieBeforeHandshake, 0},
+    {"die-after-frames", FaultMode::kDieAfterFrames, 1},
+    {"die-before-done", FaultMode::kDieBeforeDone, 0},
+    {"hang", FaultMode::kHang, 2},
+    {"slow-stream", FaultMode::kSlowStream, 1},
+    {"corrupt-frame", FaultMode::kCorruptFrame, 2},
+};
+
+[[noreturn]] void bad_directive(std::string_view directive,
+                                const std::string& why) {
+  throw std::runtime_error("fault plan: bad directive '" +
+                           std::string(directive) + "': " + why);
+}
+
+}  // namespace
+
+std::optional<FaultSpec> FaultPlan::for_spawn(unsigned spawn) const {
+  for (const FaultSpec& spec : directives) {
+    if (spec.spawn == spawn) return spec;
+  }
+  return std::nullopt;
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  if (trim(text).empty()) return plan;
+  for (std::string_view raw : split(text, ';')) {
+    const std::string_view directive = trim(raw);
+    if (directive.empty()) {
+      bad_directive(text, "empty directive (stray ';')");
+    }
+    const std::size_t colon = directive.find(':');
+    if (colon == std::string_view::npos) {
+      bad_directive(directive, "expected '<spawn>:<mode>[=<arg>]'");
+    }
+    FaultSpec spec;
+    const std::optional<long> spawn =
+        parse_long_strict(trim(directive.substr(0, colon)));
+    if (!spawn.has_value() || *spawn < 0) {
+      bad_directive(directive, "spawn ordinal must be a non-negative integer");
+    }
+    spec.spawn = static_cast<unsigned>(*spawn);
+    for (const FaultSpec& prior : plan.directives) {
+      if (prior.spawn == spec.spawn) {
+        bad_directive(directive, "duplicate spawn ordinal " +
+                                     std::to_string(spec.spawn));
+      }
+    }
+    std::string_view mode_text = trim(directive.substr(colon + 1));
+    std::optional<long> arg;
+    if (const std::size_t eq = mode_text.find('='); eq != std::string_view::npos) {
+      arg = parse_long_strict(trim(mode_text.substr(eq + 1)));
+      if (!arg.has_value() || *arg < 0) {
+        bad_directive(directive, "argument must be a non-negative integer");
+      }
+      mode_text = trim(mode_text.substr(0, eq));
+    }
+    const ModeInfo* info = nullptr;
+    for (const ModeInfo& m : kModes) {
+      if (mode_text == m.name) {
+        info = &m;
+        break;
+      }
+    }
+    if (info == nullptr) {
+      std::string known;
+      for (const ModeInfo& m : kModes) {
+        if (!known.empty()) known += ", ";
+        known += m.name;
+      }
+      bad_directive(directive, "unknown mode (known: " + known + ")");
+    }
+    if (info->arg_kind == 0 && arg.has_value()) {
+      bad_directive(directive,
+                    std::string(info->name) + " takes no argument");
+    }
+    if (info->arg_kind == 1 && !arg.has_value()) {
+      bad_directive(directive,
+                    std::string(info->name) + " requires '=<n>'");
+    }
+    spec.mode = info->mode;
+    spec.arg = arg.value_or(0);
+    plan.directives.push_back(spec);
+  }
+  return plan;
+}
+
+FaultPlan fault_plan_from_env() {
+  const char* env = std::getenv("SEREEP_FAULT_PLAN");
+  return env == nullptr ? FaultPlan{} : parse_fault_plan(env);
+}
+
+std::string_view fault_mode_name(FaultMode mode) noexcept {
+  for (const ModeInfo& m : kModes) {
+    if (m.mode == mode) return m.name;
+  }
+  return "?";
+}
+
+}  // namespace sereep

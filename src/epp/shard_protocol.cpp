@@ -1,9 +1,11 @@
 #include "src/epp/shard_protocol.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <bit>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -102,11 +104,37 @@ void write_all(int fd, const std::uint8_t* data, std::size_t size) {
   }
 }
 
+/// Blocks until `fd` is readable (or hung up) or `timeout_ms` elapses with
+/// no byte available; expiry throws ShardTimeoutError. timeout_ms <= 0
+/// returns immediately (unbounded reads).
+void wait_readable(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  struct pollfd pfd = {.fd = fd, .events = POLLIN, .revents = 0};
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("shard protocol: poll: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw ShardTimeoutError(
+          "shard protocol: no bytes for " + std::to_string(timeout_ms) +
+          " ms — peer stopped making progress (deadline expired)");
+    }
+    return;  // readable or POLLHUP; either way read() will not block
+  }
+}
+
 /// Reads exactly `size` bytes. Returns false on EOF before the first byte;
-/// throws on EOF mid-buffer or a read error.
-bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+/// throws on EOF mid-buffer, a read error, or — when `timeout_ms` > 0 — a
+/// ShardTimeoutError once no byte arrives within the deadline (the clock
+/// restarts on every byte, so this bounds silence, not total transfer time).
+bool read_all(int fd, std::uint8_t* data, std::size_t size,
+              int timeout_ms = 0) {
   std::size_t got = 0;
   while (got < size) {
+    wait_readable(fd, timeout_ms);
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -124,6 +152,39 @@ bool read_all(int fd, std::uint8_t* data, std::size_t size) {
 
 }  // namespace
 
+NetlistFingerprint netlist_fingerprint(const Circuit& circuit) {
+  // FNV-1a 64 over the id-ordered node table. Names are included because the
+  // CSV renderings the sharded goldens pin print them; fanin order matters
+  // (gate semantics); fanout is derived, so it is skipped.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kOffset;
+  const auto mix_byte = [&](std::uint8_t b) {
+    h ^= b;
+    h *= kPrime;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  for (const Node& node : circuit.nodes()) {
+    mix_byte(static_cast<std::uint8_t>(node.type));
+    mix_byte(node.is_primary_output ? 1 : 0);
+    mix_u64(node.name.size());
+    for (char c : node.name) mix_byte(static_cast<std::uint8_t>(c));
+    mix_u64(node.fanin.size());
+    for (NodeId id : node.fanin) mix_u64(id);
+  }
+  return {.nodes = circuit.node_count(), .digest = h};
+}
+
+std::string to_string(const NetlistFingerprint& fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu nodes, digest 0x%016llx",
+                static_cast<unsigned long long>(fp.nodes),
+                static_cast<unsigned long long>(fp.digest));
+  return buf;
+}
+
 std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job) {
   std::vector<std::uint8_t> out;
   out.reserve(32 + job.sp.size() * 8);
@@ -133,6 +194,8 @@ std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job) {
   w.u32(job.threads);
   w.u8(job.simd_mode);
   w.u8(job.p_only ? 1 : 0);
+  w.u64(job.fingerprint.nodes);
+  w.u64(job.fingerprint.digest);
   w.u64(job.sp.size());
   for (double p : job.sp) w.f64(p);
   return out;
@@ -160,6 +223,8 @@ ShardJob decode_job(std::span<const std::uint8_t> payload) {
   job.threads = r.u32();
   job.simd_mode = r.u8();
   job.p_only = r.u8() != 0;
+  job.fingerprint.nodes = r.u64();
+  job.fingerprint.digest = r.u64();
   job.sp.resize(r.count(r.u64(), 8));
   for (double& p : job.sp) p = r.f64();
   job.sites.resize(r.count(r.u64(), 4));
@@ -226,6 +291,31 @@ std::uint64_t decode_done(std::span<const std::uint8_t> payload) {
   return total;
 }
 
+std::vector<std::uint8_t> encode_hello(const NetlistFingerprint& fp) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u64(fp.nodes);
+  w.u64(fp.digest);
+  return out;
+}
+
+NetlistFingerprint decode_hello(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  NetlistFingerprint fp;
+  fp.nodes = r.u64();
+  fp.digest = r.u64();
+  r.expect_end();
+  return fp;
+}
+
+std::vector<std::uint8_t> encode_progress(std::uint64_t count) {
+  return encode_done(count);  // same u64 shape, distinct frame type
+}
+
+std::uint64_t decode_progress(std::span<const std::uint8_t> payload) {
+  return decode_done(payload);
+}
+
 void write_shard_frame(int fd, ShardFrameType type,
                        std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> header;
@@ -239,9 +329,9 @@ void write_shard_frame(int fd, ShardFrameType type,
   write_all(fd, payload.data(), payload.size());
 }
 
-std::optional<ShardFrame> read_shard_frame(int fd) {
+std::optional<ShardFrame> read_shard_frame(int fd, int timeout_ms) {
   std::uint8_t header[16];
-  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  if (!read_all(fd, header, sizeof header, timeout_ms)) return std::nullopt;
   ByteReader r({header, sizeof header});
   if (r.u32() != kShardMagic) {
     throw std::runtime_error(
@@ -261,7 +351,7 @@ std::optional<ShardFrame> read_shard_frame(int fd) {
     throw std::runtime_error("shard protocol: implausible payload size");
   }
   frame.payload.resize(size);
-  if (size > 0 && !read_all(fd, frame.payload.data(), size)) {
+  if (size > 0 && !read_all(fd, frame.payload.data(), size, timeout_ms)) {
     throw std::runtime_error("shard protocol: unexpected EOF mid-frame");
   }
   return frame;

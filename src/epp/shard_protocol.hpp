@@ -15,21 +15,39 @@
 // stray print into stdout) a loud protocol error rather than garbage
 // results; bumping kShardProtocolVersion invalidates old workers explicitly.
 //
-// Conversation (one per worker):
-//   parent -> worker   kJob      EPP options, SP table, assigned site list
-//   worker -> parent   kResults  a batch of SiteEpp records (repeated)
-//   worker -> parent   kDone     total record count (completeness check)
-//   worker -> parent   kError    human-readable failure message
+// Conversation (one per worker; v2):
+//   parent -> worker   kJob       EPP options, the PARENT netlist's
+//                                 fingerprint, SP table, assigned site list
+//   worker -> parent   kProgress  ack: job decoded (count 0) — flows before
+//                                 the (possibly slow) netlist load
+//   worker -> parent   kHello     handshake: the fingerprint of the netlist
+//                                 the WORKER loaded, echoed back
+//   worker -> parent   kProgress  cumulative record count, before each
+//                                 compute slice (supervisor deadline food)
+//   worker -> parent   kResults   a batch of SiteEpp records (repeated)
+//   worker -> parent   kDone      total record count (completeness check)
+//   worker -> parent   kError     human-readable failure message
+//
+// The fingerprint handshake exists because a .bench reload is NOT
+// node-id-identical to in-memory generator output: a worker that loads a
+// different netlist than the parent would stream records for the WRONG
+// sites. The job carries the parent's fingerprint so the worker can reject
+// the mismatch with a diagnostic naming both sides; kHello echoes the
+// worker's own fingerprint so the parent double-checks before trusting any
+// record — and so a re-dispatched retry stays bit-identical by construction.
 //
 // The worker streams results as it computes; the parent requires the kDone
 // total to match both the streamed count and its assignment, so a worker
 // that dies mid-stream (EOF before kDone) or skips sites can never produce
-// a silent partial sweep.
+// a silent partial sweep. kProgress frames carry no result data — they let
+// the supervisor's progress deadline distinguish a long compute slice from
+// a hung worker.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,15 +57,36 @@
 namespace sereep {
 
 inline constexpr std::uint32_t kShardMagic = 0x53'52'50'46;  // "SRPF"
-inline constexpr std::uint16_t kShardProtocolVersion = 1;
+/// v2: netlist-fingerprint handshake (kHello + fingerprint in the job) and
+/// kProgress frames. v1 workers are rejected loudly by the version check.
+inline constexpr std::uint16_t kShardProtocolVersion = 2;
 
 /// Frame kinds (the `type` header field).
 enum class ShardFrameType : std::uint16_t {
-  kJob = 1,      ///< parent -> worker: the shard's whole assignment
-  kResults = 2,  ///< worker -> parent: a batch of SiteEpp records
-  kDone = 3,     ///< worker -> parent: total streamed record count (u64)
-  kError = 4,    ///< worker -> parent: failure message (UTF-8 bytes)
+  kJob = 1,       ///< parent -> worker: the shard's whole assignment
+  kResults = 2,   ///< worker -> parent: a batch of SiteEpp records
+  kDone = 3,      ///< worker -> parent: total streamed record count (u64)
+  kError = 4,     ///< worker -> parent: failure message (UTF-8 bytes)
+  kHello = 5,     ///< worker -> parent: fingerprint of the loaded netlist
+  kProgress = 6,  ///< worker -> parent: cumulative record count (u64)
 };
+
+/// Identity of a loaded netlist, cheap enough to compute on every worker
+/// spawn: node count plus a digest folded over every node's id-ordered
+/// (type, name, fanin ids, output flag) tuple. Two circuits with equal
+/// fingerprints assign the same NodeIds to the same gates — which is the
+/// property the sharded scatter-merge (and any re-dispatched retry) needs.
+struct NetlistFingerprint {
+  std::uint64_t nodes = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const NetlistFingerprint&) const = default;
+};
+
+/// Fingerprints a finalized circuit (FNV-1a over the node table).
+[[nodiscard]] NetlistFingerprint netlist_fingerprint(const Circuit& circuit);
+
+/// "12624 nodes, digest 0x1a2b3c4d5e6f7788" — for mismatch diagnostics.
+[[nodiscard]] std::string to_string(const NetlistFingerprint& fp);
 
 /// One decoded frame.
 struct ShardFrame {
@@ -68,6 +107,10 @@ struct ShardJob {
   /// True when the sweep only needs p_sensitized: workers skip per-sink
   /// record assembly and stream records with empty sink lists.
   bool p_only = false;
+  /// The PARENT circuit's fingerprint: the worker rejects its own load on a
+  /// mismatch (diagnostic naming both) instead of streaming wrong-site
+  /// records.
+  NetlistFingerprint fingerprint;
   std::vector<double> sp;       ///< per-node P(1), indexed by NodeId
   std::vector<NodeId> sites;    ///< assigned sites, plan order
 };
@@ -96,7 +139,29 @@ void append_job_sites(std::vector<std::uint8_t>& payload,
 [[nodiscard]] std::vector<std::uint8_t> encode_done(std::uint64_t total);
 [[nodiscard]] std::uint64_t decode_done(std::span<const std::uint8_t> payload);
 
+/// kHello payload: the worker's loaded-netlist fingerprint.
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(
+    const NetlistFingerprint& fp);
+[[nodiscard]] NetlistFingerprint decode_hello(
+    std::span<const std::uint8_t> payload);
+
+/// kProgress payload: cumulative streamed-record count (same u64 shape as
+/// kDone, distinct type so the supervisor never confuses liveness with
+/// completion).
+[[nodiscard]] std::vector<std::uint8_t> encode_progress(std::uint64_t count);
+[[nodiscard]] std::uint64_t decode_progress(
+    std::span<const std::uint8_t> payload);
+
 // ---- frame I/O over file descriptors ---------------------------------------
+
+/// read_shard_frame(fd, timeout_ms) threw: the fd produced NO bytes for
+/// timeout_ms — a hung (or wedged-transport) peer, distinct from every
+/// malformed-stream error so the shard supervisor can count deadline
+/// expiries separately and kill the worker instead of waiting forever.
+class ShardTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Writes one complete frame (header + payload), retrying short writes.
 /// Throws std::runtime_error on any write failure — with SIGPIPE ignored,
@@ -108,6 +173,12 @@ void write_shard_frame(int fd, ShardFrameType type,
 /// boundary; throws std::runtime_error on EOF mid-frame, a bad magic or
 /// version, or an implausible payload size — a killed worker is therefore
 /// always an exception or a missing kDone, never silent truncation.
-[[nodiscard]] std::optional<ShardFrame> read_shard_frame(int fd);
+///
+/// `timeout_ms` > 0 arms a PROGRESS deadline: every wait for bytes is capped
+/// at timeout_ms, and expiry throws ShardTimeoutError. Any arriving byte
+/// resets the clock, so a slow but live stream never trips it — only a peer
+/// that stops producing altogether. 0 waits forever (the v1 behavior).
+[[nodiscard]] std::optional<ShardFrame> read_shard_frame(int fd,
+                                                         int timeout_ms = 0);
 
 }  // namespace sereep

@@ -5,21 +5,29 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "sereep/session.hpp"  // load_netlist — the worker's input vocabulary
 #include "src/epp/batched_epp.hpp"
+#include "src/epp/fault_plan.hpp"
 #include "src/epp/shard_plan.hpp"
-#include "src/epp/shard_protocol.hpp"
 #include "src/util/simd.hpp"
-#include "src/util/strings.hpp"
 
 namespace sereep {
 
 namespace {
+
+/// Worker-side fingerprint-mismatch messages start with this marker so the
+/// supervisor can classify the kError as NON-retryable (a respawned worker
+/// would load the same wrong netlist) without a second protocol frame type.
+constexpr std::string_view kFingerprintMismatchMark =
+    "netlist fingerprint mismatch";
 
 /// Ignores SIGPIPE for the duration of a sharded sweep (restoring the prior
 /// disposition on exit), so a worker that dies while the parent is feeding
@@ -57,21 +65,21 @@ struct WorkerProc {
   return "ended with raw wait status " + std::to_string(status);
 }
 
-/// Owns the worker fleet of one sweep. Destruction closes every pipe and
-/// SIGKILLs + reaps any worker not yet reaped — an exception mid-sweep must
-/// not leak processes or zombies.
+/// Owns the worker fleet of one sweep — the initial fan-out AND every retry
+/// respawn (workers are heap-allocated so references stay stable across
+/// respawns). Destruction closes every pipe and SIGKILLs + reaps any worker
+/// not yet reaped — an exception mid-sweep must not leak processes or
+/// zombies. The spawned()/reaped() counters let the supervisor assert the
+/// wait hygiene it promises in Diagnostics::workers_reaped.
 class WorkerPool {
  public:
-  /// Must be called before the first spawn(): spawn() hands out references
-  /// into workers_, so the vector may never reallocate afterwards.
-  void reserve(std::size_t count) { workers_.reserve(count); }
-
   ~WorkerPool() {
-    for (WorkerProc& w : workers_) {
-      close_fds(w);
-      if (w.pid > 0) {
-        ::kill(w.pid, SIGKILL);
-        reap(w);
+    for (auto& w : workers_) {
+      close_fds(*w);
+      if (w->pid > 0) {
+        ::kill(w->pid, SIGKILL);
+        reap(*w);
+        ++reaped_;
       }
     }
   }
@@ -80,8 +88,10 @@ class WorkerPool {
   /// inherited (stderr deliberately so — worker diagnostics reach the
   /// parent's stderr). Parent-side pipe ends are close-on-exec, so later
   /// workers cannot hold an earlier worker's pipe open and mask its death.
-  WorkerProc& spawn(const std::string& worker_path,
-                    const std::string& netlist) {
+  /// `spawn_ordinal` becomes the worker's --spawn flag — the key the
+  /// SEREEP_FAULT_PLAN fault-injection grammar targets workers by.
+  WorkerProc& spawn(const std::string& worker_path, const std::string& netlist,
+                    unsigned spawn_ordinal) {
     int to_child[2];
     int from_child[2];
     if (::pipe2(to_child, O_CLOEXEC) != 0) {
@@ -108,17 +118,21 @@ class WorkerPool {
       ::dup2(to_child[0], STDIN_FILENO);
       ::dup2(from_child[1], STDOUT_FILENO);
       const std::string netlist_flag = "--netlist=" + netlist;
+      const std::string spawn_flag =
+          "--spawn=" + std::to_string(spawn_ordinal);
       const char* argv[] = {worker_path.c_str(), "worker",
-                            netlist_flag.c_str(), nullptr};
+                            netlist_flag.c_str(), spawn_flag.c_str(),
+                            nullptr};
       ::execv(worker_path.c_str(), const_cast<char* const*>(argv));
       // exec failed: the parent sees EOF before any frame plus status 127.
       ::_exit(127);
     }
     ::close(to_child[0]);
     ::close(from_child[1]);
-    workers_.push_back(
-        {.pid = pid, .to_child = to_child[1], .from_child = from_child[0]});
-    return workers_.back();
+    workers_.push_back(std::make_unique<WorkerProc>(WorkerProc{
+        .pid = pid, .to_child = to_child[1], .from_child = from_child[0]}));
+    ++spawned_;
+    return *workers_.back();
   }
 
   /// Closes the job pipe after the assignment is fully written; the worker
@@ -133,11 +147,24 @@ class WorkerPool {
 
   /// Waits for the worker and returns its exit description; "" for a clean
   /// zero exit. Idempotent per worker.
-  static std::string reap_describe(WorkerProc& w) {
+  std::string reap_describe(WorkerProc& w) {
     close_fds(w);
+    if (w.pid <= 0) return {};
     const int status = reap(w);
+    ++reaped_;
     return status == 0 ? std::string() : describe_exit(status);
   }
+
+  /// SIGKILL + reap for the failure path: a hung worker would never exit on
+  /// its own, and a dead one is unaffected (the kill hits a zombie, the wait
+  /// still collects it). Idempotent per worker.
+  std::string kill_reap_describe(WorkerProc& w) {
+    if (w.pid > 0) ::kill(w.pid, SIGKILL);
+    return reap_describe(w);
+  }
+
+  [[nodiscard]] unsigned spawned() const noexcept { return spawned_; }
+  [[nodiscard]] unsigned reaped() const noexcept { return reaped_; }
 
  private:
   static void close_fds(WorkerProc& w) {
@@ -154,8 +181,145 @@ class WorkerPool {
     return status;
   }
 
-  std::vector<WorkerProc> workers_;  ///< stable: callers hold references
+  std::vector<std::unique_ptr<WorkerProc>> workers_;  ///< stable addresses
+  unsigned spawned_ = 0;
+  unsigned reaped_ = 0;
 };
+
+/// One dispatched shard assignment: the worker serving it plus whether the
+/// job frame actually reached it (a worker that dies before reading its job
+/// surfaces as an EPIPE on the parent's write — a retryable failure, not a
+/// sweep abort).
+struct ShardAttempt {
+  WorkerProc* worker = nullptr;
+  bool send_ok = false;
+  std::string send_error;
+};
+
+/// What one drain attempt over a worker's result stream produced.
+struct DrainOutcome {
+  bool ok = false;           ///< stream completed and every check passed
+  std::size_t verified = 0;  ///< records validated + scattered this attempt
+  /// True when the `verified` prefix is keepable: the stream failed CLEANLY
+  /// (EOF at a frame boundary, deadline expiry, a worker kError) after
+  /// records that each matched their expected site. False when the stream
+  /// itself is suspect (corrupt frame, order/count mismatch) — the retry
+  /// must recompute this attempt's whole assignment.
+  bool trust_prefix = true;
+  bool timed_out = false;            ///< progress deadline expired
+  bool fingerprint_conflict = false; ///< non-retryable netlist divergence
+  std::string error;                 ///< failure description (when !ok)
+};
+
+/// Drains one worker's stream, validating every record against the expected
+/// plan-order site and scattering it into out[slots[k]] as it arrives — so
+/// whatever a dying worker DID deliver is already merged (and keepable when
+/// trust_prefix holds). Never throws; every failure mode is a classified
+/// DrainOutcome.
+DrainOutcome drain_attempt(int fd, int timeout_ms,
+                           std::span<const NodeId> expected,
+                           std::span<const std::uint32_t> slots,
+                           const NetlistFingerprint& parent_fp,
+                           std::vector<SiteEpp>& out) {
+  DrainOutcome r;
+  bool hello_seen = false;
+  try {
+    for (;;) {
+      std::optional<ShardFrame> frame = read_shard_frame(fd, timeout_ms);
+      if (!frame.has_value()) {
+        r.error =
+            "result stream ended before the completion frame — worker died "
+            "mid-sweep";
+        return r;
+      }
+      switch (frame->type) {
+        case ShardFrameType::kProgress:
+          // Liveness only — receiving it already reset the deadline clock.
+          break;
+        case ShardFrameType::kHello: {
+          const NetlistFingerprint fp = decode_hello(frame->payload);
+          if (!(fp == parent_fp)) {
+            r.fingerprint_conflict = true;
+            r.error = std::string(kFingerprintMismatchMark) +
+                      ": parent has " + to_string(parent_fp) +
+                      ", worker echoed " + to_string(fp);
+            return r;
+          }
+          hello_seen = true;
+          break;
+        }
+        case ShardFrameType::kResults: {
+          if (!hello_seen) {
+            r.trust_prefix = false;
+            r.error = "results arrived before the fingerprint handshake";
+            return r;
+          }
+          std::vector<SiteEpp> batch = decode_results(frame->payload);
+          for (SiteEpp& rec : batch) {
+            if (r.verified >= expected.size() ||
+                rec.site != expected[r.verified]) {
+              r.trust_prefix = false;
+              r.error = "record order mismatch at record " +
+                        std::to_string(r.verified);
+              return r;
+            }
+            out[slots[r.verified]] = std::move(rec);
+            ++r.verified;
+          }
+          break;
+        }
+        case ShardFrameType::kDone: {
+          const std::uint64_t total = decode_done(frame->payload);
+          if (total != r.verified || total != expected.size()) {
+            r.trust_prefix = false;
+            r.error = "completion count mismatch: assigned " +
+                      std::to_string(expected.size()) + ", streamed " +
+                      std::to_string(r.verified) + ", worker claims " +
+                      std::to_string(total);
+            return r;
+          }
+          r.ok = true;
+          return r;
+        }
+        case ShardFrameType::kError: {
+          const std::string message(frame->payload.begin(),
+                                    frame->payload.end());
+          if (message.starts_with(kFingerprintMismatchMark)) {
+            r.fingerprint_conflict = true;
+          }
+          r.error = "worker reported: " + message;
+          return r;
+        }
+        case ShardFrameType::kJob:
+          r.trust_prefix = false;
+          r.error = "unexpected job frame from worker";
+          return r;
+      }
+    }
+  } catch (const ShardTimeoutError& e) {
+    r.timed_out = true;
+    r.error = e.what();
+    return r;
+  } catch (const std::exception& e) {
+    // Malformed stream: bad magic/version, EOF mid-frame, a decode failure,
+    // or a length_error/bad_alloc from a corrupted size field. Nothing after
+    // the last validated frame can be trusted — recompute the assignment.
+    r.trust_prefix = false;
+    r.error = e.what();
+    return r;
+  }
+}
+
+/// Bounded exponential backoff before respawn attempt `failures` (1-based):
+/// min(base << (failures-1), max) milliseconds; base 0 disables the sleep.
+void backoff_sleep(const ShardRetryOptions& retry, unsigned failures) {
+  if (retry.backoff_base_ms == 0 || failures == 0) return;
+  const unsigned shift = std::min(failures - 1, 31u);
+  const std::uint64_t delay =
+      std::min<std::uint64_t>(std::uint64_t{retry.backoff_base_ms} << shift,
+                              retry.backoff_max_ms);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
 
 }  // namespace
 
@@ -164,6 +328,7 @@ ShardedEppEngine::ShardedEppEngine(const EngineContext& context)
       sp_(*context.sp),
       epp_(context.epp),
       shard_(context.shard),
+      fingerprint_(netlist_fingerprint(*context.circuit)),
       planner_(context.planner),
       planner_source_(context.planner_source),
       single_(*context.compiled, *context.sp, context.epp) {}
@@ -219,6 +384,11 @@ std::vector<SiteEpp> ShardedEppEngine::run(std::span<const NodeId> sites,
 std::vector<SiteEpp> ShardedEppEngine::run_in_process(
     std::span<const NodeId> sites, unsigned threads, bool p_only) {
   diagnostics_.workers_spawned = 0;
+  diagnostics_.workers_reaped = 0;
+  diagnostics_.respawns = 0;
+  diagnostics_.deadline_expiries = 0;
+  diagnostics_.degraded_shards = 0;
+  diagnostics_.redispatched_sites = 0;
   diagnostics_.shard_sites.assign(1, sites.size());
   diagnostics_.in_process = true;
   const ConeClusterPlanner* planner = resolve_planner();
@@ -246,7 +416,15 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
     return run_in_process(sites, threads, p_only);
   }
 
-  diagnostics_.workers_spawned = static_cast<unsigned>(shards.size());
+  const ShardRetryOptions& retry = shard_.retry;
+  const int timeout_ms = static_cast<int>(retry.timeout_ms);
+
+  diagnostics_.workers_spawned = 0;
+  diagnostics_.workers_reaped = 0;
+  diagnostics_.respawns = 0;
+  diagnostics_.deadline_expiries = 0;
+  diagnostics_.degraded_shards = 0;
+  diagnostics_.redispatched_sites = 0;
   diagnostics_.shard_sites.clear();
   for (const Shard& s : shards) {
     diagnostics_.shard_sites.push_back(s.members.size());
@@ -255,129 +433,185 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
 
   SigPipeGuard sigpipe;
   WorkerPool pool;
-  pool.reserve(shards.size());
-  std::vector<WorkerProc*> workers;
-  workers.reserve(shards.size());
-  const auto shard_error = [&](std::size_t index, WorkerProc& w,
-                               const std::string& what) -> std::runtime_error {
-    std::string exit_note = WorkerPool::reap_describe(w);
-    if (!exit_note.empty()) exit_note = " (worker " + exit_note + ")";
-    return std::runtime_error(
-        "sharded engine: shard " + std::to_string(index) + "/" +
-        std::to_string(shards.size()) + " (" +
-        std::to_string(shards[index].members.size()) + " sites, worker '" +
-        shard_.worker_path + "'): " + what + exit_note +
-        " — the sweep was aborted; no partial results were returned");
-  };
+  unsigned next_spawn = 0;
 
-  // Spawn the whole fleet first so the shards compute concurrently, then
-  // feed each its assignment. A worker consumes its job frame before it
-  // writes anything, so these sequential blocking writes cannot deadlock
-  // against the (still unread) result streams.
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    workers.push_back(&pool.spawn(shard_.worker_path, shard_.netlist));
-  }
   ShardJob job;
   job.epp = epp_;
   job.threads = threads;
   job.simd_mode = simd::enabled() ? 2 : 1;  // mirror the parent's switch
   job.p_only = p_only;
+  job.fingerprint = fingerprint_;
   job.sp = sp_.p1;
   // One prefix (options + the full SP table — the bulk of the bytes) for
-  // the whole sweep; only the site list is per shard.
+  // the whole sweep; only the site list varies per shard AND per retry
+  // (residuals are a subset), so every dispatch is prefix + sites.
   const std::vector<std::uint8_t> prefix = encode_job_prefix(job);
-  std::vector<NodeId> shard_sites;
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    shard_sites.clear();
-    shard_sites.reserve(shards[i].members.size());
-    for (std::uint32_t idx : shards[i].members) {
-      shard_sites.push_back(sites[idx]);
-    }
+
+  const auto dispatch =
+      [&](std::span<const NodeId> assignment) -> ShardAttempt {
+    ShardAttempt attempt;
+    attempt.worker = &pool.spawn(shard_.worker_path, shard_.netlist,
+                                 next_spawn++);
     std::vector<std::uint8_t> payload = prefix;
-    append_job_sites(payload, shard_sites);
+    append_job_sites(payload, assignment);
     try {
-      write_shard_frame(workers[i]->to_child, ShardFrameType::kJob, payload);
+      write_shard_frame(attempt.worker->to_child, ShardFrameType::kJob,
+                        payload);
+      WorkerPool::finish_job(*attempt.worker);
+      attempt.send_ok = true;
     } catch (const std::exception& e) {
-      throw shard_error(i, *workers[i], e.what());
+      attempt.send_error = std::string("job dispatch failed: ") + e.what();
     }
-    WorkerPool::finish_job(*workers[i]);
+    return attempt;
+  };
+
+  // Phase 1 — fan out: spawn the whole fleet first so the shards compute
+  // concurrently, then feed each its assignment. A worker consumes its job
+  // frame before it writes anything, so these sequential blocking writes
+  // cannot deadlock against the (still unread) result streams. A failed
+  // write is recorded, not thrown: under a retry policy it is just the
+  // first failure of that shard.
+  std::vector<std::vector<NodeId>> expected(shards.size());
+  std::vector<std::vector<std::uint32_t>> slots(shards.size());
+  std::vector<ShardAttempt> attempts(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    expected[i].reserve(shards[i].members.size());
+    slots[i].reserve(shards[i].members.size());
+    for (std::uint32_t idx : shards[i].members) {
+      expected[i].push_back(sites[idx]);
+      slots[i].push_back(idx);
+    }
+    attempts[i] = dispatch(expected[i]);
   }
 
-  // Collect + merge. Shards are drained in plan order and every record is
-  // scattered to its member index, so the merged vector is deterministic —
-  // identical to the in-process sweep's site order — no matter how the
-  // workers interleave in time.
+  // Phase 2 — supervise: drain shards in plan order (deterministic merge no
+  // matter how workers interleave in time); each shard runs its own
+  // retry/re-dispatch loop against the failure policy.
   std::vector<SiteEpp> out(sites.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
-    const Shard& shard = shards[i];
-    WorkerProc& w = *workers[i];
-    std::vector<SiteEpp> got;
-    got.reserve(shard.members.size());
-    try {
-      bool done = false;
-      while (!done) {
-        std::optional<ShardFrame> frame = read_shard_frame(w.from_child);
-        if (!frame.has_value()) {
+    std::vector<NodeId>& exp = expected[i];
+    std::vector<std::uint32_t>& slot = slots[i];
+    ShardAttempt attempt = attempts[i];
+    unsigned failures = 0;
+
+    const auto shard_error = [&](const std::string& what,
+                                 const std::string& exit_note) {
+      return std::runtime_error(
+          "sharded engine: shard " + std::to_string(i) + "/" +
+          std::to_string(shards.size()) + " (" +
+          std::to_string(shards[i].members.size()) + " sites, worker '" +
+          shard_.worker_path + "'): " + what + exit_note +
+          " — the sweep was aborted; no partial results were returned");
+    };
+
+    for (;;) {
+      DrainOutcome r;
+      if (!attempt.send_ok) {
+        // The worker died before reading its job; nothing was received.
+        r.error = attempt.send_error;
+      } else {
+        r = drain_attempt(attempt.worker->from_child, timeout_ms, exp, slot,
+                          fingerprint_, out);
+      }
+
+      if (r.ok) {
+        // The stream was complete and consistent; the worker must also EXIT
+        // cleanly — a non-zero status after a full stream still means
+        // something went wrong on that machine, and this is the last chance
+        // to hear it. (No fault mode produces this shape, so it stays a
+        // hard error under every policy.)
+        if (const std::string note = pool.reap_describe(*attempt.worker);
+            !note.empty()) {
           throw std::runtime_error(
-              "result stream ended before the completion frame — worker "
-              "died mid-sweep");
+              "sharded engine: shard " + std::to_string(i) +
+              " streamed a complete result set but its worker " + note);
         }
-        switch (frame->type) {
-          case ShardFrameType::kResults: {
-            std::vector<SiteEpp> batch = decode_results(frame->payload);
-            for (SiteEpp& rec : batch) got.push_back(std::move(rec));
-            break;
-          }
-          case ShardFrameType::kDone: {
-            const std::uint64_t total = decode_done(frame->payload);
-            if (total != got.size() || total != shard.members.size()) {
-              throw std::runtime_error(
-                  "completion count mismatch: assigned " +
-                  std::to_string(shard.members.size()) + ", streamed " +
-                  std::to_string(got.size()) + ", worker claims " +
-                  std::to_string(total));
+        break;
+      }
+
+      if (r.timed_out) ++diagnostics_.deadline_expiries;
+      std::string exit_note = pool.kill_reap_describe(*attempt.worker);
+      if (!exit_note.empty()) exit_note = " (worker " + exit_note + ")";
+
+      if (r.fingerprint_conflict) {
+        // Deterministic configuration error: every respawn would load the
+        // same divergent netlist, so retrying only burns the budget.
+        throw shard_error(r.error +
+                              " — non-retryable: fix shard.netlist to name "
+                              "the exact netlist the parent opened",
+                          exit_note);
+      }
+      if (retry.on_failure == OnShardFailure::kFail) {
+        throw shard_error(r.error, exit_note);
+      }
+      if (r.trust_prefix && r.verified > 0) {
+        // Keep what arrived: the verified prefix is already merged; only
+        // the unreceived suffix needs recomputing.
+        exp.erase(exp.begin(),
+                  exp.begin() + static_cast<std::ptrdiff_t>(r.verified));
+        slot.erase(slot.begin(),
+                   slot.begin() + static_cast<std::ptrdiff_t>(r.verified));
+      }
+      if (exp.empty()) {
+        // Every record arrived and verified; only the completion frame was
+        // lost. Nothing to recompute.
+        break;
+      }
+      ++failures;
+      if (failures > retry.retries) {
+        if (retry.on_failure == OnShardFailure::kDegrade) {
+          // Budget exhausted: finish the residual in-process with the
+          // batched engine — bit-identical by the purity argument, at
+          // in-process speed for just this remainder.
+          const ConeClusterPlanner* planner = resolve_planner();
+          if (p_only) {
+            const std::vector<double> p = p_sensitized_sites_parallel(
+                compiled_, *planner, exp, sp_, epp_, threads);
+            for (std::size_t k = 0; k < exp.size(); ++k) {
+              out[slot[k]].site = exp[k];
+              out[slot[k]].p_sensitized = p[k];
             }
-            done = true;
-            break;
+          } else {
+            std::vector<SiteEpp> records = compute_sites_parallel(
+                compiled_, *planner, exp, sp_, epp_, threads);
+            for (std::size_t k = 0; k < exp.size(); ++k) {
+              out[slot[k]] = std::move(records[k]);
+            }
           }
-          case ShardFrameType::kError:
-            throw std::runtime_error(
-                "worker reported: " +
-                std::string(frame->payload.begin(), frame->payload.end()));
-          case ShardFrameType::kJob:
-            throw std::runtime_error("unexpected job frame from worker");
+          ++diagnostics_.degraded_shards;
+          diagnostics_.redispatched_sites += exp.size();
+          break;
         }
+        throw shard_error("retry budget exhausted after " +
+                              std::to_string(failures) + " failures (" +
+                              std::to_string(retry.retries) +
+                              " retries allowed) — last failure: " + r.error,
+                          exit_note);
       }
-    } catch (const std::exception& e) {
-      // std::exception, not just runtime_error: a length_error/bad_alloc
-      // from a corrupted stream must still carry the shard diagnostic.
-      throw shard_error(i, w, e.what());
+      ++diagnostics_.respawns;
+      diagnostics_.redispatched_sites += exp.size();
+      backoff_sleep(retry, failures);
+      attempt = dispatch(exp);
     }
-    for (std::size_t k = 0; k < shard.members.size(); ++k) {
-      const std::uint32_t idx = shard.members[k];
-      if (got[k].site != sites[idx]) {
-        throw shard_error(i, w,
-                          "record order mismatch at record " +
-                              std::to_string(k));
-      }
-      out[idx] = std::move(got[k]);
-    }
-    // The stream was complete and consistent; the worker must also EXIT
-    // cleanly — a non-zero status after a full stream still means something
-    // went wrong on that machine, and this is the last chance to hear it.
-    if (const std::string exit_note = WorkerPool::reap_describe(w);
-        !exit_note.empty()) {
-      throw std::runtime_error(
-          "sharded engine: shard " + std::to_string(i) +
-          " streamed a complete result set but its worker " + exit_note);
-    }
+  }
+
+  diagnostics_.workers_spawned = pool.spawned();
+  diagnostics_.workers_reaped = pool.reaped();
+  if (pool.reaped() != pool.spawned()) {
+    // Supervisor invariant, not an input condition: every completed sweep
+    // has waited on every process it forked (no zombies, ever).
+    throw std::logic_error(
+        "sharded engine: reap accounting broken — spawned " +
+        std::to_string(pool.spawned()) + " workers but reaped " +
+        std::to_string(pool.reaped()));
   }
   return out;
 }
 
 // ---- the worker side -------------------------------------------------------
 
-int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd) {
+int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
+                     int in_fd, int out_fd) {
   const auto send_error = [out_fd](const std::string& message) {
     try {
       const std::vector<std::uint8_t> payload(message.begin(), message.end());
@@ -387,13 +621,41 @@ int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd) {
     }
   };
   try {
+    // Structured fault injection (tests + CI only): SEREEP_FAULT_PLAN
+    // directives keyed by this process's --spawn ordinal. A malformed plan
+    // is a loud error — silently ignoring it would turn a typo'd fault test
+    // into a vacuous pass.
+    const FaultPlan fault_plan = fault_plan_from_env();
+    const std::optional<FaultSpec> fault = fault_plan.for_spawn(spawn);
+    if (fault.has_value() && fault->mode == FaultMode::kExit) ::_exit(9);
+
     std::optional<ShardFrame> frame = read_shard_frame(in_fd);
     if (!frame.has_value() || frame->type != ShardFrameType::kJob) {
       throw std::runtime_error("expected a job frame on stdin");
     }
     ShardJob job = decode_job(frame->payload);
 
+    // Ack before the (possibly slow) netlist load: the supervisor's progress
+    // deadline gets a byte to reset on, so a long load never reads as a
+    // hang. The deadline only needs to cover load + one compute slice.
+    write_shard_frame(out_fd, ShardFrameType::kProgress, encode_progress(0));
+    if (fault.has_value() && fault->mode == FaultMode::kDieBeforeHandshake) {
+      ::_exit(9);
+    }
+
     const Circuit circuit = load_netlist(netlist_spec);
+    const NetlistFingerprint fp = netlist_fingerprint(circuit);
+    if (!(fp == job.fingerprint)) {
+      // The classic foot-gun: a .bench reload is NOT node-id-identical to
+      // in-memory generator output (DFF ordering differs), so records would
+      // scatter to the WRONG sites. The kFingerprintMismatchMark prefix
+      // tells the supervisor this is non-retryable.
+      throw std::runtime_error(
+          std::string(kFingerprintMismatchMark) + ": parent expects " +
+          to_string(job.fingerprint) + " but '" + netlist_spec +
+          "' loaded as " + to_string(fp) +
+          " — point shard.netlist at the exact netlist the parent opened");
+    }
     if (job.sp.size() != circuit.node_count()) {
       throw std::runtime_error(
           "SP table covers " + std::to_string(job.sp.size()) +
@@ -401,29 +663,62 @@ int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd) {
           std::to_string(circuit.node_count()) +
           " — parent and worker loaded different netlists");
     }
+    write_shard_frame(out_fd, ShardFrameType::kHello, encode_hello(fp));
+
     const CompiledCircuit compiled(circuit);
     SignalProbabilities sp;
     sp.p1 = std::move(job.sp);
     if (job.simd_mode == 1) simd::set_enabled(false);
     if (job.simd_mode == 2) simd::set_enabled(true);
 
-    // Failure-injection hook for the kill-a-worker tests: die (hard, no
-    // error frame) after streaming this many result frames.
-    long fail_after = -1;
-    if (const char* env = std::getenv("SEREEP_WORKER_FAIL_AFTER")) {
-      fail_after = parse_long_strict(env).value_or(-1);
-    }
+    // Fires the fault plan's mid-stream modes at the result-frame boundary
+    // `frames_done` (checked before each kResults write and once after the
+    // loop, so every directive also covers the all-frames-streamed edge).
+    const auto fault_gate = [&](long frames_done) {
+      if (!fault.has_value()) return;
+      switch (fault->mode) {
+        case FaultMode::kDieAfterFrames:
+          if (frames_done == fault->arg) ::_exit(9);
+          break;
+        case FaultMode::kHang:
+          if (frames_done == fault->arg) {
+            for (;;) ::pause();  // no bytes, ever — deadline food
+          }
+          break;
+        case FaultMode::kCorruptFrame:
+          if (frames_done == fault->arg) {
+            // Garbage where a frame header belongs: the parent must reject
+            // the magic, distrust the attempt, and recompute it whole.
+            const std::uint8_t junk[12] = {0xde, 0xad, 0xbe, 0xef, 0x13,
+                                           0x13, 0x13, 0x13, 0xff, 0xff,
+                                           0xff, 0xff};
+            [[maybe_unused]] const ssize_t n =
+                ::write(out_fd, junk, sizeof junk);
+            ::_exit(9);
+          }
+          break;
+        case FaultMode::kSlowStream:
+          std::this_thread::sleep_for(std::chrono::milliseconds(fault->arg));
+          break;
+        default:
+          break;
+      }
+    };
 
     const ConeClusterPlanner planner(compiled);
     // Stream in slices: results flow while later slices compute, and worker
     // memory stays O(slice) even for million-site shards.
     constexpr std::size_t kSlice = 1024;
     std::uint64_t streamed = 0;
-    long frames_written = 0;
+    long result_frames = 0;
     for (std::size_t begin = 0; begin < job.sites.size(); begin += kSlice) {
       const std::size_t count = std::min(kSlice, job.sites.size() - begin);
       const std::span<const NodeId> slice =
           std::span(job.sites).subspan(begin, count);
+      // Liveness before each compute slice: the deadline clock must not
+      // starve across a long cluster extraction.
+      write_shard_frame(out_fd, ShardFrameType::kProgress,
+                        encode_progress(streamed));
       std::vector<SiteEpp> records;
       if (job.p_only) {
         const std::vector<double> p = p_sensitized_sites_parallel(
@@ -437,16 +732,19 @@ int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd) {
         records = compute_sites_parallel(compiled, planner, slice, sp,
                                          job.epp, job.threads);
       }
-      if (fail_after >= 0 && frames_written == fail_after) _exit(9);
+      fault_gate(result_frames);
       write_shard_frame(out_fd, ShardFrameType::kResults,
                         encode_results(records));
-      ++frames_written;
+      ++result_frames;
       streamed += count;
     }
-    // The hook also covers the nastiest failure: every result frame
-    // streamed, then death BEFORE the completion frame — a plausible-looking
-    // stream the parent must still refuse.
-    if (fail_after >= 0 && frames_written == fail_after) _exit(9);
+    // The gate also covers the nastiest failures: every result frame
+    // streamed, then death (or a hang, or garbage) BEFORE the completion
+    // frame — a plausible-looking stream the parent must still refuse.
+    fault_gate(result_frames);
+    if (fault.has_value() && fault->mode == FaultMode::kDieBeforeDone) {
+      ::_exit(9);
+    }
     write_shard_frame(out_fd, ShardFrameType::kDone, encode_done(streamed));
     return 0;
   } catch (const std::exception& e) {

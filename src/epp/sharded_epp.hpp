@@ -13,12 +13,31 @@
 // independent of clustering, threading and sharding; the engine-equivalence
 // tests pin this with EXPECT_EQ.
 //
-// Failure contract: a worker that exits, is killed, or streams a short /
-// malformed / miscounted result set raises std::runtime_error naming the
-// shard — NEVER a silent partial sweep. In-process fallback exists only for
-// "sharding unavailable" configurations (no worker binary / no loadable
-// netlist spec) and only when ShardOptions::fallback_to_in_process opts in;
-// see the policy note there.
+// Failure contract (ShardRetryOptions governs it):
+//   kFail (default) — a worker that exits, hangs past the progress deadline,
+//     or streams a short / malformed / miscounted result set raises
+//     std::runtime_error naming the shard — NEVER a silent partial sweep.
+//   kRetry — the supervisor keeps every record it already verified (records
+//     are checked against the expected plan-order site as they arrive),
+//     re-plans the unreceived residual, and re-dispatches it onto a
+//     respawned worker after bounded exponential backoff, up to
+//     `retries` times per shard; exhaustion aborts like kFail. Faults that
+//     cast doubt on the stream itself (corrupt frame, order or count
+//     mismatch) discard the attempt and recompute the WHOLE shard — the
+//     retry overwrites the same output slots, so no distrusted record
+//     survives. Because per-site values are pure functions of
+//     (circuit, SP, EPP options), a recomputed residual merges
+//     bit-identically.
+//   kDegrade — like kRetry, but budget exhaustion sweeps the residual
+//     IN-PROCESS with the batched engine instead of aborting.
+// A netlist-fingerprint mismatch (worker loaded a different circuit than the
+// parent) is NON-retryable under every policy: it is a deterministic
+// configuration error that a respawn can only repeat, so it throws
+// immediately, naming both fingerprints.
+//
+// In-process fallback exists only for "sharding unavailable" configurations
+// (no worker binary / no loadable netlist spec) and only when
+// ShardOptions::fallback_to_in_process opts in; see the policy note there.
 //
 // Per-site queries (compute / p_sensitized) never fork — a process round
 // trip per site would be absurd — they run the in-process compiled engine,
@@ -32,6 +51,7 @@
 
 #include "sereep/engine.hpp"
 #include "src/epp/compiled_epp.hpp"
+#include "src/epp/shard_protocol.hpp"
 
 namespace sereep {
 
@@ -42,12 +62,25 @@ class ShardedEppEngine final : public IEppEngine {
  public:
   /// What the last sweep actually did — surfaced through
   /// Session::shard_diagnostics() so a deployment can verify its sweeps
-  /// really fan out (and tests can pin the fallback policy).
+  /// really fan out, see every recovery the supervisor performed, and pin
+  /// process hygiene (workers_reaped == workers_spawned on every completed
+  /// sweep — the supervisor asserts it and tests re-assert through here).
   struct Diagnostics {
-    std::size_t sweeps = 0;           ///< sweeps served so far
-    unsigned workers_spawned = 0;     ///< processes forked by the last sweep
+    std::size_t sweeps = 0;        ///< sweeps served so far
+    /// Processes forked by the last sweep — INCLUDING respawns, so on a
+    /// clean sweep it equals the shard count and each respawn raises it.
+    unsigned workers_spawned = 0;
+    /// Workers waited on (zombie-reaped) by the last sweep; equals
+    /// workers_spawned whenever the sweep returned (asserted internally).
+    unsigned workers_reaped = 0;
+    unsigned respawns = 0;           ///< retry re-dispatches performed
+    unsigned deadline_expiries = 0;  ///< progress-deadline kills
+    unsigned degraded_shards = 0;    ///< shards finished in-process (kDegrade)
+    /// Total sites re-dispatched (or degraded) across all retries — the
+    /// recomputed residual mass, for observability of retry cost.
+    std::size_t redispatched_sites = 0;
     std::vector<std::size_t> shard_sites;  ///< per-shard site counts
-    bool in_process = false;          ///< last sweep ran without forking
+    bool in_process = false;  ///< last sweep ran without forking
   };
 
   explicit ShardedEppEngine(const EngineContext& context);
@@ -80,8 +113,8 @@ class ShardedEppEngine final : public IEppEngine {
   [[nodiscard]] std::vector<SiteEpp> run(std::span<const NodeId> sites,
                                          unsigned threads, bool p_only);
 
-  /// Fans `sites` out across worker processes (the tentpole path). Throws
-  /// on any worker failure.
+  /// Fans `sites` out across worker processes (the tentpole path), retrying
+  /// per the failure policy. Throws on unrecovered worker failure.
   [[nodiscard]] std::vector<SiteEpp> run_sharded(std::span<const NodeId> sites,
                                                  unsigned threads,
                                                  bool p_only);
@@ -96,6 +129,9 @@ class ShardedEppEngine final : public IEppEngine {
   const SignalProbabilities& sp_;
   EppOptions epp_;
   ShardOptions shard_;
+  /// The parent circuit's identity — sent in every job so workers reject a
+  /// divergent load, and checked against every kHello echo.
+  NetlistFingerprint fingerprint_;
   const ConeClusterPlanner* planner_;  ///< may arrive lazily
   std::function<const ConeClusterPlanner*()> planner_source_;
   std::unique_ptr<ConeClusterPlanner> owned_planner_;  ///< when neither given
@@ -103,12 +139,18 @@ class ShardedEppEngine final : public IEppEngine {
   Diagnostics diagnostics_;
 };
 
-/// The worker side: reads one kJob frame from `in_fd`, loads `netlist_spec`,
-/// computes the assigned sites with the batched engine, and streams
-/// kResults/kDone frames to `out_fd` (kError + non-zero return on failure).
-/// `sereep worker --netlist=SPEC` is a thin wrapper over this. The
-/// SEREEP_WORKER_FAIL_AFTER environment variable (test-only failure
-/// injection) makes the worker die after streaming that many result frames.
-int run_shard_worker(const std::string& netlist_spec, int in_fd, int out_fd);
+/// The worker side: reads one kJob frame from `in_fd`, acks it with a
+/// kProgress frame, loads `netlist_spec`, verifies the loaded circuit's
+/// fingerprint against the job's (kError naming both sides on mismatch),
+/// echoes its fingerprint in a kHello frame, computes the assigned sites
+/// with the batched engine, and streams kProgress/kResults/kDone frames to
+/// `out_fd` (kError + non-zero return on failure). `sereep worker
+/// --netlist=SPEC --spawn=N` is a thin wrapper over this. `spawn` is the
+/// parent's spawn ordinal for this process — the SEREEP_FAULT_PLAN
+/// environment variable (src/epp/fault_plan.hpp) keys structured fault
+/// injection off it, so tests can target "the first worker" vs "the retry
+/// worker" deterministically.
+int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
+                     int in_fd, int out_fd);
 
 }  // namespace sereep

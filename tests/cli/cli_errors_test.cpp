@@ -92,6 +92,30 @@ TEST(CliErrors, ShardsValidated) {
   expect_rejected("sweep c17 --engine=sharded --shards=-2", "--shards");
 }
 
+TEST(CliErrors, ShardRetryFlagsValidated) {
+  expect_rejected("sweep c17 --engine=sharded --shard-retries=-1",
+                  "--shard-retries");
+  expect_rejected("sweep c17 --engine=sharded --shard-retries=abc",
+                  "--shard-retries");
+  expect_rejected("sweep c17 --engine=sharded --shard-retries=99",
+                  "--shard-retries");
+  expect_rejected("sweep c17 --engine=sharded --shard-timeout-ms=-5",
+                  "--shard-timeout-ms");
+  expect_rejected("ser c17 --engine=sharded --shard-timeout-ms=1e3",
+                  "--shard-timeout-ms");
+}
+
+TEST(CliErrors, UnknownShardFailurePolicyListsTheVocabulary) {
+  const CliResult r =
+      run_cli("sweep c17 --engine=sharded --on-shard-failure=explode");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--on-shard-failure"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("degrade"), std::string::npos)
+      << "policy error should list fail|retry|degrade:\n"
+      << r.output;
+}
+
 TEST(CliErrors, HardenTargetValidated) {
   expect_rejected("harden c17 --target=1.5", "--target");
   expect_rejected("harden c17 --target=-0.1", "--target");
@@ -123,6 +147,10 @@ TEST(CliErrors, ValidNumericFlagsStillAccepted) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   const CliResult h = run_cli("harden c17 --target=0.5");
   EXPECT_EQ(h.exit_code, 0) << h.output;
+  const CliResult s = run_cli(
+      "sweep s27 --engine=sharded --shards=2 --shard-retries=2 "
+      "--shard-timeout-ms=5000 --on-shard-failure=retry --top=3");
+  EXPECT_EQ(s.exit_code, 0) << s.output;
 }
 
 }  // namespace

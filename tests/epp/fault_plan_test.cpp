@@ -1,0 +1,109 @@
+// SEREEP_FAULT_PLAN grammar — the structured fault-injection harness the
+// sharded supervisor tests (and the CI fault matrix) drive workers with.
+//
+// The parser is deliberately STRICT: a malformed plan must be a loud error,
+// because a typo'd fault directive that silently parsed to "no fault" would
+// turn a fault-injection test into a vacuous pass — the one failure mode a
+// test harness cannot afford.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/epp/fault_plan.hpp"
+
+namespace sereep {
+namespace {
+
+TEST(FaultPlan, EmptyAndUnsetPlansMeanNoFaults) {
+  EXPECT_TRUE(parse_fault_plan("").directives.empty());
+  EXPECT_TRUE(parse_fault_plan("   ").directives.empty());
+  ASSERT_EQ(::unsetenv("SEREEP_FAULT_PLAN"), 0);
+  EXPECT_TRUE(fault_plan_from_env().directives.empty());
+}
+
+TEST(FaultPlan, ParsesEveryMode) {
+  const FaultPlan plan = parse_fault_plan(
+      "0:exit; 1:die-before-handshake; 2:die-after-frames=3; "
+      "4:die-before-done; 5:hang; 6:slow-stream=25; 7:corrupt-frame=1; "
+      "8:hang=2");
+  ASSERT_EQ(plan.directives.size(), 8u);
+  EXPECT_EQ(plan.directives[0].mode, FaultMode::kExit);
+  EXPECT_EQ(plan.directives[1].mode, FaultMode::kDieBeforeHandshake);
+  EXPECT_EQ(plan.directives[2].mode, FaultMode::kDieAfterFrames);
+  EXPECT_EQ(plan.directives[2].arg, 3);
+  EXPECT_EQ(plan.directives[3].mode, FaultMode::kDieBeforeDone);
+  EXPECT_EQ(plan.directives[4].mode, FaultMode::kHang);
+  EXPECT_EQ(plan.directives[4].arg, 0);  // optional arg defaults to 0
+  EXPECT_EQ(plan.directives[5].mode, FaultMode::kSlowStream);
+  EXPECT_EQ(plan.directives[5].arg, 25);
+  EXPECT_EQ(plan.directives[6].mode, FaultMode::kCorruptFrame);
+  EXPECT_EQ(plan.directives[6].arg, 1);
+  EXPECT_EQ(plan.directives[7].arg, 2);
+}
+
+TEST(FaultPlan, ForSpawnSelectsByOrdinal) {
+  const FaultPlan plan = parse_fault_plan("2:exit;5:hang");
+  EXPECT_FALSE(plan.for_spawn(0).has_value());
+  ASSERT_TRUE(plan.for_spawn(2).has_value());
+  EXPECT_EQ(plan.for_spawn(2)->mode, FaultMode::kExit);
+  ASSERT_TRUE(plan.for_spawn(5).has_value());
+  EXPECT_EQ(plan.for_spawn(5)->mode, FaultMode::kHang);
+  EXPECT_FALSE(plan.for_spawn(6).has_value());
+}
+
+TEST(FaultPlan, MalformedPlansAreLoudErrors) {
+  for (const char* bad : {
+           "exit",                  // missing spawn ordinal
+           "0:",                    // missing mode
+           "0:explode",             // unknown mode
+           "-1:exit",               // negative spawn
+           "x:exit",                // non-numeric spawn
+           "0:exit=1",              // exit takes no argument
+           "0:die-after-frames",    // die-after-frames requires one
+           "0:slow-stream=abc",     // non-numeric argument
+           "0:slow-stream=-5",      // negative argument
+           "0:exit;0:hang",         // duplicate spawn ordinal
+           "0:exit;;1:hang",        // stray ';'
+       }) {
+    EXPECT_THROW((void)parse_fault_plan(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(FaultPlan, UnknownModeErrorListsTheVocabulary) {
+  try {
+    (void)parse_fault_plan("0:explode");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("explode"), std::string::npos) << what;
+    EXPECT_NE(what.find("die-after-frames"), std::string::npos) << what;
+    EXPECT_NE(what.find("corrupt-frame"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, ModeNamesRoundTrip) {
+  for (FaultMode mode :
+       {FaultMode::kExit, FaultMode::kDieBeforeHandshake,
+        FaultMode::kDieAfterFrames, FaultMode::kDieBeforeDone,
+        FaultMode::kHang, FaultMode::kSlowStream, FaultMode::kCorruptFrame}) {
+    const std::string directive =
+        "3:" + std::string(fault_mode_name(mode)) +
+        (mode == FaultMode::kDieAfterFrames || mode == FaultMode::kSlowStream
+             ? "=1"
+             : "");
+    const FaultPlan plan = parse_fault_plan(directive);
+    ASSERT_EQ(plan.directives.size(), 1u) << directive;
+    EXPECT_EQ(plan.directives[0].mode, mode) << directive;
+  }
+}
+
+TEST(FaultPlan, EnvParsingIsStrictToo) {
+  ASSERT_EQ(::setenv("SEREEP_FAULT_PLAN", "0:nonsense", 1), 0);
+  EXPECT_THROW((void)fault_plan_from_env(), std::runtime_error);
+  ASSERT_EQ(::setenv("SEREEP_FAULT_PLAN", "1:hang", 1), 0);
+  EXPECT_EQ(fault_plan_from_env().directives.size(), 1u);
+  ASSERT_EQ(::unsetenv("SEREEP_FAULT_PLAN"), 0);
+}
+
+}  // namespace
+}  // namespace sereep

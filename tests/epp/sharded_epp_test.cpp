@@ -1,14 +1,20 @@
-// Sharded multi-process sweep engine — planner, protocol and end-to-end
-// equivalence + failure-contract tests.
+// Sharded multi-process sweep engine — planner, protocol, supervisor and
+// end-to-end equivalence + failure-contract tests.
 //
 // The "sharded" tier joins the oracle hierarchy with the same contract as
 // every other engine: bit-for-bit equality (EXPECT_EQ, no tolerance) with
 // the batched engine it delegates to — sharding only partitions work across
 // `sereep worker` processes (SEREEP_CLI_PATH, the real CLI binary built by
-// this tree). The failure half of the contract matters just as much: a
-// worker that dies, truncates its stream, or miscounts its results must
-// abort the sweep with a diagnostic naming the shard — silent partial
-// sweeps are the one outcome these tests exist to forbid.
+// this tree). The failure half of the contract matters just as much: under
+// the default fail policy a worker that dies, truncates its stream, or
+// miscounts its results must abort the sweep with a diagnostic naming the
+// shard — silent partial sweeps are the one outcome these tests exist to
+// forbid. Under the retry/degrade policies the supervisor must RECOVER from
+// every fault the SEREEP_FAULT_PLAN harness (src/epp/fault_plan.hpp) can
+// inject — death at any protocol phase, hangs past the progress deadline,
+// corrupt frames — and the recovered sweep must still be bit-identical,
+// with every recovery visible in Diagnostics and every spawned worker
+// reaped (workers_reaped == workers_spawned, the wait-hygiene assertion).
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -99,6 +105,7 @@ TEST(ShardProtocol, JobRoundTripsExactly) {
   job.threads = 7;
   job.simd_mode = 2;
   job.p_only = true;
+  job.fingerprint = {.nodes = 12345, .digest = 0x1122334455667788};
   job.sp = {0.0, 1.0, 0.5, 0.123456789012345678, 1e-300};
   job.sites = {3, 1, 4, 1'000'000};
   const ShardJob back = decode_job(encode_job(job));
@@ -107,8 +114,41 @@ TEST(ShardProtocol, JobRoundTripsExactly) {
   EXPECT_EQ(back.threads, job.threads);
   EXPECT_EQ(back.simd_mode, job.simd_mode);
   EXPECT_EQ(back.p_only, job.p_only);
+  EXPECT_EQ(back.fingerprint, job.fingerprint);
   EXPECT_EQ(back.sp, job.sp);
   EXPECT_EQ(back.sites, job.sites);
+}
+
+TEST(ShardProtocol, HelloAndProgressRoundTrip) {
+  const NetlistFingerprint fp{.nodes = 123, .digest = 0xdeadbeefcafebabe};
+  EXPECT_EQ(decode_hello(encode_hello(fp)), fp);
+  EXPECT_EQ(decode_progress(encode_progress(77)), 77u);
+  // A progress payload is half a hello payload — size confusion must throw,
+  // not read garbage.
+  EXPECT_THROW((void)decode_hello(encode_progress(1)), std::runtime_error);
+}
+
+TEST(ShardProtocol, FingerprintsIdentifyCircuits) {
+  // Same circuit -> same fingerprint (what a matching worker echoes);
+  // different circuits -> different fingerprints (what the handshake
+  // rejects). to_string is the diagnostic surface, so it must carry the
+  // node count.
+  EXPECT_EQ(netlist_fingerprint(make_c17()), netlist_fingerprint(make_c17()));
+  EXPECT_FALSE(netlist_fingerprint(make_c17()) ==
+               netlist_fingerprint(make_s27()));
+  const std::string text = to_string(netlist_fingerprint(make_c17()));
+  EXPECT_NE(text.find("nodes"), std::string::npos) << text;
+  EXPECT_NE(text.find("0x"), std::string::npos) << text;
+}
+
+TEST(ShardProtocol, ProgressDeadlineThrowsDistinctType) {
+  // An empty pipe with an armed deadline must throw ShardTimeoutError — the
+  // supervisor tells hangs apart from malformed streams by this type.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_THROW((void)read_shard_frame(fds[0], 50), ShardTimeoutError);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(ShardProtocol, ResultsRoundTripBitForBit) {
@@ -152,7 +192,8 @@ TEST(ShardProtocol, ImplausibleElementCountsRejectedBeforeAllocation) {
   ShardJob job;
   job.sp = {0.5};
   std::vector<std::uint8_t> bytes = encode_job(job);
-  bytes[15] = 0xff;  // sp count lives after the 15-byte option block
+  bytes[31] = 0xff;  // sp count follows the 15-byte option block + 16-byte
+                     // netlist fingerprint
   EXPECT_THROW((void)decode_job(bytes), std::runtime_error);
 }
 
@@ -347,16 +388,36 @@ TEST(ShardedEngine, MissingWorkerBinaryErrorsLoudly) {
   EXPECT_THROW((void)session.sweep(), std::runtime_error);
 }
 
+/// Sets SEREEP_FAULT_PLAN for one test scope; workers inherit it through
+/// the environment. Always unsets on exit so faults never leak across
+/// tests.
+class FaultPlanEnv {
+ public:
+  explicit FaultPlanEnv(const char* plan) {
+    EXPECT_EQ(::setenv("SEREEP_FAULT_PLAN", plan, 1), 0);
+  }
+  ~FaultPlanEnv() { ::unsetenv("SEREEP_FAULT_PLAN"); }
+  FaultPlanEnv(const FaultPlanEnv&) = delete;
+  FaultPlanEnv& operator=(const FaultPlanEnv&) = delete;
+};
+
 TEST(ShardedEngine, WorkerKilledMidStreamErrorsLoudly) {
-  // SEREEP_WORKER_FAIL_AFTER makes the real worker _exit(9) after N result
-  // frames — the stream ends without a completion frame and the parent must
-  // refuse the partial data. N=1 dies after genuinely streaming results
-  // (the nastiest case: plausible-looking but incomplete).
-  for (const char* after : {"0", "1"}) {
-    ASSERT_EQ(::setenv("SEREEP_WORKER_FAIL_AFTER", after, 1), 0);
+  // Under the DEFAULT policy (fail), a fault-plan death at any stream
+  // position aborts the sweep: exit dies before reading the job,
+  // die-after-frames=0 after the handshake but before any results, and
+  // die-after-frames=1 after genuinely streaming a result frame (the
+  // nastiest case: plausible-looking but incomplete).
+  for (const char* plan :
+       {"0:exit", "0:die-after-frames=0", "0:die-after-frames=1"}) {
+    FaultPlanEnv env(plan);
     Session session = Session::open("s953", sharded_options(2));
-    EXPECT_THROW((void)session.sweep(), std::runtime_error) << after;
-    ASSERT_EQ(::unsetenv("SEREEP_WORKER_FAIL_AFTER"), 0);
+    try {
+      (void)session.sweep();
+      FAIL() << "plan " << plan << " must abort the sweep";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("shard"), std::string::npos) << plan << ": " << what;
+    }
   }
 }
 
@@ -385,6 +446,275 @@ TEST(ShardedEngine, SingleShardIsAConfiguredInProcessRun) {
   Session single(make_s27(), opt);
   Session batched(make_s27());
   expect_sweeps_equal(batched, single);
+}
+
+// ---- the shard supervisor: retry / deadline / degrade ----------------------
+
+Options retry_options(unsigned shards, unsigned retries,
+                      OnShardFailure policy = OnShardFailure::kRetry,
+                      unsigned timeout_ms = 0) {
+  Options opt = sharded_options(shards);
+  opt.shard.retry.retries = retries;
+  opt.shard.retry.on_failure = policy;
+  opt.shard.retry.timeout_ms = timeout_ms;
+  // Keep tests fast; the respawn path is identical, only the sleep shrinks.
+  opt.shard.retry.backoff_base_ms = 1;
+  return opt;
+}
+
+void expect_reap_hygiene(const ShardedEppEngine::Diagnostics* diag) {
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->workers_reaped, diag->workers_spawned)
+      << "a completed sweep must have waited on every process it forked";
+}
+
+TEST(ShardedRetry, CleanSweepSpawnsExactlyOneWorkerPerShard) {
+  Session sharded = Session::open("s953", retry_options(2, 2));
+  Session batched = Session::open("s953");
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->respawns, 0u);
+  EXPECT_EQ(diag->deadline_expiries, 0u);
+  EXPECT_EQ(diag->degraded_shards, 0u);
+  EXPECT_EQ(diag->redispatched_sites, 0u);
+  EXPECT_EQ(diag->workers_spawned, diag->shard_sites.size());
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, RecoversFromDeathAtEveryProtocolPhase) {
+  // Spawn 0 (shard 0's first worker) dies at each protocol phase in turn:
+  // before reading the job, after the job ack, after the handshake, and on
+  // the second shard instead (1:exit). Every schedule must recover via
+  // re-dispatch and stay bit-identical.
+  Session batched = Session::open("s953");
+  const std::vector<SiteEpp> want = batched.sweep();
+  for (const char* plan : {"0:exit", "0:die-before-handshake",
+                           "0:die-after-frames=0", "1:exit"}) {
+    FaultPlanEnv env(plan);
+    Session sharded = Session::open("s953", retry_options(2, 2));
+    const std::vector<SiteEpp> got = sharded.sweep();
+    ASSERT_EQ(got.size(), want.size()) << plan;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      testutil::expect_site_epp_equal(batched.circuit(), want[i], got[i]);
+    }
+    const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+    ASSERT_NE(diag, nullptr);
+    EXPECT_GE(diag->respawns, 1u) << plan;
+    EXPECT_GT(diag->redispatched_sites, 0u) << plan;
+    expect_reap_hygiene(diag);
+  }
+}
+
+TEST(ShardedRetry, LostCompletionFrameRecoversWithoutRecompute) {
+  // die-before-done delivers EVERY record, each verified against its
+  // expected site, then kills the worker before kDone. The supervisor keeps
+  // the complete verified set — nothing to recompute, no respawn burned.
+  FaultPlanEnv env("0:die-before-done");
+  Session batched = Session::open("s953");
+  Session sharded = Session::open("s953", retry_options(2, 2));
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->respawns, 0u);
+  EXPECT_EQ(diag->redispatched_sites, 0u);
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, KeepsVerifiedPrefixAndRedispatchesOnlyResidual) {
+  // A shard big enough for multiple result frames (slice = 1024 sites),
+  // dying after the first frame: the supervisor must keep the verified
+  // prefix and re-dispatch strictly fewer sites than the whole shard.
+  GeneratorProfile profile;
+  profile.name = "shardretry";
+  profile.num_inputs = 16;
+  profile.num_outputs = 12;
+  profile.num_dffs = 40;
+  profile.num_gates = 2600;
+  profile.target_depth = 14;
+  profile.reuse_bias = 0.5;
+  const Circuit circuit = generate_circuit(profile, 4242);
+  const std::string path =
+      ::testing::TempDir() + "/sereep_shard_retry.bench";
+  ASSERT_TRUE(save_bench_file(circuit, path));
+
+  FaultPlanEnv env("0:die-after-frames=1");
+  Session batched = Session::open(path);
+  Session sharded = Session::open(path, retry_options(2, 2));
+  const std::vector<SiteEpp> want = batched.sweep();
+  const std::vector<SiteEpp> got = sharded.sweep();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    testutil::expect_site_epp_equal(batched.circuit(), want[i], got[i]);
+  }
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  ASSERT_GE(diag->shard_sites.size(), 1u);
+  EXPECT_EQ(diag->respawns, 1u);
+  EXPECT_GT(diag->redispatched_sites, 0u);
+  EXPECT_LT(diag->redispatched_sites, diag->shard_sites[0])
+      << "the verified prefix must not be recomputed";
+  expect_reap_hygiene(diag);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedRetry, CorruptFrameMidRetryDistrustsAndRecomputes) {
+  // Spawn 0 garbles its stream (the whole attempt is distrusted and
+  // recomputed), then the FIRST retry worker (spawn 2 — ordinals continue
+  // past the initial fleet) dies too; the second retry completes. Exercises
+  // a fault INSIDE the retry path, not just on the first dispatch.
+  FaultPlanEnv env("0:corrupt-frame;2:die-after-frames=0");
+  Session batched = Session::open("s953");
+  Session sharded = Session::open("s953", retry_options(2, 2));
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_GE(diag->respawns, 2u);
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, HangingWorkerTripsDeadlineAndRecovers) {
+  // hang = the worker stops producing bytes entirely; only the progress
+  // deadline can unstick the sweep. The respawned worker completes and the
+  // expiry is counted.
+  FaultPlanEnv env("0:hang");
+  Session batched = Session::open("s953");
+  Session sharded = Session::open(
+      "s953", retry_options(2, 2, OnShardFailure::kRetry, /*timeout_ms=*/400));
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_GE(diag->deadline_expiries, 1u);
+  EXPECT_GE(diag->respawns, 1u);
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, HangingWorkerUnderFailPolicyAbortsAtTheDeadline) {
+  // The deadline is orthogonal to retries: under the default fail policy it
+  // turns an infinite hang into a loud, prompt abort.
+  FaultPlanEnv env("0:hang");
+  Options opt = sharded_options(2);
+  opt.shard.retry.timeout_ms = 300;
+  Session session = Session::open("s953", std::move(opt));
+  try {
+    (void)session.sweep();
+    FAIL() << "a hung worker must abort under the fail policy";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadline"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedRetry, SlowButLiveStreamNeverTripsTheDeadline) {
+  // The deadline is an INTER-BYTE clock: a stream that keeps producing,
+  // however slowly relative to the sweep, must pass untouched.
+  FaultPlanEnv env("0:slow-stream=50");
+  Session batched = Session::open("s27");
+  Session sharded = Session::open(
+      "s27", retry_options(2, 0, OnShardFailure::kFail, /*timeout_ms=*/2000));
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->deadline_expiries, 0u);
+  EXPECT_EQ(diag->respawns, 0u);
+}
+
+TEST(ShardedRetry, BudgetExhaustionFailsLoudly) {
+  // Shard 0's initial worker (spawn 0) and both retry workers (spawns 2, 3)
+  // die: the budget of 2 retries is exhausted and the sweep must abort with
+  // a diagnostic naming the shard and the budget.
+  FaultPlanEnv env("0:exit;2:exit;3:exit");
+  Session session = Session::open("s953", retry_options(2, 2));
+  try {
+    (void)session.sweep();
+    FAIL() << "an exhausted retry budget must abort the sweep";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("retry budget exhausted"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedRetry, BudgetExhaustionUnderDegradeFinishesInProcess) {
+  // Same triple-death schedule, degrade policy: the sweep completes
+  // bit-identically, with the dead shard's residual computed in-process.
+  FaultPlanEnv env("0:exit;2:exit;3:exit");
+  Session batched = Session::open("s953");
+  Session sharded = Session::open(
+      "s953", retry_options(2, 2, OnShardFailure::kDegrade));
+  expect_sweeps_equal(batched, sharded);
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->degraded_shards, 1u);
+  EXPECT_EQ(diag->respawns, 2u);
+  EXPECT_GT(diag->redispatched_sites, 0u);
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, FingerprintMismatchIsNonRetryable) {
+  // The parent analyses an in-memory s27 but points workers at c17: every
+  // respawn would load the same wrong netlist, so the supervisor must throw
+  // IMMEDIATELY — naming both fingerprints — without burning the budget.
+  Options opt = retry_options(2, 5);
+  opt.shard.netlist = "c17";
+  Session session(make_s27(), std::move(opt));
+  try {
+    (void)session.sweep();
+    FAIL() << "a fingerprint mismatch must abort the sweep";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("netlist fingerprint mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("non-retryable"), std::string::npos) << what;
+    // Both sides' fingerprints appear (two digest hex literals).
+    EXPECT_NE(what.find("0x"), std::string::npos) << what;
+    EXPECT_NE(what.rfind("0x"), what.find("0x")) << what;
+  }
+  const ShardedEppEngine::Diagnostics* diag = session.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->respawns, 0u) << "mismatch must not be retried";
+}
+
+TEST(ShardedRetry, RecoveredSweepReproducesGoldenCsvBytes) {
+  // The acceptance bar: a worker killed mid-stream plus --shard-retries=2
+  // still reproduces the committed golden bytes exactly, and the recovery
+  // is visible in the diagnostics.
+  FaultPlanEnv env("0:die-after-frames=0");
+  Session s27 = Session::open("s27", retry_options(2, 2));
+  EXPECT_EQ(s27.sweep_csv(), read_golden("sweep_s27.golden.csv"));
+  const ShardedEppEngine::Diagnostics* diag = s27.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_GE(diag->respawns, 1u);
+  expect_reap_hygiene(diag);
+}
+
+TEST(ShardedRetry, FaultScheduleFuzzStaysBitIdentical) {
+  // A spread of fault schedules — single faults, faults on both shards,
+  // faults inside the retry path, mixed modes — must all recover to
+  // bit-identical results with clean process accounting. Plans are fixed
+  // (not random at runtime) so a failure names its schedule.
+  Session batched = Session::open("s953");
+  const std::vector<SiteEpp> want = batched.sweep();
+  for (const char* plan : {
+           "0:exit;1:die-after-frames=0",
+           "0:die-before-handshake;2:corrupt-frame",
+           "0:corrupt-frame;1:die-before-done",
+           "1:hang",
+           "0:slow-stream=20;1:exit",
+           "0:die-after-frames=0;2:die-after-frames=0;3:exit",
+       }) {
+    FaultPlanEnv env(plan);
+    Session sharded = Session::open(
+        "s953",
+        retry_options(2, 3, OnShardFailure::kRetry, /*timeout_ms=*/1500));
+    const std::vector<SiteEpp> got = sharded.sweep();
+    ASSERT_EQ(got.size(), want.size()) << plan;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      testutil::expect_site_epp_equal(batched.circuit(), want[i], got[i]);
+    }
+    expect_reap_hygiene(sharded.shard_diagnostics());
+  }
 }
 
 }  // namespace

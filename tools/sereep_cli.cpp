@@ -6,8 +6,12 @@
 //   sereep epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]
 //                                                per-node EPP detail
 //   sereep sweep   <netlist> [--engine=E] [--threads=N] [--shards=N]
+//                  [--shard-retries=N] [--shard-timeout-ms=N]
+//                  [--on-shard-failure=fail|retry|degrade]
 //                  [--top=N] [--csv=out.csv]     all-nodes P_sensitized sweep
 //   sereep ser     <netlist> [--engine=E] [--threads=N] [--shards=N]
+//                  [--shard-retries=N] [--shard-timeout-ms=N]
+//                  [--on-shard-failure=fail|retry|degrade]
 //                  [--top=N] [--csv=out.csv]     vulnerability ranking
 //   sereep harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]
 //   sereep report  <netlist> [--validate] [--seq-sp] [--o=report.md]
@@ -107,6 +111,37 @@ std::optional<Options> analysis_options(const bench::Flags& flags,
   // actionable message rather than exec'ing a guess.
   opt.shard.shards = static_cast<unsigned>(*shards);
   opt.shard.worker_path = self_exe_path();
+  const std::optional<long> shard_retries =
+      checked_int(flags, "shard-retries", opt.shard.retry.retries, 0,
+                  Options::kMaxShardRetries);
+  if (!shard_retries) return std::nullopt;
+  opt.shard.retry.retries = static_cast<unsigned>(*shard_retries);
+  const std::optional<long> shard_timeout =
+      checked_int(flags, "shard-timeout-ms", opt.shard.retry.timeout_ms, 0,
+                  Options::kMaxShardTimeoutMs);
+  if (!shard_timeout) return std::nullopt;
+  opt.shard.retry.timeout_ms = static_cast<unsigned>(*shard_timeout);
+  if (flags.has("on-shard-failure")) {
+    const std::string policy = flags.get("on-shard-failure", "fail");
+    if (policy == "fail") {
+      opt.shard.retry.on_failure = OnShardFailure::kFail;
+    } else if (policy == "retry") {
+      opt.shard.retry.on_failure = OnShardFailure::kRetry;
+    } else if (policy == "degrade") {
+      opt.shard.retry.on_failure = OnShardFailure::kDegrade;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown --on-shard-failure '%s' "
+                   "(fail|retry|degrade)\n",
+                   policy.c_str());
+      return std::nullopt;
+    }
+  } else if (flags.has("shard-retries")) {
+    // An explicit retry budget without an explicit policy means the user
+    // wants the retries USED; the library default (fail) would make the
+    // flag a no-op. An explicit --on-shard-failure always wins above.
+    opt.shard.retry.on_failure = OnShardFailure::kRetry;
+  }
   if (!EngineRegistry::instance().contains(opt.engine)) {
     std::fprintf(stderr, "error: unknown --engine '%s' (registered: %s)\n",
                  opt.engine.c_str(),
@@ -291,6 +326,15 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
       }
       std::printf("sharded across %u worker processes (%s sites)\n",
                   d->workers_spawned, sizes.c_str());
+      if (d->respawns > 0 || d->degraded_shards > 0) {
+        // Recovery happened: the sweep is complete and bit-identical, but a
+        // deployment should know its workers are dying.
+        std::printf(
+            "shard recovery: %u re-dispatches (%zu sites recomputed), "
+            "%u deadline expiries, %u shards degraded in-process\n",
+            d->respawns, d->redispatched_sites, d->deadline_expiries,
+            d->degraded_shards);
+      }
     }
   }
   return 0;
@@ -413,17 +457,24 @@ int cmd_engines() {
   return 0;
 }
 
-/// Hidden worker mode: `sereep worker --netlist=SPEC`. One shard of a
-/// sharded sweep — reads the kJob frame from stdin, streams kResults/kDone
-/// to stdout (src/epp/shard_protocol.hpp). Spawned by the sharded engine;
-/// not listed in usage() because nothing a human types at it is useful.
+/// Hidden worker mode: `sereep worker --netlist=SPEC --spawn=N`. One shard
+/// of a sharded sweep — reads the kJob frame from stdin, streams
+/// kHello/kProgress/kResults/kDone to stdout (src/epp/shard_protocol.hpp).
+/// --spawn is the parent's spawn ordinal, the key SEREEP_FAULT_PLAN fault
+/// directives (src/epp/fault_plan.hpp) target workers by. Spawned by the
+/// sharded engine; not listed in usage() because nothing a human types at
+/// it is useful.
 int cmd_worker(const bench::Flags& flags) {
   const std::string spec = flags.get("netlist", "");
   if (spec.empty()) {
     std::fprintf(stderr, "error: worker requires --netlist=SPEC\n");
     return 2;
   }
-  return run_shard_worker(spec, STDIN_FILENO, STDOUT_FILENO);
+  const std::optional<long> spawn =
+      checked_int(flags, "spawn", 0, 0, 1'000'000'000);
+  if (!spawn) return 2;
+  return run_shard_worker(spec, static_cast<unsigned>(*spawn), STDIN_FILENO,
+                          STDOUT_FILENO);
 }
 
 void usage() {
@@ -436,9 +487,11 @@ void usage() {
       "  sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]\n"
       "  epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]\n"
       "  sweep   <netlist> [--engine=E] [--threads=N] [--shards=N] [--top=N]\n"
-      "          [--csv=out.csv]\n"
+      "          [--shard-retries=N] [--shard-timeout-ms=N]\n"
+      "          [--on-shard-failure=fail|retry|degrade] [--csv=out.csv]\n"
       "  ser     <netlist> [--engine=E] [--threads=N] [--shards=N] [--top=N]\n"
-      "          [--csv=out.csv]\n"
+      "          [--shard-retries=N] [--shard-timeout-ms=N]\n"
+      "          [--on-shard-failure=fail|retry|degrade] [--csv=out.csv]\n"
       "  harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]\n"
       "  report  <netlist> [--validate] [--seq-sp] [--top=N] [--target=T]\n"
       "          [--o=report.md]\n"
@@ -446,6 +499,10 @@ void usage() {
       "  engines\n"
       "--engine=E: any registered EPP engine (see `sereep engines`);\n"
       "  sharded fans sweeps out across --shards worker processes.\n"
+      "  --shard-retries=N re-dispatches a failed shard's residual up to N\n"
+      "  times (implies --on-shard-failure=retry unless a policy is given);\n"
+      "  --shard-timeout-ms kills workers that stop making progress;\n"
+      "  --on-shard-failure=degrade finishes exhausted shards in-process.\n"
       "netlist: a .bench/.v path or an embedded name (c17, s27, s953...)\n");
 }
 
