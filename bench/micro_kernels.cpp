@@ -8,8 +8,9 @@
 // The binary also writes BENCH_micro.json before the google-benchmark run —
 // machine-readable op/s for the cone-extract, propagate and full-sweep
 // kernels, reference vs compiled vs batched (cone-sharing clusters) vs
-// sharded (worker processes, clean + one injected worker death to price
-// the supervisor's recovery; schema v5), on a >= 10k-gate generated
+// sharded (worker processes — pipe and loopback-TCP transports, clean +
+// one injected worker death to price the supervisor's recovery; schema
+// v6), on a >= 10k-gate generated
 // circuit — so the perf trajectory is tracked across PRs (see
 // write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
@@ -38,7 +39,9 @@
 #include "src/sim/simulator.hpp"
 #include "src/sigprob/signal_prob.hpp"
 #include "src/util/exe_path.hpp"
+#include "src/util/net.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/subprocess.hpp"
 #include "src/util/simd.hpp"
 #include "src/util/timer.hpp"
 
@@ -461,6 +464,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   // batched sweep of the reloaded circuit.
   double sweep_shard_s = 0.0;
   double sweep_shard_retry_s = 0.0;
+  double sweep_shard_tcp_s = 0.0;
   bool shard_ran = false;
   bool shard_identical = true;
   const unsigned json_shards = 2;
@@ -512,6 +516,40 @@ void write_bench_micro_json(const std::string& path, bool fast) {
         shard_identical =
             shard_identical && retry_p[i] == want[reloaded_sites[i]];
       }
+      // sharded_tcp: the same sweep over the TCP transport — two
+      // pre-started `sereep worker --listen` processes on 127.0.0.1, one
+      // fresh connection per dispatch. vs the pipe row this swaps
+      // fork+exec+netlist-load per dispatch for connect+COW-fork against
+      // an already-loaded worker, so tcp_vs_pipe (>1 = tcp faster) prices
+      // exactly that trade. Loopback only — a real network adds wire time
+      // the pipe tier never pays.
+      try {
+        ChildProcess w1 = ChildProcess::spawn(
+            {worker, "worker", "--netlist=" + netlist, "--listen=0"});
+        ChildProcess w2 = ChildProcess::spawn(
+            {worker, "worker", "--netlist=" + netlist, "--listen=0"});
+        const std::uint16_t p1 = parse_listening_port(w1.read_stdout_line());
+        const std::uint16_t p2 = parse_listening_port(w2.read_stdout_line());
+        ctx.shard.retry = {};  // the clean-path config, like the pipe row
+        ctx.shard.hosts = {"127.0.0.1:" + std::to_string(p1),
+                           "127.0.0.1:" + std::to_string(p2)};
+        const std::unique_ptr<IEppEngine> tcp_sharded =
+            EngineRegistry::instance().create("sharded", ctx);
+        std::vector<double> tcp_p;
+        sweep_shard_tcp_s = timed_min([&] {
+          tcp_p = tcp_sharded->sweep_p_sensitized(reloaded_sites, 1);
+        });
+        for (std::size_t i = 0; i < reloaded_sites.size(); ++i) {
+          shard_identical =
+              shard_identical && tcp_p[i] == want[reloaded_sites[i]];
+        }
+      } catch (const std::exception& e) {
+        // No loopback (sandboxed CI): skip the row rather than fail the
+        // whole emitter — bench_compare treats a missing column as absent.
+        std::fprintf(stderr, "micro_kernels: tcp row skipped: %s\n",
+                     e.what());
+        sweep_shard_tcp_s = 0.0;
+      }
       shard_ran = true;
     }
     std::remove(netlist.c_str());
@@ -529,7 +567,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v5\",\n"
+               "  \"schema\": \"sereep.bench_micro.v6\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -566,7 +604,8 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   // when measured (bat_scalar_s > 0).
   const auto kernel = [&](const char* name, double ref_s, double cmp_s,
                           double bat_s, double bat_scalar_s, double shard_s,
-                          double shard_retry_s, const char* trailing) {
+                          double shard_retry_s, double shard_tcp_s,
+                          const char* trailing) {
     std::fprintf(f,
                  "    \"%s\": {\"reference_sites_per_s\": %.1f, "
                  "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
@@ -599,22 +638,33 @@ void write_bench_micro_json(const std::string& path, bool fast) {
                    bat_s / shard_s);
     }
     if (shard_retry_s > 0) {
-      // One injected worker death + prefix-keeping recovery per sweep
-      // (schema v5). _ms columns regress when they RISE and are gated
-      // same-machine only, like every other absolute timing.
+      // One injected worker death + prefix-keeping recovery per sweep.
+      // _ms columns regress when they RISE and are gated same-machine
+      // only, like every other absolute timing.
       std::fprintf(f,
                    ", \"sharded_retry_ms\": %.3f, "
                    "\"sharded_retry_overhead_ms\": %.3f",
                    shard_retry_s * 1e3, (shard_retry_s - shard_s) * 1e3);
     }
+    if (shard_tcp_s > 0) {
+      // Schema v6: the loopback TCP transport row. tcp_vs_pipe follows the
+      // X_vs_Y convention (>1 = tcp faster); both numerator and denominator
+      // are process fan-out on THIS host, so the ratio is HW-sensitive and
+      // gated same-machine only.
+      std::fprintf(f,
+                   ", \"sharded_tcp_ms\": %.3f, \"tcp_vs_pipe\": %.3f",
+                   shard_tcp_s * 1e3, shard_s / shard_tcp_s);
+    }
     std::fprintf(f, "}%s\n", trailing);
   };
-  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, 0.0, ",");
+  kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, 0.0, 0.0,
+         ",");
   kernel("propagate", prop_ref_s, prop_cmp_s, prop_bat_s, prop_bat_scalar_s,
-         0.0, 0.0, ",");
+         0.0, 0.0, 0.0, ",");
   kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, 0.0,
          shard_ran ? sweep_shard_s : 0.0,
-         shard_ran ? sweep_shard_retry_s : 0.0, "");
+         shard_ran ? sweep_shard_retry_s : 0.0,
+         shard_ran ? sweep_shard_tcp_s : 0.0, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
@@ -634,6 +684,11 @@ void write_bench_micro_json(const std::string& path, bool fast) {
         json_shards, sweep_shard_s * 1e3, sweep_bat_s / sweep_shard_s,
         shard_identical ? "yes" : "NO", sweep_shard_retry_s * 1e3,
         (sweep_shard_retry_s - sweep_shard_s) * 1e3);
+    if (sweep_shard_tcp_s > 0) {
+      std::printf("  sharded over loopback tcp: %.0f ms (%.2fx vs pipe)\n",
+                  sweep_shard_tcp_s * 1e3,
+                  sweep_shard_s / sweep_shard_tcp_s);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/cone_cluster.hpp"
@@ -111,9 +112,12 @@ struct ShardRetryOptions {
 /// Sharded-engine layer configuration (the "sharded" registry key): sweeps
 /// fan out to `shards` worker PROCESSES, each a `sereep worker` instance
 /// that loads `netlist`, computes its assigned sites with the batched
-/// engine, and streams results back over a pipe (src/epp/shard_protocol.hpp
-/// documents the frame format). Results are bit-for-bit identical to the
-/// in-process batched engine — the shard planner only partitions work.
+/// engine, and streams results back over a pipe — or, when `hosts` is set,
+/// over TCP to remote `sereep worker --listen` processes
+/// (src/epp/shard_protocol.hpp documents the frame format,
+/// src/epp/shard_transport.hpp the two transports). Results are bit-for-bit
+/// identical to the in-process batched engine — the shard planner only
+/// partitions work.
 struct ShardOptions {
   /// Worker process count for sharded sweeps. 1 runs in-process (the
   /// batched path with no fork). Bounded by kMaxShards in validate().
@@ -129,6 +133,19 @@ struct ShardOptions {
   /// spec here automatically; sessions built from an in-memory Circuit have
   /// no spec, so sharding is unavailable for them unless one is supplied.
   std::string netlist;
+
+  /// Remote TCP workers, each a "host:port" naming a running `sereep worker
+  /// --listen=PORT` process. Non-empty switches the sharded engine's
+  /// transport from locally-forked pipe workers to TCP: dispatch ordinal k
+  /// (the initial fan-out and every retry respawn count up one sequence)
+  /// connects to hosts[k % hosts.size()], so retries rotate across hosts
+  /// and one dead host cannot absorb a shard's whole retry budget. The
+  /// workers load their OWN --netlist (cross-checked every dispatch by the
+  /// fingerprint handshake), so `worker_path`/`netlist` are not required
+  /// here. The protocol is unauthenticated — trusted networks only.
+  /// Validated by Options::validate(): each entry must parse as host:port
+  /// with a port in 1..65535, at most kMaxShards entries.
+  std::vector<std::string> hosts;
 
   /// Policy when sharding is UNAVAILABLE (empty worker_path/netlist): true
   /// silently serves the sweep from the in-process batched path (results

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "sereep/engine.hpp"
+#include "src/util/net.hpp"
 
 namespace sereep {
 
@@ -63,6 +64,20 @@ void Options::validate() const {
         std::to_string(kMaxShardBackoffMs) + " ms, got base " +
         std::to_string(shard.retry.backoff_base_ms) + " / max " +
         std::to_string(shard.retry.backoff_max_ms));
+  }
+  // Same cap as shards: each host is one more connect target per dispatch
+  // round, and a million-entry list is a typo, not a cluster.
+  if (shard.hosts.size() > kMaxShards) {
+    throw std::invalid_argument(
+        "shard.hosts must name at most " + std::to_string(kMaxShards) +
+        " workers, got " + std::to_string(shard.hosts.size()));
+  }
+  for (const std::string& host : shard.hosts) {
+    try {
+      (void)parse_host_port(host);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("shard.hosts: ") + e.what());
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <array>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -12,11 +13,6 @@
 namespace sereep {
 
 namespace {
-
-/// Payloads past this are a protocol error, not a big sweep: the largest
-/// legitimate frame is a job carrying one SP double per node plus the site
-/// list, far under this even for 100M-node netlists.
-constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 34;  // 16 GiB
 
 /// Little-endian byte serializer.
 class ByteWriter {
@@ -150,7 +146,32 @@ bool read_all(int fd, std::uint8_t* data, std::size_t size,
   return true;
 }
 
+/// Byte-at-a-time table for the reflected IEEE 802.3 polynomial, built once
+/// at first use — frames are long enough that table lookup is plenty fast,
+/// and the software table keeps the protocol free of zlib.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
 }  // namespace
+
+std::uint32_t shard_crc32(std::span<const std::uint8_t> data) {
+  const std::uint32_t* table = crc32_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
 
 NetlistFingerprint netlist_fingerprint(const Circuit& circuit) {
   // FNV-1a 64 over the id-ordered node table. Names are included because the
@@ -201,17 +222,18 @@ std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job) {
   return out;
 }
 
-void append_job_sites(std::vector<std::uint8_t>& payload,
-                      std::span<const NodeId> sites) {
-  payload.reserve(payload.size() + 8 + sites.size() * 4);
+void append_job_dispatch(std::vector<std::uint8_t>& payload,
+                         std::uint32_t spawn, std::span<const NodeId> sites) {
+  payload.reserve(payload.size() + 12 + sites.size() * 4);
   ByteWriter w(payload);
+  w.u32(spawn);
   w.u64(sites.size());
   for (NodeId site : sites) w.u32(site);
 }
 
 std::vector<std::uint8_t> encode_job(const ShardJob& job) {
   std::vector<std::uint8_t> out = encode_job_prefix(job);
-  append_job_sites(out, job.sites);
+  append_job_dispatch(out, job.spawn, job.sites);
   return out;
 }
 
@@ -227,6 +249,7 @@ ShardJob decode_job(std::span<const std::uint8_t> payload) {
   job.fingerprint.digest = r.u64();
   job.sp.resize(r.count(r.u64(), 8));
   for (double& p : job.sp) p = r.f64();
+  job.spawn = r.u32();
   job.sites.resize(r.count(r.u64(), 4));
   for (NodeId& site : job.sites) site = r.u32();
   r.expect_end();
@@ -319,40 +342,47 @@ std::uint64_t decode_progress(std::span<const std::uint8_t> payload) {
 void write_shard_frame(int fd, ShardFrameType type,
                        std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> header;
-  header.reserve(16);
+  header.reserve(20);
   ByteWriter w(header);
   w.u32(kShardMagic);
   w.u16(kShardProtocolVersion);
   w.u16(static_cast<std::uint16_t>(type));
   w.u64(payload.size());
+  w.u32(shard_crc32(payload));
   write_all(fd, header.data(), header.size());
   write_all(fd, payload.data(), payload.size());
 }
 
-std::optional<ShardFrame> read_shard_frame(int fd, int timeout_ms) {
-  std::uint8_t header[16];
+std::optional<ShardFrame> read_shard_frame(int fd, int timeout_ms,
+                                           std::uint64_t max_payload) {
+  std::uint8_t header[20];
   if (!read_all(fd, header, sizeof header, timeout_ms)) return std::nullopt;
   ByteReader r({header, sizeof header});
   if (r.u32() != kShardMagic) {
     throw std::runtime_error(
-        "shard protocol: bad frame magic (not a sereep worker stream?)");
+        "shard protocol: bad frame magic (not a sereep frame stream?)");
   }
   if (const std::uint16_t version = r.u16();
       version != kShardProtocolVersion) {
     throw std::runtime_error(
-        "shard protocol: version mismatch (worker speaks v" +
-        std::to_string(version) + ", parent v" +
+        "shard protocol: version mismatch (peer speaks v" +
+        std::to_string(version) + ", this side v" +
         std::to_string(kShardProtocolVersion) + ")");
   }
   ShardFrame frame;
   frame.type = static_cast<ShardFrameType>(r.u16());
   const std::uint64_t size = r.u64();
-  if (size > kMaxPayload) {
+  const std::uint32_t crc = r.u32();
+  if (size > max_payload) {
     throw std::runtime_error("shard protocol: implausible payload size");
   }
   frame.payload.resize(size);
   if (size > 0 && !read_all(fd, frame.payload.data(), size, timeout_ms)) {
     throw std::runtime_error("shard protocol: unexpected EOF mid-frame");
+  }
+  if (shard_crc32(frame.payload) != crc) {
+    throw std::runtime_error(
+        "shard protocol: payload CRC mismatch (corrupted frame)");
   }
   return frame;
 }

@@ -1,12 +1,12 @@
-// Shard wire protocol — versioned length-prefixed frames over a byte pipe.
+// Shard wire protocol — versioned length-prefixed frames over a byte stream.
 //
 // The sharded sweep engine (sharded_epp.hpp) talks to its worker processes
-// over plain pipes with a binary frame stream:
+// over plain pipes or TCP sockets with a binary frame stream:
 //
-//   +--------+---------+------+--------------+---------------+
-//   | magic  | version | type | payload size | payload bytes |
-//   | u32    | u16     | u16  | u64          | ...           |
-//   +--------+---------+------+--------------+---------------+
+//   +--------+---------+------+--------------+-------------+---------------+
+//   | magic  | version | type | payload size | payload CRC | payload bytes |
+//   | u32    | u16     | u16  | u64          | u32         | ...           |
+//   +--------+---------+------+--------------+-------------+---------------+
 //
 // All integers are little-endian fixed width; doubles travel as their IEEE
 // bit pattern in a u64, so a value that crosses the pipe is THE value — the
@@ -14,8 +14,12 @@
 // The magic + version header makes a stream from a mismatched binary (or a
 // stray print into stdout) a loud protocol error rather than garbage
 // results; bumping kShardProtocolVersion invalidates old workers explicitly.
+// The CRC-32 (IEEE/zlib polynomial) of the payload makes a flipped bit on a
+// less-than-perfectly-reliable transport a named protocol error too — on a
+// result stream the supervisor treats it like any corrupt frame (distrust
+// the attempt, recompute the shard).
 //
-// Conversation (one per worker; v2):
+// Conversation (one per worker; v3):
 //   parent -> worker   kJob       EPP options, the PARENT netlist's
 //                                 fingerprint, SP table, assigned site list
 //   worker -> parent   kProgress  ack: job decoded (count 0) — flows before
@@ -58,18 +62,28 @@ namespace sereep {
 
 inline constexpr std::uint32_t kShardMagic = 0x53'52'50'46;  // "SRPF"
 /// v2: netlist-fingerprint handshake (kHello + fingerprint in the job) and
-/// kProgress frames. v1 workers are rejected loudly by the version check.
-inline constexpr std::uint16_t kShardProtocolVersion = 2;
+/// kProgress frames. v3: payload CRC-32 in the frame header, the dispatch
+/// ordinal carried in-band in the job (TCP workers have no argv), and the
+/// kRequest/kResponse pair for the `sereep serve` daemon. Old workers are
+/// rejected loudly by the version check.
+inline constexpr std::uint16_t kShardProtocolVersion = 3;
 
 /// Frame kinds (the `type` header field).
 enum class ShardFrameType : std::uint16_t {
   kJob = 1,       ///< parent -> worker: the shard's whole assignment
   kResults = 2,   ///< worker -> parent: a batch of SiteEpp records
   kDone = 3,      ///< worker -> parent: total streamed record count (u64)
-  kError = 4,     ///< worker -> parent: failure message (UTF-8 bytes)
+  kError = 4,     ///< peer -> peer: failure message (UTF-8 bytes)
   kHello = 5,     ///< worker -> parent: fingerprint of the loaded netlist
   kProgress = 6,  ///< worker -> parent: cumulative record count (u64)
+  kRequest = 7,   ///< client -> serve daemon: one analysis request
+  kResponse = 8,  ///< serve daemon -> client: rendered response bytes
 };
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) of `data` — the value
+/// the frame header carries for its payload. Exposed so tests and fuzzers
+/// can build valid frames by hand (and flip exactly the CRC bytes).
+[[nodiscard]] std::uint32_t shard_crc32(std::span<const std::uint8_t> data);
 
 /// Identity of a loaded netlist, cheap enough to compute on every worker
 /// spawn: node count plus a digest folded over every node's id-ordered
@@ -112,6 +126,12 @@ struct ShardJob {
   /// records.
   NetlistFingerprint fingerprint;
   std::vector<double> sp;       ///< per-node P(1), indexed by NodeId
+  /// The supervisor's dispatch ordinal (initial fan-out and every retry
+  /// respawn count up the same sequence). Pipe workers also get it as
+  /// --spawn argv; TCP workers are long-lived processes with no per-job
+  /// argv, so the job carries it in-band — it keys SEREEP_FAULT_PLAN
+  /// directives identically on both transports.
+  std::uint32_t spawn = 0;
   std::vector<NodeId> sites;    ///< assigned sites, plan order
 };
 
@@ -125,11 +145,11 @@ struct ShardJob {
 /// Split encoding for the fan-out loop: the prefix (options + the whole SP
 /// table — identical for every shard of one sweep, and by far the bulk of
 /// the bytes) is built ONCE, and each shard's payload is prefix +
-/// append_job_sites(). Byte-for-byte equal to encode_job() of the same
-/// fields.
+/// append_job_dispatch() with that dispatch's spawn ordinal and site list.
+/// Byte-for-byte equal to encode_job() of the same fields.
 [[nodiscard]] std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job);
-void append_job_sites(std::vector<std::uint8_t>& payload,
-                      std::span<const NodeId> sites);
+void append_job_dispatch(std::vector<std::uint8_t>& payload,
+                         std::uint32_t spawn, std::span<const NodeId> sites);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_results(
     std::span<const SiteEpp> records);
@@ -169,16 +189,24 @@ class ShardTimeoutError : public std::runtime_error {
 void write_shard_frame(int fd, ShardFrameType type,
                        std::span<const std::uint8_t> payload);
 
+/// Default read_shard_frame payload bound: past this is a protocol error,
+/// not a big sweep — the largest legitimate frame is a job carrying one SP
+/// double per node plus the site list, far under this even for 100M-node
+/// netlists. Servers reading UNTRUSTED requests should pass a much tighter
+/// bound so a hostile declared length can never drive a huge allocation.
+inline constexpr std::uint64_t kMaxShardPayload = std::uint64_t{1} << 34;
+
 /// Reads one complete frame. Returns nullopt on clean EOF at a frame
 /// boundary; throws std::runtime_error on EOF mid-frame, a bad magic or
-/// version, or an implausible payload size — a killed worker is therefore
-/// always an exception or a missing kDone, never silent truncation.
+/// version, a declared payload size above `max_payload`, or a payload CRC
+/// mismatch — a killed worker is therefore always an exception or a missing
+/// kDone, never silent truncation.
 ///
 /// `timeout_ms` > 0 arms a PROGRESS deadline: every wait for bytes is capped
 /// at timeout_ms, and expiry throws ShardTimeoutError. Any arriving byte
 /// resets the clock, so a slow but live stream never trips it — only a peer
 /// that stops producing altogether. 0 waits forever (the v1 behavior).
-[[nodiscard]] std::optional<ShardFrame> read_shard_frame(int fd,
-                                                         int timeout_ms = 0);
+[[nodiscard]] std::optional<ShardFrame> read_shard_frame(
+    int fd, int timeout_ms = 0, std::uint64_t max_payload = kMaxShardPayload);
 
 }  // namespace sereep

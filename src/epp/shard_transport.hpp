@@ -1,0 +1,101 @@
+// ShardTransport — how a shard's job frame reaches a worker and its result
+// stream comes back.
+//
+// The PR-6 shard supervisor (sharded_epp.cpp) is a retry/re-dispatch loop
+// over byte streams: it writes one kJob frame per dispatch and drains a
+// kProgress/kHello/kResults/kDone stream with a poll()-based inter-byte
+// progress deadline. Nothing in that loop is pipe-specific, so the
+// transport is a seam:
+//
+//   pipe — fork + exec `worker_path worker --netlist=... --spawn=N` with
+//     the job on stdin and results on stdout (the original single-host
+//     tier). Teardown is SIGKILL + waitpid; a non-zero worker exit after a
+//     complete stream is still surfaced.
+//   tcp — connect to one of ShardOptions::hosts ("host:port" each, round-
+//     robin by dispatch ordinal) where a long-lived `sereep worker
+//     --listen=PORT` process accepts connections; the job frame goes over
+//     the socket (half-closed after the write), results come back on the
+//     same socket. Teardown is close(); worker processes belong to another
+//     machine, so there is nothing to reap.
+//
+// Both present the same failure surface to the supervisor: a dispatch that
+// cannot reach a worker (EPIPE into a dead child, ECONNREFUSED to a dead
+// host) is recorded on the channel as a RETRYABLE failure, never thrown —
+// under a retry policy it is just that shard's first failure. Only local
+// resource exhaustion (pipe2/fork failing) throws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sereep/options.hpp"
+
+namespace sereep {
+
+/// One dispatched shard stream, as the supervisor sees it.
+struct ShardChannel {
+  /// Where the worker's result frames arrive. Owned by the transport;
+  /// valid until finish()/abort() on this channel.
+  int read_fd = -1;
+  /// False when the job frame never (fully) reached a worker; send_error
+  /// then names the cause. The supervisor treats it like any attempt
+  /// failure with zero records received.
+  bool send_ok = false;
+  std::string send_error;
+
+  virtual ~ShardChannel() = default;
+};
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Opens a channel for dispatch ordinal `spawn` and delivers `payload` as
+  /// the kJob frame. The returned reference is stable for the transport's
+  /// lifetime (channels are heap-allocated; retries open new ones).
+  virtual ShardChannel& dispatch(std::span<const std::uint8_t> payload,
+                                 unsigned spawn) = 0;
+
+  /// Clean-completion teardown after a fully-drained stream. Returns "" or
+  /// a description of an unclean worker end (a pipe worker that streamed
+  /// everything but exited non-zero); TCP has no exit status to report.
+  virtual std::string finish(ShardChannel& channel) = 0;
+
+  /// Failure-path teardown: SIGKILL + reap for pipe workers (a hung worker
+  /// never exits on its own), close for sockets. Returns a description of
+  /// how the worker ended ("" when unknown/clean). Idempotent per channel.
+  virtual std::string abort(ShardChannel& channel) = 0;
+
+  /// Dispatches attempted / channels torn down — the supervisor's
+  /// Diagnostics::workers_spawned/workers_reaped food, and the hygiene
+  /// invariant (opened() == closed() after every completed sweep).
+  [[nodiscard]] virtual unsigned opened() const noexcept = 0;
+  [[nodiscard]] virtual unsigned closed() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+  /// "worker '<path>'" / "hosts a:1,b:2" — for shard-failure messages.
+  [[nodiscard]] virtual std::string peer_description() const = 0;
+};
+
+/// Picks the transport the options configure: ShardOptions::hosts non-empty
+/// selects TCP (connect deadline = retry.timeout_ms, or a bounded default
+/// when the deadline is disabled); otherwise the pipe transport over
+/// ShardOptions::worker_path.
+[[nodiscard]] std::unique_ptr<ShardTransport> make_shard_transport(
+    const ShardOptions& shard);
+
+/// The accept loop behind `sereep worker --listen=PORT`: loads the netlist
+/// ONCE, binds `bind_addr:port` (0 = ephemeral), prints exactly one
+/// "sereep worker listening on ADDR:PORT\n" line to stdout, then serves
+/// each connection in a forked child running run_shard_worker() with the
+/// preloaded circuit (fork shares the pages copy-on-write, so per-job cost
+/// is compile + sweep, not parse). The child takes the dispatch ordinal
+/// from the job frame — SEREEP_FAULT_PLAN directives key off it exactly as
+/// on the pipe transport. Never returns except on setup failure (non-zero).
+int run_tcp_worker(const std::string& netlist_spec,
+                   const std::string& bind_addr, std::uint16_t port);
+
+}  // namespace sereep

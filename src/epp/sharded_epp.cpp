@@ -1,8 +1,6 @@
 #include "src/epp/sharded_epp.hpp"
 
-#include <fcntl.h>
 #include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -17,6 +15,7 @@
 #include "src/epp/batched_epp.hpp"
 #include "src/epp/fault_plan.hpp"
 #include "src/epp/shard_plan.hpp"
+#include "src/epp/shard_transport.hpp"
 #include "src/util/simd.hpp"
 
 namespace sereep {
@@ -46,154 +45,6 @@ class SigPipeGuard {
 
  private:
   struct sigaction saved_ = {};
-};
-
-/// One spawned worker process plus the parent's pipe ends.
-struct WorkerProc {
-  pid_t pid = -1;
-  int to_child = -1;    ///< parent writes the job frame here (worker stdin)
-  int from_child = -1;  ///< parent reads result frames here (worker stdout)
-};
-
-[[nodiscard]] std::string describe_exit(int status) {
-  if (WIFEXITED(status)) {
-    return "exited with status " + std::to_string(WEXITSTATUS(status));
-  }
-  if (WIFSIGNALED(status)) {
-    return "killed by signal " + std::to_string(WTERMSIG(status));
-  }
-  return "ended with raw wait status " + std::to_string(status);
-}
-
-/// Owns the worker fleet of one sweep — the initial fan-out AND every retry
-/// respawn (workers are heap-allocated so references stay stable across
-/// respawns). Destruction closes every pipe and SIGKILLs + reaps any worker
-/// not yet reaped — an exception mid-sweep must not leak processes or
-/// zombies. The spawned()/reaped() counters let the supervisor assert the
-/// wait hygiene it promises in Diagnostics::workers_reaped.
-class WorkerPool {
- public:
-  ~WorkerPool() {
-    for (auto& w : workers_) {
-      close_fds(*w);
-      if (w->pid > 0) {
-        ::kill(w->pid, SIGKILL);
-        reap(*w);
-        ++reaped_;
-      }
-    }
-  }
-
-  /// Forks + execs one worker; stdin/stdout are pipes, everything else is
-  /// inherited (stderr deliberately so — worker diagnostics reach the
-  /// parent's stderr). Parent-side pipe ends are close-on-exec, so later
-  /// workers cannot hold an earlier worker's pipe open and mask its death.
-  /// `spawn_ordinal` becomes the worker's --spawn flag — the key the
-  /// SEREEP_FAULT_PLAN fault-injection grammar targets workers by.
-  WorkerProc& spawn(const std::string& worker_path, const std::string& netlist,
-                    unsigned spawn_ordinal) {
-    int to_child[2];
-    int from_child[2];
-    if (::pipe2(to_child, O_CLOEXEC) != 0) {
-      throw std::runtime_error("sharded engine: pipe2 failed");
-    }
-    if (::pipe2(from_child, O_CLOEXEC) != 0) {
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      throw std::runtime_error("sharded engine: pipe2 failed");
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      // EAGAIN under process-limit pressure is the likely cause — exactly
-      // when leaking four fds per failed sweep would hurt the most.
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      ::close(from_child[0]);
-      ::close(from_child[1]);
-      throw std::runtime_error("sharded engine: fork failed");
-    }
-    if (pid == 0) {
-      // Child: wire the pipe ends onto stdin/stdout (dup2 clears
-      // close-on-exec on the duplicate) and become the worker.
-      ::dup2(to_child[0], STDIN_FILENO);
-      ::dup2(from_child[1], STDOUT_FILENO);
-      const std::string netlist_flag = "--netlist=" + netlist;
-      const std::string spawn_flag =
-          "--spawn=" + std::to_string(spawn_ordinal);
-      const char* argv[] = {worker_path.c_str(), "worker",
-                            netlist_flag.c_str(), spawn_flag.c_str(),
-                            nullptr};
-      ::execv(worker_path.c_str(), const_cast<char* const*>(argv));
-      // exec failed: the parent sees EOF before any frame plus status 127.
-      ::_exit(127);
-    }
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    workers_.push_back(std::make_unique<WorkerProc>(WorkerProc{
-        .pid = pid, .to_child = to_child[1], .from_child = from_child[0]}));
-    ++spawned_;
-    return *workers_.back();
-  }
-
-  /// Closes the job pipe after the assignment is fully written; the worker
-  /// needs exactly one frame, and a worker stuck on a second read must see
-  /// EOF, not a hang.
-  static void finish_job(WorkerProc& w) {
-    if (w.to_child >= 0) {
-      ::close(w.to_child);
-      w.to_child = -1;
-    }
-  }
-
-  /// Waits for the worker and returns its exit description; "" for a clean
-  /// zero exit. Idempotent per worker.
-  std::string reap_describe(WorkerProc& w) {
-    close_fds(w);
-    if (w.pid <= 0) return {};
-    const int status = reap(w);
-    ++reaped_;
-    return status == 0 ? std::string() : describe_exit(status);
-  }
-
-  /// SIGKILL + reap for the failure path: a hung worker would never exit on
-  /// its own, and a dead one is unaffected (the kill hits a zombie, the wait
-  /// still collects it). Idempotent per worker.
-  std::string kill_reap_describe(WorkerProc& w) {
-    if (w.pid > 0) ::kill(w.pid, SIGKILL);
-    return reap_describe(w);
-  }
-
-  [[nodiscard]] unsigned spawned() const noexcept { return spawned_; }
-  [[nodiscard]] unsigned reaped() const noexcept { return reaped_; }
-
- private:
-  static void close_fds(WorkerProc& w) {
-    if (w.to_child >= 0) ::close(std::exchange(w.to_child, -1));
-    if (w.from_child >= 0) ::close(std::exchange(w.from_child, -1));
-  }
-
-  static int reap(WorkerProc& w) {
-    if (w.pid <= 0) return 0;
-    int status = 0;
-    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    w.pid = -1;
-    return status;
-  }
-
-  std::vector<std::unique_ptr<WorkerProc>> workers_;  ///< stable addresses
-  unsigned spawned_ = 0;
-  unsigned reaped_ = 0;
-};
-
-/// One dispatched shard assignment: the worker serving it plus whether the
-/// job frame actually reached it (a worker that dies before reading its job
-/// surfaces as an EPIPE on the parent's write — a retryable failure, not a
-/// sweep abort).
-struct ShardAttempt {
-  WorkerProc* worker = nullptr;
-  bool send_ok = false;
-  std::string send_error;
 };
 
 /// What one drain attempt over a worker's result stream produced.
@@ -359,23 +210,40 @@ std::vector<double> ShardedEppEngine::sweep_p_sensitized(
   return out;
 }
 
+void ShardedEppEngine::reset_sweep_diagnostics() {
+  diagnostics_.workers_spawned = 0;
+  diagnostics_.workers_reaped = 0;
+  diagnostics_.respawns = 0;
+  diagnostics_.deadline_expiries = 0;
+  diagnostics_.degraded_shards = 0;
+  diagnostics_.redispatched_sites = 0;
+  diagnostics_.shard_sites.clear();
+  diagnostics_.in_process = false;
+  diagnostics_.transport = "in-process";
+}
+
 std::vector<SiteEpp> ShardedEppEngine::run(std::span<const NodeId> sites,
                                            unsigned threads, bool p_only) {
   ++diagnostics_.sweeps;
+  reset_sweep_diagnostics();
   // shards == 1 and degenerate site counts are CONFIGURED in-process runs,
-  // not fallbacks; only a missing worker binary / netlist spec consults the
-  // fallback policy.
+  // not fallbacks; only a missing transport (no TCP hosts AND no worker
+  // binary / netlist spec) consults the fallback policy.
   if (shard_.shards > 1 && sites.size() >= 2) {
-    if (!shard_.worker_path.empty() && !shard_.netlist.empty()) {
+    // TCP hosts know their own netlist (each worker's --netlist flag, cross-
+    // checked by the fingerprint handshake), so hosts alone suffice.
+    if (!shard_.hosts.empty() ||
+        (!shard_.worker_path.empty() && !shard_.netlist.empty())) {
       return run_sharded(sites, threads, p_only);
     }
     if (!shard_.fallback_to_in_process) {
       throw std::runtime_error(
           "sharded engine: sharding unavailable — Options::shard." +
           std::string(shard_.worker_path.empty() ? "worker_path" : "netlist") +
-          " is empty (Session::open() records the netlist spec "
-          "automatically; sessions over in-memory circuits must set one). "
-          "Set it, or opt into shard.fallback_to_in_process.");
+          " is empty and shard.hosts names no TCP workers (Session::open() "
+          "records the netlist spec automatically; sessions over in-memory "
+          "circuits must set one). Set one of them, or opt into "
+          "shard.fallback_to_in_process.");
     }
   }
   return run_in_process(sites, threads, p_only);
@@ -383,14 +251,9 @@ std::vector<SiteEpp> ShardedEppEngine::run(std::span<const NodeId> sites,
 
 std::vector<SiteEpp> ShardedEppEngine::run_in_process(
     std::span<const NodeId> sites, unsigned threads, bool p_only) {
-  diagnostics_.workers_spawned = 0;
-  diagnostics_.workers_reaped = 0;
-  diagnostics_.respawns = 0;
-  diagnostics_.deadline_expiries = 0;
-  diagnostics_.degraded_shards = 0;
-  diagnostics_.redispatched_sites = 0;
   diagnostics_.shard_sites.assign(1, sites.size());
   diagnostics_.in_process = true;
+  diagnostics_.transport = "in-process";
   const ConeClusterPlanner* planner = resolve_planner();
   if (!p_only) {
     return compute_sites_parallel(compiled_, *planner, sites, sp_, epp_,
@@ -419,20 +282,15 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
   const ShardRetryOptions& retry = shard_.retry;
   const int timeout_ms = static_cast<int>(retry.timeout_ms);
 
-  diagnostics_.workers_spawned = 0;
-  diagnostics_.workers_reaped = 0;
-  diagnostics_.respawns = 0;
-  diagnostics_.deadline_expiries = 0;
-  diagnostics_.degraded_shards = 0;
-  diagnostics_.redispatched_sites = 0;
-  diagnostics_.shard_sites.clear();
   for (const Shard& s : shards) {
     diagnostics_.shard_sites.push_back(s.members.size());
   }
   diagnostics_.in_process = false;
 
   SigPipeGuard sigpipe;
-  WorkerPool pool;
+  const std::unique_ptr<ShardTransport> transport =
+      make_shard_transport(shard_);
+  diagnostics_.transport = std::string(transport->kind());
   unsigned next_spawn = 0;
 
   ShardJob job;
@@ -443,26 +301,17 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
   job.fingerprint = fingerprint_;
   job.sp = sp_.p1;
   // One prefix (options + the full SP table — the bulk of the bytes) for
-  // the whole sweep; only the site list varies per shard AND per retry
-  // (residuals are a subset), so every dispatch is prefix + sites.
+  // the whole sweep; only the dispatch ordinal and the site list vary per
+  // shard AND per retry (residuals are a subset), so every dispatch is
+  // prefix + append_job_dispatch.
   const std::vector<std::uint8_t> prefix = encode_job_prefix(job);
 
   const auto dispatch =
-      [&](std::span<const NodeId> assignment) -> ShardAttempt {
-    ShardAttempt attempt;
-    attempt.worker = &pool.spawn(shard_.worker_path, shard_.netlist,
-                                 next_spawn++);
+      [&](std::span<const NodeId> assignment) -> ShardChannel* {
+    const unsigned spawn = next_spawn++;
     std::vector<std::uint8_t> payload = prefix;
-    append_job_sites(payload, assignment);
-    try {
-      write_shard_frame(attempt.worker->to_child, ShardFrameType::kJob,
-                        payload);
-      WorkerPool::finish_job(*attempt.worker);
-      attempt.send_ok = true;
-    } catch (const std::exception& e) {
-      attempt.send_error = std::string("job dispatch failed: ") + e.what();
-    }
-    return attempt;
+    append_job_dispatch(payload, spawn, assignment);
+    return &transport->dispatch(payload, spawn);
   };
 
   // Phase 1 — fan out: spawn the whole fleet first so the shards compute
@@ -473,7 +322,7 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
   // first failure of that shard.
   std::vector<std::vector<NodeId>> expected(shards.size());
   std::vector<std::vector<std::uint32_t>> slots(shards.size());
-  std::vector<ShardAttempt> attempts(shards.size());
+  std::vector<ShardChannel*> attempts(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     expected[i].reserve(shards[i].members.size());
     slots[i].reserve(shards[i].members.size());
@@ -491,7 +340,7 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
   for (std::size_t i = 0; i < shards.size(); ++i) {
     std::vector<NodeId>& exp = expected[i];
     std::vector<std::uint32_t>& slot = slots[i];
-    ShardAttempt attempt = attempts[i];
+    ShardChannel* attempt = attempts[i];
     unsigned failures = 0;
 
     const auto shard_error = [&](const std::string& what,
@@ -499,28 +348,29 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
       return std::runtime_error(
           "sharded engine: shard " + std::to_string(i) + "/" +
           std::to_string(shards.size()) + " (" +
-          std::to_string(shards[i].members.size()) + " sites, worker '" +
-          shard_.worker_path + "'): " + what + exit_note +
+          std::to_string(shards[i].members.size()) + " sites, " +
+          transport->peer_description() + "): " + what + exit_note +
           " — the sweep was aborted; no partial results were returned");
     };
 
     for (;;) {
       DrainOutcome r;
-      if (!attempt.send_ok) {
-        // The worker died before reading its job; nothing was received.
-        r.error = attempt.send_error;
+      if (!attempt->send_ok) {
+        // The worker died (or the host refused) before taking the job;
+        // nothing was received.
+        r.error = attempt->send_error;
       } else {
-        r = drain_attempt(attempt.worker->from_child, timeout_ms, exp, slot,
+        r = drain_attempt(attempt->read_fd, timeout_ms, exp, slot,
                           fingerprint_, out);
       }
 
       if (r.ok) {
-        // The stream was complete and consistent; the worker must also EXIT
-        // cleanly — a non-zero status after a full stream still means
+        // The stream was complete and consistent; a pipe worker must also
+        // EXIT cleanly — a non-zero status after a full stream still means
         // something went wrong on that machine, and this is the last chance
         // to hear it. (No fault mode produces this shape, so it stays a
         // hard error under every policy.)
-        if (const std::string note = pool.reap_describe(*attempt.worker);
+        if (const std::string note = transport->finish(*attempt);
             !note.empty()) {
           throw std::runtime_error(
               "sharded engine: shard " + std::to_string(i) +
@@ -530,7 +380,7 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
       }
 
       if (r.timed_out) ++diagnostics_.deadline_expiries;
-      std::string exit_note = pool.kill_reap_describe(*attempt.worker);
+      std::string exit_note = transport->abort(*attempt);
       if (!exit_note.empty()) exit_note = " (worker " + exit_note + ")";
 
       if (r.fingerprint_conflict) {
@@ -595,23 +445,25 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
     }
   }
 
-  diagnostics_.workers_spawned = pool.spawned();
-  diagnostics_.workers_reaped = pool.reaped();
-  if (pool.reaped() != pool.spawned()) {
+  diagnostics_.workers_spawned = transport->opened();
+  diagnostics_.workers_reaped = transport->closed();
+  if (transport->closed() != transport->opened()) {
     // Supervisor invariant, not an input condition: every completed sweep
-    // has waited on every process it forked (no zombies, ever).
+    // has torn down every dispatch it opened (no zombies or leaked
+    // connections, ever).
     throw std::logic_error(
-        "sharded engine: reap accounting broken — spawned " +
-        std::to_string(pool.spawned()) + " workers but reaped " +
-        std::to_string(pool.reaped()));
+        "sharded engine: teardown accounting broken — opened " +
+        std::to_string(transport->opened()) + " worker dispatches but "
+        "closed " + std::to_string(transport->closed()));
   }
   return out;
 }
 
 // ---- the worker side -------------------------------------------------------
 
-int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
-                     int in_fd, int out_fd) {
+int run_shard_worker(const std::string& netlist_spec,
+                     std::optional<unsigned> cli_spawn, int in_fd, int out_fd,
+                     const Circuit* preloaded) {
   const auto send_error = [out_fd](const std::string& message) {
     try {
       const std::vector<std::uint8_t> payload(message.begin(), message.end());
@@ -622,18 +474,28 @@ int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
   };
   try {
     // Structured fault injection (tests + CI only): SEREEP_FAULT_PLAN
-    // directives keyed by this process's --spawn ordinal. A malformed plan
+    // directives keyed by this dispatch's spawn ordinal. A malformed plan
     // is a loud error — silently ignoring it would turn a typo'd fault test
-    // into a vacuous pass.
+    // into a vacuous pass. Pipe workers know their ordinal from argv before
+    // the job arrives; TCP workers learn it from the job frame, so their
+    // "exit" directive fires right after the read — either way the parent
+    // observes EOF before any response frame.
     const FaultPlan fault_plan = fault_plan_from_env();
-    const std::optional<FaultSpec> fault = fault_plan.for_spawn(spawn);
-    if (fault.has_value() && fault->mode == FaultMode::kExit) ::_exit(9);
+    std::optional<FaultSpec> fault;
+    if (cli_spawn.has_value()) {
+      fault = fault_plan.for_spawn(*cli_spawn);
+      if (fault.has_value() && fault->mode == FaultMode::kExit) ::_exit(9);
+    }
 
     std::optional<ShardFrame> frame = read_shard_frame(in_fd);
     if (!frame.has_value() || frame->type != ShardFrameType::kJob) {
       throw std::runtime_error("expected a job frame on stdin");
     }
     ShardJob job = decode_job(frame->payload);
+    if (!cli_spawn.has_value()) {
+      fault = fault_plan.for_spawn(job.spawn);
+      if (fault.has_value() && fault->mode == FaultMode::kExit) ::_exit(9);
+    }
 
     // Ack before the (possibly slow) netlist load: the supervisor's progress
     // deadline gets a byte to reset on, so a long load never reads as a
@@ -643,7 +505,10 @@ int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
       ::_exit(9);
     }
 
-    const Circuit circuit = load_netlist(netlist_spec);
+    const std::optional<Circuit> local =
+        preloaded == nullptr ? std::optional<Circuit>(load_netlist(netlist_spec))
+                             : std::nullopt;
+    const Circuit& circuit = preloaded != nullptr ? *preloaded : *local;
     const NetlistFingerprint fp = netlist_fingerprint(circuit);
     if (!(fp == job.fingerprint)) {
       // The classic foot-gun: a .bench reload is NOT node-id-identical to

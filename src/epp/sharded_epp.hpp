@@ -2,13 +2,16 @@
 //
 // sweep()/sweep_p_sensitized() partition the cone-cluster plan into N shards
 // (shard_plan.hpp — whole clusters, biggest mass first, the same cost model
-// the in-process work stealer uses) and fan them out to worker processes:
-// each worker is a `sereep worker --netlist=...` instance that loads the
-// netlist, receives its assignment over stdin (shard_protocol.hpp — the
-// parent's SP table travels with it, so workers never recompute SPs), sweeps
-// its sites with the batched engine, and streams SiteEpp records back over
-// stdout. The parent scatters every record into the caller's site order, so
-// the merged result is BIT-FOR-BIT identical to an in-process batched sweep
+// the in-process work stealer uses) and fan them out to worker processes
+// over a ShardTransport (shard_transport.hpp): pipes to locally-forked
+// `sereep worker --netlist=...` instances, or TCP connections to remote
+// `sereep worker --listen=PORT` hosts named in ShardOptions::hosts. Either
+// way each worker receives its assignment as one kJob frame
+// (shard_protocol.hpp — the parent's SP table travels with it, so workers
+// never recompute SPs), sweeps its sites with the batched engine, and
+// streams SiteEpp records back. The parent scatters every record into the
+// caller's site order, so the merged result is BIT-FOR-BIT identical to an
+// in-process batched sweep
 // — per-site values are pure functions of (circuit, SP, EPP options),
 // independent of clustering, threading and sharding; the engine-equivalence
 // tests pin this with EXPECT_EQ.
@@ -46,6 +49,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,13 +69,19 @@ class ShardedEppEngine final : public IEppEngine {
   /// really fan out, see every recovery the supervisor performed, and pin
   /// process hygiene (workers_reaped == workers_spawned on every completed
   /// sweep — the supervisor asserts it and tests re-assert through here).
+  /// Every field except the cumulative `sweeps` counter describes ONLY the
+  /// last sweep: run() resets them all in one place before dispatching, so
+  /// consecutive sweeps on the same engine/Session never accumulate
+  /// respawn or re-dispatch counts.
   struct Diagnostics {
-    std::size_t sweeps = 0;        ///< sweeps served so far
-    /// Processes forked by the last sweep — INCLUDING respawns, so on a
+    std::size_t sweeps = 0;        ///< sweeps served so far (cumulative)
+    /// Worker dispatches by the last sweep (processes forked on the pipe
+    /// transport, connections opened on TCP) — INCLUDING respawns, so on a
     /// clean sweep it equals the shard count and each respawn raises it.
     unsigned workers_spawned = 0;
-    /// Workers waited on (zombie-reaped) by the last sweep; equals
-    /// workers_spawned whenever the sweep returned (asserted internally).
+    /// Dispatches torn down (zombie-reaped / closed) by the last sweep;
+    /// equals workers_spawned whenever the sweep returned (asserted
+    /// internally).
     unsigned workers_reaped = 0;
     unsigned respawns = 0;           ///< retry re-dispatches performed
     unsigned deadline_expiries = 0;  ///< progress-deadline kills
@@ -81,6 +91,9 @@ class ShardedEppEngine final : public IEppEngine {
     std::size_t redispatched_sites = 0;
     std::vector<std::size_t> shard_sites;  ///< per-shard site counts
     bool in_process = false;  ///< last sweep ran without forking
+    /// Which ShardTransport the last sweep used: "pipe", "tcp", or
+    /// "in-process" when no transport was involved at all.
+    std::string transport = "in-process";
   };
 
   explicit ShardedEppEngine(const EngineContext& context);
@@ -123,6 +136,12 @@ class ShardedEppEngine final : public IEppEngine {
   [[nodiscard]] std::vector<SiteEpp> run_in_process(
       std::span<const NodeId> sites, unsigned threads, bool p_only);
 
+  /// The single per-sweep reset point for every non-cumulative Diagnostics
+  /// field — called by run() before dispatch so no path (sharded,
+  /// in-process, fallback, or a sweep that throws mid-flight) can leak a
+  /// previous sweep's counters into the next one's report.
+  void reset_sweep_diagnostics();
+
   [[nodiscard]] const ConeClusterPlanner* resolve_planner();
 
   const CompiledCircuit& compiled_;
@@ -140,17 +159,24 @@ class ShardedEppEngine final : public IEppEngine {
 };
 
 /// The worker side: reads one kJob frame from `in_fd`, acks it with a
-/// kProgress frame, loads `netlist_spec`, verifies the loaded circuit's
-/// fingerprint against the job's (kError naming both sides on mismatch),
-/// echoes its fingerprint in a kHello frame, computes the assigned sites
-/// with the batched engine, and streams kProgress/kResults/kDone frames to
-/// `out_fd` (kError + non-zero return on failure). `sereep worker
-/// --netlist=SPEC --spawn=N` is a thin wrapper over this. `spawn` is the
-/// parent's spawn ordinal for this process — the SEREEP_FAULT_PLAN
-/// environment variable (src/epp/fault_plan.hpp) keys structured fault
-/// injection off it, so tests can target "the first worker" vs "the retry
-/// worker" deterministically.
-int run_shard_worker(const std::string& netlist_spec, unsigned spawn,
-                     int in_fd, int out_fd);
+/// kProgress frame, loads `netlist_spec` (or reuses `preloaded` — the TCP
+/// accept loop parses once and forks per connection), verifies the loaded
+/// circuit's fingerprint against the job's (kError naming both sides on
+/// mismatch), echoes its fingerprint in a kHello frame, computes the
+/// assigned sites with the batched engine, and streams
+/// kProgress/kResults/kDone frames to `out_fd` (kError + non-zero return on
+/// failure). `sereep worker --netlist=SPEC --spawn=N` is a thin wrapper
+/// over this; `sereep worker --listen=PORT` serves it per connection.
+///
+/// The dispatch ordinal keys SEREEP_FAULT_PLAN (src/epp/fault_plan.hpp)
+/// structured fault injection, so tests can target "the first worker" vs
+/// "the retry worker" deterministically. Pipe workers get it as `cli_spawn`
+/// (argv, known before the job arrives — an "exit" directive dies before
+/// reading anything); TCP workers pass nullopt and take it from the job
+/// frame, where "exit" dies right after the read, before any response —
+/// observably identical to the parent (EOF before any frame).
+int run_shard_worker(const std::string& netlist_spec,
+                     std::optional<unsigned> cli_spawn, int in_fd, int out_fd,
+                     const Circuit* preloaded = nullptr);
 
 }  // namespace sereep

@@ -1,0 +1,126 @@
+#include "src/serve/serve_protocol.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace sereep {
+
+namespace {
+
+// Same little-endian byte discipline as the shard job codec: integers are
+// fixed width, the double travels as its IEEE u64 bit pattern, strings are
+// u32 length + raw bytes.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string string(const char* what) {
+    const std::uint32_t len = u32();
+    if (len > kMaxServeStringBytes) {
+      throw std::runtime_error("serve request: " + std::string(what) +
+                               " length " + std::to_string(len) +
+                               " exceeds the " +
+                               std::to_string(kMaxServeStringBytes) +
+                               "-byte bound");
+    }
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw std::runtime_error("serve request: truncated payload");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const ServeRequest& r) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(r.kind));
+  put_u64(out, std::bit_cast<std::uint64_t>(r.target));
+  put_string(out, r.netlist);
+  put_string(out, r.node);
+  return out;
+}
+
+ServeRequest decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ServeRequest req;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(ServeRequestKind::kSweepCsv):
+    case static_cast<std::uint8_t>(ServeRequestKind::kSerCsv):
+    case static_cast<std::uint8_t>(ServeRequestKind::kHardenText):
+    case static_cast<std::uint8_t>(ServeRequestKind::kPSensitized):
+      req.kind = static_cast<ServeRequestKind>(kind);
+      break;
+    default:
+      throw std::runtime_error("serve request: unknown request kind " +
+                               std::to_string(kind));
+  }
+  req.target = std::bit_cast<double>(r.u64());
+  req.netlist = r.string("netlist spec");
+  req.node = r.string("node name");
+  if (!r.exhausted()) {
+    throw std::runtime_error("serve request: trailing bytes after request");
+  }
+  if (req.netlist.empty()) {
+    throw std::runtime_error("serve request: empty netlist spec");
+  }
+  return req;
+}
+
+}  // namespace sereep

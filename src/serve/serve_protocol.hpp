@@ -1,0 +1,71 @@
+// `sereep serve` request codec — one analysis request per kRequest frame.
+//
+// The serve daemon (server.hpp) reuses the shard wire format
+// (src/epp/shard_protocol.hpp: magic + version + type + length + CRC
+// framing) and adds exactly one request payload shape and one response
+// convention on top:
+//
+//   client -> server   kRequest    one ServeRequest (this codec)
+//   server -> client   kResponse   the RAW BYTES of the rendering the
+//                                  in-process Session would produce —
+//                                  sweep_csv() / ser_csv() / harden_text()
+//                                  verbatim, so a served response is
+//                                  byte-identical to a local run by
+//                                  construction (the loopback tests cmp it)
+//   server -> client   kError      human-readable failure message
+//
+// Requests are UNTRUSTED input: decode_request() bounds every length field
+// and names the defect in its exception, and the server reads frames with a
+// tight max_payload so a hostile declared length can never drive a huge
+// allocation. A connection carries any number of requests in sequence;
+// framing-level garbage closes it, semantic errors (unknown netlist / node)
+// only fail the one request.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sereep {
+
+/// Which rendering the client wants. Values are wire-stable.
+enum class ServeRequestKind : std::uint8_t {
+  kSweepCsv = 1,    ///< Session::sweep_csv()   — node,type,p_sensitized rows
+  kSerCsv = 2,      ///< Session::ser_csv()     — full SER rows
+  kHardenText = 3,  ///< Session::harden_text(target) — hardening-plan text
+  kPSensitized = 4, ///< one site's P_sensitized, "%.17g\n" (needs `node`)
+};
+
+/// One request. `netlist` is anything load_netlist() accepts (embedded name
+/// or a path VISIBLE TO THE SERVER — the netlist travels by reference, not
+/// by value). `target` is read only by kHardenText, `node` only by
+/// kPSensitized.
+struct ServeRequest {
+  ServeRequestKind kind = ServeRequestKind::kSweepCsv;
+  std::string netlist;
+  double target = 0.5;
+  std::string node;
+};
+
+/// Tight per-frame payload bound the server passes to read_shard_frame():
+/// a request is a kind byte, a double, and two short strings — 1 MiB is
+/// already generous by three orders of magnitude.
+inline constexpr std::uint64_t kMaxServeRequestPayload = std::uint64_t{1}
+                                                         << 20;
+
+/// Longest netlist spec / node name decode_request() accepts. Paths and
+/// gate names are short; a longer field is a malformed or hostile frame.
+inline constexpr std::uint64_t kMaxServeStringBytes = 4096;
+
+/// Payload bytes for a kRequest frame (no header — write_shard_frame adds
+/// it).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const ServeRequest& r);
+
+/// Decodes a kRequest payload. Throws std::runtime_error naming the defect
+/// (truncation, trailing bytes, unknown kind, over-long string field) — the
+/// server turns that into a kError frame and closes the connection.
+[[nodiscard]] ServeRequest decode_request(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace sereep

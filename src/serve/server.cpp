@@ -1,0 +1,208 @@
+#include "src/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sereep/options.hpp"
+#include "sereep/session.hpp"
+#include "src/epp/shard_protocol.hpp"
+#include "src/serve/serve_protocol.hpp"
+#include "src/util/net.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// One hot Session plus the mutex that serializes computation on it —
+/// Sessions memoize through non-thread-safe lazy builders, so concurrent
+/// clients of the SAME netlist must take turns (different netlists don't).
+struct CachedSession {
+  explicit CachedSession(Session s) : session(std::move(s)) {}
+  std::mutex mutex;
+  Session session;
+};
+
+/// LRU of open Sessions keyed by netlist spec. Capacity is small (the
+/// --sessions flag, default 8), so lookup is a linear scan — a hash map
+/// over a handful of entries would buy nothing.
+class SessionCache {
+ public:
+  SessionCache(std::size_t capacity, unsigned threads)
+      : capacity_(capacity == 0 ? 1 : capacity), threads_(threads) {}
+
+  /// The cached Session for `spec`, building (and caching) it on miss.
+  /// Construction runs OUTSIDE the cache lock; the insert re-checks so a
+  /// racing builder adopts the first winner. Eviction only drops the
+  /// cache's reference — in-flight requests hold their own shared_ptr, so
+  /// an evicted Session dies when its last computation finishes.
+  std::shared_ptr<CachedSession> get(const std::string& spec) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (std::shared_ptr<CachedSession> hit = find_locked(spec)) return hit;
+    }
+    Options options;
+    options.threads = threads_;
+    auto built = std::make_shared<CachedSession>(Session::open(spec, options));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (std::shared_ptr<CachedSession> hit = find_locked(spec)) return hit;
+    lru_.emplace_front(spec, built);
+    if (lru_.size() > capacity_) lru_.pop_back();
+    return built;
+  }
+
+ private:
+  std::shared_ptr<CachedSession> find_locked(const std::string& spec) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->first == spec) {
+        lru_.splice(lru_.begin(), lru_, it);
+        return it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  std::mutex mutex_;
+  const std::size_t capacity_;
+  const unsigned threads_;
+  std::list<std::pair<std::string, std::shared_ptr<CachedSession>>> lru_;
+};
+
+/// Best-effort kError; the peer may already be gone (EPIPE), which is fine —
+/// the error was for its benefit, not ours.
+void send_error(int fd, const std::string& message) {
+  try {
+    const std::vector<std::uint8_t> bytes(message.begin(), message.end());
+    write_shard_frame(fd, ShardFrameType::kError, bytes);
+  } catch (...) {
+  }
+}
+
+/// The response body for one request — EXACTLY the bytes the in-process
+/// Session rendering produces (the loopback differential tests cmp this
+/// against local output). Throws on semantic failure (unknown node, invalid
+/// target); the caller turns that into kError without closing.
+std::string render(CachedSession& cached, const ServeRequest& req) {
+  const std::lock_guard<std::mutex> lock(cached.mutex);
+  Session& session = cached.session;
+  switch (req.kind) {
+    case ServeRequestKind::kSweepCsv:
+      return session.sweep_csv();
+    case ServeRequestKind::kSerCsv:
+      return session.ser_csv();
+    case ServeRequestKind::kHardenText:
+      return session.harden_text(req.target);
+    case ServeRequestKind::kPSensitized: {
+      const std::optional<NodeId> site = session.find(req.node);
+      if (!site) {
+        throw std::runtime_error("unknown node '" + req.node + "'");
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g\n", session.p_sensitized(*site));
+      return buf;
+    }
+  }
+  throw std::runtime_error("unhandled request kind");
+}
+
+void handle_connection(int fd, SessionCache& cache, unsigned timeout_ms) {
+  for (;;) {
+    std::optional<ShardFrame> frame;
+    try {
+      frame = read_shard_frame(fd, static_cast<int>(timeout_ms),
+                               kMaxServeRequestPayload);
+    } catch (const std::exception& e) {
+      // Framing-level garbage or an idle deadline: the stream can no longer
+      // be trusted to be at a frame boundary, so name the cause and close.
+      send_error(fd, std::string("serve: ") + e.what());
+      break;
+    }
+    if (!frame) break;  // clean EOF — client hung up between requests
+    if (frame->type != ShardFrameType::kRequest) {
+      send_error(fd, "serve: expected a kRequest frame, got type " +
+                         std::to_string(static_cast<unsigned>(frame->type)));
+      break;
+    }
+    ServeRequest req;
+    try {
+      req = decode_request(frame->payload);
+    } catch (const std::exception& e) {
+      send_error(fd, std::string("serve: ") + e.what());
+      break;
+    }
+    std::string body;
+    try {
+      const std::shared_ptr<CachedSession> cached = cache.get(req.netlist);
+      body = render(*cached, req);
+    } catch (const std::exception& e) {
+      // Semantic failure — this request loses, the connection survives.
+      send_error(fd, std::string("serve: ") + e.what());
+      continue;
+    }
+    try {
+      write_shard_frame(
+          fd, ShardFrameType::kResponse,
+          std::span(reinterpret_cast<const std::uint8_t*>(body.data()),
+                    body.size()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sereep serve: response write failed: %s\n",
+                   e.what());
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int run_serve(const ServeConfig& config) {
+  // A client that disconnects mid-response must surface as EPIPE from the
+  // frame writer, not kill the whole daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int listen_fd = -1;
+  try {
+    listen_fd = tcp_listen(config.bind, config.port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sereep serve: %s\n", e.what());
+    return 1;
+  }
+  const std::uint16_t port = tcp_local_port(listen_fd);
+  // Tests and scripts parse this exact line for the ephemeral port.
+  std::printf("sereep serve listening on %s:%u\n", config.bind.c_str(),
+              static_cast<unsigned>(port));
+  std::fflush(stdout);
+
+  auto cache =
+      std::make_shared<SessionCache>(config.max_sessions, config.threads);
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "sereep serve: accept failed: %s\n",
+                   std::strerror(errno));
+      ::close(listen_fd);
+      return 1;
+    }
+    std::thread([conn, cache, timeout = config.request_timeout_ms] {
+      handle_connection(conn, *cache, timeout);
+    }).detach();
+  }
+}
+
+}  // namespace sereep

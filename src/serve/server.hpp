@@ -1,0 +1,62 @@
+// `sereep serve` — a long-lived analysis daemon holding hot Sessions.
+//
+// A Session's expensive artifacts (compiled view, SP table, cluster plan,
+// engine) are memoized per netlist; the CLI rebuilds them from scratch on
+// every invocation. The serve daemon amortizes that: it keeps an LRU-bounded
+// cache of open Sessions keyed by netlist spec and answers sweep / SER /
+// harden / per-site requests over the shard wire framing
+// (src/serve/serve_protocol.hpp), so repeated queries against the same
+// design pay the build cost once. Responses are the raw bytes of the same
+// renderings the in-process Session produces — byte-identical by
+// construction, pinned by the loopback differential tests (tests/serve/).
+//
+// Concurrency model: one detached thread per accepted connection. The cache
+// mutex is held only for lookup / insert / evict; each cached Session has
+// its OWN mutex held for the duration of one computation, so two clients
+// querying DIFFERENT netlists compute concurrently while two querying the
+// same netlist serialize (a Session is not internally thread-safe). Session
+// construction happens OUTSIDE the cache lock (it can take seconds on a big
+// design), with a re-check on insert so a racing builder adopts the winner
+// instead of double-caching.
+//
+// Failure handling mirrors the supervisor's loud-error discipline:
+//   - framing-level garbage (bad magic/version, implausible length, CRC
+//     mismatch, truncated frame, non-kRequest type, malformed request
+//     payload) -> best-effort kError naming the cause, then CLOSE the
+//     connection — the stream can no longer be trusted;
+//   - semantic errors (unloadable netlist, unknown node, invalid target)
+//     -> kError naming the cause, connection STAYS OPEN for more requests;
+//   - a connection idle past request_timeout_ms is closed (bounded-resource
+//     rule — the protocol-fuzz suite hammers all of these).
+//
+// SECURITY: the protocol is unauthenticated and the netlist field names
+// paths the SERVER will open. Bind to loopback (the default) or run only on
+// trusted networks. See README.md "Distributed & server mode".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sereep {
+
+/// `sereep serve` configuration (the --port/--bind/--sessions/--threads/
+/// --request-timeout-ms flags).
+struct ServeConfig {
+  std::string bind = "127.0.0.1";  ///< loopback by default — see SECURITY
+  std::uint16_t port = 0;          ///< 0 = kernel-chosen ephemeral
+  /// LRU capacity of the Session cache: the N most recently requested
+  /// netlists stay hot; the N+1st request evicts the coldest.
+  std::size_t max_sessions = 8;
+  unsigned threads = 1;  ///< Options::threads for every cached Session
+  /// Per-connection inter-byte read deadline AND idle cap, milliseconds.
+  /// 0 disables (a debugger-friendly foot-gun; the CLI default is 10 s).
+  unsigned request_timeout_ms = 10'000;
+};
+
+/// Binds `config.bind:config.port`, prints
+/// "sereep serve listening on HOST:PORT\n" to stdout (the line tests and
+/// scripts parse for the ephemeral port), then accepts connections forever.
+/// Returns only on a fatal setup error (non-zero), logging to stderr.
+int run_serve(const ServeConfig& config);
+
+}  // namespace sereep

@@ -1,0 +1,155 @@
+#include "src/util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sereep {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+HostPort parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("host spec '" + spec +
+                                "' is not of the form host:port");
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  if (hp.host.empty()) {
+    throw std::invalid_argument("host spec '" + spec + "' has an empty host");
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("host spec '" + spec +
+                                "' has a non-numeric port");
+  }
+  const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+  if (port < 1 || port > 65535) {
+    throw std::invalid_argument("host spec '" + spec +
+                                "' port is out of range (1..65535)");
+  }
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+int tcp_listen(const std::string& bind_addr, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  set_cloexec(fd);
+  // Restarted daemons must be able to rebind the port while old connections
+  // linger in TIME_WAIT.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp: bind address '" + bind_addr +
+                             "' is not a valid IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind " + bind_addr + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("listen");
+  }
+  return fd;
+}
+
+std::uint16_t tcp_local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                   &res);
+      rc != 0) {
+    throw std::runtime_error("tcp: resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  std::string last_error = "no addresses";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    set_cloexec(fd);
+    // Non-blocking connect + poll bounds the handshake: a blackholed host
+    // must surface as a named deadline failure (retryable by the shard
+    // supervisor), never an indefinite hang inside a sweep.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc < 0 && errno == EINPROGRESS) {
+      struct pollfd pfd = {.fd = fd, .events = POLLOUT, .revents = 0};
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        ::close(fd);
+        last_error = "connect deadline (" + std::to_string(timeout_ms) +
+                     " ms) expired";
+        continue;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof err;
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+          err != 0) {
+        ::close(fd);
+        last_error = std::string("connect: ") +
+                     std::strerror(err != 0 ? err : errno);
+        continue;
+      }
+    } else if (rc < 0) {
+      ::close(fd);
+      last_error = std::string("connect: ") + std::strerror(errno);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for frame I/O
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("tcp: connect " + host + ":" + port_str + ": " +
+                           last_error);
+}
+
+}  // namespace sereep

@@ -107,6 +107,7 @@ TEST(ShardProtocol, JobRoundTripsExactly) {
   job.p_only = true;
   job.fingerprint = {.nodes = 12345, .digest = 0x1122334455667788};
   job.sp = {0.0, 1.0, 0.5, 0.123456789012345678, 1e-300};
+  job.spawn = 41;
   job.sites = {3, 1, 4, 1'000'000};
   const ShardJob back = decode_job(encode_job(job));
   EXPECT_EQ(back.epp.track_polarity, job.epp.track_polarity);
@@ -116,6 +117,7 @@ TEST(ShardProtocol, JobRoundTripsExactly) {
   EXPECT_EQ(back.p_only, job.p_only);
   EXPECT_EQ(back.fingerprint, job.fingerprint);
   EXPECT_EQ(back.sp, job.sp);
+  EXPECT_EQ(back.spawn, job.spawn);
   EXPECT_EQ(back.sites, job.sites);
 }
 
@@ -177,9 +179,10 @@ TEST(ShardProtocol, SplitJobEncodingEqualsOneShot) {
   ShardJob job;
   job.threads = 3;
   job.sp = {0.25, 0.75, 0.5};
+  job.spawn = 5;
   job.sites = {2, 0, 1};
   std::vector<std::uint8_t> split = encode_job_prefix(job);
-  append_job_sites(split, job.sites);
+  append_job_dispatch(split, job.spawn, job.sites);
   EXPECT_EQ(split, encode_job(job));
 }
 
@@ -237,7 +240,7 @@ TEST(ShardProtocol, GarbageAndMidFrameEofThrow) {
   ::close(fds[0]);
 
   ASSERT_EQ(::pipe(fds), 0);
-  std::uint8_t header[16] = {};
+  std::uint8_t header[20] = {};
   header[0] = 0x46;  // kShardMagic little-endian first byte
   header[1] = 0x50;
   header[2] = 0x52;
@@ -249,6 +252,70 @@ TEST(ShardProtocol, GarbageAndMidFrameEofThrow) {
             static_cast<ssize_t>(sizeof header));
   ::close(fds[1]);
   EXPECT_THROW((void)read_shard_frame(fds[0]), std::runtime_error);
+  ::close(fds[0]);
+}
+
+TEST(ShardProtocol, CorruptedPayloadFailsTheCrcCheck) {
+  // Flip one payload bit behind an otherwise valid v3 frame: the reader
+  // must reject it by CRC, naming the cause — silent acceptance would let
+  // a flaky transport corrupt merged sweep values undetected.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_shard_frame(fds[1], ShardFrameType::kDone, encode_done(3));
+  ::close(fds[1]);
+  std::vector<std::uint8_t> stream(20 + 8);
+  ASSERT_EQ(::read(fds[0], stream.data(), stream.size()),
+            static_cast<ssize_t>(stream.size()));
+  ::close(fds[0]);
+  stream[20] ^= 0x01;  // first payload byte
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], stream.data(), stream.size()),
+            static_cast<ssize_t>(stream.size()));
+  ::close(fds[1]);
+  try {
+    (void)read_shard_frame(fds[0]);
+    FAIL() << "corrupted payload was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+  ::close(fds[0]);
+}
+
+TEST(ShardProtocol, Crc32MatchesKnownVector) {
+  // The classic check value: CRC-32("123456789") = 0xcbf43926. Pins the
+  // polynomial and reflection conventions so both ends always agree.
+  const std::string check = "123456789";
+  EXPECT_EQ(shard_crc32(std::span(
+                reinterpret_cast<const std::uint8_t*>(check.data()),
+                check.size())),
+            0xcbf43926u);
+  EXPECT_EQ(shard_crc32({}), 0u);
+}
+
+TEST(ShardProtocol, OversizedDeclaredLengthRespectsCallerBound) {
+  // A server reading untrusted requests passes a tight max_payload; a
+  // declared length past it must throw BEFORE any allocation or payload
+  // read (the frame below has no payload bytes at all).
+  std::vector<std::uint8_t> frame;
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    write_shard_frame(fds[1], ShardFrameType::kRequest,
+                      std::vector<std::uint8_t>(64));
+    ::close(fds[1]);
+    frame.resize(20 + 64);
+    ASSERT_EQ(::read(fds[0], frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    ::close(fds[0]);
+  }
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ::close(fds[1]);
+  EXPECT_THROW((void)read_shard_frame(fds[0], 0, /*max_payload=*/16),
+               std::runtime_error);
   ::close(fds[0]);
 }
 
@@ -715,6 +782,38 @@ TEST(ShardedRetry, FaultScheduleFuzzStaysBitIdentical) {
     }
     expect_reap_hygiene(sharded.shard_diagnostics());
   }
+}
+
+TEST(ShardedRetry, DiagnosticsResetBetweenSweepsOnOneSession) {
+  // Two sweeps on the SAME Session: the first recovers from a worker death
+  // (respawns >= 1), the second runs clean. Every per-sweep counter must
+  // describe ONLY the last sweep — a second report still showing the first
+  // sweep's respawns would make a healthy fleet look like it is dying. Only
+  // the cumulative `sweeps` counter may grow.
+  Session sharded = Session::open("s953", retry_options(2, 2));
+  {
+    FaultPlanEnv env("0:exit");
+    (void)sharded.sweep();
+  }
+  const ShardedEppEngine::Diagnostics* diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->sweeps, 1u);
+  EXPECT_GE(diag->respawns, 1u);
+  EXPECT_GT(diag->redispatched_sites, 0u);
+  const unsigned faulted_spawns = diag->workers_spawned;
+
+  (void)sharded.sweep();  // no fault plan in the environment now
+  diag = sharded.shard_diagnostics();
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->sweeps, 2u) << "sweeps is the one cumulative counter";
+  EXPECT_EQ(diag->respawns, 0u) << "stale respawns leaked across sweeps";
+  EXPECT_EQ(diag->redispatched_sites, 0u);
+  EXPECT_EQ(diag->deadline_expiries, 0u);
+  EXPECT_EQ(diag->degraded_shards, 0u);
+  EXPECT_EQ(diag->transport, "pipe");
+  EXPECT_LT(diag->workers_spawned, faulted_spawns)
+      << "a clean sweep spawns exactly the shard fleet, no respawns";
+  expect_reap_hygiene(diag);
 }
 
 }  // namespace

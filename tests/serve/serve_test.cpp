@@ -1,0 +1,236 @@
+// `sereep serve` loopback differential tests — a REAL daemon process on an
+// ephemeral 127.0.0.1 port, pinned byte-for-byte against the in-process
+// Session renderings.
+//
+// The serve contract is the transport-level twin of the engine-equivalence
+// contract: a kResponse body IS the string the local Session would have
+// produced — sweep_csv() / ser_csv() / harden_text() / "%.17g\n" of
+// p_sensitized — with no tolerance, because the daemon calls exactly those
+// renderings on a cached Session. These tests also pin the connection
+// semantics: one connection serves many requests, semantic errors (bad
+// netlist, unknown node) answer kError WITHOUT closing, LRU eviction at
+// --sessions=1 is invisible to correctness, and concurrent clients are
+// served without cross-talk. The framing-garbage half lives in
+// serve_fuzz_test.cpp.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sereep/sereep.hpp"
+#include "src/epp/shard_protocol.hpp"
+#include "src/serve/serve_protocol.hpp"
+#include "src/util/net.hpp"
+#include "src/util/subprocess.hpp"
+
+namespace sereep {
+namespace {
+
+struct ServeDaemon {
+  ChildProcess proc;
+  std::uint16_t port = 0;
+};
+
+ServeDaemon start_serve(const std::vector<std::string>& extra_flags = {}) {
+  std::vector<std::string> argv = {SEREEP_CLI_PATH, "serve", "--port=0"};
+  argv.insert(argv.end(), extra_flags.begin(), extra_flags.end());
+  ChildProcess proc = ChildProcess::spawn(argv);
+  const std::uint16_t port = parse_listening_port(proc.read_stdout_line());
+  return {std::move(proc), port};
+}
+
+/// An open client connection speaking the request protocol.
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : fd_(tcp_connect("127.0.0.1", port, /*timeout_ms=*/10'000)) {}
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request, returns the reply frame (nullopt = server closed).
+  std::optional<ShardFrame> round_trip(const ServeRequest& req) {
+    write_shard_frame(fd_, ShardFrameType::kRequest, encode_request(req));
+    return read_shard_frame(fd_, /*timeout_ms=*/30'000);
+  }
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+std::string body_of(const std::optional<ShardFrame>& frame) {
+  if (!frame) return {};
+  return std::string(reinterpret_cast<const char*>(frame->payload.data()),
+                     frame->payload.size());
+}
+
+ServeRequest make_request(ServeRequestKind kind, const std::string& netlist,
+                          double target = 0.5, const std::string& node = "") {
+  ServeRequest req;
+  req.kind = kind;
+  req.netlist = netlist;
+  req.target = target;
+  req.node = node;
+  return req;
+}
+
+void expect_response(Client& client, const ServeRequest& req,
+                     const std::string& want, const char* label) {
+  const std::optional<ShardFrame> reply = client.round_trip(req);
+  ASSERT_TRUE(reply.has_value()) << label;
+  ASSERT_EQ(reply->type, ShardFrameType::kResponse)
+      << label << ": " << body_of(reply);
+  EXPECT_EQ(body_of(reply), want) << label;
+}
+
+TEST(Serve, ResponsesByteIdenticalToInProcessRenderings) {
+  // The acceptance bar: every request kind, on c17 and s27, answers with
+  // EXACTLY the bytes the in-process Session produces.
+  ServeDaemon daemon = start_serve();
+  for (const char* name : {"c17", "s27"}) {
+    Session local = Session::open(name);
+    Client client(daemon.port);
+    expect_response(client,
+                    make_request(ServeRequestKind::kSweepCsv, name),
+                    local.sweep_csv(), name);
+    expect_response(client, make_request(ServeRequestKind::kSerCsv, name),
+                    local.ser_csv(), name);
+    expect_response(client,
+                    make_request(ServeRequestKind::kHardenText, name, 0.4),
+                    local.harden_text(0.4), name);
+    const NodeId site = local.sites().front();
+    char want[64];
+    std::snprintf(want, sizeof want, "%.17g\n", local.p_sensitized(site));
+    expect_response(client,
+                    make_request(ServeRequestKind::kPSensitized, name, 0.5,
+                                 local.circuit().node(site).name),
+                    want, name);
+  }
+}
+
+TEST(Serve, OneConnectionServesManyRequestsAndRepeatsAreStable) {
+  // The whole point of the daemon is amortization: the SECOND sweep of the
+  // same netlist hits the cached Session. Repeats must be byte-identical to
+  // the first answer (and to the local rendering) — a cache that drifted
+  // would be worse than no cache.
+  ServeDaemon daemon = start_serve();
+  Session local = Session::open("s27");
+  const std::string want = local.sweep_csv();
+  Client client(daemon.port);
+  for (int i = 0; i < 3; ++i) {
+    expect_response(client, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                    want, "repeat");
+  }
+  // A fresh connection sees the same cached Session.
+  Client second(daemon.port);
+  expect_response(second, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                  want, "second connection");
+}
+
+TEST(Serve, SemanticErrorsAnswerKErrorAndKeepTheConnection) {
+  ServeDaemon daemon = start_serve();
+  Client client(daemon.port);
+
+  // Unloadable netlist: kError naming it, connection survives.
+  std::optional<ShardFrame> reply = client.round_trip(
+      make_request(ServeRequestKind::kSweepCsv, "/no/such/netlist.bench"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, ShardFrameType::kError);
+
+  // Unknown node: same contract.
+  reply = client.round_trip(
+      make_request(ServeRequestKind::kPSensitized, "c17", 0.5, "nope"));
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, ShardFrameType::kError);
+  EXPECT_NE(body_of(reply).find("unknown node 'nope'"), std::string::npos)
+      << body_of(reply);
+
+  // The SAME connection still serves a valid request afterwards.
+  Session local = Session::open("c17");
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  local.sweep_csv(), "after semantic errors");
+}
+
+TEST(Serve, LruEvictionAtOneSessionStaysCorrect) {
+  // --sessions=1: requesting c17, then s27 (evicts c17), then c17 again
+  // (rebuilds it) — eviction must be invisible in the bytes.
+  ServeDaemon daemon = start_serve({"--sessions=1"});
+  Session c17 = Session::open("c17");
+  Session s27 = Session::open("s27");
+  Client client(daemon.port);
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  c17.sweep_csv(), "first c17");
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                  s27.sweep_csv(), "s27 evicts c17");
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  c17.sweep_csv(), "c17 rebuilt after eviction");
+}
+
+TEST(Serve, ConcurrentClientsGetIndependentCorrectAnswers) {
+  // A second client connecting WHILE another one's request computes must be
+  // accepted and answered — different netlists compute concurrently, the
+  // same netlist serializes on its Session mutex; either way the bytes
+  // must not interleave or cross connections.
+  ServeDaemon daemon = start_serve();
+  Session c17 = Session::open("c17");
+  Session s27 = Session::open("s27");
+  const std::string want_c17 = c17.sweep_csv();
+  const std::string want_s27 = s27.ser_csv();
+
+  std::vector<std::string> got_a(4);
+  std::vector<std::string> got_b(4);
+  std::thread other([&] {
+    Client client(daemon.port);
+    for (auto& slot : got_b) {
+      const auto reply =
+          client.round_trip(make_request(ServeRequestKind::kSerCsv, "s27"));
+      ASSERT_TRUE(reply.has_value());
+      ASSERT_EQ(reply->type, ShardFrameType::kResponse);
+      slot = body_of(reply);
+    }
+  });
+  Client client(daemon.port);
+  for (auto& slot : got_a) {
+    const auto reply =
+        client.round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, ShardFrameType::kResponse);
+    slot = body_of(reply);
+  }
+  other.join();
+  for (const std::string& got : got_a) EXPECT_EQ(got, want_c17);
+  for (const std::string& got : got_b) EXPECT_EQ(got, want_s27);
+}
+
+TEST(Serve, NonRequestFrameTypeAnswersKErrorAndCloses) {
+  // A well-framed but wrong-typed frame is a protocol violation: the server
+  // names it and closes (the stream's intent can no longer be trusted).
+  ServeDaemon daemon = start_serve();
+  Client client(daemon.port);
+  write_shard_frame(client.fd(), ShardFrameType::kDone, encode_done(0));
+  const std::optional<ShardFrame> reply =
+      read_shard_frame(client.fd(), /*timeout_ms=*/10'000);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, ShardFrameType::kError);
+  EXPECT_NE(body_of(reply).find("expected a kRequest"), std::string::npos)
+      << body_of(reply);
+  EXPECT_EQ(read_shard_frame(client.fd(), /*timeout_ms=*/10'000),
+            std::nullopt)
+      << "the connection must be closed after a protocol violation";
+  // The daemon itself keeps serving.
+  Session local = Session::open("c17");
+  Client next(daemon.port);
+  expect_response(next, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  local.sweep_csv(), "after protocol violation");
+}
+
+}  // namespace
+}  // namespace sereep

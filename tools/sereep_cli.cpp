@@ -17,13 +17,22 @@
 //   sereep report  <netlist> [--validate] [--seq-sp] [--o=report.md]
 //   sereep gen     [--profile=s953] [--seed=N] [--o=out.bench]
 //   sereep engines                               registered EPP engines
+//   sereep worker  --netlist=SPEC --listen=PORT [--bind=ADDR]
+//                                                remote TCP shard worker
+//   sereep serve   [--port=P] [--bind=ADDR] [--sessions=N] [--threads=N]
+//                  [--request-timeout-ms=N]      hot-Session daemon
+//   sereep client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT
+//                  [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]
 //
 // --engine=E takes any key registered in sereep::EngineRegistry
 // ("reference", "compiled", "batched", "sharded" built in; all bit-for-bit
 // equal). --engine=sharded fans sweeps out across --shards worker PROCESSES;
 // the workers are `sereep worker --netlist=SPEC` instances of this same
 // binary — a hidden subcommand that reads its assignment from stdin and
-// streams results to stdout (src/epp/shard_protocol.hpp).
+// streams results to stdout (src/epp/shard_protocol.hpp). With
+// --shard-hosts=host:port,... the same sweeps dispatch over TCP to remote
+// `sereep worker --listen=PORT` processes instead of forking locally
+// (src/epp/shard_transport.hpp — unauthenticated, trusted networks only).
 // Netlists are read as ISCAS .bench (default) or structural Verilog when the
 // file ends in .v; embedded circuit names (c17, s27, s953, ...) work
 // anywhere a path is accepted.
@@ -42,6 +51,7 @@
 
 #include "bench/common.hpp"
 #include "sereep/sereep.hpp"
+#include "src/epp/shard_transport.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/generator.hpp"
@@ -49,8 +59,11 @@
 #include "src/netlist/verilog_io.hpp"
 #include "src/report/report.hpp"
 #include "src/ser/tmr.hpp"
+#include "src/serve/serve_protocol.hpp"
+#include "src/serve/server.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/util/exe_path.hpp"
+#include "src/util/net.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -111,6 +124,33 @@ std::optional<Options> analysis_options(const bench::Flags& flags,
   // actionable message rather than exec'ing a guess.
   opt.shard.shards = static_cast<unsigned>(*shards);
   opt.shard.worker_path = self_exe_path();
+  if (flags.has("shard-hosts")) {
+    // Remote TCP workers: a comma-separated host:port list. Each entry is
+    // validated HERE (and again by Options::validate()) so a typo is a
+    // usage diagnostic before anything connects.
+    const std::string spec = flags.get("shard-hosts", "");
+    for (std::string_view entry : split(spec, ',')) {
+      entry = trim(entry);
+      if (entry.empty()) {
+        std::fprintf(stderr,
+                     "error: --shard-hosts has an empty entry "
+                     "(expected host:port,host:port,...)\n");
+        return std::nullopt;
+      }
+      try {
+        (void)parse_host_port(std::string(entry));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: --shard-hosts: %s\n", e.what());
+        return std::nullopt;
+      }
+      opt.shard.hosts.emplace_back(entry);
+    }
+    if (opt.shard.hosts.empty()) {
+      std::fprintf(stderr, "error: --shard-hosts must name at least one "
+                           "host:port\n");
+      return std::nullopt;
+    }
+  }
   const std::optional<long> shard_retries =
       checked_int(flags, "shard-retries", opt.shard.retry.retries, 0,
                   Options::kMaxShardRetries);
@@ -324,8 +364,8 @@ int cmd_sweep(const std::string& path, const bench::Flags& flags) {
         if (!sizes.empty()) sizes += "+";
         sizes += std::to_string(n);
       }
-      std::printf("sharded across %u worker processes (%s sites)\n",
-                  d->workers_spawned, sizes.c_str());
+      std::printf("sharded across %u workers over %s (%s sites)\n",
+                  d->workers_spawned, d->transport.c_str(), sizes.c_str());
       if (d->respawns > 0 || d->degraded_shards > 0) {
         // Recovery happened: the sweep is complete and bit-identical, but a
         // deployment should know its workers are dying.
@@ -457,18 +497,31 @@ int cmd_engines() {
   return 0;
 }
 
-/// Hidden worker mode: `sereep worker --netlist=SPEC --spawn=N`. One shard
-/// of a sharded sweep — reads the kJob frame from stdin, streams
-/// kHello/kProgress/kResults/kDone to stdout (src/epp/shard_protocol.hpp).
-/// --spawn is the parent's spawn ordinal, the key SEREEP_FAULT_PLAN fault
-/// directives (src/epp/fault_plan.hpp) target workers by. Spawned by the
-/// sharded engine; not listed in usage() because nothing a human types at
-/// it is useful.
+/// Worker mode. Pipe flavor (`sereep worker --netlist=SPEC --spawn=N`,
+/// spawned by the sharded engine itself): one shard of one sweep — reads
+/// the kJob frame from stdin, streams kHello/kProgress/kResults/kDone to
+/// stdout (src/epp/shard_protocol.hpp), exits. --spawn is the parent's
+/// dispatch ordinal, the key SEREEP_FAULT_PLAN fault directives
+/// (src/epp/fault_plan.hpp) target workers by.
+///
+/// TCP flavor (`sereep worker --netlist=SPEC --listen=PORT [--bind=ADDR]`,
+/// started BY A HUMAN on each worker machine): loads the netlist once,
+/// listens forever, and serves one shard job per accepted connection
+/// (fork-per-connection; the dispatch ordinal arrives in-band in the job).
+/// Parents reach it via --shard-hosts=host:port,... . Port 0 picks an
+/// ephemeral port; either way the bound address is announced on stdout as
+/// "sereep worker listening on ADDR:PORT".
 int cmd_worker(const bench::Flags& flags) {
   const std::string spec = flags.get("netlist", "");
   if (spec.empty()) {
     std::fprintf(stderr, "error: worker requires --netlist=SPEC\n");
     return 2;
+  }
+  if (flags.has("listen")) {
+    const std::optional<long> port = checked_int(flags, "listen", 0, 0, 65535);
+    if (!port) return 2;
+    return run_tcp_worker(spec, flags.get("bind", "127.0.0.1"),
+                          static_cast<std::uint16_t>(*port));
   }
   const std::optional<long> spawn =
       checked_int(flags, "spawn", 0, 0, 1'000'000'000);
@@ -477,11 +530,109 @@ int cmd_worker(const bench::Flags& flags) {
                           STDOUT_FILENO);
 }
 
+/// `sereep serve`: the hot-Session daemon (src/serve/server.hpp). Holds the
+/// --sessions most recently requested netlists open and answers
+/// sweep/ser/harden/psens requests over the shard wire framing; `sereep
+/// client` is the matching caller. Unauthenticated — binds loopback unless
+/// told otherwise.
+int cmd_serve(const bench::Flags& flags) {
+  ServeConfig config;
+  const std::optional<long> port = checked_int(flags, "port", 0, 0, 65535);
+  if (!port) return 2;
+  config.port = static_cast<std::uint16_t>(*port);
+  config.bind = flags.get("bind", config.bind);
+  const std::optional<long> sessions =
+      checked_int(flags, "sessions", static_cast<long>(config.max_sessions), 1,
+                  1024);
+  if (!sessions) return 2;
+  config.max_sessions = static_cast<std::size_t>(*sessions);
+  const std::optional<long> threads =
+      checked_int(flags, "threads", config.threads, 0, Options::kMaxThreads);
+  if (!threads) return 2;
+  config.threads = static_cast<unsigned>(*threads);
+  const std::optional<long> timeout =
+      checked_int(flags, "request-timeout-ms", config.request_timeout_ms, 0,
+                  Options::kMaxShardTimeoutMs);
+  if (!timeout) return 2;
+  config.request_timeout_ms = static_cast<unsigned>(*timeout);
+  return run_serve(config);
+}
+
+/// `sereep client <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT`:
+/// one request against a running `sereep serve`, response bytes to stdout
+/// (or --o=FILE) verbatim — byte-identical to the local rendering by the
+/// serve contract, which is exactly what the loopback differential tests
+/// exploit.
+int cmd_client(const std::string& kind_name, const std::string& netlist,
+               const bench::Flags& flags) {
+  ServeRequest req;
+  req.netlist = netlist;
+  if (kind_name == "sweep") {
+    req.kind = ServeRequestKind::kSweepCsv;
+  } else if (kind_name == "ser") {
+    req.kind = ServeRequestKind::kSerCsv;
+  } else if (kind_name == "harden") {
+    req.kind = ServeRequestKind::kHardenText;
+    const std::optional<double> target =
+        checked_double(flags, "target", 0.5, 0.0, 1.0);
+    if (!target) return 2;
+    req.target = *target;
+  } else if (kind_name == "psens") {
+    req.kind = ServeRequestKind::kPSensitized;
+    req.node = flags.get("node", "");
+    if (req.node.empty()) {
+      std::fprintf(stderr, "error: client psens requires --node=NAME\n");
+      return 2;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown client request '%s' "
+                 "(sweep|ser|harden|psens)\n",
+                 kind_name.c_str());
+    return 2;
+  }
+  const std::string connect = flags.get("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: client requires --connect=HOST:PORT\n");
+    return 2;
+  }
+  const std::optional<long> timeout =
+      checked_int(flags, "timeout-ms", 30'000, 0, Options::kMaxShardTimeoutMs);
+  if (!timeout) return 2;
+
+  const HostPort hp = parse_host_port(connect);
+  const int fd = tcp_connect(hp.host, hp.port, static_cast<int>(*timeout));
+  const std::vector<std::uint8_t> payload = encode_request(req);
+  write_shard_frame(fd, ShardFrameType::kRequest, payload);
+  const std::optional<ShardFrame> frame =
+      read_shard_frame(fd, static_cast<int>(*timeout));
+  ::close(fd);
+  if (!frame) {
+    std::fprintf(stderr, "error: server closed the connection without a "
+                         "response\n");
+    return 1;
+  }
+  if (frame->type == ShardFrameType::kError) {
+    std::fprintf(stderr, "error: %.*s\n",
+                 static_cast<int>(frame->payload.size()),
+                 reinterpret_cast<const char*>(frame->payload.data()));
+    return 1;
+  }
+  if (frame->type != ShardFrameType::kResponse) {
+    std::fprintf(stderr, "error: unexpected frame type %u from server\n",
+                 static_cast<unsigned>(frame->type));
+    return 1;
+  }
+  const std::string body(reinterpret_cast<const char*>(frame->payload.data()),
+                         frame->payload.size());
+  return write_text(body, flags.get("o", "-"), "response") ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "usage: sereep "
-      "<stats|convert|sp|epp|sweep|ser|harden|report|gen|engines> ...\n"
+      "usage: sereep <stats|convert|sp|epp|sweep|ser|harden|report|gen|"
+      "engines|worker|serve|client> ...\n"
       "  stats   <netlist>\n"
       "  convert <in> <out>\n"
       "  sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]\n"
@@ -497,8 +648,15 @@ void usage() {
       "          [--o=report.md]\n"
       "  gen     [--profile=s953] [--seed=N] [--o=out.bench]\n"
       "  engines\n"
+      "  worker  --netlist=SPEC --listen=PORT [--bind=127.0.0.1]\n"
+      "  serve   [--port=0] [--bind=127.0.0.1] [--sessions=8] [--threads=N]\n"
+      "          [--request-timeout-ms=10000]\n"
+      "  client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT\n"
+      "          [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]\n"
       "--engine=E: any registered EPP engine (see `sereep engines`);\n"
-      "  sharded fans sweeps out across --shards worker processes.\n"
+      "  sharded fans sweeps out across --shards worker processes, or over\n"
+      "  TCP to `sereep worker --listen` hosts with\n"
+      "  --shard-hosts=host:port,... (unauthenticated; trusted networks).\n"
       "  --shard-retries=N re-dispatches a failed shard's residual up to N\n"
       "  times (implies --on-shard-failure=retry unless a policy is given);\n"
       "  --shard-timeout-ms kills workers that stop making progress;\n"
@@ -532,6 +690,10 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(flags);
     if (cmd == "engines") return cmd_engines();
     if (cmd == "worker") return cmd_worker(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "client" && pos.size() == 2) {
+      return cmd_client(pos[0], pos[1], flags);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
