@@ -9,8 +9,8 @@
 // machine-readable op/s for the cone-extract, propagate and full-sweep
 // kernels, reference vs compiled vs batched (cone-sharing clusters) vs
 // sharded (worker processes — pipe and loopback-TCP transports, clean +
-// one injected worker death to price the supervisor's recovery; schema
-// v6), on a >= 10k-gate generated
+// one injected worker death to price the supervisor's recovery) plus a
+// hot-cache `sereep serve` round trip (schema v7), on a >= 10k-gate generated
 // circuit — so the perf trajectory is tracked across PRs (see
 // write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
@@ -32,9 +32,11 @@
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/epp/gate_rules.hpp"
+#include "src/epp/shard_protocol.hpp"
 #include "src/netlist/compiled.hpp"
 #include "src/netlist/cone_cluster.hpp"
 #include "src/netlist/generator.hpp"
+#include "src/serve/serve_protocol.hpp"
 #include "src/sim/fault_injection.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sigprob/signal_prob.hpp"
@@ -465,6 +467,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   double sweep_shard_s = 0.0;
   double sweep_shard_retry_s = 0.0;
   double sweep_shard_tcp_s = 0.0;
+  double serve_request_s = 0.0;
   bool shard_ran = false;
   bool shard_identical = true;
   const unsigned json_shards = 2;
@@ -550,6 +553,40 @@ void write_bench_micro_json(const std::string& path, bool fast) {
                      e.what());
         sweep_shard_tcp_s = 0.0;
       }
+      // serve_request: one hot-cache `sereep serve` round trip — connect,
+      // kRequest(sweep_csv), kResponse, close — against a daemon that has
+      // already built this netlist's Session. Prices the serve tier's
+      // steady state: protocol framing + rendering + loopback transfer,
+      // with NO Session build (that amortized cost is the daemon's whole
+      // reason to exist). Absolute _ms only, so cross-machine --ratios-only
+      // comparisons skip it.
+      try {
+        ChildProcess daemon = ChildProcess::spawn(
+            {worker, "serve", "--port=0", "--request-timeout-ms=60000"});
+        const std::uint16_t sport =
+            parse_listening_port(daemon.read_stdout_line());
+        ServeRequest sreq;
+        sreq.kind = ServeRequestKind::kSweepCsv;
+        sreq.netlist = netlist;
+        const std::vector<std::uint8_t> sreq_bytes = encode_request(sreq);
+        const auto round_trip = [&] {
+          const int sfd = tcp_connect("127.0.0.1", sport, 10'000);
+          write_shard_frame(sfd, ShardFrameType::kRequest, sreq_bytes);
+          const std::optional<ShardFrame> reply =
+              read_shard_frame(sfd, 60'000);
+          ::close(sfd);
+          if (!reply || reply->type != ShardFrameType::kResponse) {
+            throw std::runtime_error("serve round trip failed");
+          }
+          benchmark::DoNotOptimize(reply->payload.data());
+        };
+        round_trip();  // warm: the daemon builds + caches the Session here
+        serve_request_s = timed_min(round_trip);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "micro_kernels: serve row skipped: %s\n",
+                     e.what());
+        serve_request_s = 0.0;
+      }
       shard_ran = true;
     }
     std::remove(netlist.c_str());
@@ -567,7 +604,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v6\",\n"
+               "  \"schema\": \"sereep.bench_micro.v7\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -605,7 +642,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   const auto kernel = [&](const char* name, double ref_s, double cmp_s,
                           double bat_s, double bat_scalar_s, double shard_s,
                           double shard_retry_s, double shard_tcp_s,
-                          const char* trailing) {
+                          double serve_s, const char* trailing) {
     std::fprintf(f,
                  "    \"%s\": {\"reference_sites_per_s\": %.1f, "
                  "\"compiled_sites_per_s\": %.1f, \"reference_ms\": %.3f, "
@@ -655,16 +692,26 @@ void write_bench_micro_json(const std::string& path, bool fast) {
                    ", \"sharded_tcp_ms\": %.3f, \"tcp_vs_pipe\": %.3f",
                    shard_tcp_s * 1e3, shard_s / shard_tcp_s);
     }
+    if (serve_s > 0) {
+      // Schema v7: one hot-session-cache `sereep serve` round trip
+      // (connect + kRequest + render + kResponse + close) on loopback.
+      // Absolute _ms only — loopback latency is all host — so
+      // --ratios-only comparisons skip it; same-machine gating catches a
+      // serve-path regression (an accidental cache miss would jump this
+      // by the whole Session build).
+      std::fprintf(f, ", \"serve_request_ms\": %.3f", serve_s * 1e3);
+    }
     std::fprintf(f, "}%s\n", trailing);
   };
   kernel("cone_extract", cone_ref_s, cone_cmp_s, 0.0, 0.0, 0.0, 0.0, 0.0,
-         ",");
+         0.0, ",");
   kernel("propagate", prop_ref_s, prop_cmp_s, prop_bat_s, prop_bat_scalar_s,
-         0.0, 0.0, 0.0, ",");
+         0.0, 0.0, 0.0, 0.0, ",");
   kernel("full_sweep", sweep_ref_s, sweep_cmp_s, sweep_bat_s, 0.0,
          shard_ran ? sweep_shard_s : 0.0,
          shard_ran ? sweep_shard_retry_s : 0.0,
-         shard_ran ? sweep_shard_tcp_s : 0.0, "");
+         shard_ran ? sweep_shard_tcp_s : 0.0,
+         shard_ran ? serve_request_s : 0.0, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
@@ -688,6 +735,10 @@ void write_bench_micro_json(const std::string& path, bool fast) {
       std::printf("  sharded over loopback tcp: %.0f ms (%.2fx vs pipe)\n",
                   sweep_shard_tcp_s * 1e3,
                   sweep_shard_s / sweep_shard_tcp_s);
+    }
+    if (serve_request_s > 0) {
+      std::printf("  serve hot-cache round trip: %.1f ms\n",
+                  serve_request_s * 1e3);
     }
   }
 }

@@ -363,10 +363,14 @@ std::optional<ShardFrame> read_shard_frame(int fd, int timeout_ms,
         "shard protocol: bad frame magic (not a sereep frame stream?)");
   }
   if (const std::uint16_t version = r.u16();
-      version != kShardProtocolVersion) {
+      version < kMinShardProtocolVersion || version > kShardProtocolVersion) {
+    // v4 only ADDED frame types over v3, so a one-version-older peer still
+    // frames identically and stays accepted; anything outside the window is
+    // a mismatched binary.
     throw std::runtime_error(
         "shard protocol: version mismatch (peer speaks v" +
-        std::to_string(version) + ", this side v" +
+        std::to_string(version) + ", this side accepts v" +
+        std::to_string(kMinShardProtocolVersion) + "..v" +
         std::to_string(kShardProtocolVersion) + ")");
   }
   ShardFrame frame;

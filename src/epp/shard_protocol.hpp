@@ -64,9 +64,15 @@ inline constexpr std::uint32_t kShardMagic = 0x53'52'50'46;  // "SRPF"
 /// v2: netlist-fingerprint handshake (kHello + fingerprint in the job) and
 /// kProgress frames. v3: payload CRC-32 in the frame header, the dispatch
 /// ordinal carried in-band in the job (TCP workers have no argv), and the
-/// kRequest/kResponse pair for the `sereep serve` daemon. Old workers are
-/// rejected loudly by the version check.
-inline constexpr std::uint16_t kShardProtocolVersion = 3;
+/// kRequest/kResponse pair for the `sereep serve` daemon. v4: the kBusy
+/// overload-shed frame and the serve kStats request kind — purely ADDITIVE,
+/// so readers accept kMinShardProtocolVersion..kShardProtocolVersion (a v3
+/// client talking to a v4 daemon keeps working; anything older is rejected
+/// loudly by the version check).
+inline constexpr std::uint16_t kShardProtocolVersion = 4;
+/// Oldest peer version read_shard_frame still accepts. v3 frames differ
+/// from v4 only in which types/kinds they can carry, never in layout.
+inline constexpr std::uint16_t kMinShardProtocolVersion = 3;
 
 /// Frame kinds (the `type` header field).
 enum class ShardFrameType : std::uint16_t {
@@ -78,6 +84,11 @@ enum class ShardFrameType : std::uint16_t {
   kProgress = 6,  ///< worker -> parent: cumulative record count (u64)
   kRequest = 7,   ///< client -> serve daemon: one analysis request
   kResponse = 8,  ///< serve daemon -> client: rendered response bytes
+  /// serve daemon -> client, sent INSTEAD of accepting a request when the
+  /// connection budget is full (payload: human-readable reason). The daemon
+  /// closes right after; the client's move is bounded retry with backoff
+  /// (`sereep client --retries`) — v4.
+  kBusy = 9,
 };
 
 /// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) of `data` — the value

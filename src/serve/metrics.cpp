@@ -1,0 +1,100 @@
+#include "src/serve/metrics.hpp"
+
+#include <cstdio>
+
+namespace sereep {
+
+namespace {
+
+/// Stable text names for the per-kind request counters. Indexed like
+/// requests_by_kind; unnamed slots are skipped in the snapshot.
+const char* kind_name(std::size_t kind) {
+  switch (static_cast<ServeRequestKind>(kind)) {
+    case ServeRequestKind::kSweepCsv:
+      return "sweep_csv";
+    case ServeRequestKind::kSerCsv:
+      return "ser_csv";
+    case ServeRequestKind::kHardenText:
+      return "harden_text";
+    case ServeRequestKind::kPSensitized:
+      return "p_sensitized";
+    case ServeRequestKind::kStats:
+      return "stats";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void ServeMetrics::record_latency_ms(double ms) {
+  std::size_t bucket = kLatencyBoundsMs.size();  // overflow by default
+  for (std::size_t i = 0; i < kLatencyBoundsMs.size(); ++i) {
+    if (ms <= kLatencyBoundsMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
+  latency_sum_us_.fetch_add(static_cast<std::uint64_t>(ms * 1e3),
+                            std::memory_order_relaxed);
+}
+
+void ServeMetrics::count_request(ServeRequestKind kind) {
+  requests_total.fetch_add(1, std::memory_order_relaxed);
+  const auto slot = static_cast<std::size_t>(kind);
+  if (slot < requests_by_kind.size()) {
+    requests_by_kind[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string ServeMetrics::snapshot_text(std::uint64_t uptime_ms,
+                                        std::size_t sessions_cached) const {
+  std::string out;
+  out.reserve(1024);
+  char line[128];
+  const auto emit = [&](const char* name, std::uint64_t value) {
+    std::snprintf(line, sizeof line, "%s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  };
+  const auto load = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  emit("serve_uptime_ms", uptime_ms);
+  emit("serve_connections_accepted", load(connections_accepted));
+  emit("serve_connections_rejected_busy", load(connections_rejected_busy));
+  emit("serve_connections_active", load(connections_active));
+  emit("serve_connections_queued", load(connections_queued));
+  emit("serve_connections_dropped_at_drain",
+       load(connections_dropped_at_drain));
+  emit("serve_accept_errors", load(accept_errors));
+  emit("serve_requests_total", load(requests_total));
+  for (std::size_t k = 0; k < requests_by_kind.size(); ++k) {
+    if (const char* name = kind_name(k)) {
+      std::snprintf(line, sizeof line, "serve_requests_%s %llu\n", name,
+                    static_cast<unsigned long long>(load(requests_by_kind[k])));
+      out += line;
+    }
+  }
+  emit("serve_errors_sent", load(errors_sent));
+  emit("serve_sessions_cached", sessions_cached);
+  emit("serve_session_cache_hits", load(session_cache_hits));
+  emit("serve_session_cache_misses", load(session_cache_misses));
+  emit("serve_session_cache_evictions", load(session_cache_evictions));
+  for (std::size_t i = 0; i < kLatencyBoundsMs.size(); ++i) {
+    std::snprintf(line, sizeof line, "serve_latency_le_%g_ms %llu\n",
+                  kLatencyBoundsMs[i],
+                  static_cast<unsigned long long>(load(latency_buckets_[i])));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "serve_latency_le_inf_ms %llu\n",
+                static_cast<unsigned long long>(
+                    load(latency_buckets_[kLatencyBoundsMs.size()])));
+  out += line;
+  emit("serve_latency_count", load(latency_count_));
+  emit("serve_latency_sum_us", load(latency_sum_us_));
+  return out;
+}
+
+}  // namespace sereep

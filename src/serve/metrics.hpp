@@ -1,0 +1,82 @@
+// Server-side metrics for `sereep serve` — the daemon's runtime visibility.
+//
+// One ServeMetrics instance lives for the whole daemon. Every counter is a
+// relaxed std::atomic: workers bump them from their connection threads with
+// no shared lock, and a snapshot is allowed to be a torn-across-counters
+// view (each individual counter is exact; the set is "as of roughly now",
+// which is what an operations dashboard wants — never worth a mutex on the
+// request hot path).
+//
+// The snapshot renders as flat "name value\n" text lines (node-exporter
+// style, one metric per line, no nesting), served three ways:
+//   - a kStats request (`sereep client --stats`) answers snapshot_text()
+//     as the kResponse body;
+//   - `--stats-interval-ms=N` prints the same snapshot to stderr every N ms;
+//   - the drain path prints one final snapshot before run_serve returns.
+// Keys are API: tests and scrapers parse them, so renaming one is a
+// breaking change. The latency histogram uses fixed log-spaced upper
+// bounds; `serve_latency_le_inf_ms` is the overflow bucket, and buckets are
+// NON-cumulative (each request lands in exactly one) so the lines sum to
+// serve_latency_count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/serve/serve_protocol.hpp"
+
+namespace sereep {
+
+class ServeMetrics {
+ public:
+  /// Upper bounds (milliseconds) of the latency histogram buckets; a
+  /// request slower than the last bound lands in the +inf overflow bucket.
+  static constexpr std::array<double, 12> kLatencyBoundsMs = {
+      1, 2, 5, 10, 25, 50, 100, 250, 500, 1'000, 5'000, 10'000};
+
+  // ---- connection lifecycle ------------------------------------------------
+  std::atomic<std::uint64_t> connections_accepted{0};   ///< accept() wins
+  std::atomic<std::uint64_t> connections_rejected_busy{0};  ///< kBusy + close
+  std::atomic<std::uint64_t> connections_active{0};     ///< worker-held now
+  std::atomic<std::uint64_t> connections_queued{0};     ///< awaiting a worker
+  /// Accepted-but-unserved connections closed when a drain began.
+  std::atomic<std::uint64_t> connections_dropped_at_drain{0};
+  /// accept() failures that were retried (EMFILE/ENFILE backoff, EINTR is
+  /// not counted — it is routine, not an error).
+  std::atomic<std::uint64_t> accept_errors{0};
+
+  // ---- requests ------------------------------------------------------------
+  std::atomic<std::uint64_t> requests_total{0};  ///< decoded OK, any kind
+  /// Indexed by ServeRequestKind value (slot 0 unused — kinds start at 1).
+  std::array<std::atomic<std::uint64_t>, 8> requests_by_kind{};
+  std::atomic<std::uint64_t> errors_sent{0};  ///< kError frames written
+
+  // ---- session cache -------------------------------------------------------
+  std::atomic<std::uint64_t> session_cache_hits{0};
+  std::atomic<std::uint64_t> session_cache_misses{0};
+  std::atomic<std::uint64_t> session_cache_evictions{0};
+
+  /// Adds one successfully answered request's wall-clock to the histogram.
+  void record_latency_ms(double ms);
+
+  void count_request(ServeRequestKind kind);
+
+  /// The full "name value\n" rendering. `uptime_ms` and `sessions_cached`
+  /// are gauges owned by the server (this struct has no clock and no cache
+  /// reference), passed in at snapshot time.
+  [[nodiscard]] std::string snapshot_text(std::uint64_t uptime_ms,
+                                          std::size_t sessions_cached) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kLatencyBoundsMs.size() + 1>
+      latency_buckets_{};
+  std::atomic<std::uint64_t> latency_count_{0};
+  /// Microseconds, so the mean survives integer atomics without drift that
+  /// matters at dashboard resolution.
+  std::atomic<std::uint64_t> latency_sum_us_{0};
+};
+
+}  // namespace sereep

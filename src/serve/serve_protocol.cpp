@@ -105,6 +105,7 @@ ServeRequest decode_request(std::span<const std::uint8_t> payload) {
     case static_cast<std::uint8_t>(ServeRequestKind::kSerCsv):
     case static_cast<std::uint8_t>(ServeRequestKind::kHardenText):
     case static_cast<std::uint8_t>(ServeRequestKind::kPSensitized):
+    case static_cast<std::uint8_t>(ServeRequestKind::kStats):
       req.kind = static_cast<ServeRequestKind>(kind);
       break;
     default:
@@ -117,7 +118,9 @@ ServeRequest decode_request(std::span<const std::uint8_t> payload) {
   if (!r.exhausted()) {
     throw std::runtime_error("serve request: trailing bytes after request");
   }
-  if (req.netlist.empty()) {
+  // kStats is the one netlist-less request (it reads the server, not a
+  // Session); every other kind must name what to load.
+  if (req.netlist.empty() && req.kind != ServeRequestKind::kStats) {
     throw std::runtime_error("serve request: empty netlist spec");
   }
   return req;

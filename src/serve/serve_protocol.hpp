@@ -35,12 +35,18 @@ enum class ServeRequestKind : std::uint8_t {
   kSerCsv = 2,      ///< Session::ser_csv()     — full SER rows
   kHardenText = 3,  ///< Session::harden_text(target) — hardening-plan text
   kPSensitized = 4, ///< one site's P_sensitized, "%.17g\n" (needs `node`)
+  /// The server's metrics snapshot as "name value\n" text lines
+  /// (src/serve/metrics.hpp documents the exact keys) — the only kind whose
+  /// `netlist` field may (and should) be empty; it never touches the
+  /// Session cache. Protocol v4; an older daemon answers kError
+  /// ("unknown request kind"), which is the backward-compatible failure.
+  kStats = 5,
 };
 
 /// One request. `netlist` is anything load_netlist() accepts (embedded name
 /// or a path VISIBLE TO THE SERVER — the netlist travels by reference, not
 /// by value). `target` is read only by kHardenText, `node` only by
-/// kPSensitized.
+/// kPSensitized; kStats reads no field at all.
 struct ServeRequest {
   ServeRequestKind kind = ServeRequestKind::kSweepCsv;
   std::string netlist;

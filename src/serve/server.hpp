@@ -4,20 +4,54 @@
 // engine) are memoized per netlist; the CLI rebuilds them from scratch on
 // every invocation. The serve daemon amortizes that: it keeps an LRU-bounded
 // cache of open Sessions keyed by netlist spec and answers sweep / SER /
-// harden / per-site requests over the shard wire framing
+// harden / per-site / stats requests over the shard wire framing
 // (src/serve/serve_protocol.hpp), so repeated queries against the same
 // design pay the build cost once. Responses are the raw bytes of the same
 // renderings the in-process Session produces — byte-identical by
 // construction, pinned by the loopback differential tests (tests/serve/).
 //
-// Concurrency model: one detached thread per accepted connection. The cache
-// mutex is held only for lookup / insert / evict; each cached Session has
-// its OWN mutex held for the duration of one computation, so two clients
-// querying DIFFERENT netlists compute concurrently while two querying the
-// same netlist serialize (a Session is not internally thread-safe). Session
-// construction happens OUTSIDE the cache lock (it can take seconds on a big
-// design), with a re-check on insert so a racing builder adopts the winner
-// instead of double-caching.
+// Concurrency model: a BOUNDED pool — `serve_threads` fixed worker threads
+// draining a queue of accepted connections capped at `max_connections`.
+// A worker owns one connection end to end (a connection is a sequence of
+// requests); when every worker is busy, accepted connections wait in the
+// queue, and once the queue is full the accept loop answers a kBusy frame
+// and closes instead of admitting — overload sheds load at the door, it
+// never grows an unbounded thread count toward fd/thread exhaustion (the
+// failure mode of the PR 7 detached-thread-per-connection model). Capacity
+// planning: `serve_threads` bounds concurrent compute, `max_connections`
+// bounds queued backlog, `max_sessions` bounds resident Sessions — memory
+// is O(sessions), concurrency is O(threads), and everything past
+// threads + queue is told to retry (`sereep client --retries` backs off and
+// does exactly that).
+//
+// The cache mutex is held only for lookup / insert / evict; each cached
+// Session has its OWN mutex held for the duration of one computation, so
+// two clients querying DIFFERENT netlists compute concurrently while two
+// querying the same netlist serialize (a Session is not internally
+// thread-safe). Session construction happens OUTSIDE the cache lock (it can
+// take seconds on a big design), with a re-check on insert so a racing
+// builder adopts the winner instead of double-caching.
+//
+// Graceful drain: SIGTERM/SIGINT flips the daemon into draining mode — the
+// listener closes immediately (new connects are refused by the kernel),
+// queued-but-unserved connections get a best-effort kBusy and are closed,
+// and in-flight requests are given up to `drain_timeout_ms` to finish;
+// whatever is still open past the deadline is forcibly shut down. Workers
+// are then joined and run_serve returns 0 — a drained daemon is a clean
+// exit, not a kill. A second signal during drain is idempotent.
+//
+// Accept-loop robustness: EINTR retries silently; EMFILE/ENFILE/ENOBUFS/
+// ENOMEM (fd or buffer exhaustion — somebody else's leak, or honest
+// overload) back off with a doubling sleep instead of spinning accept() at
+// 100% CPU, and the sleep stays signal-interruptible so drain latency is
+// unaffected; ECONNABORTED (peer gave up while queued in the kernel) is
+// routine and skipped.
+//
+// Metrics: one ServeMetrics registry (src/serve/metrics.hpp) counts
+// connections, per-kind requests, errors, cache hits/misses/evictions and a
+// request-latency histogram — served to clients via the kStats request,
+// printed to stderr every `stats_interval_ms` when non-zero, and dumped
+// once on drain.
 //
 // Failure handling mirrors the supervisor's loud-error discipline:
 //   - framing-level garbage (bad magic/version, implausible length, CRC
@@ -34,29 +68,59 @@
 // trusted networks. See README.md "Distributed & server mode".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace sereep {
 
 /// `sereep serve` configuration (the --port/--bind/--sessions/--threads/
-/// --request-timeout-ms flags).
+/// --serve-threads/--max-connections/--request-timeout-ms/--drain-timeout-ms/
+/// --stats-interval-ms flags).
 struct ServeConfig {
+  /// validate() bounds, mirroring Options::validate(): reject out-of-range
+  /// values loudly, never clamp silently.
+  static constexpr std::size_t kMaxSessions = 1024;
+  static constexpr unsigned kMaxServeThreads = 256;
+  static constexpr std::size_t kMaxConnections = 65'536;
+  static constexpr unsigned kMaxTimeoutMs = 86'400'000;  ///< 24 h
+
   std::string bind = "127.0.0.1";  ///< loopback by default — see SECURITY
   std::uint16_t port = 0;          ///< 0 = kernel-chosen ephemeral
   /// LRU capacity of the Session cache: the N most recently requested
-  /// netlists stay hot; the N+1st request evicts the coldest.
+  /// netlists stay hot; the N+1st request evicts the coldest. [1, 1024].
   std::size_t max_sessions = 8;
   unsigned threads = 1;  ///< Options::threads for every cached Session
+  /// Connection-pool worker threads: the bound on CONCURRENT computation.
+  /// Each worker owns one connection at a time. [1, 256].
+  unsigned serve_threads = 4;
+  /// Accept-queue cap: accepted connections waiting for a worker. One more
+  /// arriving while the queue is full is answered kBusy and closed —
+  /// clients retry with backoff. [1, 65536].
+  std::size_t max_connections = 64;
   /// Per-connection inter-byte read deadline AND idle cap, milliseconds.
   /// 0 disables (a debugger-friendly foot-gun; the CLI default is 10 s).
   unsigned request_timeout_ms = 10'000;
+  /// Drain deadline: how long SIGTERM/SIGINT waits for in-flight requests
+  /// (and connections idle between requests) before forcibly shutting their
+  /// sockets down. 0 means shut down immediately after the listener closes.
+  unsigned drain_timeout_ms = 5'000;
+  /// Period of the stderr metrics snapshot; 0 (default) disables it. The
+  /// kStats request works either way.
+  unsigned stats_interval_ms = 0;
+
+  /// Throws std::invalid_argument naming the defective field and its valid
+  /// range. run_serve() calls this first; the CLI also pre-checks each flag
+  /// so the diagnostic names the flag, not the struct field.
+  void validate() const;
 };
 
 /// Binds `config.bind:config.port`, prints
 /// "sereep serve listening on HOST:PORT\n" to stdout (the line tests and
-/// scripts parse for the ephemeral port), then accepts connections forever.
-/// Returns only on a fatal setup error (non-zero), logging to stderr.
+/// scripts parse for the ephemeral port), then serves until SIGTERM/SIGINT
+/// starts a graceful drain. Returns 0 after a clean drain (all workers
+/// joined), non-zero on a fatal setup or accept-loop error (logged to
+/// stderr).
 int run_serve(const ServeConfig& config);
 
 }  // namespace sereep

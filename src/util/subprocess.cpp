@@ -112,6 +112,34 @@ void ChildProcess::kill_tree() {
   reap();
 }
 
+void ChildProcess::send_signal(int signo) {
+  if (reaped_ || pid_ < 0) return;
+  ::kill(pid_, signo);
+}
+
+std::optional<int> ChildProcess::wait_exit(int timeout_ms) {
+  if (reaped_ || pid_ < 0) return std::nullopt;
+  // WNOHANG + sleep instead of a blocking waitpid: a hung child must not
+  // hang the test — the caller's next move is kill_tree(), which needs the
+  // pid un-reaped.
+  const int step_ms = 10;
+  for (int waited = 0;; waited += step_ms) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      reaped_ = true;
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      return -1;  // killed by a signal
+    }
+    if (r < 0 && errno != EINTR) {
+      reaped_ = true;  // ECHILD: someone else reaped it; nothing to report
+      return std::nullopt;
+    }
+    if (waited >= timeout_ms) return std::nullopt;
+    ::usleep(step_ms * 1000);
+  }
+}
+
 bool ChildProcess::alive() const {
   if (reaped_ || pid_ < 0) return false;
   return ::kill(pid_, 0) == 0;

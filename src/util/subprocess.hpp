@@ -9,6 +9,7 @@
 #include <sys/types.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,16 @@ class ChildProcess {
   /// SIGKILLs the whole process group (the child and anything it forked),
   /// then reaps the direct child. Idempotent.
   void kill_tree();
+
+  /// Sends `signo` to the direct child only (NOT the group) — how the drain
+  /// tests deliver SIGTERM to a serve daemon. No-op after reaping.
+  void send_signal(int signo);
+
+  /// Waits (polling) up to `timeout_ms` for the direct child to exit and
+  /// reaps it. Returns the exit status (0..255), -1 if it died on a signal,
+  /// or nullopt if it is still running at the deadline (NOT reaped — the
+  /// caller can still kill_tree()).
+  [[nodiscard]] std::optional<int> wait_exit(int timeout_ms = 10'000);
 
   /// True while the direct child has not been reaped and still exists.
   [[nodiscard]] bool alive() const;

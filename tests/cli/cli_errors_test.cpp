@@ -140,6 +140,59 @@ TEST(CliErrors, UnknownEngineListsRegisteredKeys) {
       << r.output;
 }
 
+// ---- serve / client flag surface -------------------------------------------
+// None of these bind a port or connect anywhere: flag validation runs before
+// any socket work, so a rejected flag proves the daemon never started.
+
+TEST(CliErrors, ServeSessionsValidated) {
+  // --sessions=0 used to silently clamp to 1 inside the cache; now it is a
+  // usage error like every other out-of-range flag.
+  expect_rejected("serve --sessions=0", "--sessions");
+  expect_rejected("serve --sessions=-1", "--sessions");
+  expect_rejected("serve --sessions=abc", "--sessions");
+  expect_rejected("serve --sessions=100000", "--sessions");
+}
+
+TEST(CliErrors, ServeThreadPoolFlagsValidated) {
+  expect_rejected("serve --serve-threads=0", "--serve-threads");
+  expect_rejected("serve --serve-threads=-4", "--serve-threads");
+  expect_rejected("serve --serve-threads=abc", "--serve-threads");
+  expect_rejected("serve --serve-threads=1000", "--serve-threads");
+  expect_rejected("serve --max-connections=0", "--max-connections");
+  expect_rejected("serve --max-connections=1e3", "--max-connections");
+  expect_rejected("serve --max-connections=100000000", "--max-connections");
+}
+
+TEST(CliErrors, ServeTimeoutFlagsValidated) {
+  expect_rejected("serve --request-timeout-ms=-1", "--request-timeout-ms");
+  expect_rejected("serve --drain-timeout-ms=abc", "--drain-timeout-ms");
+  expect_rejected("serve --drain-timeout-ms=-100", "--drain-timeout-ms");
+  expect_rejected("serve --stats-interval-ms=1e2", "--stats-interval-ms");
+  expect_rejected("serve --port=65536", "--port");
+  expect_rejected("serve --port=-1", "--port");
+}
+
+TEST(CliErrors, ClientRetryFlagsValidated) {
+  expect_rejected(
+      "client sweep c17 --connect=127.0.0.1:1 --retries=-1", "--retries");
+  expect_rejected(
+      "client sweep c17 --connect=127.0.0.1:1 --retries=abc", "--retries");
+  expect_rejected(
+      "client sweep c17 --connect=127.0.0.1:1 --retries=1000", "--retries");
+  expect_rejected(
+      "client sweep c17 --connect=127.0.0.1:1 --retry-backoff-ms=0",
+      "--retry-backoff-ms");
+  expect_rejected(
+      "client sweep c17 --connect=127.0.0.1:1 --retry-backoff-ms=-5",
+      "--retry-backoff-ms");
+}
+
+TEST(CliErrors, ClientStatsStillRequiresConnect) {
+  const CliResult r = run_cli("client --stats");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--connect"), std::string::npos) << r.output;
+}
+
 // ---- valid usage must still work -------------------------------------------
 
 TEST(CliErrors, ValidNumericFlagsStillAccepted) {

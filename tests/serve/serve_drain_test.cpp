@@ -1,0 +1,317 @@
+// `sereep serve` lifecycle tests — overload shedding, graceful drain, and
+// the metrics surface, all against a REAL daemon process on loopback.
+//
+// These pin the bounded-pool contract from src/serve/server.hpp:
+//   - saturation (every worker busy AND the accept queue full) answers a
+//     kBusy frame and closes — it never grows threads without bound;
+//   - SIGTERM mid-request lets the in-flight request finish, byte-identical
+//     to the in-process rendering, then run_serve exits 0 and further
+//     connects are refused;
+//   - `sereep client --retries` rides out kBusy with backoff and succeeds
+//     once capacity frees up (exercised through the real binary);
+//   - the kStats snapshot's counters reflect actual traffic.
+// Suite names contain "Serve" on purpose: the ASan CI job's ctest regex
+// (Tcp|Serve|...) picks these up for the leak/race pass.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sereep/sereep.hpp"
+#include "src/epp/shard_protocol.hpp"
+#include "src/serve/serve_protocol.hpp"
+#include "src/util/net.hpp"
+#include "src/util/subprocess.hpp"
+
+namespace sereep {
+namespace {
+
+struct ServeDaemon {
+  ChildProcess proc;
+  std::uint16_t port = 0;
+};
+
+ServeDaemon start_serve(const std::vector<std::string>& extra_flags = {}) {
+  std::vector<std::string> argv = {SEREEP_CLI_PATH, "serve", "--port=0"};
+  argv.insert(argv.end(), extra_flags.begin(), extra_flags.end());
+  ChildProcess proc = ChildProcess::spawn(argv);
+  const std::uint16_t port = parse_listening_port(proc.read_stdout_line());
+  return {std::move(proc), port};
+}
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : fd_(tcp_connect("127.0.0.1", port, /*timeout_ms=*/10'000)) {}
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  std::optional<ShardFrame> round_trip(const ServeRequest& req) {
+    write_shard_frame(fd_, ShardFrameType::kRequest, encode_request(req));
+    return read_shard_frame(fd_, /*timeout_ms=*/30'000);
+  }
+
+  void send(const ServeRequest& req) {
+    write_shard_frame(fd_, ShardFrameType::kRequest, encode_request(req));
+  }
+
+  std::optional<ShardFrame> read(int timeout_ms = 30'000) {
+    return read_shard_frame(fd_, timeout_ms);
+  }
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+std::string body_of(const std::optional<ShardFrame>& frame) {
+  if (!frame) return {};
+  return std::string(reinterpret_cast<const char*>(frame->payload.data()),
+                     frame->payload.size());
+}
+
+ServeRequest make_request(ServeRequestKind kind, const std::string& netlist,
+                          double target = 0.5, const std::string& node = "") {
+  ServeRequest req;
+  req.kind = kind;
+  req.netlist = netlist;
+  req.target = target;
+  req.node = node;
+  return req;
+}
+
+/// Parses the flat "name value\n" metrics snapshot into a map.
+std::map<std::string, long long> parse_metrics(const std::string& text) {
+  std::map<std::string, long long> out;
+  std::istringstream in(text);
+  std::string name;
+  long long value = 0;
+  while (in >> name >> value) out[name] = value;
+  return out;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(ServeDrain, SigtermFinishesInFlightByteIdenticalAndExitsZero) {
+  // request-timeout 2 s bounds the worst-case drain stall if the response
+  // wins the race against the signal (the worker is then idle-waiting for a
+  // next request, which drain may only cut at a timeout); drain-timeout 30 s
+  // proves the exit is NOT the deadline path when the request is in flight.
+  ServeDaemon daemon = start_serve(
+      {"--drain-timeout-ms=30000", "--request-timeout-ms=2000"});
+  Session local = Session::open("s953");
+  const std::string want = local.sweep_csv();
+
+  Client client(daemon.port);
+  // A cold s953 request: the Session build + sweep gives SIGTERM a wide
+  // window to land mid-computation.
+  client.send(make_request(ServeRequestKind::kSweepCsv, "s953"));
+  sleep_ms(50);
+  daemon.proc.send_signal(SIGTERM);
+
+  // The in-flight response must arrive COMPLETE and byte-identical — a
+  // drain that truncates or drops it would poison every client of a rolling
+  // restart.
+  const std::optional<ShardFrame> reply = client.read();
+  ASSERT_TRUE(reply.has_value())
+      << "drain must finish the in-flight request, not drop it";
+  ASSERT_EQ(reply->type, ShardFrameType::kResponse) << body_of(reply);
+  EXPECT_EQ(body_of(reply), want);
+
+  // After the response the draining server closes the connection...
+  EXPECT_EQ(client.read(/*timeout_ms=*/10'000), std::nullopt)
+      << "a draining server must not accept further requests";
+
+  // ...and the process exits 0: a drain is a clean shutdown, not a crash.
+  const std::optional<int> exit_code = daemon.proc.wait_exit(15'000);
+  ASSERT_TRUE(exit_code.has_value()) << "serve did not exit after SIGTERM";
+  EXPECT_EQ(*exit_code, 0);
+
+  // The listener is gone with the process: new connects are refused.
+  EXPECT_THROW(Client rejected(daemon.port), std::exception);
+}
+
+TEST(ServeDrain, SigintAlsoDrainsAndExitsZero) {
+  // Ctrl-C at a terminal must behave exactly like SIGTERM from an init
+  // system — same handler, same drain, same exit 0.
+  ServeDaemon daemon = start_serve({"--request-timeout-ms=2000"});
+  Session local = Session::open("c17");
+  Client client(daemon.port);
+  const auto reply =
+      client.round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(body_of(reply), local.sweep_csv());
+  daemon.proc.send_signal(SIGINT);
+  const std::optional<int> exit_code = daemon.proc.wait_exit(15'000);
+  ASSERT_TRUE(exit_code.has_value()) << "serve did not exit after SIGINT";
+  EXPECT_EQ(*exit_code, 0);
+}
+
+TEST(ServeBusy, SaturationAnswersKBusyAndRecoversWhenCapacityFrees) {
+  // --serve-threads=1 --max-connections=1: one connection being served, one
+  // queued, and the THIRD is told kBusy — the admission-control bound, pinned
+  // at its smallest configuration.
+  ServeDaemon daemon = start_serve(
+      {"--serve-threads=1", "--max-connections=1",
+       "--request-timeout-ms=30000"});
+  Session local = Session::open("c17");
+  const std::string want = local.sweep_csv();
+
+  // A's round trip proves the single worker now owns A's connection (a
+  // worker serves a connection end to end, so it stays bound until A
+  // closes).
+  std::optional<Client> a;
+  a.emplace(daemon.port);
+  const auto first =
+      a->round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(body_of(first), want);
+
+  // B fills the one queue slot. The kernel completes handshakes in arrival
+  // order and the accept loop is single-threaded, so B is admitted before C
+  // is even seen; the sleep just lets the accept loop run.
+  std::optional<Client> b;
+  b.emplace(daemon.port);
+  sleep_ms(100);
+
+  // C overflows: the reply is kBusy naming the shed, then close.
+  Client c(daemon.port);
+  const std::optional<ShardFrame> busy = c.read(/*timeout_ms=*/10'000);
+  ASSERT_TRUE(busy.has_value()) << "overflow connection got no kBusy frame";
+  ASSERT_EQ(busy->type, ShardFrameType::kBusy) << body_of(busy);
+  EXPECT_NE(body_of(busy).find("capacity"), std::string::npos)
+      << body_of(busy);
+  EXPECT_EQ(c.read(/*timeout_ms=*/10'000), std::nullopt)
+      << "the server must close right after kBusy";
+
+  // Capacity frees (A closes) -> the worker picks up B and serves it: the
+  // shed was overload protection, not a wedged server.
+  a.reset();
+  const auto after =
+      b->round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->type, ShardFrameType::kResponse) << body_of(after);
+  EXPECT_EQ(body_of(after), want);
+}
+
+TEST(ServeBusy, ClientBinaryRetriesThroughBusyWithBackoff) {
+  // The end-to-end retry story through the REAL binary: a saturated server
+  // sheds the client with kBusy; `--retries` keeps it alive until capacity
+  // frees; the eventual response is byte-identical to the local rendering.
+  ServeDaemon daemon = start_serve(
+      {"--serve-threads=1", "--max-connections=1",
+       "--request-timeout-ms=30000"});
+  Session local = Session::open("c17");
+
+  std::optional<Client> a;
+  a.emplace(daemon.port);
+  const auto warm =
+      a->round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+  ASSERT_TRUE(warm.has_value());
+  std::optional<Client> b;
+  b.emplace(daemon.port);
+  sleep_ms(100);
+
+  const std::string out_path = "serve_retry_out.tmp.csv";
+  std::remove(out_path.c_str());
+  ChildProcess retry_client = ChildProcess::spawn(
+      {SEREEP_CLI_PATH, "client", "sweep", "c17",
+       "--connect=127.0.0.1:" + std::to_string(daemon.port), "--retries=20",
+       "--retry-backoff-ms=50", "--o=" + out_path});
+
+  // Give the client time to hit kBusy at least once, then free capacity: B
+  // (queued, requestless) EOFs instantly when the worker picks it up, and A
+  // releases the worker.
+  sleep_ms(300);
+  b.reset();
+  a.reset();
+
+  const std::optional<int> exit_code = retry_client.wait_exit(20'000);
+  ASSERT_TRUE(exit_code.has_value()) << "retry client hung";
+  EXPECT_EQ(*exit_code, 0);
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good()) << "retry client wrote no output file";
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), local.sweep_csv());
+  std::remove(out_path.c_str());
+}
+
+TEST(ServeStats, SnapshotCountersReflectTraffic) {
+  ServeDaemon daemon = start_serve();
+  Session local = Session::open("c17");
+  Client client(daemon.port);
+  for (int i = 0; i < 2; ++i) {
+    const auto reply =
+        client.round_trip(make_request(ServeRequestKind::kSweepCsv, "c17"));
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, ShardFrameType::kResponse);
+    EXPECT_EQ(body_of(reply), local.sweep_csv());
+  }
+  // One semantic error, which must count as an error but keep the stream.
+  const auto err = client.round_trip(
+      make_request(ServeRequestKind::kPSensitized, "c17", 0.5, "nope"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->type, ShardFrameType::kError);
+
+  const auto stats =
+      client.round_trip(make_request(ServeRequestKind::kStats, ""));
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->type, ShardFrameType::kResponse) << body_of(stats);
+  const std::map<std::string, long long> m = parse_metrics(body_of(stats));
+
+  EXPECT_EQ(m.at("serve_requests_sweep_csv"), 2);
+  EXPECT_EQ(m.at("serve_requests_p_sensitized"), 1);
+  EXPECT_EQ(m.at("serve_requests_stats"), 1);
+  EXPECT_EQ(m.at("serve_requests_total"), 4);
+  EXPECT_EQ(m.at("serve_errors_sent"), 1);
+  // One c17 build, then cache hits for the repeat and the psens attempt.
+  EXPECT_EQ(m.at("serve_session_cache_misses"), 1);
+  EXPECT_GE(m.at("serve_session_cache_hits"), 2);
+  EXPECT_EQ(m.at("serve_sessions_cached"), 1);
+  EXPECT_GE(m.at("serve_connections_accepted"), 1);
+  EXPECT_EQ(m.at("serve_connections_rejected_busy"), 0);
+  // The three successful answers so far (2 sweeps + the kError'd psens does
+  // NOT record latency; the stats reply itself is not yet counted when the
+  // snapshot is taken).
+  EXPECT_EQ(m.at("serve_latency_count"), 2);
+  // Non-cumulative buckets: the histogram lines must sum to the count.
+  long long bucket_sum = 0;
+  for (const auto& [name, value] : m) {
+    if (name.rfind("serve_latency_le_", 0) == 0) bucket_sum += value;
+  }
+  EXPECT_EQ(bucket_sum, m.at("serve_latency_count"));
+  EXPECT_GE(m.at("serve_uptime_ms"), 0);
+}
+
+TEST(ServeStats, CliStatsFlagPrintsSnapshot) {
+  // `sereep client --stats` (no positional args) is the operator's
+  // one-liner; it must print the same flat text the kStats request returns.
+  ServeDaemon daemon = start_serve();
+  ChildProcess stats_client = ChildProcess::spawn(
+      {SEREEP_CLI_PATH, "client", "--stats",
+       "--connect=127.0.0.1:" + std::to_string(daemon.port)});
+  std::string first_line = stats_client.read_stdout_line(10'000);
+  EXPECT_EQ(first_line.rfind("serve_uptime_ms ", 0), 0) << first_line;
+  const std::optional<int> exit_code = stats_client.wait_exit(10'000);
+  ASSERT_TRUE(exit_code.has_value());
+  EXPECT_EQ(*exit_code, 0);
+}
+
+}  // namespace
+}  // namespace sereep

@@ -20,9 +20,13 @@
 //   sereep worker  --netlist=SPEC --listen=PORT [--bind=ADDR]
 //                                                remote TCP shard worker
 //   sereep serve   [--port=P] [--bind=ADDR] [--sessions=N] [--threads=N]
-//                  [--request-timeout-ms=N]      hot-Session daemon
+//                  [--serve-threads=N] [--max-connections=N]
+//                  [--request-timeout-ms=N] [--drain-timeout-ms=N]
+//                  [--stats-interval-ms=N]       hot-Session daemon
 //   sereep client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT
 //                  [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]
+//                  [--retries=N] [--retry-backoff-ms=N]
+//   sereep client  --stats --connect=HOST:PORT   server metrics snapshot
 //
 // --engine=E takes any key registered in sereep::EngineRegistry
 // ("reference", "compiled", "batched", "sharded" built in; all bit-for-bit
@@ -43,10 +47,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -532,9 +539,13 @@ int cmd_worker(const bench::Flags& flags) {
 
 /// `sereep serve`: the hot-Session daemon (src/serve/server.hpp). Holds the
 /// --sessions most recently requested netlists open and answers
-/// sweep/ser/harden/psens requests over the shard wire framing; `sereep
-/// client` is the matching caller. Unauthenticated — binds loopback unless
-/// told otherwise.
+/// sweep/ser/harden/psens/stats requests over the shard wire framing;
+/// `sereep client` is the matching caller. --serve-threads bounds concurrent
+/// connections being served, --max-connections bounds the accept queue
+/// (overflow is answered kBusy), SIGTERM/SIGINT drains gracefully within
+/// --drain-timeout-ms. Unauthenticated — binds loopback unless told
+/// otherwise. Every flag is range-checked HERE so the diagnostic names the
+/// flag; run_serve re-validates the assembled config as a belt.
 int cmd_serve(const bench::Flags& flags) {
   ServeConfig config;
   const std::optional<long> port = checked_int(flags, "port", 0, 0, 65535);
@@ -543,26 +554,53 @@ int cmd_serve(const bench::Flags& flags) {
   config.bind = flags.get("bind", config.bind);
   const std::optional<long> sessions =
       checked_int(flags, "sessions", static_cast<long>(config.max_sessions), 1,
-                  1024);
+                  static_cast<long>(ServeConfig::kMaxSessions));
   if (!sessions) return 2;
   config.max_sessions = static_cast<std::size_t>(*sessions);
   const std::optional<long> threads =
       checked_int(flags, "threads", config.threads, 0, Options::kMaxThreads);
   if (!threads) return 2;
   config.threads = static_cast<unsigned>(*threads);
+  const std::optional<long> serve_threads =
+      checked_int(flags, "serve-threads", config.serve_threads, 1,
+                  ServeConfig::kMaxServeThreads);
+  if (!serve_threads) return 2;
+  config.serve_threads = static_cast<unsigned>(*serve_threads);
+  const std::optional<long> max_conn =
+      checked_int(flags, "max-connections",
+                  static_cast<long>(config.max_connections), 1,
+                  static_cast<long>(ServeConfig::kMaxConnections));
+  if (!max_conn) return 2;
+  config.max_connections = static_cast<std::size_t>(*max_conn);
   const std::optional<long> timeout =
       checked_int(flags, "request-timeout-ms", config.request_timeout_ms, 0,
-                  Options::kMaxShardTimeoutMs);
+                  ServeConfig::kMaxTimeoutMs);
   if (!timeout) return 2;
   config.request_timeout_ms = static_cast<unsigned>(*timeout);
+  const std::optional<long> drain =
+      checked_int(flags, "drain-timeout-ms", config.drain_timeout_ms, 0,
+                  ServeConfig::kMaxTimeoutMs);
+  if (!drain) return 2;
+  config.drain_timeout_ms = static_cast<unsigned>(*drain);
+  const std::optional<long> stats_interval =
+      checked_int(flags, "stats-interval-ms", config.stats_interval_ms, 0,
+                  ServeConfig::kMaxTimeoutMs);
+  if (!stats_interval) return 2;
+  config.stats_interval_ms = static_cast<unsigned>(*stats_interval);
   return run_serve(config);
 }
 
-/// `sereep client <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT`:
-/// one request against a running `sereep serve`, response bytes to stdout
-/// (or --o=FILE) verbatim — byte-identical to the local rendering by the
-/// serve contract, which is exactly what the loopback differential tests
-/// exploit.
+/// `sereep client <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT`
+/// (or `sereep client --stats --connect=HOST:PORT` for the server's metrics
+/// snapshot): one request against a running `sereep serve`, response bytes
+/// to stdout (or --o=FILE) verbatim — byte-identical to the local rendering
+/// by the serve contract, which is exactly what the loopback differential
+/// tests exploit.
+///
+/// --retries=N retries with doubled backoff (starting at --retry-backoff-ms)
+/// when the server sheds load — a kBusy frame — or refuses/drops the
+/// connection. Safe to retry blindly: every request kind is read-only, so a
+/// duplicate has no effect beyond the recomputation.
 int cmd_client(const std::string& kind_name, const std::string& netlist,
                const bench::Flags& flags) {
   ServeRequest req;
@@ -584,6 +622,8 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
       std::fprintf(stderr, "error: client psens requires --node=NAME\n");
       return 2;
     }
+  } else if (kind_name == "stats") {
+    req.kind = ServeRequestKind::kStats;  // netlist-less server introspection
   } else {
     std::fprintf(stderr,
                  "error: unknown client request '%s' "
@@ -599,33 +639,68 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
   const std::optional<long> timeout =
       checked_int(flags, "timeout-ms", 30'000, 0, Options::kMaxShardTimeoutMs);
   if (!timeout) return 2;
+  const std::optional<long> retries = checked_int(flags, "retries", 0, 0, 100);
+  if (!retries) return 2;
+  const std::optional<long> backoff_ms =
+      checked_int(flags, "retry-backoff-ms", 100, 1, 60'000);
+  if (!backoff_ms) return 2;
 
+  // A server that sheds (kBusy + close) or drains can close the socket
+  // between our connect and write; that must surface as a retryable EPIPE,
+  // not a SIGPIPE death mid-retry-loop.
+  std::signal(SIGPIPE, SIG_IGN);
   const HostPort hp = parse_host_port(connect);
-  const int fd = tcp_connect(hp.host, hp.port, static_cast<int>(*timeout));
   const std::vector<std::uint8_t> payload = encode_request(req);
-  write_shard_frame(fd, ShardFrameType::kRequest, payload);
-  const std::optional<ShardFrame> frame =
-      read_shard_frame(fd, static_cast<int>(*timeout));
-  ::close(fd);
-  if (!frame) {
-    std::fprintf(stderr, "error: server closed the connection without a "
-                         "response\n");
-    return 1;
+  for (long attempt = 0;; ++attempt) {
+    // Why retry inside the CLI instead of a shell loop: the busy signal is
+    // a protocol frame, not an exit-code convention a script could misread.
+    std::string retry_why;
+    try {
+      const int fd =
+          tcp_connect(hp.host, hp.port, static_cast<int>(*timeout));
+      write_shard_frame(fd, ShardFrameType::kRequest, payload);
+      const std::optional<ShardFrame> frame =
+          read_shard_frame(fd, static_cast<int>(*timeout));
+      ::close(fd);
+      if (!frame) {
+        // The server hung up without answering — a crash or a drain racing
+        // our request; indistinguishable from here, retryable either way.
+        retry_why = "server closed the connection without a response";
+      } else if (frame->type == ShardFrameType::kBusy) {
+        retry_why = std::string(
+            reinterpret_cast<const char*>(frame->payload.data()),
+            frame->payload.size());
+      } else if (frame->type == ShardFrameType::kError) {
+        // A definitive answer (bad request, unknown node...) — retrying
+        // would just get the same answer slower.
+        std::fprintf(stderr, "error: %.*s\n",
+                     static_cast<int>(frame->payload.size()),
+                     reinterpret_cast<const char*>(frame->payload.data()));
+        return 1;
+      } else if (frame->type != ShardFrameType::kResponse) {
+        std::fprintf(stderr, "error: unexpected frame type %u from server\n",
+                     static_cast<unsigned>(frame->type));
+        return 1;
+      } else {
+        const std::string body(
+            reinterpret_cast<const char*>(frame->payload.data()),
+            frame->payload.size());
+        return write_text(body, flags.get("o", "-"), "response") ? 0 : 1;
+      }
+    } catch (const std::exception& e) {
+      retry_why = e.what();  // connect refused / reset / write failure
+    }
+    if (attempt >= *retries) {
+      std::fprintf(stderr, "error: %s%s\n", retry_why.c_str(),
+                   *retries > 0 ? " (retries exhausted)" : "");
+      return 1;
+    }
+    const long delay =
+        std::min(*backoff_ms << std::min(attempt, 20L), 60'000L);
+    std::fprintf(stderr, "client: %s; retry %ld/%ld in %ld ms\n",
+                 retry_why.c_str(), attempt + 1, *retries, delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
-  if (frame->type == ShardFrameType::kError) {
-    std::fprintf(stderr, "error: %.*s\n",
-                 static_cast<int>(frame->payload.size()),
-                 reinterpret_cast<const char*>(frame->payload.data()));
-    return 1;
-  }
-  if (frame->type != ShardFrameType::kResponse) {
-    std::fprintf(stderr, "error: unexpected frame type %u from server\n",
-                 static_cast<unsigned>(frame->type));
-    return 1;
-  }
-  const std::string body(reinterpret_cast<const char*>(frame->payload.data()),
-                         frame->payload.size());
-  return write_text(body, flags.get("o", "-"), "response") ? 0 : 1;
 }
 
 void usage() {
@@ -650,9 +725,13 @@ void usage() {
       "  engines\n"
       "  worker  --netlist=SPEC --listen=PORT [--bind=127.0.0.1]\n"
       "  serve   [--port=0] [--bind=127.0.0.1] [--sessions=8] [--threads=N]\n"
-      "          [--request-timeout-ms=10000]\n"
+      "          [--serve-threads=4] [--max-connections=64]\n"
+      "          [--request-timeout-ms=10000] [--drain-timeout-ms=5000]\n"
+      "          [--stats-interval-ms=0]\n"
       "  client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT\n"
       "          [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]\n"
+      "          [--retries=0] [--retry-backoff-ms=100]\n"
+      "  client  --stats --connect=HOST:PORT [--o=FILE]\n"
       "--engine=E: any registered EPP engine (see `sereep engines`);\n"
       "  sharded fans sweeps out across --shards worker processes, or over\n"
       "  TCP to `sereep worker --listen` hosts with\n"
@@ -691,6 +770,9 @@ int main(int argc, char** argv) {
     if (cmd == "engines") return cmd_engines();
     if (cmd == "worker") return cmd_worker(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "client" && pos.empty() && flags.has("stats")) {
+      return cmd_client("stats", "", flags);
+    }
     if (cmd == "client" && pos.size() == 2) {
       return cmd_client(pos[0], pos[1], flags);
     }

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# `sereep serve` stress + lifecycle acceptance — the bounded-pool contract
+# under real concurrent load, end to end through the REAL binary on
+# 127.0.0.1:
+#
+#   1. N concurrent clients (more than serve-threads + max-connections) all
+#      complete with --retries riding out kBusy sheds, every response cmp'd
+#      byte-for-byte against the golden CSV — overload shedding loses no
+#      correctness, only latency.
+#   2. fd stability: the daemon's /proc/PID/fd count returns to its idle
+#      baseline after the storm (polled, not sampled once — closes race the
+#      check) — the bounded pool leaks no sockets.
+#   3. `sereep client --stats` answers a snapshot whose counters moved, and
+#      the saturation round really shed (rejected_busy > 0) when pushed past
+#      a --max-connections=1 configuration.
+#   4. SIGTERM drains: exit code 0, and the port refuses connects after.
+#
+# Daemon stderr lands in $SERVE_STRESS_LOGDIR (default ./serve-stress-logs)
+# so CI can upload it as an artifact on failure.
+#
+# Usage: tools/serve_stress.sh path/to/sereep [path/to/tests/data]
+set -euo pipefail
+
+BIN=${1:?usage: serve_stress.sh path/to/sereep [path/to/tests/data]}
+DATA=${2:-"$(dirname "$0")/../tests/data"}
+LOGDIR=${SERVE_STRESS_LOGDIR:-serve-stress-logs}
+CLIENTS=${SERVE_STRESS_CLIENTS:-24}
+mkdir -p "$LOGDIR"
+WORK=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill -9 -- "-$pid" "$pid" 2> /dev/null || true
+  done
+  wait 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start_daemon NAME ARGS... — same discipline as tcp_matrix.sh: own process
+# group, wait for the "listening on HOST:PORT" line, set DAEMON_PID and
+# DAEMON_PORT as globals (no subshell capture, the PIDS bookkeeping must
+# stay in this shell).
+start_daemon() {
+  local name=$1
+  shift
+  setsid "$BIN" "$@" > "$WORK/$name.out" 2> "$LOGDIR/$name.err" &
+  DAEMON_PID=$!
+  PIDS+=("$DAEMON_PID")
+  local i
+  for i in $(seq 1 200); do
+    if grep -q 'listening on' "$WORK/$name.out" 2> /dev/null; then
+      DAEMON_PORT=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' \
+        "$WORK/$name.out")
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "error: $name never reported a listening port" >&2
+  return 1
+}
+
+fd_count() {
+  ls "/proc/$1/fd" 2> /dev/null | wc -l
+}
+
+echo "== storm: $CLIENTS concurrent clients vs a small pool"
+# serve-threads=2 max-connections=4: with $CLIENTS clients the pool MUST
+# shed some arrivals; --retries turns every shed into an eventual success.
+start_daemon serve serve --port=0 --serve-threads=2 --max-connections=4 \
+  --request-timeout-ms=10000
+SERVE_PID=$DAEMON_PID
+SERVE_PORT=$DAEMON_PORT
+
+# Warm the session cache once so the storm measures the pool, not one
+# compile amortized across racing builders.
+"$BIN" client sweep s27 --connect="127.0.0.1:$SERVE_PORT" \
+  --o="$WORK/warm.csv"
+cmp "$WORK/warm.csv" "$DATA/sweep_s27.golden.csv"
+BASELINE_FDS=$(fd_count "$SERVE_PID")
+
+CLIENT_PIDS=()
+for i in $(seq 1 "$CLIENTS"); do
+  "$BIN" client sweep s27 --connect="127.0.0.1:$SERVE_PORT" \
+    --retries=30 --retry-backoff-ms=20 --o="$WORK/storm-$i.csv" \
+    2> "$WORK/storm-$i.err" &
+  CLIENT_PIDS+=("$!")
+done
+FAILED=0
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || FAILED=$((FAILED + 1))
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "error: $FAILED/$CLIENTS storm clients failed" >&2
+  cat "$WORK"/storm-*.err >&2 || true
+  exit 1
+fi
+for i in $(seq 1 "$CLIENTS"); do
+  cmp "$WORK/storm-$i.csv" "$DATA/sweep_s27.golden.csv"
+done
+echo "   ok: $CLIENTS/$CLIENTS clients byte-identical to the golden"
+
+echo "== fd stability after the storm"
+# Poll until the count returns to the baseline: the daemon closes shed and
+# finished connections asynchronously, a single sample would race them.
+STABLE=0
+for i in $(seq 1 100); do
+  NOW=$(fd_count "$SERVE_PID")
+  if [ "$NOW" -le "$BASELINE_FDS" ]; then
+    STABLE=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$STABLE" -ne 1 ]; then
+  echo "error: fd count never returned to baseline ($BASELINE_FDS): $NOW" >&2
+  exit 1
+fi
+echo "   ok: fd count back to baseline ($BASELINE_FDS)"
+
+echo "== metrics snapshot reflects the storm"
+"$BIN" client --stats --connect="127.0.0.1:$SERVE_PORT" > "$WORK/stats.txt"
+grep -q '^serve_requests_sweep_csv' "$WORK/stats.txt"
+SWEEPS=$(awk '$1 == "serve_requests_sweep_csv" {print $2}' "$WORK/stats.txt")
+if [ "$SWEEPS" -lt $((CLIENTS + 1)) ]; then
+  echo "error: expected >= $((CLIENTS + 1)) sweep requests, saw $SWEEPS" >&2
+  cat "$WORK/stats.txt" >&2
+  exit 1
+fi
+echo "   ok: serve_requests_sweep_csv=$SWEEPS"
+
+echo "== forced saturation answers kBusy"
+# A 1-thread/1-slot daemon with its worker held by an open idle connection:
+# a no-retry client must fail fast (kBusy), a retrying one must get through
+# once the holder disconnects.
+start_daemon busy serve --port=0 --serve-threads=1 --max-connections=1 \
+  --request-timeout-ms=30000
+BUSY_PID=$DAEMON_PID
+BUSY_PORT=$DAEMON_PORT
+"$BIN" client sweep c17 --connect="127.0.0.1:$BUSY_PORT" \
+  --o=/dev/null  # cache warm; also proves the daemon serves
+# Hold the worker: an open connection that sends nothing. 30 s request
+# timeout keeps it bound for the whole check.
+exec 9<> "/dev/tcp/127.0.0.1/$BUSY_PORT"
+sleep 0.3  # the worker claims the holder
+# Fill the one queue slot with a second silent connection.
+exec 8<> "/dev/tcp/127.0.0.1/$BUSY_PORT"
+sleep 0.3
+if "$BIN" client sweep c17 --connect="127.0.0.1:$BUSY_PORT" \
+  --o=/dev/null 2> "$WORK/busy.err"; then
+  echo "error: a no-retry client succeeded against a saturated daemon" >&2
+  exit 1
+fi
+grep -qi 'capacity' "$WORK/busy.err"
+echo "   ok: saturated daemon shed with kBusy"
+exec 8>&-
+exec 9>&-
+"$BIN" client --stats --connect="127.0.0.1:$BUSY_PORT" > "$WORK/busy-stats.txt"
+REJECTED=$(awk '$1 == "serve_connections_rejected_busy" {print $2}' \
+  "$WORK/busy-stats.txt")
+if [ "$REJECTED" -lt 1 ]; then
+  echo "error: serve_connections_rejected_busy never moved" >&2
+  exit 1
+fi
+echo "   ok: serve_connections_rejected_busy=$REJECTED"
+kill -TERM "$BUSY_PID"
+wait "$BUSY_PID" || { echo "error: busy daemon drain exited non-zero" >&2; exit 1; }
+
+echo "== SIGTERM drains to exit 0 and the port closes"
+kill -TERM "$SERVE_PID"
+DRAIN_OK=0
+if wait "$SERVE_PID"; then DRAIN_OK=1; fi
+if [ "$DRAIN_OK" -ne 1 ]; then
+  echo "error: serve exited non-zero on SIGTERM drain" >&2
+  cat "$LOGDIR/serve.err" >&2 || true
+  exit 1
+fi
+grep -q 'drained; final stats' "$LOGDIR/serve.err"
+if "$BIN" client sweep c17 --connect="127.0.0.1:$SERVE_PORT" \
+  --timeout-ms=2000 --o=/dev/null 2> /dev/null; then
+  echo "error: a drained daemon's port still answers" >&2
+  exit 1
+fi
+echo "   ok: drained (exit 0), port refuses connects"
+
+echo "serve_stress: all checks passed"
