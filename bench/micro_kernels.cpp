@@ -10,7 +10,8 @@
 // kernels, reference vs compiled vs batched (cone-sharing clusters) vs
 // sharded (worker processes — pipe and loopback-TCP transports, clean +
 // one injected worker death to price the supervisor's recovery) plus a
-// hot-cache `sereep serve` round trip (schema v7), on a >= 10k-gate generated
+// hot-cache `sereep serve` round trip and the .sca artifact mmap-load vs
+// cold parse+compile comparison (schema v8), on a >= 10k-gate generated
 // circuit — so the perf trajectory is tracked across PRs (see
 // write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "sereep/engine.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/batched_epp.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/epp/compiled_epp.hpp"
@@ -593,6 +595,42 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   simd::set_enabled(saved_simd);
 
+  // artifact (schema v8): the .sca mmap-load path vs the cold open it
+  // replaces. cold = parse the .bench + flatten to CSR + the SP pass —
+  // what every worker spawn and serve cache miss used to pay before
+  // artifacts; mmap = ArtifactView construction, i.e. map + CRC + the full
+  // structural validation pass. The ratio is the format's reason to exist
+  // (expect orders of magnitude on the 12k circuit).
+  double artifact_cold_s = 0.0;
+  double artifact_mmap_s = 0.0;
+  {
+    const std::string base =
+        "/tmp/sereep_micro_art_" + std::to_string(::getpid());
+    const std::string bench_path = base + ".bench";
+    const std::string sca_path = base + ".sca";
+    if (save_bench_file(c, bench_path)) {
+      try {
+        artifact_cold_s = timed_min([&] {
+          const Circuit loaded = load_bench_file(bench_path);
+          const CompiledCircuit cc(loaded);
+          benchmark::DoNotOptimize(compiled_parker_mccluskey_sp(cc).size());
+        });
+        write_artifact(sca_path, load_bench_file(bench_path));
+        artifact_mmap_s = timed_min([&] {
+          const ArtifactView view(sca_path);
+          benchmark::DoNotOptimize(view.compiled().view().types.data());
+          benchmark::DoNotOptimize(view.sp_table().data());
+        });
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "micro_kernels: artifact row skipped: %s\n",
+                     e.what());
+        artifact_mmap_s = 0.0;
+      }
+      std::remove(sca_path.c_str());
+    }
+    std::remove(bench_path.c_str());
+  }
+
   const bool identical = check_ref == check_cmp && check_ref == check_bat &&
                          check_ref == check_bat_scalar && sp_identical &&
                          shard_identical;
@@ -604,7 +642,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v7\",\n"
+               "  \"schema\": \"sereep.bench_micro.v8\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -711,7 +749,18 @@ void write_bench_micro_json(const std::string& path, bool fast) {
          shard_ran ? sweep_shard_s : 0.0,
          shard_ran ? sweep_shard_retry_s : 0.0,
          shard_ran ? sweep_shard_tcp_s : 0.0,
-         shard_ran ? serve_request_s : 0.0, "");
+         shard_ran ? serve_request_s : 0.0,
+         artifact_mmap_s > 0 ? "," : "");
+  if (artifact_mmap_s > 0) {
+    // Schema v8: compiled-artifact load. Both _ms columns gate same-machine
+    // (absolute I/O + CPU on this host); "speedup" is the portable ratio
+    // bench_compare gates under --ratios-only.
+    std::fprintf(f,
+                 "    \"artifact\": {\"cold_parse_compile_ms\": %.3f, "
+                 "\"mmap_load_ms\": %.3f, \"speedup\": %.1f}\n",
+                 artifact_cold_s * 1e3, artifact_mmap_s * 1e3,
+                 artifact_cold_s / artifact_mmap_s);
+  }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf(
@@ -740,6 +789,13 @@ void write_bench_micro_json(const std::string& path, bool fast) {
       std::printf("  serve hot-cache round trip: %.1f ms\n",
                   serve_request_s * 1e3);
     }
+  }
+  if (artifact_mmap_s > 0) {
+    std::printf(
+        "  artifact: cold parse+compile+sp %.1f ms vs mmap load %.2f ms "
+        "(%.0fx)\n",
+        artifact_cold_s * 1e3, artifact_mmap_s * 1e3,
+        artifact_cold_s / artifact_mmap_s);
   }
 }
 

@@ -39,10 +39,13 @@
 
 namespace sereep {
 
+class ArtifactView;
+
 /// Loads a netlist the way every sereep front end spells it: an embedded
-/// circuit name (c17, s27, s953, ...), a structural-Verilog path (*.v), or
-/// an ISCAS .bench path (anything else). Throws std::runtime_error with the
-/// parser's message on failure.
+/// circuit name (c17, s27, s953, ...), a compiled-artifact path (*.sca,
+/// restored through the process-wide ArtifactCache), a structural-Verilog
+/// path (*.v), or an ISCAS .bench path (anything else). Throws
+/// std::runtime_error with the parser's message on failure.
 [[nodiscard]] Circuit load_netlist(const std::string& spec);
 
 /// The facade. See the file comment for the ownership and caching model.
@@ -76,6 +79,10 @@ class Session {
   explicit Session(Circuit circuit, Options options = {});
 
   /// load_netlist() + Session in one step — the CLI / quickstart route.
+  /// A `.sca` spec routes through the ArtifactCache: the compiled view is
+  /// borrowed zero-copy from the shared mapping, the stored SP table and
+  /// cluster plan seed the session's caches when the options match, and
+  /// artifact_fingerprint() records which artifact this session serves.
   [[nodiscard]] static Session open(const std::string& spec,
                                     Options options = {});
 
@@ -168,6 +175,15 @@ class Session {
     return *counts_;
   }
 
+  /// The fingerprint of the .sca artifact this session was opened from;
+  /// nullopt for every other netlist source. This is the identity the serve
+  /// daemon keys its session cache on and the sharded dispatcher verifies
+  /// against its workers before any result is trusted.
+  [[nodiscard]] const std::optional<CircuitFingerprint>& artifact_fingerprint()
+      const noexcept {
+    return artifact_fingerprint_;
+  }
+
  private:
   /// Lazily-built cluster plan behind a stable address, so engines can hold
   /// a deferred handle to it that survives Session moves (defined in
@@ -181,7 +197,16 @@ class Session {
   /// The planner cache, created (not built) on demand.
   PlannerCache& planner_cache();
 
+  /// Seeds the session's caches from a validated artifact (compiled view
+  /// borrowed zero-copy; SP table and cluster plan adopted only when they
+  /// match the session's options bit-exactly).
+  void adopt_artifact(std::shared_ptr<const ArtifactView> artifact);
+
   std::unique_ptr<const Circuit> circuit_;  ///< stable address across moves
+  /// Keeps the mmapped artifact alive for as long as compiled_ borrows its
+  /// arrays — declared before compiled_ so it is destroyed after it.
+  std::shared_ptr<const ArtifactView> artifact_;
+  std::optional<CircuitFingerprint> artifact_fingerprint_;
   Options options_;
   std::unique_ptr<BuildCounts> counts_;  ///< stable: the planner cache and
                                          ///< engines reference it

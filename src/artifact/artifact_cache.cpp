@@ -1,0 +1,65 @@
+#include "src/artifact/artifact_cache.hpp"
+
+namespace sereep {
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ArtifactView> ArtifactCache::load(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (const auto it = by_path_.find(path); it != by_path_.end()) {
+    if (auto live = it->second.lock()) {
+      ++stats_.hits;
+      return live;
+    }
+  }
+
+  // A different path may hold the same artifact — probe by fingerprint
+  // before paying the map + validate. A peek failure is not an error here:
+  // the full load below produces the proper diagnostic.
+  Fingerprint fp{};
+  bool have_fp = false;
+  try {
+    const CircuitFingerprint peeked = peek_artifact_fingerprint(path);
+    fp = {peeked.nodes, peeked.digest};
+    have_fp = true;
+  } catch (const ArtifactError&) {
+  }
+  if (have_fp) {
+    if (const auto it = by_fingerprint_.find(fp);
+        it != by_fingerprint_.end()) {
+      if (auto live = it->second.lock()) {
+        ++stats_.hits;
+        by_path_[path] = live;  // remember the alias for next time
+        return live;
+      }
+    }
+  }
+
+  auto view = std::make_shared<const ArtifactView>(path);
+  ++stats_.misses;
+  by_path_[path] = view;
+  by_fingerprint_[{view->fingerprint().nodes, view->fingerprint().digest}] =
+      view;
+
+  // Opportunistic sweep of expired entries — keeps both maps bounded by the
+  // number of artifacts ever LIVE, not ever loaded.
+  for (auto it = by_path_.begin(); it != by_path_.end();) {
+    it = it->second.expired() ? by_path_.erase(it) : std::next(it);
+  }
+  for (auto it = by_fingerprint_.begin(); it != by_fingerprint_.end();) {
+    it = it->second.expired() ? by_fingerprint_.erase(it) : std::next(it);
+  }
+  return view;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sereep

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/util/crc32.hpp"
+
 namespace sereep {
 
 namespace {
@@ -146,64 +148,10 @@ bool read_all(int fd, std::uint8_t* data, std::size_t size,
   return true;
 }
 
-/// Byte-at-a-time table for the reflected IEEE 802.3 polynomial, built once
-/// at first use — frames are long enough that table lookup is plenty fast,
-/// and the software table keeps the protocol free of zlib.
-const std::uint32_t* crc32_table() {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table.data();
-}
-
 }  // namespace
 
 std::uint32_t shard_crc32(std::span<const std::uint8_t> data) {
-  const std::uint32_t* table = crc32_table();
-  std::uint32_t c = 0xffffffffu;
-  for (std::uint8_t b : data) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
-  return c ^ 0xffffffffu;
-}
-
-NetlistFingerprint netlist_fingerprint(const Circuit& circuit) {
-  // FNV-1a 64 over the id-ordered node table. Names are included because the
-  // CSV renderings the sharded goldens pin print them; fanin order matters
-  // (gate semantics); fanout is derived, so it is skipped.
-  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
-  constexpr std::uint64_t kPrime = 0x100000001b3ull;
-  std::uint64_t h = kOffset;
-  const auto mix_byte = [&](std::uint8_t b) {
-    h ^= b;
-    h *= kPrime;
-  };
-  const auto mix_u64 = [&](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
-  };
-  for (const Node& node : circuit.nodes()) {
-    mix_byte(static_cast<std::uint8_t>(node.type));
-    mix_byte(node.is_primary_output ? 1 : 0);
-    mix_u64(node.name.size());
-    for (char c : node.name) mix_byte(static_cast<std::uint8_t>(c));
-    mix_u64(node.fanin.size());
-    for (NodeId id : node.fanin) mix_u64(id);
-  }
-  return {.nodes = circuit.node_count(), .digest = h};
-}
-
-std::string to_string(const NetlistFingerprint& fp) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%llu nodes, digest 0x%016llx",
-                static_cast<unsigned long long>(fp.nodes),
-                static_cast<unsigned long long>(fp.digest));
-  return buf;
+  return crc32(data);  // the repo-wide CRC-32 (src/util/crc32.hpp)
 }
 
 std::vector<std::uint8_t> encode_job_prefix(const ShardJob& job) {

@@ -57,6 +57,7 @@
 
 #include "src/epp/epp_engine.hpp"
 #include "src/netlist/circuit.hpp"
+#include "src/netlist/compiled.hpp"
 
 namespace sereep {
 
@@ -96,22 +97,17 @@ enum class ShardFrameType : std::uint16_t {
 /// can build valid frames by hand (and flip exactly the CRC bytes).
 [[nodiscard]] std::uint32_t shard_crc32(std::span<const std::uint8_t> data);
 
-/// Identity of a loaded netlist, cheap enough to compute on every worker
-/// spawn: node count plus a digest folded over every node's id-ordered
-/// (type, name, fanin ids, output flag) tuple. Two circuits with equal
-/// fingerprints assign the same NodeIds to the same gates — which is the
-/// property the sharded scatter-merge (and any re-dispatched retry) needs.
-struct NetlistFingerprint {
-  std::uint64_t nodes = 0;
-  std::uint64_t digest = 0;
-  bool operator==(const NetlistFingerprint&) const = default;
-};
+/// Identity of a loaded netlist — the canonical CircuitFingerprint
+/// (src/netlist/compiled.hpp), which is also what a .sca artifact records
+/// in its header: one digest algorithm across the wire protocol, the
+/// artifact format, and the serve daemon's session cache key.
+using NetlistFingerprint = CircuitFingerprint;
 
 /// Fingerprints a finalized circuit (FNV-1a over the node table).
-[[nodiscard]] NetlistFingerprint netlist_fingerprint(const Circuit& circuit);
-
-/// "12624 nodes, digest 0x1a2b3c4d5e6f7788" — for mismatch diagnostics.
-[[nodiscard]] std::string to_string(const NetlistFingerprint& fp);
+[[nodiscard]] inline NetlistFingerprint netlist_fingerprint(
+    const Circuit& circuit) {
+  return circuit_fingerprint(circuit);
+}
 
 /// One decoded frame.
 struct ShardFrame {

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "sereep/session.hpp"  // load_netlist — the worker's input vocabulary
+#include "src/artifact/artifact_cache.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/shard_protocol.hpp"
 #include "src/epp/sharded_epp.hpp"
 #include "src/util/net.hpp"
@@ -284,8 +286,18 @@ int run_tcp_worker(const std::string& netlist_spec,
   ::signal(SIGCHLD, SIG_IGN);
   try {
     // Load once, serve many: every connection child inherits the parsed
-    // circuit through fork's copy-on-write pages.
-    const Circuit circuit = load_netlist(netlist_spec);
+    // circuit through fork's copy-on-write pages. For a .sca spec the host
+    // instead pre-warms the process-wide ArtifactCache — children inherit
+    // the read-only mapping outright (no COW faults, no restore at all)
+    // and run_shard_worker's artifact fast path finds it by path.
+    std::shared_ptr<const ArtifactView> artifact;
+    std::optional<Circuit> parsed;
+    if (is_artifact_path(netlist_spec)) {
+      artifact = ArtifactCache::global().load(netlist_spec);
+    } else {
+      parsed.emplace(load_netlist(netlist_spec));
+    }
+    const Circuit* circuit = parsed.has_value() ? &*parsed : nullptr;
     const int listen_fd = tcp_listen(bind_addr, port);
     std::printf("sereep worker listening on %s:%u\n", bind_addr.c_str(),
                 static_cast<unsigned>(tcp_local_port(listen_fd)));
@@ -302,7 +314,7 @@ int run_tcp_worker(const std::string& netlist_spec,
       if (pid == 0) {
         ::close(listen_fd);
         ::_exit(run_shard_worker(netlist_spec, std::nullopt, conn, conn,
-                                 &circuit));
+                                 circuit));
       }
       ::close(conn);
       if (pid < 0) {

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "sereep/session.hpp"  // load_netlist — the worker's input vocabulary
+#include "src/artifact/artifact_cache.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/batched_epp.hpp"
 #include "src/epp/fault_plan.hpp"
 #include "src/epp/shard_plan.hpp"
@@ -279,6 +281,23 @@ std::vector<SiteEpp> ShardedEppEngine::run_sharded(
     return run_in_process(sites, threads, p_only);
   }
 
+  // Pre-dispatch refusal for artifact-fed fleets: the .sca header carries
+  // the fingerprint, so a shard.netlist pointing at the WRONG artifact is
+  // detectable for the cost of one 128-byte read — before a single worker
+  // is spawned, rather than via every worker's handshake failing.
+  if (is_artifact_path(shard_.netlist)) {
+    const NetlistFingerprint stored =
+        peek_artifact_fingerprint(shard_.netlist);
+    if (!(stored == fingerprint_)) {
+      throw std::runtime_error(
+          "sharded engine: netlist fingerprint mismatch: parent expects " +
+          to_string(fingerprint_) + " but artifact '" + shard_.netlist +
+          "' holds " + to_string(stored) +
+          " — non-retryable: point shard.netlist at the artifact the "
+          "parent opened");
+    }
+  }
+
   const ShardRetryOptions& retry = shard_.retry;
   const int timeout_ms = static_cast<int>(retry.timeout_ms);
 
@@ -505,11 +524,28 @@ int run_shard_worker(const std::string& netlist_spec,
       ::_exit(9);
     }
 
-    const std::optional<Circuit> local =
-        preloaded == nullptr ? std::optional<Circuit>(load_netlist(netlist_spec))
-                             : std::nullopt;
-    const Circuit& circuit = preloaded != nullptr ? *preloaded : *local;
-    const NetlistFingerprint fp = netlist_fingerprint(circuit);
+    // Artifact fast path: a .sca spec skips netlist parsing AND circuit
+    // restoration entirely — the validated header fingerprint is the
+    // identity the handshake needs, and the kernels run off the mmapped
+    // compiled view (shared across every worker in this process via the
+    // ArtifactCache; forked TCP children inherit the parent's mapping).
+    std::shared_ptr<const ArtifactView> artifact;
+    std::optional<Circuit> local;
+    const Circuit* circuit_ptr = preloaded;
+    NetlistFingerprint fp;
+    std::size_t node_count = 0;
+    if (preloaded == nullptr && is_artifact_path(netlist_spec)) {
+      artifact = ArtifactCache::global().load(netlist_spec);
+      fp = artifact->fingerprint();
+      node_count = artifact->node_count();
+    } else {
+      if (circuit_ptr == nullptr) {
+        local.emplace(load_netlist(netlist_spec));
+        circuit_ptr = &*local;
+      }
+      fp = netlist_fingerprint(*circuit_ptr);
+      node_count = circuit_ptr->node_count();
+    }
     if (!(fp == job.fingerprint)) {
       // The classic foot-gun: a .bench reload is NOT node-id-identical to
       // in-memory generator output (DFF ordering differs), so records would
@@ -521,16 +557,19 @@ int run_shard_worker(const std::string& netlist_spec,
           "' loaded as " + to_string(fp) +
           " — point shard.netlist at the exact netlist the parent opened");
     }
-    if (job.sp.size() != circuit.node_count()) {
+    if (job.sp.size() != node_count) {
       throw std::runtime_error(
           "SP table covers " + std::to_string(job.sp.size()) +
           " nodes but '" + netlist_spec + "' has " +
-          std::to_string(circuit.node_count()) +
+          std::to_string(node_count) +
           " — parent and worker loaded different netlists");
     }
     write_shard_frame(out_fd, ShardFrameType::kHello, encode_hello(fp));
 
-    const CompiledCircuit compiled(circuit);
+    const CompiledCircuit compiled =
+        artifact != nullptr
+            ? CompiledCircuit::borrow(artifact->compiled().view())
+            : CompiledCircuit(*circuit_ptr);
     SignalProbabilities sp;
     sp.p1 = std::move(job.sp);
     if (job.simd_mode == 1) simd::set_enabled(false);

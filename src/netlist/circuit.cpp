@@ -199,6 +199,70 @@ void Circuit::compute_topo_order() {
   }
 }
 
+Circuit Circuit::restore(std::string name, std::vector<Node> nodes,
+                         std::span<const NodeId> output_order) {
+  const std::size_t n = nodes.size();
+  if (n == 0) fail("restore: empty circuit");
+
+  // The fanout arrays must describe exactly the reverse of the fanin arrays,
+  // as a multiset per (from, to) pair — multi-edges are legal, so count them.
+  std::unordered_map<std::uint64_t, std::int64_t> edges;
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId f : nodes[id].fanin) {
+      if (f >= n) fail("restore: fanin of node " + std::to_string(id) +
+                       " references unknown node");
+      ++edges[(static_cast<std::uint64_t>(f) << 32) | id];
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId consumer : nodes[id].fanout) {
+      if (consumer >= n) {
+        fail("restore: fanout of node " + std::to_string(id) +
+             " references unknown node");
+      }
+      const auto it =
+          edges.find((static_cast<std::uint64_t>(id) << 32) | consumer);
+      if (it == edges.end() || it->second == 0) {
+        fail("restore: fanout edge " + std::to_string(id) + " -> " +
+             std::to_string(consumer) + " has no matching fanin");
+      }
+      --it->second;
+    }
+  }
+  for (const auto& [key, count] : edges) {
+    if (count != 0) {
+      fail("restore: fanin edge " + std::to_string(key >> 32) + " -> " +
+           std::to_string(key & 0xffffffffu) + " has no matching fanout");
+    }
+  }
+
+  Circuit c(std::move(name));
+  c.nodes_ = std::move(nodes);
+  for (NodeId id = 0; id < n; ++id) {
+    Node& nd = c.nodes_[id];
+    if (nd.name.empty()) fail("restore: node name must be non-empty");
+    if (nd.is_primary_output) {
+      fail("restore: output flags must come via output_order");
+    }
+    if (!c.by_name_.emplace(nd.name, id).second) {
+      fail("restore: duplicate node name '" + nd.name + "'");
+    }
+    if (nd.type == GateType::kInput) {
+      c.inputs_.push_back(id);
+    } else if (nd.type == GateType::kDff) {
+      c.dffs_.push_back(id);
+    } else if (is_combinational(nd.type)) {
+      ++c.gate_count_;
+    }
+  }
+  for (NodeId id : output_order) {
+    if (id >= n) fail("restore: output_order references unknown node");
+    c.mark_output(id);
+  }
+  c.finalize();  // arity + acyclicity over the verbatim adjacency
+  return c;
+}
+
 void Circuit::finalize() {
   if (finalized_) return;
   if (nodes_.empty()) fail("empty circuit");

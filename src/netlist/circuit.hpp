@@ -87,6 +87,21 @@ class Circuit {
   /// combinational cycle, dangling reference).
   void finalize();
 
+  /// Rebuilds a finalized circuit from a complete node table (the .sca
+  /// artifact loader's entry point). The nodes arrive with BOTH adjacency
+  /// sides populated and are installed verbatim — fanout order is an input
+  /// here, not derived, because compute_topo_order() drains a LIFO over the
+  /// fanout arrays and the engines' summation order follows the resulting
+  /// topo order; re-deriving fanouts could legally permute them and shift
+  /// float results. restore() therefore cross-checks the two sides as an
+  /// edge multiset, requires is_primary_output to be delivered via
+  /// `output_order` (marking order is observable through outputs()), and
+  /// runs the full finalize() validation on the result. Throws
+  /// std::runtime_error on any inconsistency.
+  [[nodiscard]] static Circuit restore(std::string name,
+                                       std::vector<Node> nodes,
+                                       std::span<const NodeId> output_order);
+
   // ---- observers ---------------------------------------------------------
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

@@ -2,80 +2,124 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace sereep {
+
+CircuitFingerprint circuit_fingerprint(const Circuit& circuit) {
+  // FNV-1a 64 over the id-ordered node table. Names are included because the
+  // CSV renderings the sharded goldens pin print them; fanin order matters
+  // (gate semantics); fanout is derived, so it is skipped.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kOffset;
+  const auto mix_byte = [&](std::uint8_t b) {
+    h ^= b;
+    h *= kPrime;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  for (const Node& node : circuit.nodes()) {
+    mix_byte(static_cast<std::uint8_t>(node.type));
+    mix_byte(node.is_primary_output ? 1 : 0);
+    mix_u64(node.name.size());
+    for (char c : node.name) mix_byte(static_cast<std::uint8_t>(c));
+    mix_u64(node.fanin.size());
+    for (NodeId id : node.fanin) mix_u64(id);
+  }
+  return {.nodes = circuit.node_count(), .digest = h};
+}
+
+std::string to_string(const CircuitFingerprint& fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu nodes, digest 0x%016llx",
+                static_cast<unsigned long long>(fp.nodes),
+                static_cast<unsigned long long>(fp.digest));
+  return buf;
+}
 
 CompiledCircuit::CompiledCircuit(const Circuit& circuit) {
   assert(circuit.finalized());
   const std::size_t n = circuit.node_count();
 
-  types_.resize(n);
-  is_sink_.resize(n);
-  bucket_level_.resize(n);
+  std::vector<GateType> types(n);
+  std::vector<std::uint8_t> is_sink(n);
+  std::vector<std::uint32_t> bucket_level(n);
   const auto levels = circuit.levels();
   for (NodeId id = 0; id < n; ++id) {
     const GateType t = circuit.type(id);
-    types_[id] = t;
-    is_sink_[id] =
+    types[id] = t;
+    is_sink[id] =
         circuit.is_primary_output(id) || t == GateType::kDff ? 1 : 0;
     // The circuit's levels already order every distribution read: a gate
     // sits strictly above its non-DFF fanins, and a DFF sits strictly above
     // its D pin (capture edge, level(D) + 1) — see bucket_level().
-    bucket_level_[id] = levels[id];
+    bucket_level[id] = levels[id];
   }
   bucket_count_ = 0;
-  for (std::uint32_t b : bucket_level_) {
+  for (std::uint32_t b : bucket_level) {
     bucket_count_ = std::max(bucket_count_, b + 1);
   }
+  types_ = std::move(types);
+  is_sink_ = std::move(is_sink);
+  bucket_level_ = std::move(bucket_level);
 
   // DFF-adjusted topological positions — must replicate ConeExtractor's
   // table exactly (including the sequential dffs() fixup pass, which matters
   // when a DFF's D pin is another DFF's output) so sink ordering matches the
   // reference engine bit for bit.
-  topo_pos_.assign(n, 0);
+  std::vector<std::uint32_t> topo_pos(n, 0);
   const auto order = circuit.topo_order();
   for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
-    topo_pos_[order[pos]] = pos;
+    topo_pos[order[pos]] = pos;
   }
   for (NodeId ff : circuit.dffs()) {
-    topo_pos_[ff] =
-        static_cast<std::uint32_t>(n) + topo_pos_[circuit.fanin(ff)[0]];
+    topo_pos[ff] =
+        static_cast<std::uint32_t>(n) + topo_pos[circuit.fanin(ff)[0]];
   }
+  topo_pos_ = std::move(topo_pos);
 
   // CSR adjacency.
-  fanin_offsets_.assign(n + 1, 0);
-  fanout_offsets_.assign(n + 1, 0);
+  std::vector<std::uint32_t> fanin_offsets(n + 1, 0);
+  std::vector<std::uint32_t> fanout_offsets(n + 1, 0);
   for (NodeId id = 0; id < n; ++id) {
-    fanin_offsets_[id + 1] =
-        fanin_offsets_[id] +
+    fanin_offsets[id + 1] =
+        fanin_offsets[id] +
         static_cast<std::uint32_t>(circuit.fanin(id).size());
-    fanout_offsets_[id + 1] =
-        fanout_offsets_[id] +
+    fanout_offsets[id + 1] =
+        fanout_offsets[id] +
         static_cast<std::uint32_t>(circuit.fanout(id).size());
   }
-  fanin_ids_.resize(fanin_offsets_[n]);
-  fanout_ids_.resize(fanout_offsets_[n]);
+  std::vector<NodeId> fanin_ids(fanin_offsets[n]);
+  std::vector<NodeId> fanout_ids(fanout_offsets[n]);
   for (NodeId id = 0; id < n; ++id) {
     std::copy(circuit.fanin(id).begin(), circuit.fanin(id).end(),
-              fanin_ids_.begin() + fanin_offsets_[id]);
+              fanin_ids.begin() + fanin_offsets[id]);
     std::copy(circuit.fanout(id).begin(), circuit.fanout(id).end(),
-              fanout_ids_.begin() + fanout_offsets_[id]);
+              fanout_ids.begin() + fanout_offsets[id]);
   }
+  fanin_offsets_ = std::move(fanin_offsets);
+  fanin_ids_ = std::move(fanin_ids);
+  fanout_offsets_ = std::move(fanout_offsets);
+  fanout_ids_ = std::move(fanout_ids);
 
   // Global sink ranking: one whole-circuit sort at compile time replaces the
   // per-site sink sort. Ties in topo_pos_ happen only between DFFs sharing a
   // D pin (identical latched distributions, so their relative order cannot
   // change any result); node id breaks them deterministically.
+  std::vector<NodeId> sinks_by_rank;
   for (NodeId id = 0; id < n; ++id) {
-    if (is_sink_[id]) sinks_by_rank_.push_back(id);
+    if (is_sink_[id]) sinks_by_rank.push_back(id);
   }
-  std::sort(sinks_by_rank_.begin(), sinks_by_rank_.end(),
+  std::sort(sinks_by_rank.begin(), sinks_by_rank.end(),
             [this](NodeId a, NodeId b) {
               if (topo_pos_[a] != topo_pos_[b]) {
                 return topo_pos_[a] < topo_pos_[b];
               }
               return a < b;
             });
+  sinks_by_rank_ = std::move(sinks_by_rank);
 
   // Forward path-count cone estimate, reverse-topological. Pass 1 covers
   // combinational nodes and sources (a DFF consumer is an endpoint: the
@@ -83,25 +127,60 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit) {
   // traversed when the upset hits the state bit itself. Pass 2 only reads
   // pass-1 values (a DFF's consumers are gates or DFF endpoints), so the
   // order within circuit.dffs() does not matter.
-  cone_estimate_.assign(n, 1.0);
+  std::vector<double> cone_estimate(n, 1.0);
   for (std::size_t i = order.size(); i-- > 0;) {
     const NodeId id = order[i];
     if (types_[id] == GateType::kDff) continue;
     double est = 1.0;
     for (NodeId consumer : fanout(id)) {
       est += types_[consumer] == GateType::kDff ? 1.0
-                                                : cone_estimate_[consumer];
+                                                : cone_estimate[consumer];
     }
-    cone_estimate_[id] = est;
+    cone_estimate[id] = est;
   }
   for (NodeId ff : circuit.dffs()) {
     double est = 1.0;
     for (NodeId consumer : fanout(ff)) {
       est += types_[consumer] == GateType::kDff ? 1.0
-                                                : cone_estimate_[consumer];
+                                                : cone_estimate[consumer];
     }
-    cone_estimate_[ff] = est;
+    cone_estimate[ff] = est;
   }
+  cone_estimate_ = std::move(cone_estimate);
+}
+
+CompiledCircuit CompiledCircuit::borrow(const Parts& parts) {
+  CompiledCircuit out;
+  out.types_ = {parts.types.data(), parts.types.size()};
+  out.is_sink_ = {parts.is_sink.data(), parts.is_sink.size()};
+  out.bucket_level_ = {parts.bucket_level.data(), parts.bucket_level.size()};
+  out.topo_pos_ = {parts.topo_pos.data(), parts.topo_pos.size()};
+  out.fanin_offsets_ = {parts.fanin_offsets.data(),
+                        parts.fanin_offsets.size()};
+  out.fanin_ids_ = {parts.fanin_ids.data(), parts.fanin_ids.size()};
+  out.fanout_offsets_ = {parts.fanout_offsets.data(),
+                         parts.fanout_offsets.size()};
+  out.fanout_ids_ = {parts.fanout_ids.data(), parts.fanout_ids.size()};
+  out.sinks_by_rank_ = {parts.sinks_by_rank.data(),
+                        parts.sinks_by_rank.size()};
+  out.cone_estimate_ = {parts.cone_estimate.data(),
+                        parts.cone_estimate.size()};
+  out.bucket_count_ = parts.bucket_count;
+  return out;
+}
+
+CompiledCircuit::Parts CompiledCircuit::view() const noexcept {
+  return {.types = types_.span(),
+          .is_sink = is_sink_.span(),
+          .bucket_level = bucket_level_.span(),
+          .topo_pos = topo_pos_.span(),
+          .fanin_offsets = fanin_offsets_.span(),
+          .fanin_ids = fanin_ids_.span(),
+          .fanout_offsets = fanout_offsets_.span(),
+          .fanout_ids = fanout_ids_.span(),
+          .sinks_by_rank = sinks_by_rank_.span(),
+          .cone_estimate = cone_estimate_.span(),
+          .bucket_count = bucket_count_};
 }
 
 CompiledConeExtractor::CompiledConeExtractor(const CompiledCircuit& circuit)

@@ -19,10 +19,18 @@
 // invalidation. The view holds no reference to the Circuit and may outlive
 // it. Sharing one CompiledCircuit across threads is safe (read-only);
 // CompiledConeExtractor instances hold per-thread scratch and are not.
+//
+// Storage: each table lives in a detail::OwnedSpan — normally an owned
+// vector (the compile-from-Circuit constructor), but borrow() builds a
+// zero-copy view over externally-owned buffers instead: the .sca artifact
+// loader (src/artifact/) mmaps a compiled circuit from disk and hands the
+// mapped arrays straight to the kernels, no parse and no copy. view()
+// exposes the tables as raw spans — the artifact writer's input.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/netlist/circuit.hpp"
@@ -30,10 +38,96 @@
 
 namespace sereep {
 
+namespace detail {
+
+/// Array storage that either owns a vector or borrows an external read-only
+/// buffer (the mmap-loaded artifact case). Move-safe either way: a vector
+/// move transfers the heap buffer, so the view is re-derived from the owned
+/// vector on every move and borrowed views are copied verbatim. Not
+/// copyable — a copy of a borrowed span could outlive the borrowed memory.
+template <typename T>
+class OwnedSpan {
+ public:
+  OwnedSpan() = default;
+  /*implicit*/ OwnedSpan(std::vector<T> owned)
+      : owned_(std::move(owned)), view_(owned_) {}
+  OwnedSpan(const T* data, std::size_t size) : view_(data, size) {}
+
+  OwnedSpan(OwnedSpan&& other) noexcept { *this = std::move(other); }
+  OwnedSpan& operator=(OwnedSpan&& other) noexcept {
+    const bool owning =
+        !other.owned_.empty() && other.view_.data() == other.owned_.data();
+    owned_ = std::move(other.owned_);
+    view_ = owning ? std::span<const T>(owned_) : other.view_;
+    other.owned_.clear();
+    other.view_ = {};
+    return *this;
+  }
+  OwnedSpan(const OwnedSpan&) = delete;
+  OwnedSpan& operator=(const OwnedSpan&) = delete;
+
+  [[nodiscard]] const T* data() const noexcept { return view_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return view_[i]; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return view_; }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+};
+
+}  // namespace detail
+
+/// Identity of a loaded netlist, cheap enough to compute on every worker
+/// spawn: node count plus a digest folded over every node's id-ordered
+/// (type, output flag, name, fanin ids) tuple. Two circuits with equal
+/// fingerprints assign the same NodeIds to the same gates — which is the
+/// property the sharded scatter-merge (and any re-dispatched retry) needs,
+/// and the identity a .sca artifact records in its header.
+struct CircuitFingerprint {
+  std::uint64_t nodes = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const CircuitFingerprint&) const = default;
+};
+
+/// Fingerprints a finalized circuit (FNV-1a 64 over the node table; fanout
+/// is derived from fanin, so it is skipped).
+[[nodiscard]] CircuitFingerprint circuit_fingerprint(const Circuit& circuit);
+
+/// "12624 nodes, digest 0x1a2b3c4d5e6f7788" — for mismatch diagnostics.
+[[nodiscard]] std::string to_string(const CircuitFingerprint& fp);
+
 /// Immutable flat-CSR snapshot of a finalized Circuit (see file comment).
 class CompiledCircuit {
  public:
   explicit CompiledCircuit(const Circuit& circuit);
+
+  /// The raw member tables as spans — the .sca artifact writer's input and
+  /// borrow()'s output. One field per table, same invariants as the members
+  /// (offsets are n+1 monotonic prefix sums, sinks_by_rank is rank-sorted).
+  struct Parts {
+    std::span<const GateType> types;
+    std::span<const std::uint8_t> is_sink;
+    std::span<const std::uint32_t> bucket_level;
+    std::span<const std::uint32_t> topo_pos;
+    std::span<const std::uint32_t> fanin_offsets;   // size n+1
+    std::span<const NodeId> fanin_ids;
+    std::span<const std::uint32_t> fanout_offsets;  // size n+1
+    std::span<const NodeId> fanout_ids;
+    std::span<const NodeId> sinks_by_rank;
+    std::span<const double> cone_estimate;
+    std::uint32_t bucket_count = 0;
+  };
+
+  /// Zero-copy view over externally-owned tables (the mmapped artifact).
+  /// The caller guarantees the backing memory outlives the returned object
+  /// AND was structurally validated first — the one production caller is
+  /// src/artifact/compiled_artifact.cpp, after its full check pass; the
+  /// kernels index these arrays without bounds checks.
+  [[nodiscard]] static CompiledCircuit borrow(const Parts& parts);
+
+  /// This snapshot's tables as spans (for serialization and tests).
+  [[nodiscard]] Parts view() const noexcept;
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return types_.size();
@@ -82,7 +176,7 @@ class CompiledCircuit {
   /// reachable sinks already in the reference engine's fold order, without
   /// any per-site sort.
   [[nodiscard]] std::span<const NodeId> sinks_by_rank() const noexcept {
-    return sinks_by_rank_;
+    return sinks_by_rank_.span();
   }
 
   /// Upper-bound estimate of the output-cone size of `id` (a forward
@@ -97,20 +191,22 @@ class CompiledCircuit {
   }
   /// Whole-circuit view of the same table, one entry per node.
   [[nodiscard]] std::span<const double> cone_size_estimates() const noexcept {
-    return cone_estimate_;
+    return cone_estimate_.span();
   }
 
  private:
-  std::vector<GateType> types_;
-  std::vector<std::uint8_t> is_sink_;
-  std::vector<std::uint32_t> bucket_level_;
-  std::vector<std::uint32_t> topo_pos_;
-  std::vector<std::uint32_t> fanin_offsets_;   // size n+1
-  std::vector<NodeId> fanin_ids_;
-  std::vector<std::uint32_t> fanout_offsets_;  // size n+1
-  std::vector<NodeId> fanout_ids_;
-  std::vector<NodeId> sinks_by_rank_;
-  std::vector<double> cone_estimate_;
+  CompiledCircuit() = default;  // for borrow()
+
+  detail::OwnedSpan<GateType> types_;
+  detail::OwnedSpan<std::uint8_t> is_sink_;
+  detail::OwnedSpan<std::uint32_t> bucket_level_;
+  detail::OwnedSpan<std::uint32_t> topo_pos_;
+  detail::OwnedSpan<std::uint32_t> fanin_offsets_;   // size n+1
+  detail::OwnedSpan<NodeId> fanin_ids_;
+  detail::OwnedSpan<std::uint32_t> fanout_offsets_;  // size n+1
+  detail::OwnedSpan<NodeId> fanout_ids_;
+  detail::OwnedSpan<NodeId> sinks_by_rank_;
+  detail::OwnedSpan<double> cone_estimate_;
   std::uint32_t bucket_count_ = 0;
 };
 

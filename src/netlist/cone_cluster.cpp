@@ -119,8 +119,22 @@ ConeClusterPlanner::ConeClusterPlanner(const CompiledCircuit& circuit)
   }
 }
 
+void ConeClusterPlanner::set_preplanned(std::vector<NodeId> sites,
+                                        std::vector<ConeCluster> clusters,
+                                        PlanLevel level) {
+  preplan_sites_ = std::move(sites);
+  preplan_clusters_ = std::move(clusters);
+  preplan_level_ = level;
+  has_preplan_ = true;
+}
+
 std::vector<ConeCluster> ConeClusterPlanner::plan(std::span<const NodeId> sites,
                                                   PlanLevel level) const {
+  if (has_preplan_ && level == preplan_level_ &&
+      std::equal(sites.begin(), sites.end(), preplan_sites_.begin(),
+                 preplan_sites_.end())) {
+    return preplan_clusters_;
+  }
   // Scratch-memory cap: the batched engine allocates one lane-plane entry
   // per (merged-cone slot, member site), and the merged cone is bounded both
   // by the sum of the member cone estimates (disjoint worst case — Bloom

@@ -97,6 +97,16 @@ class ConeClusterPlanner {
     return default_level_;
   }
 
+  /// Installs a precomputed plan (from a .sca artifact): plan(sites, level)
+  /// returns a copy of `clusters` instead of re-planning whenever it is
+  /// called with exactly this site list and level. Safe because the planner
+  /// is deterministic — a stored plan for the same circuit, sites and level
+  /// is byte-identical to what plan() would compute — and any other query
+  /// (a shard's subset, a different level) falls through to the real
+  /// planner untouched.
+  void set_preplanned(std::vector<NodeId> sites,
+                      std::vector<ConeCluster> clusters, PlanLevel level);
+
   /// The 64-bit Bloom signature of the reachable-sink set of `id`'s output
   /// cone. Equal cones have equal signatures; distinct signatures imply the
   /// sink sets differ.
@@ -116,6 +126,10 @@ class ConeClusterPlanner {
   PlanLevel default_level_ = PlanLevel::kTwoLevel;
   std::vector<std::uint64_t> sig_;
   std::vector<NodeId> dom_;
+  std::vector<NodeId> preplan_sites_;
+  std::vector<ConeCluster> preplan_clusters_;
+  PlanLevel preplan_level_ = PlanLevel::kTwoLevel;
+  bool has_preplan_ = false;
 };
 
 }  // namespace sereep

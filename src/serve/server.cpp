@@ -28,6 +28,7 @@
 
 #include "sereep/options.hpp"
 #include "sereep/session.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/shard_protocol.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/serve/serve_protocol.hpp"
@@ -65,9 +66,10 @@ class SessionCache {
   /// cache's reference — in-flight requests hold their own shared_ptr, so
   /// an evicted Session dies when its last computation finishes.
   std::shared_ptr<CachedSession> get(const std::string& spec) {
+    const std::string key = cache_key(spec);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (std::shared_ptr<CachedSession> hit = find_locked(spec)) {
+      if (std::shared_ptr<CachedSession> hit = find_locked(key)) {
         metrics_.session_cache_hits.fetch_add(1, std::memory_order_relaxed);
         return hit;
       }
@@ -77,8 +79,8 @@ class SessionCache {
     options.threads = threads_;
     auto built = std::make_shared<CachedSession>(Session::open(spec, options));
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (std::shared_ptr<CachedSession> hit = find_locked(spec)) return hit;
-    lru_.emplace_front(spec, built);
+    if (std::shared_ptr<CachedSession> hit = find_locked(key)) return hit;
+    lru_.emplace_front(key, built);
     if (lru_.size() > capacity_) {
       lru_.pop_back();
       metrics_.session_cache_evictions.fetch_add(1, std::memory_order_relaxed);
@@ -92,9 +94,24 @@ class SessionCache {
   }
 
  private:
-  std::shared_ptr<CachedSession> find_locked(const std::string& spec) {
+  /// Artifact specs cache by CONTENT, not by path: the .sca header's
+  /// fingerprint is the identity, so two paths to the same compiled circuit
+  /// share one hot Session (and its mmapped artifact, via the
+  /// ArtifactCache underneath Session::open). An unreadable artifact falls
+  /// back to the spec string — the open below produces the real diagnostic.
+  static std::string cache_key(const std::string& spec) {
+    if (!is_artifact_path(spec)) return spec;
+    try {
+      const CircuitFingerprint fp = peek_artifact_fingerprint(spec);
+      return "sca:" + to_string(fp);
+    } catch (const ArtifactError&) {
+      return spec;
+    }
+  }
+
+  std::shared_ptr<CachedSession> find_locked(const std::string& key) {
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-      if (it->first == spec) {
+      if (it->first == key) {
         lru_.splice(lru_.begin(), lru_, it);
         return it->second;
       }

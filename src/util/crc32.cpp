@@ -1,0 +1,173 @@
+#include "src/util/crc32.hpp"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEREEP_CRC32_PCLMUL 1
+#include <immintrin.h>
+#endif
+
+namespace sereep {
+
+namespace {
+
+/// Slicing-by-8 tables, built once at first use. Table 0 is the classic
+/// byte-at-a-time table; table k advances a byte that still has k more bytes
+/// behind it. Eight lookups per 8 input bytes keeps the artifact loader's
+/// eager per-section validation a small fraction of the mmap fast path even
+/// on multi-MB circuits.
+const std::array<std::array<std::uint32_t, 256>, 8>& crc32_tables() {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+#ifdef SEREEP_CRC32_PCLMUL
+
+/// Carry-less-multiply folding for the same reflected CRC-32 (poly
+/// 0xedb88320), per Intel's "Fast CRC Computation Using PCLMULQDQ"; the
+/// folding/Barrett constants are the published ones for this polynomial.
+/// Bit-identical to the table path — CRC is exact integer math, so this is
+/// purely a throughput fast path (it keeps the artifact loader's eager
+/// whole-file + per-section validation out of the mmap-load budget).
+/// Requires size >= 64 and size % 16 == 0; the caller handles head/tail.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_pclmul(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t size) {
+  const __m128i k1k2 = _mm_set_epi64x(0x00000001c6e41596, 0x0000000154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00000000ccaa009e, 0x00000001751997d0);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0000000163cd6124);
+  const __m128i poly = _mm_set_epi64x(0x00000001f7011641, 0x00000001db710641);
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  p += 64;
+  size -= 64;
+
+  // Fold 64 bytes at a time: each 128-bit lane folds over the 64 bytes
+  // between it and the matching lane of the next block.
+  while (size >= 64) {
+    const __m128i y1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    const __m128i y2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    const __m128i y3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    const __m128i y4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, y1),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, y2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, y3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, y4),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)));
+    p += 64;
+    size -= 64;
+  }
+
+  // Fold the four lanes into one.
+  __m128i y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x2);
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x3);
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x4);
+
+  // Remaining whole 16-byte blocks.
+  while (size >= 16) {
+    y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, y),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    size -= 16;
+  }
+
+  // Reduce 128 -> 64 bits.
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, y);
+  // Reduce 64 -> 32 bits.
+  y = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, y);
+  // Barrett reduction.
+  y = _mm_and_si128(x1, mask32);
+  y = _mm_clmulepi64_si128(y, poly, 0x10);
+  y = _mm_and_si128(y, mask32);
+  y = _mm_clmulepi64_si128(y, poly, 0x00);
+  x1 = _mm_xor_si128(x1, y);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool pclmul_supported() {
+  static const bool ok =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+
+#endif  // SEREEP_CRC32_PCLMUL
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& t = crc32_tables();
+  std::uint32_t c = 0xffffffffu;
+  const std::uint8_t* p = data.data();
+  std::size_t size = data.size();
+#ifdef SEREEP_CRC32_PCLMUL
+  if (size >= 128 && pclmul_supported()) {
+    const std::size_t folded = size & ~std::size_t{15};
+    c = crc32_pclmul(c, p, folded);
+    p += folded;
+    size -= folded;
+  }
+#endif
+  while (size >= 8) {
+    const std::uint32_t lo = c ^ load_le32(p);
+    const std::uint32_t hi = load_le32(p + 4);
+    c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+        t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+        t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace sereep

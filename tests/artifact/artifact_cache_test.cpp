@@ -1,0 +1,110 @@
+// ArtifactCache — one mmap per distinct artifact, shared process-wide.
+//
+// The cache is what turns "the serve daemon and eight concurrent sessions
+// all use c17.sca" into ONE mapping instead of nine: lookups by path, with a
+// fingerprint alias so byte-identical copies under different paths (symlink
+// farms, re-written files) still share. Weak references only — the cache
+// must never keep an artifact alive, and a released mapping must be re-built
+// on the next request. Stats are cumulative across the process (the suite
+// runs in one binary), so every assertion here is on DELTAS, not absolutes.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/artifact/artifact_cache.hpp"
+#include "src/artifact/compiled_artifact.hpp"
+#include "src/netlist/benchmarks.hpp"
+
+namespace sereep {
+namespace {
+
+std::string temp_sca(const std::string& stem) {
+  return ::testing::TempDir() + "sereep_cache_" + stem + "_" +
+         std::to_string(::getpid()) + ".sca";
+}
+
+struct ScopedFile {
+  explicit ScopedFile(std::string p) : path(std::move(p)) {}
+  ~ScopedFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(ArtifactCache, SamePathSharesOneMapping) {
+  ScopedFile f(temp_sca("share"));
+  write_artifact(f.path, make_c17());
+  ArtifactCache& cache = ArtifactCache::global();
+  const ArtifactCache::Stats before = cache.stats();
+
+  const std::shared_ptr<const ArtifactView> a = cache.load(f.path);
+  const std::shared_ptr<const ArtifactView> b = cache.load(f.path);
+  EXPECT_EQ(a.get(), b.get()) << "two loads of one live path must share";
+  const ArtifactCache::Stats after = cache.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+}
+
+TEST(ArtifactCache, FingerprintAliasSharesAcrossPaths) {
+  // A byte-identical copy under a different name is the SAME artifact: the
+  // fingerprint key catches what the path key cannot.
+  ScopedFile f1(temp_sca("alias1"));
+  ScopedFile f2(temp_sca("alias2"));
+  write_artifact(f1.path, make_s27());
+  write_artifact(f2.path, make_s27());
+  ArtifactCache& cache = ArtifactCache::global();
+  const ArtifactCache::Stats before = cache.stats();
+
+  const std::shared_ptr<const ArtifactView> a = cache.load(f1.path);
+  const std::shared_ptr<const ArtifactView> b = cache.load(f2.path);
+  EXPECT_EQ(a.get(), b.get())
+      << "same fingerprint, different path: must share the mapping";
+  EXPECT_EQ(a->path(), f1.path) << "the first-loaded path wins";
+  const ArtifactCache::Stats after = cache.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+}
+
+TEST(ArtifactCache, ReleasedMappingIsRebuiltOnNextLoad) {
+  ScopedFile f(temp_sca("release"));
+  write_artifact(f.path, make_c17());
+  ArtifactCache& cache = ArtifactCache::global();
+  const ArtifactCache::Stats before = cache.stats();
+
+  cache.load(f.path);  // dropped immediately — weak_ptr expires
+  cache.load(f.path);  // must map again, not resurrect a dead entry
+  const ArtifactCache::Stats after = cache.stats();
+  EXPECT_EQ(after.misses - before.misses, 2u);
+}
+
+TEST(ArtifactCache, FailedLoadCachesNothing) {
+  // A corrupt file throws through load(); once the file is REPAIRED the
+  // same path must load cleanly — no negative caching.
+  ScopedFile f(temp_sca("repair"));
+  {
+    std::FILE* out = std::fopen(f.path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fputs("not an artifact", out);
+    std::fclose(out);
+  }
+  ArtifactCache& cache = ArtifactCache::global();
+  EXPECT_THROW((void)cache.load(f.path), ArtifactError);
+  const CircuitFingerprint written = write_artifact(f.path, make_c17());
+  const std::shared_ptr<const ArtifactView> view = cache.load(f.path);
+  EXPECT_TRUE(view->fingerprint() == written);
+}
+
+TEST(ArtifactCache, DistinctArtifactsDoNotAlias) {
+  ScopedFile f1(temp_sca("c17"));
+  ScopedFile f2(temp_sca("s27"));
+  write_artifact(f1.path, make_c17());
+  write_artifact(f2.path, make_s27());
+  ArtifactCache& cache = ArtifactCache::global();
+  const std::shared_ptr<const ArtifactView> a = cache.load(f1.path);
+  const std::shared_ptr<const ArtifactView> b = cache.load(f2.path);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_FALSE(a->fingerprint() == b->fingerprint());
+}
+
+}  // namespace
+}  // namespace sereep

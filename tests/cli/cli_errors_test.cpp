@@ -8,7 +8,10 @@
 // (SEREEP_CLI_PATH, wired by CMake) so the whole path from argv to exit code
 // is pinned, not just the parser in isolation.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
@@ -191,6 +194,190 @@ TEST(CliErrors, ClientStatsStillRequiresConnect) {
   const CliResult r = run_cli("client --stats");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("--connect"), std::string::npos) << r.output;
+}
+
+TEST(CliErrors, StatsAgainstDeadServerExitsTwoWithDiagnostic) {
+  // `client --stats` is the health probe ops scripts and CI poll: a drained
+  // or never-started server must answer with a CLEAN exit-2 diagnostic that
+  // says what to check, not a raw "Connection refused" strerror with exit 1.
+  // Find a port with nothing behind it by binding an ephemeral one and
+  // closing it before the probe.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  const CliResult r = run_cli("client --stats --connect=127.0.0.1:" +
+                              std::to_string(port));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("no server listening"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("sereep serve"), std::string::npos)
+      << "the diagnostic should say what to start:\n"
+      << r.output;
+  EXPECT_EQ(r.output.find("Connection refused"), std::string::npos)
+      << "raw socket errors are what this path exists to replace:\n"
+      << r.output;
+}
+
+// ---- netlist loader error paths (the real binary, real files) --------------
+// The parse diagnostics below are load-bearing for every front end that
+// takes a netlist spec; exec the binary so the path from a broken FILE to a
+// non-zero exit with the parser's message is what gets pinned.
+
+/// Writes `text` to a unique temp file with the given extension and returns
+/// the path (caller removes).
+std::string write_temp_netlist(const std::string& stem, const char* ext,
+                               const std::string& text) {
+  const std::string path =
+      ::testing::TempDir() + "sereep_cli_" + stem + ext;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(CliErrors, TruncatedBenchFileRejected) {
+  // An interrupted copy chops mid-declaration: the malformed line must be
+  // named, not skipped.
+  const std::string path = write_temp_netlist(
+      "truncated", ".bench", "INPUT(G1)\nINPUT(G2)\nOUTPUT(G3)\nG3 = AND(G1");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find(".bench"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("line 4"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, UndefinedSignalInBenchNamed) {
+  const std::string path = write_temp_netlist(
+      "undef", ".bench",
+      "INPUT(G1)\nOUTPUT(G3)\nG3 = AND(G1, PHANTOM)\n");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("undefined signal 'PHANTOM'"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, DuplicateGateDefinitionInBenchNamed) {
+  const std::string path = write_temp_netlist(
+      "dup", ".bench",
+      "INPUT(G1)\nINPUT(G2)\nOUTPUT(G3)\n"
+      "G3 = AND(G1, G2)\nG3 = OR(G1, G2)\n");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("'G3' defined twice"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, TruncatedVerilogRejected) {
+  const std::string path = write_temp_netlist(
+      "vtrunc", ".v", "module m(a, y);\n  input a;\n  output y;\n");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("endmodule"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, UndrivenVerilogNetNamed) {
+  const std::string path = write_temp_netlist(
+      "vundef", ".v",
+      "module m(a, y);\n  input a;\n  output y;\n  wire ghost;\n"
+      "  and g1(y, a, ghost);\nendmodule\n");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("undriven net 'ghost'"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, DoublyDrivenVerilogSignalNamed) {
+  const std::string path = write_temp_netlist(
+      "vdup", ".v",
+      "module m(a, b, y);\n  input a, b;\n  output y;\n"
+      "  and g1(y, a, b);\n  or g2(y, a, b);\nendmodule\n");
+  const CliResult r = run_cli("stats " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("'y' driven twice"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+// ---- the compile subcommand ------------------------------------------------
+
+TEST(CliErrors, CompileRequiresANetlist) {
+  const CliResult r = run_cli("compile");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("netlist"), std::string::npos) << r.output;
+}
+
+TEST(CliErrors, CompileRefusesArtifactInput) {
+  const CliResult r = run_cli("compile already.sca -o out.sca");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("already a compiled .sca artifact"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrors, CompileRefusesNonScaOutput) {
+  const CliResult r = run_cli("compile c17 -o c17.bench");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("must end in .sca"), std::string::npos) << r.output;
+}
+
+TEST(CliErrors, CompiledArtifactRoundTripsThroughTheCli) {
+  // The happy path end to end in the real binary: compile an embedded
+  // circuit, then sweep from BOTH specs and require identical CSV bytes.
+  const std::string sca = ::testing::TempDir() + "sereep_cli_roundtrip.sca";
+  const CliResult c = run_cli("compile c17 -o " + sca);
+  EXPECT_EQ(c.exit_code, 0) << c.output;
+  EXPECT_NE(c.output.find("fingerprint"), std::string::npos) << c.output;
+  // The CSV artifact of each run (the table on stdout carries timings).
+  const std::string csv_name = ::testing::TempDir() + "sereep_cli_rt_name.csv";
+  const std::string csv_sca = ::testing::TempDir() + "sereep_cli_rt_sca.csv";
+  EXPECT_EQ(run_cli("sweep c17 --csv=" + csv_name).exit_code, 0);
+  const CliResult from_sca = run_cli("sweep " + sca + " --csv=" + csv_sca);
+  EXPECT_EQ(from_sca.exit_code, 0) << from_sca.output;
+  auto slurp = [](const std::string& path) {
+    std::string out;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (f == nullptr) return out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+  };
+  const std::string want = slurp(csv_name);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(slurp(csv_sca), want);
+  std::remove(sca.c_str());
+  std::remove(csv_name.c_str());
+  std::remove(csv_sca.c_str());
+}
+
+TEST(CliErrors, CorruptArtifactRejectedThroughTheCli) {
+  const std::string sca = ::testing::TempDir() + "sereep_cli_corrupt.sca";
+  std::FILE* f = std::fopen(sca.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("these are not the bytes you are looking for", f);
+  std::fclose(f);
+  const CliResult r = run_cli("sweep " + sca);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("artifact '" + sca + "'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("truncated header"), std::string::npos) << r.output;
+  std::remove(sca.c_str());
 }
 
 // ---- valid usage must still work -------------------------------------------

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sereep/sereep.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/epp/shard_plan.hpp"
 #include "src/epp/shard_protocol.hpp"
@@ -741,6 +742,40 @@ TEST(ShardedRetry, FingerprintMismatchIsNonRetryable) {
   const ShardedEppEngine::Diagnostics* diag = session.shard_diagnostics();
   ASSERT_NE(diag, nullptr);
   EXPECT_EQ(diag->respawns, 0u) << "mismatch must not be retried";
+}
+
+TEST(ShardedRetry, ArtifactFingerprintMismatchRefusedBeforeDispatch) {
+  // Deliberate desync, artifact flavor: the parent analyses an in-memory
+  // s27 but shard.netlist points at a c17 ARTIFACT. Unlike the netlist
+  // case — where the mismatch surfaces in each worker's handshake — the
+  // artifact header carries the fingerprint, so the supervisor can peek 128
+  // bytes and refuse BEFORE spawning anything, naming both digests and the
+  // offending path.
+  const std::string path = ::testing::TempDir() + "sereep_desync_c17.sca";
+  write_artifact(path, make_c17());
+  Options opt = retry_options(2, 5);
+  opt.shard.netlist = path;
+  Session session(make_s27(), std::move(opt));
+  try {
+    (void)session.sweep();
+    FAIL() << "an artifact fingerprint mismatch must abort the sweep";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("netlist fingerprint mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("non-retryable"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "the diagnostic should name the artifact: " << what;
+    EXPECT_NE(what.find("0x"), std::string::npos) << what;
+    EXPECT_NE(what.rfind("0x"), what.find("0x")) << what;
+  }
+  const ShardedEppEngine::Diagnostics* diag = session.shard_diagnostics();
+  if (diag != nullptr) {
+    EXPECT_EQ(diag->workers_spawned, 0u)
+        << "the refusal must happen before any worker is forked";
+    EXPECT_EQ(diag->respawns, 0u);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ShardedRetry, RecoveredSweepReproducesGoldenCsvBytes) {

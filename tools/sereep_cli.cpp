@@ -2,6 +2,8 @@
 //
 //   sereep stats   <netlist>                     circuit statistics
 //   sereep convert <in> <out>                    .bench <-> .v by extension
+//   sereep compile <netlist> [-o out.sca] [--no-plan]
+//                                                compiled .sca artifact
 //   sereep sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]
 //   sereep epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]
 //                                                per-node EPP detail
@@ -37,13 +39,15 @@
 // --shard-hosts=host:port,... the same sweeps dispatch over TCP to remote
 // `sereep worker --listen=PORT` processes instead of forking locally
 // (src/epp/shard_transport.hpp — unauthenticated, trusted networks only).
-// Netlists are read as ISCAS .bench (default) or structural Verilog when the
-// file ends in .v; embedded circuit names (c17, s27, s953, ...) work
-// anywhere a path is accepted.
+// Netlists are read as ISCAS .bench (default), structural Verilog when the
+// file ends in .v, or a pre-compiled `.sca` artifact (written by `sereep
+// compile`, mmap-loaded with zero parsing); embedded circuit names (c17,
+// s27, s953, ...) work anywhere a path is accepted.
 //
 // Every numeric flag parses STRICTLY and is range-checked: --threads=abc,
 // --threads=-1, --vectors=1e4 are usage errors (non-zero exit + diagnostic),
 // never a silent 0 or a 4-billion-thread wraparound.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -58,6 +62,7 @@
 
 #include "bench/common.hpp"
 #include "sereep/sereep.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/shard_transport.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/netlist/benchmarks.hpp"
@@ -489,6 +494,66 @@ int cmd_gen(const bench::Flags& flags) {
   return 0;
 }
 
+/// `sereep compile <netlist> -o file.sca`: pay the parse + flatten + SP +
+/// plan cost once and persist the result as a versioned, checksummed,
+/// mmap-loadable artifact (src/artifact/compiled_artifact.hpp). Every place
+/// that takes a netlist spec — sweep/ser/harden, `sereep worker`, the serve
+/// daemon — accepts the .sca path and loads it back in milliseconds with
+/// zero parsing; the printed fingerprint is the identity the sharded
+/// dispatcher and serve cache verify against.
+int cmd_compile(int argc, char** argv, const bench::Flags& flags) {
+  std::string spec = flags.get("netlist", "");
+  std::string out = flags.get("o", "");
+  // bench::Flags only parses --long flags; scan argv ourselves for the
+  // conventional `-o FILE` spelling and the positional netlist.
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg[0] != '-' && spec.empty()) {
+      spec = arg;
+    }
+  }
+  if (spec.empty()) {
+    std::fprintf(stderr,
+                 "error: compile requires a netlist (positional or "
+                 "--netlist=SPEC)\n");
+    return 2;
+  }
+  if (is_artifact_path(spec)) {
+    std::fprintf(stderr,
+                 "error: '%s' is already a compiled .sca artifact; compile "
+                 "takes a .bench/.v path or an embedded name\n",
+                 spec.c_str());
+    return 2;
+  }
+  if (out.empty()) {
+    // Default output: the netlist's basename with a .sca extension.
+    std::string base = spec;
+    const std::size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+    out = base + ".sca";
+  }
+  if (!is_artifact_path(out)) {
+    std::fprintf(stderr, "error: compile output '%s' must end in .sca\n",
+                 out.c_str());
+    return 2;
+  }
+  const Stopwatch sw;
+  const Circuit circuit = load_netlist(spec);
+  ArtifactWriteOptions options;
+  options.include_plan = !flags.has("no-plan");
+  const CircuitFingerprint fp = write_artifact(out, circuit, options);
+  struct stat st = {};
+  const long bytes = ::stat(out.c_str(), &st) == 0 ? st.st_size : 0;
+  std::printf("compiled %s -> %s (%ld bytes, %.1f ms)\nfingerprint: %s\n",
+              spec.c_str(), out.c_str(), bytes, sw.millis(),
+              to_string(fp).c_str());
+  return 0;
+}
+
 int cmd_engines() {
   AsciiTable t({"Engine", "Threads", "SIMD", "Processes"});
   for (const std::string& name : EngineRegistry::instance().names()) {
@@ -691,6 +756,17 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
       retry_why = e.what();  // connect refused / reset / write failure
     }
     if (attempt >= *retries) {
+      if (req.kind == ServeRequestKind::kStats &&
+          retry_why.find("Connection refused") != std::string::npos) {
+        // A stats probe against a drained or absent server is an expected
+        // operational state (health checks race shutdowns); answer with a
+        // usage-class diagnostic and exit 2, not the raw socket error.
+        std::fprintf(stderr,
+                     "error: no server listening at %s:%u — is `sereep "
+                     "serve` running there?\n",
+                     hp.host.c_str(), static_cast<unsigned>(hp.port));
+        return 2;
+      }
       std::fprintf(stderr, "error: %s%s\n", retry_why.c_str(),
                    *retries > 0 ? " (retries exhausted)" : "");
       return 1;
@@ -706,10 +782,11 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
 void usage() {
   std::fprintf(
       stderr,
-      "usage: sereep <stats|convert|sp|epp|sweep|ser|harden|report|gen|"
-      "engines|worker|serve|client> ...\n"
+      "usage: sereep <stats|convert|compile|sp|epp|sweep|ser|harden|report|"
+      "gen|engines|worker|serve|client> ...\n"
       "  stats   <netlist>\n"
       "  convert <in> <out>\n"
+      "  compile <netlist> [-o out.sca] [--no-plan]\n"
       "  sp      <netlist> [--engine=pm|mc|seq] [--vectors=N] [--top=N]\n"
       "  epp     <netlist> --node=NAME [--engine=E] [--verify] [--vectors=N]\n"
       "  sweep   <netlist> [--engine=E] [--threads=N] [--shards=N] [--top=N]\n"
@@ -740,7 +817,8 @@ void usage() {
       "  times (implies --on-shard-failure=retry unless a policy is given);\n"
       "  --shard-timeout-ms kills workers that stop making progress;\n"
       "  --on-shard-failure=degrade finishes exhausted shards in-process.\n"
-      "netlist: a .bench/.v path or an embedded name (c17, s27, s953...)\n");
+      "netlist: a .bench/.v path, a compiled .sca artifact (see `sereep\n"
+      "  compile`), or an embedded name (c17, s27, s953...)\n");
 }
 
 }  // namespace
@@ -760,6 +838,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "stats" && pos.size() == 1) return cmd_stats(pos[0]);
     if (cmd == "convert" && pos.size() == 2) return cmd_convert(pos[0], pos[1]);
+    if (cmd == "compile") return cmd_compile(argc, argv, flags);
     if (cmd == "sp" && pos.size() == 1) return cmd_sp(pos[0], flags);
     if (cmd == "epp" && pos.size() == 1) return cmd_epp(pos[0], flags);
     if (cmd == "sweep" && pos.size() == 1) return cmd_sweep(pos[0], flags);
