@@ -10,9 +10,11 @@
 // kernels, reference vs compiled vs batched (cone-sharing clusters) vs
 // sharded (worker processes — pipe and loopback-TCP transports, clean +
 // one injected worker death to price the supervisor's recovery) plus a
-// hot-cache `sereep serve` round trip and the .sca artifact mmap-load vs
-// cold parse+compile comparison (schema v8), on a >= 10k-gate generated
-// circuit — so the perf trajectory is tracked across PRs (see
+// hot-cache `sereep serve` round trip, the .sca artifact mmap-load vs
+// cold parse+compile comparison, and the incremental what-if rows — a
+// single-gate edit and a 1%-of-gates batch re-swept through the Session
+// dirty-cone splice vs the full sweep (schema v9) — on a >= 10k-gate
+// generated circuit — so the perf trajectory is tracked across PRs (see
 // write_bench_micro_json). Pass --json=path to redirect it,
 // --json= (empty) to skip, and --fast to exercise the JSON emitter on a
 // small circuit and skip the google-benchmark run (CI mode).
@@ -24,16 +26,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sereep/engine.hpp"
+#include "sereep/session.hpp"
 #include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/batched_epp.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/epp/compiled_epp.hpp"
 #include "src/epp/epp_engine.hpp"
 #include "src/epp/gate_rules.hpp"
+#include "src/epp/incremental.hpp"
 #include "src/epp/shard_protocol.hpp"
 #include "src/netlist/compiled.hpp"
 #include "src/netlist/cone_cluster.hpp"
@@ -631,9 +636,140 @@ void write_bench_micro_json(const std::string& path, bool fast) {
     std::remove(bench_path.c_str());
   }
 
+  // incremental (schema v9): the Session what-if loop. A single retype edit
+  // (and a 1%-of-gates batch) against a warm session pays apply_edit() +
+  // the dirty-cone re-sweep + cache splice; the comparator is the full
+  // re-sweep the SAME session runs when nothing spliceable is pending —
+  // identical engine, identical thread count, so incremental_vs_full is a
+  // workload ratio, not a host property. Edits toggle AND<->NAND /
+  // OR<->NOR: every round is a genuine value-changing retype and the
+  // circuit never grows across reps.
+  //
+  // The rows run on their OWN 12k-gate circuit, not the shared JSON one.
+  // The shared circuit funnels every cone through 24 inputs — maximal
+  // reconvergence by design (it stresses the cluster planner), which makes
+  // it a structural worst case for incrementality: ANY single edit there
+  // dirties 10-40% of all sites and caps the win near 2x. Real netlists
+  // are wide and shallow with local cones (an s38417-class design has
+  // ~1.7k flops on 28k gates), so the incremental rows use that shape:
+  // same gate count, realistic I/O width, low reuse. The two rows bracket
+  // the workload: the single-edit row takes the most LOCALIZED sink-side
+  // victim (smallest downstream closure over a deterministic candidate
+  // sample — the spot-fix a hardening loop actually applies), the 1%-batch
+  // row spreads edits across the whole circuit (the broad-rewrite case
+  // where splicing cannot help much).
+  double inc_full_s = 0.0;
+  double inc_single_s = 0.0;
+  double inc_pct_s = 0.0;
+  std::size_t inc_pct_gates = 0;
+  std::size_t inc_single_resweeped = 0;
+  std::size_t inc_sites = 0;
+  bool inc_identical = true;
+  {
+    GeneratorProfile ip;
+    ip.name = fast ? "inc1k5" : "inc12k";
+    ip.num_inputs = fast ? 300 : 2400;
+    ip.num_outputs = fast ? 100 : 800;
+    ip.num_dffs = fast ? 75 : 600;
+    ip.num_gates = fast ? 1500 : 12000;
+    ip.target_depth = 9;
+    ip.reuse_bias = 0.05;
+    const Circuit ic = generate_circuit(ip, 2024);
+    const auto toggled = [](GateType t) {
+      switch (t) {
+        case GateType::kAnd: return GateType::kNand;
+        case GateType::kNand: return GateType::kAnd;
+        case GateType::kOr: return GateType::kNor;
+        case GateType::kNor: return GateType::kOr;
+        default: return t;
+      }
+    };
+    std::vector<NodeId> togglable;
+    for (NodeId id = 0; id < ic.node_count(); ++id) {
+      if (toggled(ic.node(id).type) != ic.node(id).type) {
+        togglable.push_back(id);
+      }
+    }
+    if (!togglable.empty()) {
+      std::vector<Node> nodes(ic.nodes().begin(), ic.nodes().end());
+      for (Node& n : nodes) n.is_primary_output = false;
+      Session session(
+          Circuit::restore(ic.name(), std::move(nodes), ic.outputs()));
+      inc_sites = error_sites(ic).size();
+      (void)session.sweep();  // warm engine + populate the splice cache
+      inc_full_s = timed_min(
+          [&] { benchmark::DoNotOptimize(session.sweep().size()); });
+      const auto toggle_plan = [&](std::span<const NodeId> victims) {
+        std::string spec;
+        for (NodeId v : victims) {
+          if (!spec.empty()) spec += "; ";
+          spec += "retype ";
+          spec += session.circuit().node(v).name;
+          spec += ' ';
+          spec += gate_type_name(toggled(session.circuit().node(v).type));
+        }
+        return parse_edit_spec(spec);
+      };
+      // Most-localized victim: fewest AFFECTED SITES (the exact quantity
+      // the splice re-sweeps — ancestors of the victim's downstream
+      // closure) over a strided sample of the sink-side half. Deterministic
+      // one-time selection, not part of any timed region.
+      const CompiledCircuit inc_compiled(ic);
+      const std::vector<NodeId> inc_site_list = error_sites(ic);
+      NodeId victim = togglable.back();
+      std::size_t victim_affected = inc_site_list.size() + 1;
+      for (std::size_t i = togglable.size() / 2; i < togglable.size();
+           i += 16) {
+        const auto mask = affected_site_mask(
+            inc_compiled,
+            downstream_closure(inc_compiled,
+                               std::vector<NodeId>{togglable[i]}),
+            inc_site_list);
+        std::size_t affected = 0;
+        for (std::uint8_t m : mask) affected += m != 0;
+        if (affected < victim_affected) {
+          victim_affected = affected;
+          victim = togglable[i];
+        }
+      }
+      inc_single_s = timed_min([&] {
+        session.apply_edit(toggle_plan(std::span(&victim, 1)));
+        benchmark::DoNotOptimize(session.sweep().size());
+      });
+      const std::size_t want_gates =
+          std::max<std::size_t>(1, ic.gate_count() / 100);
+      std::vector<NodeId> pct;
+      const std::size_t step =
+          std::max<std::size_t>(1, togglable.size() / want_gates);
+      for (std::size_t i = 0; i < togglable.size() && pct.size() < want_gates;
+           i += step) {
+        pct.push_back(togglable[i]);
+      }
+      inc_pct_gates = pct.size();
+      inc_pct_s = timed_min([&] {
+        session.apply_edit(toggle_plan(pct));
+        benchmark::DoNotOptimize(session.sweep().size());
+      });
+      // One more single edit, judged: the spliced answer must be
+      // bit-identical to a from-scratch session of the edited circuit.
+      const std::size_t resweeped_before =
+          session.incremental_stats().resweeped_sites;
+      session.apply_edit(toggle_plan(std::span(&victim, 1)));
+      const std::vector<double> spliced = session.sweep_p_sensitized();
+      inc_single_resweeped =
+          session.incremental_stats().resweeped_sites - resweeped_before;
+      const Circuit& edited = session.circuit();
+      std::vector<Node> enodes(edited.nodes().begin(), edited.nodes().end());
+      for (Node& n : enodes) n.is_primary_output = false;
+      Session oracle(Circuit::restore(edited.name(), std::move(enodes),
+                                      edited.outputs()));
+      inc_identical = spliced == oracle.sweep_p_sensitized();
+    }
+  }
+
   const bool identical = check_ref == check_cmp && check_ref == check_bat &&
                          check_ref == check_bat_scalar && sp_identical &&
-                         shard_identical;
+                         shard_identical && inc_identical;
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -642,7 +778,7 @@ void write_bench_micro_json(const std::string& path, bool fast) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"sereep.bench_micro.v8\",\n"
+               "  \"schema\": \"sereep.bench_micro.v9\",\n"
                "  \"circuit\": {\"name\": \"%s\", \"gates\": %zu, "
                "\"nodes\": %zu, \"sites\": %zu, \"depth\": %u},\n"
                "  \"results_bit_identical\": %s,\n"
@@ -750,16 +886,38 @@ void write_bench_micro_json(const std::string& path, bool fast) {
          shard_ran ? sweep_shard_retry_s : 0.0,
          shard_ran ? sweep_shard_tcp_s : 0.0,
          shard_ran ? serve_request_s : 0.0,
-         artifact_mmap_s > 0 ? "," : "");
+         (artifact_mmap_s > 0 || inc_single_s > 0) ? "," : "");
   if (artifact_mmap_s > 0) {
     // Schema v8: compiled-artifact load. Both _ms columns gate same-machine
     // (absolute I/O + CPU on this host); "speedup" is the portable ratio
     // bench_compare gates under --ratios-only.
     std::fprintf(f,
                  "    \"artifact\": {\"cold_parse_compile_ms\": %.3f, "
-                 "\"mmap_load_ms\": %.3f, \"speedup\": %.1f}\n",
+                 "\"mmap_load_ms\": %.3f, \"speedup\": %.1f}%s\n",
                  artifact_cold_s * 1e3, artifact_mmap_s * 1e3,
-                 artifact_cold_s / artifact_mmap_s);
+                 artifact_cold_s / artifact_mmap_s,
+                 inc_single_s > 0 ? "," : "");
+  }
+  if (inc_single_s > 0) {
+    // Schema v9: the incremental what-if rows. incremental_vs_full divides
+    // the session's own full re-sweep by the post-edit spliced re-sweep —
+    // same engine and thread count on both sides, so the ratio is workload
+    // shape, not host ISA, and --ratios-only gates it cross-machine. The
+    // _ms columns gate same-machine like every absolute timing.
+    std::fprintf(f,
+                 "    \"incremental_single_edit\": {"
+                 "\"full_resweep_ms\": %.3f, "
+                 "\"incremental_resweep_ms\": %.3f, "
+                 "\"incremental_vs_full\": %.1f, "
+                 "\"resweeped_sites\": %zu, \"total_sites\": %zu},\n",
+                 inc_full_s * 1e3, inc_single_s * 1e3,
+                 inc_full_s / inc_single_s, inc_single_resweeped, inc_sites);
+    std::fprintf(f,
+                 "    \"incremental_pct_edit\": {"
+                 "\"incremental_resweep_ms\": %.3f, "
+                 "\"incremental_vs_full\": %.2f, "
+                 "\"edited_gates\": %zu}\n",
+                 inc_pct_s * 1e3, inc_full_s / inc_pct_s, inc_pct_gates);
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -796,6 +954,15 @@ void write_bench_micro_json(const std::string& path, bool fast) {
         "(%.0fx)\n",
         artifact_cold_s * 1e3, artifact_mmap_s * 1e3,
         artifact_cold_s / artifact_mmap_s);
+  }
+  if (inc_single_s > 0) {
+    std::printf(
+        "  incremental: full re-sweep %.1f ms; single-gate edit %.2f ms "
+        "(%.0fx, %zu sites re-swept, bit-identical: %s); %zu-gate edit "
+        "%.1f ms (%.1fx)\n",
+        inc_full_s * 1e3, inc_single_s * 1e3, inc_full_s / inc_single_s,
+        inc_single_resweeped, inc_identical ? "yes" : "NO", inc_pct_gates,
+        inc_pct_s * 1e3, inc_full_s / inc_pct_s);
   }
 }
 

@@ -35,6 +35,7 @@
 #include "sereep/options.hpp"
 #include "src/epp/multicycle.hpp"
 #include "src/epp/sharded_epp.hpp"
+#include "src/netlist/circuit_edit.hpp"
 #include "src/ser/ser_estimator.hpp"
 
 namespace sereep {
@@ -53,7 +54,8 @@ class Session {
  public:
   /// Build counters behind the caching contract: how many times each shared
   /// artifact has been constructed over the session's lifetime. After any
-  /// call sequence with unchanged Options, every field is 0 or 1.
+  /// call sequence with unchanged Options and no apply_edit(), every field
+  /// is 0 or 1 (structural edits re-flatten, so `compiled` counts each).
   struct BuildCounts {
     std::size_t compiled = 0;
     std::size_t sp = 0;
@@ -100,6 +102,46 @@ class Session {
   /// (e.g. a new engine key drops the engine + SER cache but keeps the
   /// compiled view, SPs and cluster plan). See tests/README.md.
   void set_options(Options options);
+
+  // ---- incremental what-if loop --------------------------------------------
+
+  /// Counters behind the incremental-edit contract: how much of each layer
+  /// the dirty-cone machinery actually reused. Tests pin these to prove the
+  /// fast path ran; `sereep serve` reports them per kEdit reply.
+  struct IncrementalStats {
+    std::size_t edits = 0;            ///< apply_edit() batches applied
+    std::size_t compiled_patched = 0; ///< in-place CSR type patches (no re-flatten)
+    std::size_t sp_incremental = 0;   ///< SP tables repaired in place
+    std::size_t spliced_sweeps = 0;   ///< cache reconciliations that spliced
+    std::size_t resweeped_sites = 0;  ///< sites recomputed across splices
+    std::size_t spliced_sites = 0;    ///< cached sites reused across splices
+  };
+
+  /// Applies an edit batch to the session's circuit and repairs the cached
+  /// artifacts incrementally instead of rebuilding them:
+  ///   * compiled view — patched in place for retype-only batches (owned
+  ///     arrays), re-flattened otherwise; the fingerprint the sharded
+  ///     dispatcher and serve daemon key on follows the edited circuit.
+  ///   * SP table — repaired by incremental_parker_mccluskey_sp when the
+  ///     source is kParkerMcCluskey (dropped wholesale for other sources).
+  ///   * sweep caches — the batch's dirty cone is accumulated; the next
+  ///     sweep()/sweep_p_sensitized()/ser() re-sweeps exactly the affected
+  ///     sites (src/epp/incremental.hpp) and splices the rest through,
+  ///     bit-identical to a from-scratch rebuild + full sweep (pinned by
+  ///     tests/epp/engine_equivalence_test.cpp's edit fuzz).
+  /// A session opened from a .sca artifact goes fully in-memory on its first
+  /// edit: the borrowed view is re-flattened from the edited circuit and the
+  /// artifact fingerprint + recorded netlist spec are dropped, so a sharded
+  /// worker pool still serving the stale artifact fails the pre-dispatch
+  /// fingerprint handshake instead of silently answering for the old netlist.
+  /// Throws std::runtime_error on invalid edits; ops before the failing one
+  /// stay applied (the circuit is re-indexed and consistent) and every cached
+  /// artifact is dropped wholesale — the next query rebuilds from scratch.
+  EditResult apply_edit(const EditPlan& plan);
+
+  [[nodiscard]] const IncrementalStats& incremental_stats() const noexcept {
+    return inc_stats_;
+  }
 
   // ---- shared artifacts (lazily built, memoized) ---------------------------
 
@@ -202,7 +244,17 @@ class Session {
   /// match the session's options bit-exactly).
   void adopt_artifact(std::shared_ptr<const ArtifactView> artifact);
 
-  std::unique_ptr<const Circuit> circuit_;  ///< stable address across moves
+  /// Drops the sweep/psens caches and any pending dirty frontier — the
+  /// fallback for invalidations the dirty-cone machinery cannot scope.
+  void invalidate_incremental();
+
+  /// Drains the pending dirty frontier into the sweep/psens caches: computes
+  /// the exact affected-site mask on the edited compiled view and re-sweeps
+  /// only those sites, splicing the cached records through for the rest.
+  void reconcile_caches();
+
+  /// Mutable only through apply_edit(); stable address across moves.
+  std::unique_ptr<Circuit> circuit_;
   /// Keeps the mmapped artifact alive for as long as compiled_ borrows its
   /// arrays — declared before compiled_ so it is destroyed after it.
   std::shared_ptr<const ArtifactView> artifact_;
@@ -212,15 +264,38 @@ class Session {
                                          ///< engines reference it
 
   // Memoized artifacts; unique_ptr keeps addresses stable across Session
-  // moves (engines hold references into their context).
-  std::unique_ptr<const CompiledCircuit> compiled_;
-  std::unique_ptr<const SignalProbabilities> sp_;
+  // moves (engines hold references into their context). compiled_ and sp_
+  // are non-const so apply_edit() can patch them in place — every accessor
+  // still hands out const views.
+  std::unique_ptr<CompiledCircuit> compiled_;
+  std::unique_ptr<SignalProbabilities> sp_;
   std::optional<SpDiagnostics> sp_diagnostics_;
   std::unique_ptr<PlannerCache> planner_cache_;
   std::unique_ptr<IEppEngine> engine_;
   std::unique_ptr<MultiCycleEppEngine> multicycle_;
   std::unique_ptr<const CircuitSer> ser_;
   std::optional<std::vector<NodeId>> sites_;
+
+  // ---- incremental what-if state (apply_edit / reconcile_caches) -----------
+  // Sweep results cached by site-list index (error_sites() order; inserted
+  // nodes only ever append, so an older cache stays an aligned prefix). The
+  // pending frontier accumulates dirty sets across edits until the next
+  // sweeping query reconciles.
+  // `valid` means the cache mirrors the circuit and may back splices and the
+  // ser() fold. `fresh` additionally means an edit splice produced it since
+  // the last explicit sweep: only then may sweep()/sweep_p_sensitized()
+  // answer from it — a repeated explicit sweep on a quiet session re-drives
+  // the engine so per-sweep diagnostics (sharded respawns etc.) stay honest.
+  std::vector<SiteEpp> sweep_cache_;
+  bool sweep_cache_valid_ = false;
+  bool sweep_cache_fresh_ = false;
+  std::vector<double> psens_cache_;  ///< per-site, pre-scatter
+  bool psens_cache_valid_ = false;
+  bool psens_cache_fresh_ = false;
+  std::vector<NodeId> pending_seeds_;       ///< union of dirty sets
+  std::vector<NodeId> pending_sp_changed_;  ///< union of bitwise-SP deltas
+  bool pending_structural_ = false;
+  IncrementalStats inc_stats_;
 };
 
 /// Renders a hardening plan as the canonical text Session::harden_text()

@@ -7,6 +7,7 @@
 
 #include "src/artifact/artifact_cache.hpp"
 #include "src/artifact/compiled_artifact.hpp"
+#include "src/epp/incremental.hpp"
 #include "src/netlist/bench_io.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/verilog_io.hpp"
@@ -72,7 +73,7 @@ struct Session::PlannerCache {
 };
 
 Session::Session(Circuit circuit, Options options)
-    : circuit_(std::make_unique<const Circuit>(std::move(circuit))),
+    : circuit_(std::make_unique<Circuit>(std::move(circuit))),
       options_(std::move(options)),
       counts_(std::make_unique<BuildCounts>()) {
   options_.validate();
@@ -105,7 +106,7 @@ void Session::adopt_artifact(std::shared_ptr<const ArtifactView> artifact) {
   // of the artifact. Not counted in BuildCounts: the caching contract's
   // "0 or 1" counts constructions this session performs, and nothing was
   // flattened here.
-  compiled_ = std::make_unique<const CompiledCircuit>(
+  compiled_ = std::make_unique<CompiledCircuit>(
       CompiledCircuit::borrow(artifact_->compiled().view()));
   // The stored SP table is adopted only when it is EXACTLY what this
   // session would compute: same source, bit-identical source probabilities
@@ -119,7 +120,7 @@ void Session::adopt_artifact(std::shared_ptr<const ArtifactView> artifact) {
       std::bit_cast<std::uint64_t>(stored_sp.dff_sp) ==
           std::bit_cast<std::uint64_t>(want_sp.dff_sp)) {
     const std::span<const double> table = artifact_->sp_table();
-    sp_ = std::make_unique<const SignalProbabilities>(
+    sp_ = std::make_unique<SignalProbabilities>(
         SignalProbabilities{.p1 = {table.begin(), table.end()}});
   }
   // The stored whole-circuit plan seeds the planner cache when the level
@@ -171,6 +172,193 @@ void Session::set_options(Options options) {
       planner_cache_->planner->set_default_level(options_.cluster.level);
     }
   }
+  // The sweep caches bind the full option set (EPP knobs, SER models, SP
+  // source); re-scoping which of those actually moved is not worth it here —
+  // reconfiguration is rare, edits are the hot loop.
+  invalidate_incremental();
+}
+
+void Session::invalidate_incremental() {
+  sweep_cache_.clear();
+  sweep_cache_valid_ = false;
+  sweep_cache_fresh_ = false;
+  psens_cache_.clear();
+  psens_cache_valid_ = false;
+  psens_cache_fresh_ = false;
+  pending_seeds_.clear();
+  pending_sp_changed_.clear();
+  pending_structural_ = false;
+}
+
+EditResult Session::apply_edit(const EditPlan& plan) {
+  // An edited netlist exists only in this process: the spec recorded for
+  // sharded workers (and, for .sca sessions, the artifact fingerprint the
+  // serve cache and pre-dispatch handshake key on) describes the PRE-edit
+  // bits, so both are dropped up front. A sharded worker pool still serving
+  // the stale artifact then fails the fingerprint handshake instead of
+  // silently answering for the old netlist; spec-less sharded sweeps fall
+  // back in-process, which is always correct.
+  artifact_fingerprint_.reset();
+  options_.shard.netlist.clear();
+
+  EditResult result;
+  try {
+    result = apply_edit_plan(*circuit_, plan);
+  } catch (...) {
+    // Ops before the failure applied eagerly (the circuit is re-indexed and
+    // consistent) but no dirty set reached us — scope is unknowable, so every
+    // derived artifact goes. The next query rebuilds from scratch.
+    engine_.reset();
+    multicycle_.reset();
+    planner_cache_.reset();
+    compiled_.reset();
+    artifact_.reset();
+    sp_.reset();
+    sp_diagnostics_.reset();
+    ser_.reset();
+    sites_.reset();
+    invalidate_incremental();
+    throw;
+  }
+  ++inc_stats_.edits;
+
+  // Compiled view: a retype-only batch over owned arrays patches the type
+  // table in place (the CSR layout is untouched by definition); anything
+  // else — structural batches, or a view borrowed from an mmapped artifact —
+  // re-flattens from the edited circuit.
+  if (compiled_ != nullptr) {
+    bool patched = false;
+    if (!result.structure_changed) {
+      std::vector<GateType> types;
+      types.reserve(result.dirty.size());
+      for (NodeId id : result.dirty) types.push_back(circuit_->type(id));
+      patched = compiled_->patch_types(result.dirty, types);
+    }
+    if (patched) {
+      ++inc_stats_.compiled_patched;
+    } else {
+      engine_.reset();         // binds the old view
+      planner_cache_.reset();  // holds a raw pointer to the old view
+      compiled_ = std::make_unique<CompiledCircuit>(*circuit_);
+      ++counts_->compiled;
+    }
+  }
+  artifact_.reset();  // nothing borrows the mapping anymore
+
+  // SP table: repaired in place for the Parker-McCluskey source (the repair
+  // returns the bitwise-changed node set P, part of the dirty frontier);
+  // other sources re-derive from scratch — their deltas are unbounded, so
+  // the sweep caches go with them.
+  std::vector<NodeId> sp_changed;
+  if (sp_ != nullptr) {
+    if (options_.sp.source == SpSource::kParkerMcCluskey) {
+      sp_changed = incremental_parker_mccluskey_sp(
+          compiled(), options_.sp.probabilities, result.dirty, *sp_);
+      ++inc_stats_.sp_incremental;
+    } else {
+      sp_.reset();
+      sp_diagnostics_.reset();
+    }
+  }
+
+  // Accumulate the dirty frontier for the next sweeping query's reconcile.
+  pending_seeds_.insert(pending_seeds_.end(), result.dirty.begin(),
+                        result.dirty.end());
+  pending_sp_changed_.insert(pending_sp_changed_.end(), sp_changed.begin(),
+                             sp_changed.end());
+  pending_structural_ |= result.structure_changed;
+  if (sp_ == nullptr) invalidate_incremental();  // non-PM source was dropped
+
+  // Engines carry per-node scratch and bind the (possibly replaced) compiled
+  // view; the SER fold binds the sweep. All cheap to rebuild next to any
+  // cone re-sweep.
+  engine_.reset();
+  multicycle_.reset();
+  ser_.reset();
+  if (!result.inserted.empty()) sites_.reset();
+  return result;
+}
+
+void Session::reconcile_caches() {
+  if (pending_seeds_.empty()) return;
+  if (!sweep_cache_valid_ && !psens_cache_valid_) {
+    pending_seeds_.clear();
+    pending_sp_changed_.clear();
+    pending_structural_ = false;
+    return;  // nothing cached — the caller's full (re)build covers the edits
+  }
+  // The frontier (see src/epp/incremental.hpp): structural batches need the
+  // downstream closure — topological ranks may have moved anywhere below the
+  // edit; retype-only batches need the dirty set plus the SP delta P and
+  // fanout(P) (an SP change reaches a site on-path or as an off-path fanin).
+  std::vector<NodeId> frontier;
+  if (pending_structural_) {
+    frontier = downstream_closure(compiled(), pending_seeds_);
+  } else {
+    frontier = pending_seeds_;
+    for (NodeId p : pending_sp_changed_) {
+      frontier.push_back(p);
+      const std::span<const NodeId> consumers = compiled().fanout(p);
+      frontier.insert(frontier.end(), consumers.begin(), consumers.end());
+    }
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+  }
+  pending_seeds_.clear();
+  pending_sp_changed_.clear();
+  pending_structural_ = false;
+
+  const std::span<const NodeId> all = sites();
+  const ConeClusterPlanner* bloom =
+      planner_cache_ != nullptr && planner_cache_->planner != nullptr
+          ? planner_cache_->planner.get()
+          : nullptr;
+  const std::vector<std::uint8_t> mask =
+      affected_site_mask(compiled(), frontier, all, bloom);
+
+  // Inserted sites land past the cached prefix with mask 1 (they are their
+  // own frontier); the explicit bound check covers them regardless.
+  std::vector<NodeId> affected;
+  std::vector<std::size_t> affected_idx;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const bool beyond = (sweep_cache_valid_ && i >= sweep_cache_.size()) ||
+                        (psens_cache_valid_ && i >= psens_cache_.size());
+    if (mask[i] != 0 || beyond) {
+      affected_idx.push_back(i);
+      affected.push_back(all[i]);
+    }
+  }
+  ++inc_stats_.spliced_sweeps;
+  inc_stats_.resweeped_sites += affected.size();
+  inc_stats_.spliced_sites += all.size() - affected.size();
+
+  // Re-sweep ONLY the affected sites through the session's own engine (site
+  // subsets are bit-identical to the matching slice of a full sweep — pinned
+  // by the engine-equivalence suite) and splice them over the cache.
+  if (sweep_cache_valid_) {
+    sweep_cache_.resize(all.size());
+    if (!affected.empty()) {
+      std::vector<SiteEpp> fresh = engine().sweep(affected, options_.threads);
+      for (std::size_t k = 0; k < affected_idx.size(); ++k) {
+        sweep_cache_[affected_idx[k]] = std::move(fresh[k]);
+      }
+    }
+  }
+  if (psens_cache_valid_) {
+    psens_cache_.resize(all.size(), 0.0);
+    if (!affected.empty()) {
+      const std::vector<double> fresh =
+          engine().sweep_p_sensitized(affected, options_.threads);
+      for (std::size_t k = 0; k < affected_idx.size(); ++k) {
+        psens_cache_[affected_idx[k]] = fresh[k];
+      }
+    }
+  }
+  // The splice IS the next sweep's answer — let the sweeping queries serve
+  // it once instead of re-driving the engine over every site.
+  sweep_cache_fresh_ = sweep_cache_valid_;
+  psens_cache_fresh_ = psens_cache_valid_;
 }
 
 void Session::apply_simd() const noexcept {
@@ -179,7 +367,7 @@ void Session::apply_simd() const noexcept {
 
 const CompiledCircuit& Session::compiled() {
   if (compiled_ == nullptr) {
-    compiled_ = std::make_unique<const CompiledCircuit>(*circuit_);
+    compiled_ = std::make_unique<CompiledCircuit>(*circuit_);
     ++counts_->compiled;
   }
   return *compiled_;
@@ -206,7 +394,7 @@ const SignalProbabilities& Session::sp() {
         built = monte_carlo_sp(*circuit_, options_.sp.monte_carlo_vectors);
         break;
     }
-    sp_ = std::make_unique<const SignalProbabilities>(std::move(built));
+    sp_ = std::make_unique<SignalProbabilities>(std::move(built));
     ++counts_->sp;
   }
   return *sp_;
@@ -267,41 +455,78 @@ double Session::p_sensitized(NodeId site) {
 
 std::vector<SiteEpp> Session::sweep() {
   apply_simd();
-  return engine().sweep(sites(), options_.threads);
+  reconcile_caches();
+  // Serve a just-spliced cache (the incremental win); otherwise an explicit
+  // sweep always drives the engine — repeated sweeps are how callers refresh
+  // per-sweep diagnostics, and results are deterministic either way.
+  if (!sweep_cache_valid_ || !sweep_cache_fresh_) {
+    sweep_cache_ = engine().sweep(sites(), options_.threads);
+    sweep_cache_valid_ = true;
+  }
+  sweep_cache_fresh_ = false;
+  return sweep_cache_;
 }
 
 std::vector<double> Session::sweep_p_sensitized() {
   apply_simd();
+  reconcile_caches();
   const std::span<const NodeId> all = sites();
-  const std::vector<double> per_site =
-      engine().sweep_p_sensitized(all, options_.threads);
+  if (!psens_cache_valid_ || !psens_cache_fresh_) {
+    psens_cache_ = engine().sweep_p_sensitized(all, options_.threads);
+    psens_cache_valid_ = true;
+  }
+  psens_cache_fresh_ = false;
   std::vector<double> out(circuit_->node_count(), 0.0);
-  for (std::size_t i = 0; i < all.size(); ++i) out[all[i]] = per_site[i];
+  for (std::size_t i = 0; i < all.size(); ++i) out[all[i]] = psens_cache_[i];
   return out;
 }
 
 const CircuitSer& Session::ser() {
   if (ser_ == nullptr) {
     apply_simd();
-    // Folded in bounded slices so peak memory is O(slice) SiteEpp records —
-    // the same discipline SerEstimator::estimate() keeps (and the same
-    // slice width, so the batched engine's cluster packing matches it too).
-    constexpr std::size_t kFoldSlice = 8192;
+    reconcile_caches();
     const std::span<const NodeId> all = sites();
     const std::vector<NodeId> swept = subsample_sites(
         std::vector<NodeId>(all.begin(), all.end()), options_.ser.max_sites);
     CircuitSer out;
     out.nodes.reserve(swept.size());
-    IEppEngine& eng = engine();
-    for (std::size_t begin = 0; begin < swept.size(); begin += kFoldSlice) {
-      const std::size_t count = std::min(kFoldSlice, swept.size() - begin);
-      for (const SiteEpp& epp :
-           eng.sweep(std::span(swept).subspan(begin, count),
-                     options_.threads)) {
+    // Inside a what-if loop (a sweep cache exists, or edits have started and
+    // no subsample truncates it) the fold reads the reconciled cache — SER
+    // after an edit pays only the affected cones. Otherwise keep the bounded
+    // slice walk: peak memory O(slice) SiteEpp records, the same discipline
+    // SerEstimator::estimate() keeps (and the same slice width, so the
+    // batched engine's cluster packing matches it too).
+    const bool from_cache =
+        sweep_cache_valid_ ||
+        (inc_stats_.edits > 0 && options_.ser.max_sites == 0);
+    if (from_cache) {
+      if (!sweep_cache_valid_) {
+        sweep_cache_ = engine().sweep(all, options_.threads);
+        sweep_cache_valid_ = true;
+      }
+      for (NodeId site : swept) {
+        // sites() is ascending by construction (error_sites id order).
+        const auto it = std::lower_bound(all.begin(), all.end(), site);
+        const SiteEpp& epp = sweep_cache_[it - all.begin()];
         out.nodes.push_back(node_ser_from_epp(*circuit_, epp,
                                               options_.ser.seu,
                                               options_.ser.latching));
         out.total_ser += out.nodes.back().ser;
+      }
+    } else {
+      constexpr std::size_t kFoldSlice = 8192;
+      IEppEngine& eng = engine();
+      for (std::size_t begin = 0; begin < swept.size();
+           begin += kFoldSlice) {
+        const std::size_t count = std::min(kFoldSlice, swept.size() - begin);
+        for (const SiteEpp& epp :
+             eng.sweep(std::span(swept).subspan(begin, count),
+                       options_.threads)) {
+          out.nodes.push_back(node_ser_from_epp(*circuit_, epp,
+                                                options_.ser.seu,
+                                                options_.ser.latching));
+          out.total_ser += out.nodes.back().ser;
+        }
       }
     }
     ser_ = std::make_unique<const CircuitSer>(std::move(out));

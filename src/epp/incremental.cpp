@@ -1,0 +1,146 @@
+#include "src/epp/incremental.hpp"
+
+#include <algorithm>
+
+#include "src/netlist/cone_cluster.hpp"
+
+namespace sereep {
+
+namespace {
+
+/// Per-node "can reach the frontier inside a cone" flags: reach[x] = x ∈ F,
+/// or x is non-DFF and some consumer reaches. Descending bucket order makes
+/// one pass sufficient — every consumer edge we consult goes to a strictly
+/// higher bucket (a gate sits above its fanins, a DFF one above its D pin),
+/// and DFF fanout edges, the only downhill ones, are never consulted.
+std::vector<std::uint8_t> frontier_reach(const CompiledCircuit& circuit,
+                                         std::span<const NodeId> frontier) {
+  const std::size_t n = circuit.node_count();
+  std::vector<std::uint8_t> reach(n, 0);
+  for (NodeId f : frontier) reach[f] = 1;
+
+  // Counting sort by bucket level (O(V), reused pass shape from the planner).
+  std::vector<std::uint32_t> start(circuit.bucket_count() + 1, 0);
+  for (NodeId id = 0; id < n; ++id) ++start[circuit.bucket_level(id) + 1];
+  for (std::size_t b = 1; b < start.size(); ++b) start[b] += start[b - 1];
+  std::vector<NodeId> order(n);
+  {
+    std::vector<std::uint32_t> cursor = start;
+    for (NodeId id = 0; id < n; ++id) {
+      order[cursor[circuit.bucket_level(id)]++] = id;
+    }
+  }
+
+  for (std::size_t i = n; i-- > 0;) {
+    const NodeId id = order[i];
+    if (reach[id] != 0 || circuit.is_dff(id)) continue;
+    for (NodeId consumer : circuit.fanout(id)) {
+      if (reach[consumer] != 0) {
+        reach[id] = 1;
+        break;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<NodeId> downstream_closure(const CompiledCircuit& circuit,
+                                       std::span<const NodeId> seeds) {
+  std::vector<std::uint8_t> seen(circuit.node_count(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId s : seeds) {
+    if (seen[s] == 0) {
+      seen[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  std::vector<NodeId> out;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // A non-seed DFF would stop the walk (observation point), but a DFF SEED
+    // must not expand either: only its D pin or flags changed — its output
+    // still carries the same cycle-start constant, so nothing downstream of
+    // the Q pin moved. Cheapest correct rule: never expand through DFFs
+    // (seed DFFs are in the closure themselves, which is all that matters).
+    if (circuit.is_dff(id)) continue;
+    for (NodeId consumer : circuit.fanout(id)) {
+      if (seen[consumer] == 0) {
+        seen[consumer] = 1;
+        stack.push_back(consumer);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> affected_site_mask(const CompiledCircuit& circuit,
+                                             std::span<const NodeId> frontier,
+                                             std::span<const NodeId> sites,
+                                             const ConeClusterPlanner* bloom) {
+  std::vector<std::uint8_t> mask(sites.size(), 0);
+  if (frontier.empty()) return mask;
+  const std::vector<std::uint8_t> reach = frontier_reach(circuit, frontier);
+
+  FrontierSignature fsig;
+  const bool prefilter =
+      bloom != nullptr &&
+      (fsig = frontier_signature(*bloom, frontier)).exhaustive;
+
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const NodeId s = sites[i];
+    if (prefilter && (bloom->sink_signature(s) & fsig.bits) == 0) {
+      continue;  // provably disjoint sink sets => cone cannot touch F
+    }
+    if (reach[s] != 0) {
+      mask[i] = 1;
+    } else if (circuit.is_dff(s)) {
+      // An upset at the FF itself DOES propagate out of the Q pin, so the
+      // site's cone continues through its fanout even though reach[] stopped
+      // there for every other cone.
+      for (NodeId consumer : circuit.fanout(s)) {
+        if (reach[consumer] != 0) {
+          mask[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+FrontierSignature frontier_signature(const ConeClusterPlanner& planner,
+                                     std::span<const NodeId> frontier) {
+  FrontierSignature out;
+  for (NodeId f : frontier) {
+    const std::uint64_t sig = planner.sink_signature(f);
+    out.bits |= sig;
+    if (sig == 0) out.exhaustive = false;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> bloom_affected_clusters(
+    const ConeClusterPlanner& planner, std::span<const NodeId> sites,
+    std::span<const ConeCluster> clusters, std::span<const NodeId> frontier) {
+  const FrontierSignature fsig = frontier_signature(planner, frontier);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+    if (!fsig.exhaustive) {
+      out.push_back(c);  // a zero-signature frontier node defeats the filter
+      continue;
+    }
+    std::uint64_t cluster_sig = 0;
+    for (std::uint32_t member : clusters[c].members) {
+      cluster_sig |= planner.sink_signature(sites[member]);
+    }
+    if ((cluster_sig & fsig.bits) != 0) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace sereep

@@ -1,0 +1,93 @@
+// Dirty-cone invalidation for the incremental what-if loop.
+//
+// After a Circuit::edit() batch, most error sites' EPP records are bit-for-bit
+// unchanged: a site's sweep result is a pure function of its output cone
+// (member types and fanin lists), the off-path fanin SPs, and the rank order
+// of its reachable sinks. This header computes, on the EDITED compiled view,
+// exactly which sites a cached sweep table must re-compute; everything else
+// splices through unchanged. Session::apply_edit() is the consumer.
+//
+// The frontier. Callers build a node set F from the batch:
+//   * retype-only batches (no adjacency change): F = dirty set S, plus the
+//     bitwise-SP-changed set P (incremental_parker_mccluskey_sp's return) and
+//     fanout(P) — an SP change reaches a site either on-path (the node is in
+//     the cone, covered by P) or as an off-path fanin (covered by fanout(P)).
+//   * structural batches (rewire / insert / tmr): F = downstream_closure(S),
+//     the combinational forward closure of the dirty set. The closure is what
+//     makes splicing sound under Kahn-order shifts: a structural edit can move
+//     the topological rank of every node combinationally downstream of it, and
+//     rank order is what the engines fold reachable sinks in — so any site
+//     whose cone touches that region must be re-swept. Nodes NOT downstream of
+//     any edit keep their relative pop order in the re-run Kahn pass (an
+//     edit-region burst is transparent on the LIFO ready stack: its pops never
+//     push unaffected nodes, whose restricted fanout-list order is unchanged),
+//     so the surviving sites' sink fold order — and hence every float — is
+//     bit-preserved. P ⊆ downstream_closure(S) (SP repair seeds at S and DFF
+//     SPs are constants), so structural frontiers need no separate P term.
+//
+// Affectedness is then exact, not heuristic: site s must be re-swept iff
+// cone(s) ∩ F ≠ ∅, evaluated by one reverse pass over the compiled view
+// (affected_site_mask). The Bloom sink signatures the cluster planner already
+// maintains give a sound PRE-filter — sig(cone(s)) ⊇ sig(x) for every cone
+// member x, so a site whose signature misses the frontier's cannot be affected
+// — but only when every frontier node has a non-zero signature (a sink-free
+// frontier cone is invisible to the Bloom bits yet can still change a site's
+// cone_size). frontier_signature() reports that exhaustiveness bit; the exact
+// mask is always the authority.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/compiled.hpp"
+
+namespace sereep {
+
+class ConeClusterPlanner;
+struct ConeCluster;
+
+/// The combinational forward closure of `seeds` over the compiled fanout
+/// arrays — seeds included, DFF consumers included but never expanded (an
+/// error latches there; the same stopping rule as cone extraction). This is
+/// the region whose topological ranks a structural edit at `seeds` may have
+/// moved. Returned ascending, deduplicated.
+[[nodiscard]] std::vector<NodeId> downstream_closure(
+    const CompiledCircuit& circuit, std::span<const NodeId> seeds);
+
+/// mask[i] = 1 iff cone(sites[i]) intersects `frontier` — the exact re-sweep
+/// set for a cached table aligned to `sites`. One reverse pass in descending
+/// bucket order: reach[x] = x ∈ F, or (x non-DFF and some consumer reaches) —
+/// a DFF is an observation point, its output cone is not part of any site
+/// cone that merely reaches it. A DFF site's own fanout IS consulted (an
+/// upset state bit propagates out of the FF).
+///
+/// When `bloom` (a planner over the SAME compiled view) is given and the
+/// frontier signature is exhaustive, sites whose Bloom signature misses the
+/// frontier's are skipped without consulting the reach table — identical
+/// mask, cheaper scan (the pre-filter has no false negatives).
+[[nodiscard]] std::vector<std::uint8_t> affected_site_mask(
+    const CompiledCircuit& circuit, std::span<const NodeId> frontier,
+    std::span<const NodeId> sites, const ConeClusterPlanner* bloom = nullptr);
+
+/// The frontier's reachable-sink Bloom signature: the OR of the planner's
+/// per-node signatures over `frontier`. `exhaustive` is false when any
+/// frontier node has signature 0 (a dead cone the Bloom bits cannot see) —
+/// the pre-filter must then be bypassed.
+struct FrontierSignature {
+  std::uint64_t bits = 0;
+  bool exhaustive = true;
+};
+[[nodiscard]] FrontierSignature frontier_signature(
+    const ConeClusterPlanner& planner, std::span<const NodeId> frontier);
+
+/// Cluster-level pre-filter: indices (into `clusters`) of the clusters whose
+/// member-signature OR intersects the frontier signature — a superset of the
+/// clusters containing any affected site. When the frontier signature is not
+/// exhaustive every cluster is returned (the filter cannot prove absence).
+/// `clusters` must index into `sites` (ConeClusterPlanner::plan output).
+[[nodiscard]] std::vector<std::uint32_t> bloom_affected_clusters(
+    const ConeClusterPlanner& planner, std::span<const NodeId> sites,
+    std::span<const ConeCluster> clusters, std::span<const NodeId> frontier);
+
+}  // namespace sereep

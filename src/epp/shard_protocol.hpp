@@ -66,13 +66,16 @@ inline constexpr std::uint32_t kShardMagic = 0x53'52'50'46;  // "SRPF"
 /// kProgress frames. v3: payload CRC-32 in the frame header, the dispatch
 /// ordinal carried in-band in the job (TCP workers have no argv), and the
 /// kRequest/kResponse pair for the `sereep serve` daemon. v4: the kBusy
-/// overload-shed frame and the serve kStats request kind — purely ADDITIVE,
-/// so readers accept kMinShardProtocolVersion..kShardProtocolVersion (a v3
-/// client talking to a v4 daemon keeps working; anything older is rejected
-/// loudly by the version check).
-inline constexpr std::uint16_t kShardProtocolVersion = 4;
-/// Oldest peer version read_shard_frame still accepts. v3 frames differ
-/// from v4 only in which types/kinds they can carry, never in layout.
+/// overload-shed frame and the serve kStats request kind. v5: the serve
+/// kEdit request kind (the edit-spec string travels only for that kind, so
+/// every pre-existing payload layout is untouched). All bumps since v3 are
+/// purely ADDITIVE, so readers accept
+/// kMinShardProtocolVersion..kShardProtocolVersion (a v3 client talking to
+/// a v5 daemon keeps working; anything older is rejected loudly by the
+/// version check).
+inline constexpr std::uint16_t kShardProtocolVersion = 5;
+/// Oldest peer version read_shard_frame still accepts. v3..v5 frames differ
+/// only in which types/kinds they can carry, never in layout.
 inline constexpr std::uint16_t kMinShardProtocolVersion = 3;
 
 /// Frame kinds (the `type` header field).

@@ -9,11 +9,20 @@ namespace {
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("circuit: " + what);
 }
+
+/// The construction API is finalize()-only; every post-finalize change goes
+/// through the edit channel. Naming it here turns the classic "mutated a
+/// frozen netlist" bug into a pointer at the fix.
+[[noreturn]] void fail_finalized(const char* op) {
+  fail(std::string(op) +
+       ": circuit is finalized — post-finalize changes go through "
+       "Circuit::edit() (src/netlist/circuit_edit.hpp)");
+}
 }  // namespace
 
 NodeId Circuit::add_node(GateType type, std::string name,
                          std::vector<NodeId> fanin) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("add_node");
   if (name.empty()) fail("node name must be non-empty");
   if (by_name_.contains(name)) fail("duplicate node name '" + name + "'");
   if (!arity_ok(type, fanin.size())) {
@@ -54,7 +63,7 @@ NodeId Circuit::add_dff(std::string name, NodeId d) {
 }
 
 NodeId Circuit::add_dff_placeholder(std::string name) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("add_dff_placeholder");
   if (name.empty()) fail("node name must be non-empty");
   if (by_name_.contains(name)) fail("duplicate node name '" + name + "'");
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -65,7 +74,7 @@ NodeId Circuit::add_dff_placeholder(std::string name) {
 }
 
 void Circuit::connect_dff(NodeId dff, NodeId d) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("connect_dff");
   if (dff >= nodes_.size() || d >= nodes_.size()) fail("connect_dff: unknown node");
   Node& nd = nodes_[dff];
   if (nd.type != GateType::kDff) fail("connect_dff: node is not a DFF");
@@ -80,7 +89,7 @@ NodeId Circuit::add_const(std::string name, bool value) {
 }
 
 void Circuit::mark_output(NodeId id) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("mark_output");
   if (id >= nodes_.size()) fail("mark_output: unknown node");
   if (!nodes_[id].is_primary_output) {
     nodes_[id].is_primary_output = true;
@@ -89,7 +98,7 @@ void Circuit::mark_output(NodeId id) {
 }
 
 void Circuit::replace_fanin(NodeId gate, std::size_t slot, NodeId new_source) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("replace_fanin");
   if (gate >= nodes_.size() || new_source >= nodes_.size()) {
     fail("replace_fanin: unknown node");
   }
@@ -105,7 +114,7 @@ void Circuit::replace_fanin(NodeId gate, std::size_t slot, NodeId new_source) {
 }
 
 void Circuit::append_fanin(NodeId gate, NodeId source) {
-  if (finalized_) fail("cannot mutate a finalized circuit");
+  if (finalized_) fail_finalized("append_fanin");
   if (gate >= nodes_.size() || source >= nodes_.size()) {
     fail("append_fanin: unknown node");
   }

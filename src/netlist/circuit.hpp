@@ -21,6 +21,8 @@
 
 namespace sereep {
 
+class EditBatch;
+
 /// Dense node identifier; indexes into Circuit's node arrays.
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
@@ -102,6 +104,15 @@ class Circuit {
                                        std::vector<Node> nodes,
                                        std::span<const NodeId> output_order);
 
+  // ---- post-finalize editing ----------------------------------------------
+
+  /// Opens an edit batch over a FINALIZED circuit (the what-if loop's
+  /// mutation channel — see src/netlist/circuit_edit.hpp). Ops apply
+  /// eagerly; EditBatch::commit() re-derives the frozen indexes exactly as
+  /// finalize() would and reports the dirty node set. The construction-time
+  /// add_* API stays finalize()-only.
+  [[nodiscard]] EditBatch edit();
+
   // ---- observers ---------------------------------------------------------
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -167,8 +178,11 @@ class Circuit {
   [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
 
  private:
+  friend class EditBatch;  ///< the one post-finalize mutation channel
+
   NodeId add_node(GateType type, std::string name, std::vector<NodeId> fanin);
   void compute_topo_order();  // throws on combinational cycle
+  void reindex();  // finalize()'s frozen-index derivation, for EditBatch
 
   std::string name_;
   std::vector<Node> nodes_;

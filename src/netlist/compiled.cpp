@@ -169,6 +169,20 @@ CompiledCircuit CompiledCircuit::borrow(const Parts& parts) {
   return out;
 }
 
+bool CompiledCircuit::patch_types(std::span<const NodeId> nodes,
+                                  std::span<const GateType> new_types) {
+  assert(nodes.size() == new_types.size());
+  GateType* types = types_.mutable_data();
+  if (types == nullptr) return false;  // borrowed (mmapped) — re-flatten
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    assert(nodes[i] < types_.size());
+    assert(is_combinational(new_types[i]) &&
+           is_combinational(types[nodes[i]]));
+    types[nodes[i]] = new_types[i];
+  }
+  return true;
+}
+
 CompiledCircuit::Parts CompiledCircuit::view() const noexcept {
   return {.types = types_.span(),
           .is_sink = is_sink_.span(),

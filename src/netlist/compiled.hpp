@@ -12,13 +12,15 @@
 // loops of cone extraction and EPP propagation become contiguous scans.
 //
 // Lifecycle: build AFTER Circuit::finalize() (the constructor asserts this);
-// the compiled view is an immutable snapshot tied to the source circuit's
-// NodeIds. Circuit has no post-finalize mutation API, so a snapshot cannot go
-// stale within one Circuit lifetime; if a new Circuit is derived (e.g. TMR
-// rewriting), compile that circuit afresh — there is no incremental
-// invalidation. The view holds no reference to the Circuit and may outlive
-// it. Sharing one CompiledCircuit across threads is safe (read-only);
-// CompiledConeExtractor instances hold per-thread scratch and are not.
+// the compiled view is a snapshot tied to the source circuit's NodeIds.
+// Post-finalize edits (Circuit::edit(), src/netlist/circuit_edit.hpp) can
+// leave a snapshot stale; the one in-place repair is patch_types() for
+// retype-only batches — every other edit changes the adjacency or sink
+// arrays and requires a re-flatten (O(V+E), far below one sweep), which is
+// what Session::apply_edit does. The view holds no reference to the Circuit
+// and may outlive it. Sharing one CompiledCircuit across threads is safe
+// (read-only); CompiledConeExtractor instances hold per-thread scratch and
+// are not.
 //
 // Storage: each table lives in a detail::OwnedSpan — normally an owned
 // vector (the compile-from-Circuit constructor), but borrow() builds a
@@ -70,6 +72,16 @@ class OwnedSpan {
   [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
   [[nodiscard]] const T& operator[](std::size_t i) const { return view_[i]; }
   [[nodiscard]] std::span<const T> span() const noexcept { return view_; }
+
+  /// Write access to the OWNED buffer, nullptr for a borrowed view — a
+  /// borrowed span may be a read-only mmap (the .sca loader's), so in-place
+  /// patching must fall back to a rebuild there. The empty owned vector is
+  /// owning by definition (nothing was borrowed).
+  [[nodiscard]] T* mutable_data() noexcept {
+    const bool owning = view_.data() == nullptr ||
+                        (!owned_.empty() && view_.data() == owned_.data());
+    return owning ? owned_.data() : nullptr;
+  }
 
  private:
   std::vector<T> owned_;
@@ -128,6 +140,17 @@ class CompiledCircuit {
 
   /// This snapshot's tables as spans (for serialization and tests).
   [[nodiscard]] Parts view() const noexcept;
+
+  /// In-place repair for a RETYPE-ONLY edit batch: rewrites types_[nodes[i]]
+  /// = new_types[i] and nothing else. Exact because a retype preserves the
+  /// adjacency, levels, sink set, topo positions and cone estimates — every
+  /// other table is untouched by construction. Returns false (and patches
+  /// nothing) when the snapshot borrows external storage (mmapped artifact):
+  /// the caller must re-flatten from the edited Circuit instead. `nodes[i]`
+  /// must be in range and `new_types[i]` combinational — the caller
+  /// (EditBatch) validated the edit already.
+  bool patch_types(std::span<const NodeId> nodes,
+                   std::span<const GateType> new_types);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return types_.size();

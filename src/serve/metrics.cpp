@@ -20,6 +20,8 @@ const char* kind_name(std::size_t kind) {
       return "p_sensitized";
     case ServeRequestKind::kStats:
       return "stats";
+    case ServeRequestKind::kEdit:
+      return "edit";
   }
   return nullptr;
 }

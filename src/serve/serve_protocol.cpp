@@ -93,6 +93,9 @@ std::vector<std::uint8_t> encode_request(const ServeRequest& r) {
   put_u64(out, std::bit_cast<std::uint64_t>(r.target));
   put_string(out, r.netlist);
   put_string(out, r.node);
+  // v5: the edit spec travels only for kEdit, keeping the v4 layout of every
+  // other kind byte-identical (a v4 decoder rejects kind 6 before reading it).
+  if (r.kind == ServeRequestKind::kEdit) put_string(out, r.edit);
   return out;
 }
 
@@ -106,6 +109,7 @@ ServeRequest decode_request(std::span<const std::uint8_t> payload) {
     case static_cast<std::uint8_t>(ServeRequestKind::kHardenText):
     case static_cast<std::uint8_t>(ServeRequestKind::kPSensitized):
     case static_cast<std::uint8_t>(ServeRequestKind::kStats):
+    case static_cast<std::uint8_t>(ServeRequestKind::kEdit):
       req.kind = static_cast<ServeRequestKind>(kind);
       break;
     default:
@@ -115,6 +119,9 @@ ServeRequest decode_request(std::span<const std::uint8_t> payload) {
   req.target = std::bit_cast<double>(r.u64());
   req.netlist = r.string("netlist spec");
   req.node = r.string("node name");
+  if (req.kind == ServeRequestKind::kEdit) {
+    req.edit = r.string("edit spec");
+  }
   if (!r.exhausted()) {
     throw std::runtime_error("serve request: trailing bytes after request");
   }
@@ -122,6 +129,9 @@ ServeRequest decode_request(std::span<const std::uint8_t> payload) {
   // Session); every other kind must name what to load.
   if (req.netlist.empty() && req.kind != ServeRequestKind::kStats) {
     throw std::runtime_error("serve request: empty netlist spec");
+  }
+  if (req.kind == ServeRequestKind::kEdit && req.edit.empty()) {
+    throw std::runtime_error("serve request: empty edit spec");
   }
   return req;
 }

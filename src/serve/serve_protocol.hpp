@@ -41,17 +41,29 @@ enum class ServeRequestKind : std::uint8_t {
   /// Session cache. Protocol v4; an older daemon answers kError
   /// ("unknown request kind"), which is the backward-compatible failure.
   kStats = 5,
+  /// Apply a Circuit::edit() batch (`edit` holds a parse_edit_spec() spec)
+  /// to the cached Session for `netlist`, then answer a deterministic
+  /// "edit applied" summary (dirty/inserted counts + cumulative
+  /// IncrementalStats). Later requests against the same netlist see the
+  /// edited circuit and splice their sweeps from the incremental caches.
+  /// Protocol v5; the `edit` string travels ONLY for this kind, so the
+  /// v4 payload layout of kinds 1..5 is byte-identical. An older daemon
+  /// answers kError ("unknown request kind 6") — again the
+  /// backward-compatible failure, not a frame-level breakage.
+  kEdit = 6,
 };
 
 /// One request. `netlist` is anything load_netlist() accepts (embedded name
 /// or a path VISIBLE TO THE SERVER — the netlist travels by reference, not
 /// by value). `target` is read only by kHardenText, `node` only by
-/// kPSensitized; kStats reads no field at all.
+/// kPSensitized, `edit` only by kEdit (and only travels for it); kStats
+/// reads no field at all.
 struct ServeRequest {
   ServeRequestKind kind = ServeRequestKind::kSweepCsv;
   std::string netlist;
   double target = 0.5;
   std::string node;
+  std::string edit;
 };
 
 /// Tight per-frame payload bound the server passes to read_shard_frame():

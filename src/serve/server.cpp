@@ -208,6 +208,27 @@ std::string render(CachedSession& cached, const ServeRequest& req) {
       std::snprintf(buf, sizeof buf, "%.17g\n", session.p_sensitized(*site));
       return buf;
     }
+    case ServeRequestKind::kEdit: {
+      // The edit mutates the CACHED session in place (under its mutex), so
+      // every later request against this netlist — from any connection —
+      // sees the edited circuit and splices its sweep from the incremental
+      // caches. A bad spec throws before any op applies; a mid-batch
+      // failure leaves the session consistent but fully invalidated
+      // (Session::apply_edit's contract), so the kError answer is safe to
+      // retry against.
+      const EditPlan plan = parse_edit_spec(req.edit);
+      const EditResult result = session.apply_edit(plan);
+      const Session::IncrementalStats& inc = session.incremental_stats();
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "edit applied: ops=%zu dirty=%zu inserted=%zu "
+                    "structural=%d edits=%zu compiled_patched=%zu "
+                    "sp_incremental=%zu\n",
+                    plan.ops.size(), result.dirty.size(),
+                    result.inserted.size(), result.structure_changed ? 1 : 0,
+                    inc.edits, inc.compiled_patched, inc.sp_incremental);
+      return buf;
+    }
     case ServeRequestKind::kStats:
       break;  // handled by the caller — it never touches a Session
   }

@@ -1,5 +1,6 @@
 #include "src/sigprob/signal_prob.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -78,6 +79,41 @@ SignalProbabilities pm_pass(const Circuit& circuit,
   return out;
 }
 
+/// One combinational gate of the compiled pass: the flat fanin fold with the
+/// exact per-gate arithmetic of gate_sp(), fanins in CSR order. Shared
+/// between the full pass and the incremental repair so both produce the
+/// same bits by construction.
+double compiled_gate_sp(const CompiledCircuit& circuit, NodeId id,
+                        const double* p1) {
+  const auto fanin = circuit.fanin(id);
+  switch (circuit.type(id)) {
+    case GateType::kBuf:
+      return p1[fanin[0]];
+    case GateType::kNot:
+      return 1.0 - p1[fanin[0]];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double p = 1.0;
+      for (NodeId f : fanin) p *= p1[f];
+      return circuit.type(id) == GateType::kNand ? 1.0 - p : p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double q = 1.0;
+      for (NodeId f : fanin) q *= 1.0 - p1[f];
+      return circuit.type(id) == GateType::kNor ? q : 1.0 - q;
+    }
+    default: {  // kXor / kXnor: P(odd parity) folded pairwise
+      double p = 0.0;
+      for (NodeId f : fanin) {
+        const double s = p1[f];
+        p = p * (1.0 - s) + s * (1.0 - p);
+      }
+      return circuit.type(id) == GateType::kXnor ? 1.0 - p : p;
+    }
+  }
+}
+
 }  // namespace
 
 SignalProbabilities parker_mccluskey_sp(const Circuit& circuit,
@@ -130,46 +166,69 @@ SignalProbabilities compiled_parker_mccluskey_sp(const CompiledCircuit& circuit,
     }
   }
 
-  // Flat fanin walk with the exact per-gate arithmetic of gate_sp(), fanins
-  // folded in CSR order (= the source circuit's fanin order).
+  // Flat fanin walk (compiled_gate_sp above), fanins folded in CSR order
+  // (= the source circuit's fanin order).
   double* p1 = out.p1.data();
-  for (NodeId id : order) {
-    const auto fanin = circuit.fanin(id);
-    double v;
-    switch (circuit.type(id)) {
-      case GateType::kBuf:
-        v = p1[fanin[0]];
-        break;
-      case GateType::kNot:
-        v = 1.0 - p1[fanin[0]];
-        break;
-      case GateType::kAnd:
-      case GateType::kNand: {
-        double p = 1.0;
-        for (NodeId f : fanin) p *= p1[f];
-        v = circuit.type(id) == GateType::kNand ? 1.0 - p : p;
-        break;
+  for (NodeId id : order) p1[id] = compiled_gate_sp(circuit, id, p1);
+  return out;
+}
+
+std::vector<NodeId> incremental_parker_mccluskey_sp(
+    const CompiledCircuit& circuit, const SpOptions& options,
+    std::span<const NodeId> seeds, SignalProbabilities& sp) {
+  const std::size_t n = circuit.node_count();
+  // Appended nodes (insert_gate / TMR) extend the table; NaN bits guarantee
+  // their first recompute registers as a change.
+  if (sp.p1.size() < n) {
+    sp.p1.resize(n, std::numeric_limits<double>::quiet_NaN());
+  }
+  if (sp.p1.size() != n) {
+    throw std::runtime_error(
+        "incremental_parker_mccluskey_sp: SP table larger than the circuit");
+  }
+
+  // Bucket-ordered worklist: a gate sits strictly above its non-DFF fanins,
+  // so draining pending nodes in ascending bucket order sees every fanin's
+  // FINAL value — each node is evaluated at most once. Consumers enqueue
+  // only on a bitwise change (the early exit); DFF/source consumers never
+  // enqueue (their SP is an options constant, not a function of fanins).
+  std::vector<std::vector<NodeId>> buckets(circuit.bucket_count() + 1);
+  std::vector<std::uint8_t> pending(n, 0);
+  const auto enqueue = [&](NodeId id) {
+    if (pending[id] != 0) return;
+    pending[id] = 1;
+    const std::uint32_t b =
+        is_combinational(circuit.type(id)) ? circuit.bucket_level(id) : 0;
+    buckets[b].push_back(id);
+  };
+  for (NodeId id : seeds) enqueue(id);
+
+  std::vector<NodeId> changed;
+  double* p1 = sp.p1.data();
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    for (std::size_t i = 0; i < buckets[b].size(); ++i) {
+      const NodeId id = buckets[b][i];
+      double v;
+      switch (circuit.type(id)) {
+        case GateType::kInput:  v = options.input_sp; break;
+        case GateType::kDff:    v = options.dff_sp; break;
+        case GateType::kConst0: v = 0.0; break;
+        case GateType::kConst1: v = 1.0; break;
+        default:                v = compiled_gate_sp(circuit, id, p1); break;
       }
-      case GateType::kOr:
-      case GateType::kNor: {
-        double q = 1.0;
-        for (NodeId f : fanin) q *= 1.0 - p1[f];
-        v = circuit.type(id) == GateType::kNor ? q : 1.0 - q;
-        break;
+      if (std::bit_cast<std::uint64_t>(v) ==
+          std::bit_cast<std::uint64_t>(p1[id])) {
+        continue;  // identical bits — downstream cannot move
       }
-      default: {  // kXor / kXnor: P(odd parity) folded pairwise
-        double p = 0.0;
-        for (NodeId f : fanin) {
-          const double s = p1[f];
-          p = p * (1.0 - s) + s * (1.0 - p);
-        }
-        v = circuit.type(id) == GateType::kXnor ? 1.0 - p : p;
-        break;
+      p1[id] = v;
+      changed.push_back(id);
+      for (NodeId consumer : circuit.fanout(id)) {
+        if (is_combinational(circuit.type(consumer))) enqueue(consumer);
       }
     }
-    p1[id] = v;
   }
-  return out;
+  std::sort(changed.begin(), changed.end());
+  return changed;
 }
 
 SignalProbabilities exact_sp(const Circuit& circuit,

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/netlist/circuit.hpp"
@@ -67,6 +68,27 @@ struct SpOptions {
 /// call it with the compiled view they already hold.
 [[nodiscard]] SignalProbabilities compiled_parker_mccluskey_sp(
     const CompiledCircuit& circuit, const SpOptions& options = {});
+
+/// Incremental repair of a Parker-McCluskey table after a Circuit::edit()
+/// batch: re-evaluates only nodes topologically downstream of `seeds` (the
+/// batch's dirty set), in ascending bucket order, early-exiting wherever a
+/// recomputed SP is BIT-identical to the cached value — the downstream cone
+/// of an edit that lands back on the same bits costs one node. `sp` is
+/// updated in place (appended nodes extend the table); the return value is
+/// the ascending list of nodes whose value actually changed bitwise — the
+/// set the EPP layer's dirty-cone invalidation feeds on.
+///
+/// Exact by the same argument that makes the compiled pass bit-identical to
+/// the reference: each node's SP is a pure function of its final fanin SPs
+/// (the identical per-gate fold, shared code), so a node whose type and
+/// fanin SPs are unchanged would reproduce its old bits exactly — skipping
+/// it is not an approximation. `circuit` must be the ALREADY-updated
+/// compiled view of the edited netlist; `sp` must be a Parker-McCluskey
+/// table for the same options (any other source invalidates wholesale —
+/// Session handles that fallback).
+[[nodiscard]] std::vector<NodeId> incremental_parker_mccluskey_sp(
+    const CompiledCircuit& circuit, const SpOptions& options,
+    std::span<const NodeId> seeds, SignalProbabilities& sp);
 
 /// Options for exact SP.
 struct ExactSpOptions {

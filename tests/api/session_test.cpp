@@ -8,9 +8,14 @@
 // queries — pinned here through Session::build_counts().
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "sereep/sereep.hpp"
+#include "src/artifact/compiled_artifact.hpp"
 #include "src/epp/multicycle.hpp"
 #include "src/netlist/benchmarks.hpp"
 #include "src/netlist/generator.hpp"
@@ -261,6 +266,103 @@ TEST(Session, SubsampledSerRespectsMaxSites) {
   Session session(make_iscas89_like("s298"), std::move(options));
   EXPECT_EQ(session.ser().nodes.size(), 5u);
   EXPECT_GT(session.sites().size(), 5u);  // the sweep surface is unaffected
+}
+
+// ---- the incremental what-if loop (apply_edit) ----------------------------
+
+TEST(Session, RetypeEditPatchesCompiledInPlace) {
+  // A retype-only batch preserves the CSR layout, so the compiled artifact
+  // must be patched, not re-flattened: the "at most once" BuildCounts
+  // contract extends through retype edits unchanged.
+  Session session(make_c17());
+  const std::size_t total_sites = session.sites().size();
+  (void)session.sweep();
+  EXPECT_EQ(session.build_counts().compiled, 1u);
+
+  session.apply_edit(parse_edit_spec("retype 10 AND"));
+  (void)session.sweep();
+  EXPECT_EQ(session.build_counts().compiled, 1u);  // patched in place
+  const Session::IncrementalStats& inc = session.incremental_stats();
+  EXPECT_EQ(inc.edits, 1u);
+  EXPECT_EQ(inc.compiled_patched, 1u);
+  EXPECT_EQ(inc.sp_incremental, 1u);
+  EXPECT_EQ(inc.spliced_sweeps, 1u);
+  // Every site is either re-swept or spliced — never silently dropped.
+  EXPECT_EQ(inc.resweeped_sites + inc.spliced_sites, total_sites);
+  EXPECT_GT(inc.spliced_sites, 0u);  // c17's fanin cone of '10' is a strict
+                                     // subset, so something must splice
+}
+
+TEST(Session, StructuralEditReflattensCompiled) {
+  Session session(make_c17());
+  (void)session.sweep();
+  EXPECT_EQ(session.build_counts().compiled, 1u);
+  session.apply_edit(parse_edit_spec("tmr 16"));
+  (void)session.sweep();
+  // Node count grew: the CSR cannot be patched, one re-flatten is correct.
+  EXPECT_EQ(session.build_counts().compiled, 2u);
+  EXPECT_EQ(session.incremental_stats().compiled_patched, 0u);
+  EXPECT_EQ(session.incremental_stats().sp_incremental, 1u);
+}
+
+TEST(Session, ArtifactSessionGoesInMemoryOnFirstEdit) {
+  // A Session opened from a .sca artifact serves the ARTIFACT's circuit;
+  // after an edit that identity is stale. The fingerprint and the sharded
+  // netlist spec must drop on the first edit so a sharded sweep cannot
+  // pre-dispatch the on-disk netlist to workers that would then compute
+  // the un-edited circuit (the fingerprint handshake refuses instead).
+  const std::string path = ::testing::TempDir() + "sereep_edit_session_" +
+                           std::to_string(::getpid()) + ".sca";
+  write_artifact(path, make_c17());
+  Session session = Session::open(path);
+  ASSERT_TRUE(session.artifact_fingerprint().has_value());
+  ASSERT_EQ(session.options().shard.netlist, path);
+
+  session.apply_edit(parse_edit_spec("retype 10 AND"));
+  EXPECT_FALSE(session.artifact_fingerprint().has_value());
+  EXPECT_TRUE(session.options().shard.netlist.empty());
+  // And the session keeps answering — fully in-memory now.
+  EXPECT_EQ(session.sweep().size(), session.sites().size());
+  std::remove(path.c_str());
+}
+
+TEST(Session, FailedEditPlanKeepsSessionConsistent) {
+  // apply_edit_plan applies eagerly: ops before the failing one stick. The
+  // session must drop every cached artifact wholesale and keep serving
+  // results equal to a from-scratch session over the partially-edited
+  // circuit.
+  Session session(make_c17());
+  (void)session.sweep();
+  EXPECT_THROW(session.apply_edit(
+                   parse_edit_spec("retype 10 AND; tmr no_such_node")),
+               std::runtime_error);
+  // The retype stuck; the unknown-node op did not.
+  EXPECT_EQ(session.circuit().type(*session.find("10")), GateType::kAnd);
+
+  Circuit c = make_c17();
+  (void)apply_edit_plan(c, parse_edit_spec("retype 10 AND"));
+  Session oracle(std::move(c));
+  EXPECT_EQ(session.sweep_p_sensitized(), oracle.sweep_p_sensitized());
+}
+
+TEST(Session, EditInvalidatesPerSiteAndMulticycleQueries) {
+  Session session(make_s27());
+  const NodeId site = session.sites().front();
+  const double before = session.p_sensitized(site);
+  const MultiCycleEpp mc_before = session.multicycle(site, 3);
+  // s27's G11 is a 2-input NOR; flip it to NAND.
+  session.apply_edit(parse_edit_spec("retype G11 NAND"));
+  // Same-session queries now reflect the edited circuit exactly.
+  Circuit c = make_s27();
+  (void)apply_edit_plan(c, parse_edit_spec("retype G11 NAND"));
+  Session oracle(std::move(c));
+  EXPECT_EQ(session.p_sensitized(site), oracle.p_sensitized(site));
+  const MultiCycleEpp mc_after = session.multicycle(site, 3);
+  const MultiCycleEpp mc_oracle = oracle.multicycle(site, 3);
+  EXPECT_EQ(mc_after.detect_by_cycle, mc_oracle.detect_by_cycle);
+  EXPECT_EQ(mc_after.residual_state, mc_oracle.residual_state);
+  (void)before;
+  (void)mc_before;
 }
 
 }  // namespace

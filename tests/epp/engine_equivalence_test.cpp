@@ -267,6 +267,171 @@ TEST_P(EngineEquivalence, OptionVariantsStayBitIdentical) {
   }
 }
 
+/// Seeded random edit batch over the current circuit: retypes, safe rewires
+/// (level-guarded so the eager cycle check never fires), dangling inserts,
+/// and TMR protections — the full post-finalize mutation vocabulary.
+EditPlan random_edit_plan(const Circuit& c, Rng& rng, int round) {
+  EditPlan plan;
+  const auto levels = c.levels();
+  const std::size_t ops = 1 + static_cast<std::size_t>(rng.below(4));
+  for (std::size_t k = 0; k < ops; ++k) {
+    switch (rng.below(5)) {
+      case 0: {  // retype an n-ary gate among the 4 interchangeable types
+        std::vector<NodeId> candidates;
+        for (NodeId id = 0; id < c.node_count(); ++id) {
+          if (is_combinational(c.type(id)) && c.fanin(id).size() >= 2) {
+            candidates.push_back(id);
+          }
+        }
+        if (candidates.empty()) break;
+        const NodeId g = candidates[rng.below(candidates.size())];
+        static constexpr GateType kNary[] = {GateType::kAnd, GateType::kOr,
+                                             GateType::kNand, GateType::kNor};
+        EditOp op;
+        op.kind = EditOp::Kind::kRetype;
+        op.node = c.node(g).name;
+        op.type = kNary[rng.below(4)];
+        plan.ops.push_back(std::move(op));
+        break;
+      }
+      case 1: {  // rewire a gate fanin to a strictly lower level: acyclic
+        std::vector<NodeId> gates;
+        for (NodeId id = 0; id < c.node_count(); ++id) {
+          if (is_combinational(c.type(id)) && !c.fanin(id).empty()) {
+            gates.push_back(id);
+          }
+        }
+        if (gates.empty()) break;
+        const NodeId g = gates[rng.below(gates.size())];
+        std::vector<NodeId> sources;
+        for (NodeId id = 0; id < c.node_count(); ++id) {
+          // Along a combinational path levels strictly increase, so a
+          // lower-level source can never be reachable FROM g — no cycle.
+          if (levels[id] < levels[g] && c.type(id) != GateType::kConst0 &&
+              c.type(id) != GateType::kConst1) {
+            sources.push_back(id);
+          }
+        }
+        if (sources.empty()) break;
+        EditOp op;
+        op.kind = EditOp::Kind::kRewire;
+        op.node = c.node(g).name;
+        op.slot = static_cast<std::uint32_t>(rng.below(c.fanin(g).size()));
+        op.source = c.node(sources[rng.below(sources.size())]).name;
+        plan.ops.push_back(std::move(op));
+        break;
+      }
+      case 2: {  // re-aim a DFF's D pin (never closes a combinational loop)
+        if (c.dffs().empty()) break;
+        const NodeId dff = c.dffs()[rng.below(c.dffs().size())];
+        EditOp op;
+        op.kind = EditOp::Kind::kRewire;
+        op.node = c.node(dff).name;
+        op.slot = 0;
+        op.source = c.node(static_cast<NodeId>(rng.below(c.node_count())))
+                        .name;
+        plan.ops.push_back(std::move(op));
+        break;
+      }
+      case 3: {  // dangling insert: a fresh (unobservable) error site
+        EditOp op;
+        op.kind = EditOp::Kind::kInsert;
+        op.type = rng.below(2) == 0 ? GateType::kXor : GateType::kNand;
+        op.name = "fz_" + std::to_string(round) + "_" + std::to_string(k);
+        op.fanin = {
+            c.node(static_cast<NodeId>(rng.below(c.node_count()))).name,
+            c.node(static_cast<NodeId>(rng.below(c.node_count()))).name};
+        plan.ops.push_back(std::move(op));
+        break;
+      }
+      default: {  // TMR-protect a combinational gate
+        std::vector<NodeId> candidates;
+        for (NodeId id = 0; id < c.node_count(); ++id) {
+          if (is_combinational(c.type(id))) candidates.push_back(id);
+        }
+        if (candidates.empty()) break;
+        EditOp op;
+        op.kind = EditOp::Kind::kTmr;
+        op.node = c.node(candidates[rng.below(candidates.size())]).name;
+        plan.ops.push_back(std::move(op));
+        break;
+      }
+    }
+  }
+  if (plan.ops.empty()) {  // every draw hit an empty candidate pool
+    EditOp op;
+    op.kind = EditOp::Kind::kTmr;
+    op.node = c.node(error_sites(c).back()).name;
+    plan.ops.push_back(std::move(op));
+  }
+  return plan;
+}
+
+TEST_P(EngineEquivalence, IncrementalEditSessionsBitIdenticalToRebuild) {
+  // The incremental what-if tier joins the hierarchy here: warmed Sessions
+  // absorb seeded random edit batches through apply_edit() — compiled CSR
+  // patches, incremental SP repair, dirty-cone sweep splicing — and every
+  // Prob4 component must stay EXPECT_EQ to a Session rebuilt from scratch
+  // over the edited node table, across thread counts and both SIMD
+  // configurations. A splice that misses one affected site fails here.
+  const FuzzProfile& profile = GetParam();
+  Rng rng(profile.seed ^ 0xed17ULL);
+  SimdGuard guard;
+
+  // Thread count and SIMD mode are fixed per session (reconfiguration
+  // legitimately drops the incremental caches), so the matrix runs as
+  // three warmed sessions receiving the same edits.
+  struct Lane {
+    unsigned threads;
+    bool simd;
+    std::unique_ptr<Session> session;
+  };
+  Lane lanes[] = {{1, false, nullptr}, {2, true, nullptr}, {8, false, nullptr}};
+  for (Lane& lane : lanes) {
+    Options opt;
+    opt.threads = lane.threads;
+    opt.simd = lane.simd;
+    lane.session =
+        std::make_unique<Session>(make_fuzz_circuit(profile), std::move(opt));
+    (void)lane.session->sweep();  // warm the spliceable cache
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    const EditPlan plan =
+        random_edit_plan(lanes[0].session->circuit(), rng, round);
+    for (Lane& lane : lanes) lane.session->apply_edit(plan);
+
+    // From-scratch oracle over the edited node table (the restore() path
+    // is pinned equal to the edited circuit by tests/netlist/edit_test.cpp).
+    const Circuit& edited = lanes[0].session->circuit();
+    // restore() insists on clean tables: output flags come via output_order.
+    std::vector<Node> nodes(edited.nodes().begin(), edited.nodes().end());
+    for (Node& n : nodes) n.is_primary_output = false;
+    Session full(Circuit::restore(edited.name(), std::move(nodes),
+                                  edited.outputs()));
+    const std::vector<SiteEpp> want = full.sweep();
+    const std::vector<double> want_psens = full.sweep_p_sensitized();
+
+    for (Lane& lane : lanes) {
+      const std::vector<SiteEpp> got = lane.session->sweep();
+      ASSERT_EQ(got.size(), want.size())
+          << profile.tag << " round " << round;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        testutil::expect_site_epp_equal(edited, want[i], got[i]);
+      }
+      EXPECT_EQ(lane.session->sweep_p_sensitized(), want_psens)
+          << profile.tag << " round " << round << " threads="
+          << lane.threads;
+      EXPECT_EQ(lane.session->ser().total_ser, full.ser().total_ser)
+          << profile.tag << " round " << round;
+    }
+    // The splice must actually be incremental, not a silent full rebuild:
+    // after a warmed sweep, edits route through the spliced path.
+    EXPECT_EQ(lanes[0].session->incremental_stats().spliced_sweeps,
+              static_cast<std::size_t>(round + 1));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Fuzz, EngineEquivalence, ::testing::ValuesIn(kProfiles),
     [](const ::testing::TestParamInfo<FuzzProfile>& info) {

@@ -1,0 +1,206 @@
+// Dirty-cone invalidation primitives (src/epp/incremental.hpp): the
+// downstream closure, the exact affected-site mask, and the Bloom
+// sink-signature pre-filter. The mask is the authority every cached-sweep
+// splice trusts, so it is pinned here against a brute-force oracle — full
+// cone extraction per site — across the generator fuzz profiles.
+#include "src/epp/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+#include "src/netlist/compiled.hpp"
+#include "src/netlist/cone_cluster.hpp"
+#include "src/netlist/generator.hpp"
+#include "src/sim/fault_injection.hpp"
+#include "src/util/rng.hpp"
+
+namespace sereep {
+namespace {
+
+// a,b inputs; g1 = AND(a,b); q = DFF(g1); g2 = OR(q,b); PO g2.
+Circuit with_dff() {
+  Circuit c("inc_t");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g1 = c.add_gate(GateType::kAnd, "g1", {a, b});
+  const NodeId q = c.add_dff("q", g1);
+  const NodeId g2 = c.add_gate(GateType::kOr, "g2", {q, b});
+  c.mark_output(g2);
+  c.finalize();
+  return c;
+}
+
+Circuit fuzz_circuit(std::size_t gates, std::size_t dffs, double reuse,
+                     std::uint64_t seed) {
+  GeneratorProfile p;
+  p.name = "inc_fuzz";
+  p.num_inputs = 12;
+  p.num_outputs = 8;
+  p.num_dffs = dffs;
+  p.num_gates = gates;
+  p.target_depth = 10;
+  p.reuse_bias = reuse;
+  return generate_circuit(p, seed);
+}
+
+TEST(DownstreamClosure, StopsAtDffObservationPoints) {
+  const Circuit c = with_dff();
+  const CompiledCircuit cc(c);
+  const NodeId g1 = *c.find("g1");
+  const NodeId q = *c.find("q");
+  const NodeId g2 = *c.find("g2");
+  // From g1: reaches its DFF consumer but never crosses it — g2 reads the
+  // Q pin, which still carries the cycle-start constant.
+  EXPECT_EQ(downstream_closure(cc, std::vector<NodeId>{g1}),
+            (std::vector<NodeId>{g1, q}));
+  // A DFF seed is in its own closure but is not expanded either.
+  EXPECT_EQ(downstream_closure(cc, std::vector<NodeId>{q}),
+            (std::vector<NodeId>{q}));
+  // Seeding past the register reaches the sink.
+  EXPECT_EQ(downstream_closure(cc, std::vector<NodeId>{g2}),
+            (std::vector<NodeId>{g2}));
+  const NodeId b = *c.find("b");
+  // Ascending NodeId order: b(input) precedes the gates it feeds.
+  EXPECT_EQ(downstream_closure(cc, std::vector<NodeId>{b}),
+            (std::vector<NodeId>{b, g1, q, g2}))
+      << "multi-branch fanout must be covered";
+}
+
+TEST(AffectedSiteMask, DffSiteConsultsItsOwnFanout) {
+  const Circuit c = with_dff();
+  const CompiledCircuit cc(c);
+  const std::vector<NodeId> sites = error_sites(c);
+  const NodeId q = *c.find("q");
+  const NodeId g2 = *c.find("g2");
+  // Frontier = {g2}: the DFF's stored bit DOES propagate out of the Q pin
+  // into g2, so site q is affected even though reach[] stops at DFFs for
+  // every pass-through cone.
+  const auto mask =
+      affected_site_mask(cc, std::vector<NodeId>{g2}, sites);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    // b reaches g2 directly, q through its Q pin, g2 is in the frontier;
+    // a and g1 have cones that latch at q and never see g2.
+    const bool expect_affected = sites[i] == *c.find("b") || sites[i] == q ||
+                                 sites[i] == g2;
+    EXPECT_EQ(mask[i] != 0, expect_affected) << c.node(sites[i]).name;
+  }
+}
+
+TEST(AffectedSiteMask, EmptyFrontierMeansNothingAffected) {
+  const Circuit c = with_dff();
+  const CompiledCircuit cc(c);
+  const std::vector<NodeId> sites = error_sites(c);
+  const auto mask = affected_site_mask(cc, {}, sites);
+  EXPECT_TRUE(std::ranges::all_of(mask, [](auto m) { return m == 0; }));
+}
+
+/// Brute-force oracle: site s is affected iff extracting its full cone
+/// finds any frontier member — exactly the definition the one-pass mask
+/// implements.
+std::vector<std::uint8_t> brute_force_mask(const CompiledCircuit& cc,
+                                           std::span<const NodeId> frontier,
+                                           std::span<const NodeId> sites) {
+  CompiledConeExtractor extractor(cc);
+  std::vector<std::uint8_t> mask(sites.size(), 0);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    (void)extractor.extract(sites[i], /*with_reconvergence=*/false);
+    for (NodeId f : frontier) {
+      if (extractor.in_last_cone(f)) {
+        mask[i] = 1;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+TEST(AffectedSiteMask, MatchesConeExtractionOracleOnFuzzCircuits) {
+  struct Shape {
+    std::size_t gates, dffs;
+    double reuse;
+    std::uint64_t seed;
+  };
+  for (const Shape& s : {Shape{80, 0, 0.3, 1}, Shape{300, 25, 0.6, 2},
+                         Shape{500, 60, 0.1, 3}}) {
+    const Circuit c = fuzz_circuit(s.gates, s.dffs, s.reuse, s.seed);
+    const CompiledCircuit cc(c);
+    const ConeClusterPlanner planner(cc);
+    const std::vector<NodeId> sites = error_sites(c);
+    Rng rng(s.seed ^ 0xd117ULL);
+    for (int round = 0; round < 8; ++round) {
+      // Random frontiers from a lone node up to a broad region.
+      std::vector<NodeId> frontier;
+      const std::size_t count = 1 + static_cast<std::size_t>(
+                                        rng.below(1 + c.node_count() / 10));
+      for (std::size_t k = 0; k < count; ++k) {
+        frontier.push_back(
+            static_cast<NodeId>(rng.below(c.node_count())));
+      }
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+      const auto want = brute_force_mask(cc, frontier, sites);
+      // Identical with and without the Bloom pre-filter: the filter may
+      // only skip provably-clean sites, never change the mask.
+      EXPECT_EQ(affected_site_mask(cc, frontier, sites), want);
+      EXPECT_EQ(affected_site_mask(cc, frontier, sites, &planner), want);
+    }
+  }
+}
+
+TEST(FrontierSignature, ZeroSignatureNodeClearsExhaustive) {
+  const Circuit c = fuzz_circuit(120, 10, 0.4, 7);
+  const CompiledCircuit cc(c);
+  const ConeClusterPlanner planner(cc);
+  // Every real node reaches some sink in a finalized circuit, so full-node
+  // frontiers are exhaustive; the flag matters for dead regions (possible
+  // mid-batch). Pin both directions: the OR of per-node signatures, and
+  // exhaustive == no zero-signature member.
+  std::vector<NodeId> all(c.node_count());
+  for (NodeId id = 0; id < c.node_count(); ++id) all[id] = id;
+  const FrontierSignature fsig = frontier_signature(planner, all);
+  bool any_zero = false;
+  std::uint64_t expect_bits = 0;
+  for (NodeId id : all) {
+    expect_bits |= planner.sink_signature(id);
+    any_zero |= planner.sink_signature(id) == 0;
+  }
+  EXPECT_EQ(fsig.bits, expect_bits);
+  EXPECT_EQ(fsig.exhaustive, !any_zero);
+}
+
+TEST(BloomAffectedClusters, SupersetOfClustersWithAffectedSites) {
+  const Circuit c = fuzz_circuit(400, 30, 0.5, 9);
+  const CompiledCircuit cc(c);
+  const ConeClusterPlanner planner(cc);
+  const std::vector<NodeId> sites = error_sites(c);
+  const std::vector<ConeCluster> clusters = planner.plan(sites);
+  Rng rng(0x9e3779b9ULL);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<NodeId> frontier{
+        static_cast<NodeId>(rng.below(c.node_count())),
+        static_cast<NodeId>(rng.below(c.node_count()))};
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    const std::vector<std::uint32_t> picked =
+        bloom_affected_clusters(planner, sites, clusters, frontier);
+    const auto mask = affected_site_mask(cc, frontier, sites);
+    for (std::uint32_t ci = 0; ci < clusters.size(); ++ci) {
+      const bool has_affected = std::ranges::any_of(
+          clusters[ci].members,
+          [&](std::uint32_t member) { return mask[member] != 0; });
+      if (has_affected) {
+        EXPECT_TRUE(std::ranges::find(picked, ci) != picked.end())
+            << "cluster " << ci << " holds an affected site but was "
+            << "filtered out — the pre-filter must never false-negative";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sereep

@@ -1,0 +1,297 @@
+// Post-finalize edit batches: dirty-set bookkeeping, frozen-index
+// maintenance, and the determinism contract that an edited circuit is
+// indistinguishable from Circuit::restore() over the same node table (the
+// property every downstream splice in the incremental engine leans on —
+// see src/epp/incremental.hpp).
+#include "src/netlist/circuit_edit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/netlist/circuit.hpp"
+
+namespace sereep {
+namespace {
+
+// a,b,c inputs; g1 = AND(a,b); g2 = OR(g1,c); g3 = NOT(g1); PO g2,g3.
+Circuit diamond() {
+  Circuit c("edit_t");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId ci = c.add_input("c");
+  const NodeId g1 = c.add_gate(GateType::kAnd, "g1", {a, b});
+  const NodeId g2 = c.add_gate(GateType::kOr, "g2", {g1, ci});
+  const NodeId g3 = c.add_gate(GateType::kNot, "g3", {g1});
+  c.mark_output(g2);
+  c.mark_output(g3);
+  c.finalize();
+  return c;
+}
+
+// in -> g = AND(in, q); dff q <- g  (legal sequential feedback).
+Circuit feedback() {
+  Circuit c("edit_fb");
+  const NodeId in = c.add_input("in");
+  const NodeId q = c.add_dff_placeholder("q");
+  const NodeId g = c.add_gate(GateType::kAnd, "g", {in, q});
+  c.connect_dff(q, g);
+  c.mark_output(g);
+  c.finalize();
+  return c;
+}
+
+/// The restore() oracle: rebuilds from the edited node table and requires
+/// every frozen index to match — same Kahn pass over the same adjacency.
+void expect_matches_restore(const Circuit& c) {
+  // restore() takes the output flags through output_order, never the table.
+  std::vector<Node> nodes(c.nodes().begin(), c.nodes().end());
+  for (Node& n : nodes) n.is_primary_output = false;
+  const Circuit r = Circuit::restore(c.name(), std::move(nodes),
+                                     c.outputs());
+  ASSERT_EQ(r.node_count(), c.node_count());
+  EXPECT_TRUE(std::ranges::equal(r.topo_order(), c.topo_order()));
+  EXPECT_TRUE(std::ranges::equal(r.levels(), c.levels()));
+  EXPECT_TRUE(std::ranges::equal(r.sources(), c.sources()));
+  EXPECT_TRUE(std::ranges::equal(r.sinks(), c.sinks()));
+  EXPECT_TRUE(std::ranges::equal(r.outputs(), c.outputs()));
+  EXPECT_EQ(r.depth(), c.depth());
+}
+
+TEST(EditBatch, RetypeDirtySetAndPreservedStructure) {
+  Circuit c = diamond();
+  const NodeId g1 = *c.find("g1");
+  const std::vector<NodeId> topo_before(c.topo_order().begin(),
+                                        c.topo_order().end());
+  EditBatch batch = c.edit();
+  batch.retype(g1, GateType::kNand);
+  const EditResult result = batch.commit();
+  EXPECT_EQ(result.dirty, std::vector<NodeId>{g1});
+  EXPECT_TRUE(result.inserted.empty());
+  EXPECT_FALSE(result.structure_changed);  // retype-only batch
+  EXPECT_EQ(c.type(g1), GateType::kNand);
+  // Adjacency untouched => identical Kahn order.
+  EXPECT_TRUE(std::ranges::equal(c.topo_order(), topo_before));
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, RetypeValidation) {
+  Circuit c = diamond();
+  const NodeId g1 = *c.find("g1");
+  const NodeId a = *c.find("a");
+  EditBatch batch = c.edit();
+  EXPECT_THROW(batch.retype(a, GateType::kOr), std::runtime_error);  // input
+  EXPECT_THROW(batch.retype(g1, GateType::kNot), std::runtime_error);  // arity
+}
+
+TEST(EditBatch, RewireMarksBothEndpointsDirty) {
+  Circuit c = diamond();
+  const NodeId g1 = *c.find("g1");
+  const NodeId g2 = *c.find("g2");
+  const NodeId a = *c.find("a");
+  // g2's slot 0 moves from g1 to a: a site whose cone reached g2 only
+  // through g1 loses that path, which is visible post-edit only at g1 — the
+  // OLD source must be in the dirty set for dirty-cone invalidation.
+  EditBatch batch = c.edit();
+  batch.rewire_fanin(g2, 0, a);
+  const EditResult result = batch.commit();
+  EXPECT_TRUE(result.structure_changed);
+  EXPECT_EQ(result.dirty, (std::vector<NodeId>{g1, g2}));
+  EXPECT_EQ(c.fanin(g2)[0], a);
+  EXPECT_EQ(std::ranges::count(c.fanout(g1), g2), 0);
+  EXPECT_EQ(std::ranges::count(c.fanout(a), g2), 1);
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, RewireCombinationalCycleRejected) {
+  Circuit c = diamond();
+  const NodeId g1 = *c.find("g1");
+  const NodeId g2 = *c.find("g2");
+  EditBatch batch = c.edit();
+  // g1 -> g2 exists; feeding g2 back into g1 closes a combinational loop.
+  EXPECT_THROW(batch.rewire_fanin(g1, 0, g2), std::runtime_error);
+}
+
+TEST(EditBatch, RewireThroughDffStaysLegal) {
+  Circuit c = feedback();
+  const NodeId g = *c.find("g");
+  const NodeId q = *c.find("q");
+  // Moving the DFF's D pin (or a gate's fanin to a DFF output) never closes
+  // a combinational cycle — the register boundary breaks the loop.
+  EditBatch batch = c.edit();
+  batch.rewire_fanin(q, 0, g);  // re-assert the same D pin: still legal
+  batch.rewire_fanin(g, 0, q);  // g = AND(q, q) via the feedback path
+  (void)batch.commit();
+  EXPECT_EQ(c.fanin(g)[0], q);
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, InsertGateAppendsDanglingSite) {
+  Circuit c = diamond();
+  const std::size_t n = c.node_count();
+  const NodeId a = *c.find("a");
+  const NodeId b = *c.find("b");
+  EditBatch batch = c.edit();
+  const NodeId id = batch.insert_gate(GateType::kXor, "x", {a, b});
+  const EditResult result = batch.commit();
+  EXPECT_EQ(id, n);  // appended, never renumbered
+  EXPECT_EQ(result.inserted, std::vector<NodeId>{id});
+  EXPECT_TRUE(c.fanout(id).empty());  // dangling is legal
+  EXPECT_THROW((void)c.edit().insert_gate(GateType::kAnd, "g1", {a, b}),
+               std::runtime_error);  // duplicate name
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, ProtectTmrBuildsVoterAndResplicesConsumers) {
+  Circuit c = diamond();
+  const NodeId g1 = *c.find("g1");
+  const NodeId g2 = *c.find("g2");
+  const NodeId g3 = *c.find("g3");
+  const std::size_t n = c.node_count();
+  EditBatch batch = c.edit();
+  const NodeId vote = batch.protect_tmr(g1);
+  const EditResult result = batch.commit();
+  EXPECT_EQ(result.inserted.size(), 6u);  // 2 copies + 3 ANDs + OR voter
+  EXPECT_EQ(c.node_count(), n + 6);
+  EXPECT_EQ(vote, *c.find("g1__vote"));
+  EXPECT_EQ(c.type(vote), GateType::kOr);
+  // Every pre-existing consumer reads the voter now; g1 feeds only its
+  // majority ANDs.
+  EXPECT_EQ(c.fanin(g2)[0], vote);
+  EXPECT_EQ(c.fanin(g3)[0], vote);
+  for (NodeId consumer : c.fanout(g1)) {
+    EXPECT_TRUE(consumer == *c.find("g1__vab") ||
+                consumer == *c.find("g1__vac"));
+  }
+  // The copies share g1's fanin.
+  EXPECT_TRUE(std::ranges::equal(c.fanin(*c.find("g1__tmr_b")), c.fanin(g1)));
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, ProtectTmrTransfersPrimaryOutputInPlace) {
+  Circuit c = diamond();
+  const NodeId g2 = *c.find("g2");
+  const std::vector<NodeId> outputs_before(c.outputs().begin(),
+                                           c.outputs().end());
+  EditBatch batch = c.edit();
+  const NodeId vote = batch.protect_tmr(g2);
+  (void)batch.commit();
+  EXPECT_FALSE(c.is_primary_output(g2));
+  EXPECT_TRUE(c.is_primary_output(vote));
+  // Marking-order slot preserved: same outputs() position, new node.
+  ASSERT_EQ(c.outputs().size(), outputs_before.size());
+  for (std::size_t i = 0; i < outputs_before.size(); ++i) {
+    EXPECT_EQ(c.outputs()[i],
+              outputs_before[i] == g2 ? vote : outputs_before[i]);
+  }
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, ReprotectingSameRegionUniquifiesNames) {
+  Circuit c = diamond();
+  {
+    EditBatch batch = c.edit();
+    (void)batch.protect_tmr(*c.find("g1"));
+    (void)batch.commit();
+  }
+  EditBatch batch = c.edit();
+  const NodeId vote2 = batch.protect_tmr(*c.find("g1__vote"));
+  (void)batch.commit();
+  EXPECT_EQ(vote2, *c.find("g1__vote__vote"));
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, AbandonedBatchStillReindexes) {
+  Circuit c = diamond();
+  const NodeId g2 = *c.find("g2");
+  const NodeId a = *c.find("a");
+  {
+    EditBatch batch = c.edit();
+    batch.rewire_fanin(g2, 0, a);
+    // No commit: the destructor must leave consistent frozen indexes anyway.
+  }
+  expect_matches_restore(c);
+}
+
+TEST(EditBatch, EmptyCommitAndSpentBatchThrow) {
+  Circuit c = diamond();
+  EXPECT_THROW((void)c.edit().commit(), std::runtime_error);
+  EditBatch batch = c.edit();
+  batch.retype(*c.find("g1"), GateType::kNand);
+  (void)batch.commit();
+  EXPECT_THROW(batch.retype(*c.find("g1"), GateType::kAnd),
+               std::runtime_error);
+}
+
+TEST(EditBatch, EditRequiresFinalizedCircuit) {
+  Circuit c;
+  c.add_input("a");
+  EXPECT_THROW((void)c.edit(), std::runtime_error);
+}
+
+TEST(Circuit, PostFinalizeAddApiNamesTheEditChannel) {
+  // The construction API must not just refuse after finalize() — its
+  // diagnostic has to point at Circuit::edit(), the supported channel.
+  Circuit c = diamond();
+  try {
+    (void)c.add_gate(GateType::kAnd, "late", {0, 1});
+    FAIL() << "add_gate after finalize() must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Circuit::edit()"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- edit plans (the name-based wire form) --------------------------------
+
+TEST(EditPlan, ParseRendersRoundTrip) {
+  const char* spec =
+      "retype g1 NAND; rewire g2 0 a\ninsert XOR x a b; tmr g1";
+  const EditPlan plan = parse_edit_spec(spec);
+  ASSERT_EQ(plan.ops.size(), 4u);
+  EXPECT_EQ(plan.ops[0].kind, EditOp::Kind::kRetype);
+  EXPECT_EQ(plan.ops[1].kind, EditOp::Kind::kRewire);
+  EXPECT_EQ(plan.ops[1].slot, 0u);
+  EXPECT_EQ(plan.ops[2].kind, EditOp::Kind::kInsert);
+  EXPECT_EQ(plan.ops[2].fanin, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(plan.ops[3].kind, EditOp::Kind::kTmr);
+  // to_string is the canonical rendering; parsing it again is a fixpoint.
+  const std::string canonical = to_string(plan);
+  EXPECT_EQ(canonical, "retype g1 NAND; rewire g2 0 a; insert XOR x a b; "
+                       "tmr g1");
+  EXPECT_EQ(to_string(parse_edit_spec(canonical)), canonical);
+}
+
+TEST(EditPlan, MalformedSpecsThrowNamingTheOp) {
+  for (const char* bad : {"", "   ;  ", "retype g1", "retype g1 DFF",
+                          "rewire g2 x a", "insert AND x", "tmr", "drop g1"}) {
+    EXPECT_THROW((void)parse_edit_spec(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(EditPlan, ApplyResolvesNamesAndMatchesDirectBatch) {
+  Circuit by_plan = diamond();
+  const EditResult got =
+      apply_edit_plan(by_plan, parse_edit_spec("retype g1 NAND; tmr g2"));
+  Circuit by_batch = diamond();
+  EditBatch batch = by_batch.edit();
+  batch.retype(*by_batch.find("g1"), GateType::kNand);
+  (void)batch.protect_tmr(*by_batch.find("g2"));
+  const EditResult want = batch.commit();
+  EXPECT_EQ(got.dirty, want.dirty);
+  EXPECT_EQ(got.inserted, want.inserted);
+  ASSERT_EQ(by_plan.node_count(), by_batch.node_count());
+  for (NodeId id = 0; id < by_plan.node_count(); ++id) {
+    EXPECT_EQ(by_plan.node(id).name, by_batch.node(id).name);
+    EXPECT_EQ(by_plan.type(id), by_batch.type(id));
+    EXPECT_TRUE(std::ranges::equal(by_plan.fanin(id), by_batch.fanin(id)));
+  }
+  EXPECT_THROW((void)apply_edit_plan(by_plan, parse_edit_spec("tmr nope")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sereep

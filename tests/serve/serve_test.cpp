@@ -232,5 +232,69 @@ TEST(Serve, NonRequestFrameTypeAnswersKErrorAndCloses) {
                   local.sweep_csv(), "after protocol violation");
 }
 
+TEST(Serve, EditMutatesTheCachedSessionForLaterRequests) {
+  // Protocol v5 kEdit: the edit applies to the server's CACHED session, so
+  // every later request against the same netlist — on this connection or a
+  // fresh one — renders the edited circuit. The differential oracle is a
+  // local Session fed the same edit batch.
+  ServeDaemon daemon = start_serve();
+  Session local = Session::open("s27");
+  Client client(daemon.port);
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                  local.sweep_csv(), "pre-edit sweep");
+
+  const std::string spec = "retype G11 NAND; tmr G10";
+  local.apply_edit(parse_edit_spec(spec));
+  ServeRequest edit = make_request(ServeRequestKind::kEdit, "s27");
+  edit.edit = spec;
+  const std::optional<ShardFrame> reply = client.round_trip(edit);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, ShardFrameType::kResponse) << body_of(reply);
+  EXPECT_NE(body_of(reply).find("edit applied: ops=2"), std::string::npos)
+      << body_of(reply);
+
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                  local.sweep_csv(), "post-edit sweep, same connection");
+  expect_response(client, make_request(ServeRequestKind::kSerCsv, "s27"),
+                  local.ser_csv(), "post-edit ser");
+  Client fresh(daemon.port);
+  expect_response(fresh, make_request(ServeRequestKind::kSweepCsv, "s27"),
+                  local.sweep_csv(), "post-edit sweep, new connection");
+}
+
+TEST(Serve, BadEditSpecAnswersKErrorWithoutPoisoningTheSession) {
+  ServeDaemon daemon = start_serve();
+  Session local = Session::open("c17");
+  Client client(daemon.port);
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  local.sweep_csv(), "pre-error sweep");
+
+  ServeRequest bad = make_request(ServeRequestKind::kEdit, "c17");
+  bad.edit = "tmr no_such_node";
+  const std::optional<ShardFrame> reply = client.round_trip(bad);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, ShardFrameType::kError);
+  EXPECT_NE(body_of(reply).find("unknown node"), std::string::npos)
+      << body_of(reply);
+
+  // A semantic edit failure keeps the connection AND the cached session:
+  // the circuit is unchanged (the failing op was the first in its batch).
+  expect_response(client, make_request(ServeRequestKind::kSweepCsv, "c17"),
+                  local.sweep_csv(), "post-error sweep");
+}
+
+TEST(Serve, EmptyEditSpecIsAFramingLevelDefect) {
+  // decode_request rejects an empty edit spec before any session work; like
+  // every decode failure the server answers kError and closes.
+  ServeDaemon daemon = start_serve();
+  Client client(daemon.port);
+  const std::optional<ShardFrame> reply =
+      client.round_trip(make_request(ServeRequestKind::kEdit, "c17"));
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, ShardFrameType::kError);
+  EXPECT_NE(body_of(reply).find("empty edit spec"), std::string::npos)
+      << body_of(reply);
+}
+
 }  // namespace
 }  // namespace sereep

@@ -42,6 +42,9 @@ RATIO_HINTS = ("speedup", "_vs_")
 # vs pipes, both pure host properties — so it is same-machine too.
 HW_SENSITIVE = {"simd_speedup", "batched_speedup", "batched_vs_compiled",
                 "sharded_vs_batched", "tcp_vs_pipe"}
+# incremental_vs_full (schema v9) is deliberately NOT here: both sides run
+# the same batched engine on the same circuit, so the ratio is workload
+# shape (dirty-cone size vs total cone mass), comparable across machines.
 
 
 def is_ratio(column):

@@ -16,6 +16,7 @@
 //                  [--on-shard-failure=fail|retry|degrade]
 //                  [--top=N] [--csv=out.csv]     vulnerability ranking
 //   sereep harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]
+//                  [--iterate=N]                 incremental what-if loop
 //   sereep report  <netlist> [--validate] [--seq-sp] [--o=report.md]
 //   sereep gen     [--profile=s953] [--seed=N] [--o=out.bench]
 //   sereep engines                               registered EPP engines
@@ -25,8 +26,9 @@
 //                  [--serve-threads=N] [--max-connections=N]
 //                  [--request-timeout-ms=N] [--drain-timeout-ms=N]
 //                  [--stats-interval-ms=N]       hot-Session daemon
-//   sereep client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT
-//                  [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]
+//   sereep client  <sweep|ser|harden|psens|edit> <netlist>
+//                  --connect=HOST:PORT [--target=T] [--node=NAME]
+//                  [--edit=SPEC] [--timeout-ms=N] [--o=FILE]
 //                  [--retries=N] [--retry-backoff-ms=N]
 //   sereep client  --stats --connect=HOST:PORT   server metrics snapshot
 //
@@ -78,6 +80,7 @@
 #include "src/util/net.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
+#include "src/util/timer.hpp"
 #include "src/util/timer.hpp"
 
 namespace {
@@ -425,6 +428,83 @@ int cmd_ser(const std::string& path, const bench::Flags& flags) {
   return 0;
 }
 
+/// `sereep harden <netlist> --iterate=N`: the incremental what-if loop as a
+/// command. Each round re-ranks SER, TMR-protects the top-ranked still
+/// unprotected combinational gate through Session::apply_edit() — the SAME
+/// session, so the cached sweep table splices around the voter's dirty cone
+/// instead of recomputing — and re-evaluates. Round 0 pays the one full
+/// sweep; the per-round "re-eval ms" column is what the dirty-cone
+/// invalidation buys.
+///
+/// Unlike `harden` without --iterate (which models a protected gate as
+/// contributing zero), this loop evaluates PHYSICAL TMR: the inserted
+/// majority voter is itself an unprotected gate whose upsets propagate
+/// exactly where the original's did, so whole-circuit SER can go UP —
+/// the classic unhardened-voter trap, and exactly the kind of verdict a
+/// cheap what-if evaluation exists to deliver before committing silicon.
+int cmd_harden_iterate(Session& session, long rounds) {
+  Stopwatch sw;
+  (void)session.sweep();  // populate the spliceable sweep cache...
+  const CircuitSer* ser = &session.ser();  // ...which this fold reuses
+  const double baseline = ser->total_ser;
+  std::printf("baseline SER %.3e failures/s (%.2f FIT), full sweep %.1f ms\n",
+              baseline, ser->total_fit(), sw.millis());
+  AsciiTable t({"Round", "Protected", "SER", "vs base", "Re-eval ms",
+                "Re-swept", "Spliced"});
+  char buf[64];
+  for (long round = 1; round <= rounds; ++round) {
+    // The TMR copies and voter added by earlier rounds are ordinary new
+    // sites in this ranking; the protected gate itself ranks ~0 (a single
+    // upset on one voter input is majority-masked).
+    const Circuit& c = session.circuit();
+    std::string victim;
+    for (const auto& ns : ser->ranked()) {
+      if (is_combinational(c.type(ns.node))) {
+        victim = c.node(ns.node).name;
+        break;
+      }
+    }
+    if (victim.empty()) {
+      std::printf("no combinational gate left to protect; stopping\n");
+      break;
+    }
+    const Session::IncrementalStats before = session.incremental_stats();
+    sw.restart();
+    EditPlan plan;
+    EditOp op;
+    op.kind = EditOp::Kind::kTmr;
+    op.node = victim;
+    plan.ops.push_back(std::move(op));
+    session.apply_edit(plan);
+    ser = &session.ser();  // spliced: only the voter's cone re-sweeps
+    const double ms = sw.millis();
+    const Session::IncrementalStats& after = session.incremental_stats();
+    std::vector<std::string> row;
+    row.push_back(std::to_string(round));
+    row.push_back(victim);
+    std::snprintf(buf, sizeof buf, "%.3e", ser->total_ser);
+    row.emplace_back(buf);
+    row.push_back(format_fixed(100 * ser->total_ser / baseline, 1) + "%");
+    row.push_back(format_fixed(ms, 1));
+    row.push_back(std::to_string(after.resweeped_sites -
+                                 before.resweeped_sites));
+    row.push_back(std::to_string(after.spliced_sites - before.spliced_sites));
+    t.add_row(std::move(row));
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("final SER %.3e failures/s (%.2f FIT), %.1f%% of baseline\n",
+              ser->total_ser, ser->total_fit(),
+              100 * ser->total_ser / baseline);
+  if (ser->total_ser >= baseline) {
+    std::printf(
+        "note: physical TMR RAISED the SER — the inserted majority voters\n"
+        "are themselves unprotected error sites (the unhardened-voter\n"
+        "trap); the zero-contribution plan `sereep harden` prints assumes\n"
+        "hardened voters.\n");
+  }
+  return 0;
+}
+
 int cmd_harden(const std::string& path, const bench::Flags& flags) {
   std::optional<Options> opt = analysis_options(flags, 1);
   if (!opt) return 1;
@@ -433,6 +513,12 @@ int cmd_harden(const std::string& path, const bench::Flags& flags) {
       checked_double(flags, "target", 0.5, 0.0, 1.0);
   if (!target_flag) return 1;
   const double target = *target_flag;
+  if (flags.has("iterate")) {
+    const std::optional<long> rounds =
+        checked_int(flags, "iterate", 1, 1, 100'000);
+    if (!rounds) return 1;
+    return cmd_harden_iterate(session, *rounds);
+  }
   // One selection pass; the text is the exact rendering the golden
   // regression pins (tests/cli/golden_ser_test.cpp).
   const HardeningPlan plan = session.harden(target);
@@ -664,8 +750,12 @@ int cmd_serve(const bench::Flags& flags) {
 ///
 /// --retries=N retries with doubled backoff (starting at --retry-backoff-ms)
 /// when the server sheds load — a kBusy frame — or refuses/drops the
-/// connection. Safe to retry blindly: every request kind is read-only, so a
-/// duplicate has no effect beyond the recomputation.
+/// connection. Safe to retry blindly for every read-only kind (a duplicate
+/// just recomputes). `edit` is the exception — it MUTATES the server's
+/// cached session, and a duplicate tmr/insert is a different circuit — so
+/// once the request frame has been written, an ambiguous failure (server
+/// hung up before answering) is terminal, never retried; only failures that
+/// provably precede delivery (connect refused, kBusy shed) retry.
 int cmd_client(const std::string& kind_name, const std::string& netlist,
                const bench::Flags& flags) {
   ServeRequest req;
@@ -687,12 +777,19 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
       std::fprintf(stderr, "error: client psens requires --node=NAME\n");
       return 2;
     }
+  } else if (kind_name == "edit") {
+    req.kind = ServeRequestKind::kEdit;
+    req.edit = flags.get("edit", "");
+    if (req.edit.empty()) {
+      std::fprintf(stderr, "error: client edit requires --edit=SPEC\n");
+      return 2;
+    }
   } else if (kind_name == "stats") {
     req.kind = ServeRequestKind::kStats;  // netlist-less server introspection
   } else {
     std::fprintf(stderr,
                  "error: unknown client request '%s' "
-                 "(sweep|ser|harden|psens)\n",
+                 "(sweep|ser|harden|psens|edit)\n",
                  kind_name.c_str());
     return 2;
   }
@@ -720,9 +817,13 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
     // Why retry inside the CLI instead of a shell loop: the busy signal is
     // a protocol frame, not an exit-code convention a script could misread.
     std::string retry_why;
+    // True once the request frame may have REACHED the server — from then
+    // on a failure is ambiguous (the edit may have applied), see above.
+    bool delivered = false;
     try {
       const int fd =
           tcp_connect(hp.host, hp.port, static_cast<int>(*timeout));
+      delivered = true;  // a write error can still mean partial delivery
       write_shard_frame(fd, ShardFrameType::kRequest, payload);
       const std::optional<ShardFrame> frame =
           read_shard_frame(fd, static_cast<int>(*timeout));
@@ -732,6 +833,7 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
         // our request; indistinguishable from here, retryable either way.
         retry_why = "server closed the connection without a response";
       } else if (frame->type == ShardFrameType::kBusy) {
+        delivered = false;  // shed before decode — the edit did NOT apply
         retry_why = std::string(
             reinterpret_cast<const char*>(frame->payload.data()),
             frame->payload.size());
@@ -754,6 +856,16 @@ int cmd_client(const std::string& kind_name, const std::string& netlist,
       }
     } catch (const std::exception& e) {
       retry_why = e.what();  // connect refused / reset / write failure
+    }
+    if (req.kind == ServeRequestKind::kEdit && delivered) {
+      // Ambiguous edit outcome: the server may have applied the batch and
+      // died before answering. Retrying could double-apply; stop here and
+      // let the operator inspect (`client stats` / a read-only re-query).
+      std::fprintf(stderr,
+                   "error: %s — the edit may already be applied "
+                   "server-side; not retrying\n",
+                   retry_why.c_str());
+      return 1;
     }
     if (attempt >= *retries) {
       if (req.kind == ServeRequestKind::kStats &&
@@ -796,6 +908,8 @@ void usage() {
       "          [--shard-retries=N] [--shard-timeout-ms=N]\n"
       "          [--on-shard-failure=fail|retry|degrade] [--csv=out.csv]\n"
       "  harden  <netlist> [--engine=E] [--target=0.5] [--emit=out.v]\n"
+      "          [--iterate=N]  iterative TMR what-if loop (incremental\n"
+      "          re-evaluation per protected gate)\n"
       "  report  <netlist> [--validate] [--seq-sp] [--top=N] [--target=T]\n"
       "          [--o=report.md]\n"
       "  gen     [--profile=s953] [--seed=N] [--o=out.bench]\n"
@@ -808,6 +922,9 @@ void usage() {
       "  client  <sweep|ser|harden|psens> <netlist> --connect=HOST:PORT\n"
       "          [--target=T] [--node=NAME] [--timeout-ms=N] [--o=FILE]\n"
       "          [--retries=0] [--retry-backoff-ms=100]\n"
+      "  client  edit <netlist> --edit='tmr g1; retype g2 NAND; ...'\n"
+      "          --connect=HOST:PORT   apply an edit batch to the server's\n"
+      "          cached session (later requests see the edited circuit)\n"
       "  client  --stats --connect=HOST:PORT [--o=FILE]\n"
       "--engine=E: any registered EPP engine (see `sereep engines`);\n"
       "  sharded fans sweeps out across --shards worker processes, or over\n"
